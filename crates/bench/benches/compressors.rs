@@ -1,0 +1,75 @@
+//! Criterion microbenchmarks: simulation rate of the hardware model vs the
+//! software reference, across corpora and ablations.
+//!
+//! These measure *host* wall-clock of the simulator (how fast the model
+//! runs), complementing the `experiments` binary which reports *modelled*
+//! cycles (how fast the hardware would run).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lzfpga_core::{HwCompressor, HwConfig};
+use lzfpga_lzss::params::CompressionLevel;
+use lzfpga_lzss::{compress, LzssParams};
+use lzfpga_workloads::{generate, Corpus};
+
+const SAMPLE: usize = 1 << 20;
+
+fn bench_hw_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hw_model");
+    g.throughput(Throughput::Bytes(SAMPLE as u64));
+    for corpus in [Corpus::Wiki, Corpus::X2e, Corpus::Random] {
+        let data = generate(corpus, 1, SAMPLE);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(corpus.name()),
+            &data,
+            |b, data| {
+                let mut hw = HwCompressor::new(HwConfig::paper_fast());
+                b.iter(|| hw.compress(data).cycles)
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_sw_reference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sw_reference");
+    g.throughput(Throughput::Bytes(SAMPLE as u64));
+    for level in [CompressionLevel::Min, CompressionLevel::Medium, CompressionLevel::Max] {
+        let data = generate(Corpus::Wiki, 1, SAMPLE);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{level:?}")),
+            &data,
+            |b, data| {
+                let params = LzssParams::new(4_096, 15, level);
+                b.iter(|| compress(data, &params).len())
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hw_ablations");
+    g.throughput(Throughput::Bytes(SAMPLE as u64));
+    let data = generate(Corpus::Wiki, 1, SAMPLE);
+    let configs = [
+        ("original", HwConfig::paper_fast()),
+        ("bus8", HwConfig::paper_fast().with_8bit_bus()),
+        ("no_prefetch", HwConfig::paper_fast().without_prefetch()),
+        ("gen0", HwConfig::paper_fast().without_generation_bits()),
+        ("single_bank", HwConfig::paper_fast().with_head_divisions(1)),
+    ];
+    for (name, cfg) in configs {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &data, |b, data| {
+            let mut hw = HwCompressor::new(cfg);
+            b.iter(|| hw.compress(data).cycles)
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_hw_model, bench_sw_reference, bench_ablations
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion microbenchmarks for the Deflate format layer: fixed vs dynamic
+//! encoding and inflate throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lzfpga_deflate::encoder::{BlockKind, DeflateEncoder};
+use lzfpga_deflate::inflate::inflate;
+use lzfpga_deflate::token::Token;
+use lzfpga_lzss::{compress, LzssParams};
+use lzfpga_workloads::{generate, Corpus};
+
+const SAMPLE: usize = 1 << 20;
+
+fn tokens() -> (Vec<Token>, usize) {
+    let data = generate(Corpus::Wiki, 1, SAMPLE);
+    (compress(&data, &LzssParams::paper_fast()), data.len())
+}
+
+fn bench_encoders(c: &mut Criterion) {
+    let (tokens, input_len) = tokens();
+    let mut g = c.benchmark_group("deflate_encode");
+    g.throughput(Throughput::Bytes(input_len as u64));
+    for (name, kind) in [
+        ("fixed", BlockKind::FixedHuffman),
+        ("dynamic", BlockKind::DynamicHuffman),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &tokens, |b, tokens| {
+            b.iter(|| {
+                let mut enc = DeflateEncoder::new();
+                enc.write_block(tokens, kind, true);
+                enc.finish().len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_inflate(c: &mut Criterion) {
+    let (tokens, input_len) = tokens();
+    let mut enc = DeflateEncoder::new();
+    enc.write_block(&tokens, BlockKind::FixedHuffman, true);
+    let stream = enc.finish();
+    let mut g = c.benchmark_group("inflate");
+    g.throughput(Throughput::Bytes(input_len as u64));
+    g.bench_function("fixed_stream", |b| b.iter(|| inflate(&stream).unwrap().len()));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_encoders, bench_inflate
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion microbenchmarks of the alternative matcher architectures and
+//! the new pipeline stages: host simulation rate of the CAM and systolic
+//! models, the decompressor, the streaming session and chunk-parallel
+//! compression.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lzfpga_cam::systolic::{SystolicCompressor, SystolicConfig};
+use lzfpga_cam::{CamCompressor, CamConfig};
+use lzfpga_core::pipeline::compress_to_zlib;
+use lzfpga_core::{DecompConfig, HwConfig, HwDecompressor, ZlibSession};
+use lzfpga_parallel::{compress_parallel, ParallelConfig};
+use lzfpga_workloads::{generate, Corpus};
+
+const SAMPLE: usize = 256 * 1024;
+
+fn bench_alt_matchers(c: &mut Criterion) {
+    let data = generate(Corpus::Wiki, 1, SAMPLE);
+    let mut g = c.benchmark_group("alt_matchers");
+    g.throughput(Throughput::Bytes(SAMPLE as u64));
+    g.sample_size(10);
+    g.bench_function("cam_4k", |b| {
+        let cam = CamCompressor::new(CamConfig::paper_window());
+        b.iter(|| cam.compress(&data).cycles)
+    });
+    g.bench_function("systolic_4k", |b| {
+        let sys = SystolicCompressor::new(SystolicConfig::paper_window());
+        b.iter(|| sys.compress(&data).cycles)
+    });
+    g.finish();
+}
+
+fn bench_decompressor(c: &mut Criterion) {
+    let data = generate(Corpus::Wiki, 1, SAMPLE);
+    let stream = compress_to_zlib(&data, &HwConfig::paper_fast()).compressed;
+    let mut g = c.benchmark_group("decompressor");
+    g.throughput(Throughput::Bytes(SAMPLE as u64));
+    g.bench_function("hw_model_zlib", |b| {
+        let mut d = HwDecompressor::new(DecompConfig::paper_fast());
+        b.iter(|| d.decompress_zlib(&stream).unwrap().cycles)
+    });
+    g.bench_function("software_inflate", |b| {
+        b.iter(|| lzfpga_deflate::zlib::zlib_decompress(&stream).unwrap().len())
+    });
+    g.finish();
+}
+
+fn bench_session(c: &mut Criterion) {
+    let data = generate(Corpus::X2e, 1, SAMPLE);
+    let mut g = c.benchmark_group("session");
+    g.throughput(Throughput::Bytes(SAMPLE as u64));
+    for chunk in [4_096usize, 65_536] {
+        g.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, &chunk| {
+            b.iter(|| {
+                let mut s = ZlibSession::new(HwConfig::paper_fast());
+                for c in data.chunks(chunk) {
+                    s.write(c);
+                }
+                s.finish().0.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let data = generate(Corpus::Wiki, 1, SAMPLE * 4);
+    let mut g = c.benchmark_group("parallel");
+    g.throughput(Throughput::Bytes((SAMPLE * 4) as u64));
+    g.sample_size(10);
+    for workers in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            let cfg = ParallelConfig {
+                chunk_bytes: 64 * 1024,
+                workers: w,
+                instances: w,
+                hw: HwConfig::paper_fast(),
+            };
+            b.iter(|| compress_parallel(&data, &cfg).compressed.len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_alt_matchers,
+    bench_decompressor,
+    bench_session,
+    bench_parallel
+);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion microbenchmarks for the workload generators (they must be much
+//! faster than the compressors they feed, or sweeps would measure them).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lzfpga_workloads::{generate, Corpus};
+
+const SAMPLE: usize = 1 << 20;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_generate");
+    g.throughput(Throughput::Bytes(SAMPLE as u64));
+    for corpus in [Corpus::Wiki, Corpus::X2e, Corpus::LogLines, Corpus::Random] {
+        g.bench_with_input(BenchmarkId::from_parameter(corpus.name()), &corpus, |b, &corpus| {
+            b.iter(|| generate(corpus, 1, SAMPLE).len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_generators
+}
+criterion_main!(benches);

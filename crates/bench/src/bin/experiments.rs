@@ -1,0 +1,70 @@
+//! `experiments` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments <table1|table2|table3|fig2|fig3|fig4|fig5|all>
+//!             [--size BYTES] [--seed N] [--threads N] [--paper-scale]
+//! ```
+
+use lzfpga_bench::{ExperimentCtx, EXPERIMENT_NAMES};
+
+fn main() {
+    let mut ctx = ExperimentCtx::default();
+    let mut names: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--size" => {
+                ctx.size = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--size requires a number"));
+            }
+            "--seed" => {
+                ctx.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed requires a number"));
+            }
+            "--threads" => {
+                ctx.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--threads requires a number"));
+            }
+            "--paper-scale" => ctx.size = 100_000_000,
+            "--help" | "-h" => {
+                println!(
+                    "experiments <{}|{}|ext-all> [--size BYTES] [--seed N] [--threads N] [--paper-scale]",
+                    EXPERIMENT_NAMES.join("|"),
+                    lzfpga_bench::EXTENSION_NAMES.join("|")
+                );
+                return;
+            }
+            name => names.push(name.to_string()),
+        }
+    }
+    if names.is_empty() {
+        names.push("all".into());
+    }
+    for name in names {
+        if name == "ext-all" {
+            println!("{}", lzfpga_bench::extensions::run_all(&ctx));
+            continue;
+        }
+        match lzfpga_bench::experiments::run(&name, &ctx)
+            .or_else(|| lzfpga_bench::extensions::run(&name, &ctx))
+        {
+            Some(report) => println!("{report}"),
+            None => die(&format!(
+                "unknown experiment '{name}' (expected one of: {}, {}, ext-all)",
+                EXPERIMENT_NAMES.join(", "),
+                lzfpga_bench::EXTENSION_NAMES.join(", ")
+            )),
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

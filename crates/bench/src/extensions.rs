@@ -1,0 +1,458 @@
+//! Extension experiments beyond the paper's tables and figures — the
+//! ablations and design-space comparisons DESIGN.md §6 calls out. Each
+//! returns a rendered report, like the paper experiments in
+//! [`crate::experiments`].
+
+use crate::experiments::ExperimentCtx;
+use lzfpga_cam::systolic::{SystolicCompressor, SystolicConfig};
+use lzfpga_cam::{CamCompressor, CamConfig};
+use lzfpga_core::config::CLOCK_HZ;
+use lzfpga_core::dyn_huffman_stage::{self, DynHuffmanConfig};
+use lzfpga_core::pipeline::compress_to_zlib;
+use lzfpga_core::{DecompConfig, HwCompressor, HwConfig, HwDecompressor};
+use lzfpga_deflate::encoder::fixed_block_bit_size;
+use lzfpga_lzss::classic::{classic_bit_size, ClassicParams};
+use lzfpga_lzss::hash::HashFn;
+use lzfpga_parallel::{compress_parallel, ParallelConfig};
+use lzfpga_workloads::{generate, Corpus};
+
+/// Names of the extension experiments.
+pub const EXTENSION_NAMES: [&str; 11] = [
+    "designs",
+    "ablation-m",
+    "ablation-hash",
+    "ablation-fill",
+    "chain-sweep",
+    "gen-sweep",
+    "token-stats",
+    "decomp",
+    "dynhuff",
+    "entropy",
+    "parallel",
+];
+
+/// Run one extension experiment by name.
+pub fn run(name: &str, ctx: &ExperimentCtx) -> Option<String> {
+    match name {
+        "designs" => Some(designs(ctx)),
+        "ablation-m" => Some(ablation_m(ctx)),
+        "ablation-hash" => Some(ablation_hash(ctx)),
+        "ablation-fill" => Some(ablation_fill(ctx)),
+        "chain-sweep" => Some(chain_sweep(ctx)),
+        "gen-sweep" => Some(gen_sweep(ctx)),
+        "token-stats" => Some(token_stats(ctx)),
+        "decomp" => Some(decomp(ctx)),
+        "dynhuff" => Some(dynhuff(ctx)),
+        "entropy" => Some(entropy(ctx)),
+        "parallel" => Some(parallel(ctx)),
+        _ => None,
+    }
+}
+
+/// Run every extension experiment.
+pub fn run_all(ctx: &ExperimentCtx) -> String {
+    EXTENSION_NAMES
+        .iter()
+        .map(|n| run(n, ctx).expect("known name"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// EXT A: the three architectures head-to-head — the paper's FSM+BRAM
+/// design vs the related-work CAM \[7\] and systolic array \[8\]\[9\].
+pub fn designs(ctx: &ExperimentCtx) -> String {
+    let size = ctx.size.min(2_000_000); // the CAM/systolic sims are O(n*W)
+    let mut out = String::from(
+        "EXT A: MATCHER ARCHITECTURES (4 KB window; text sample)\n",
+    );
+    out.push_str(&format!(
+        "{:<22} {:>10} {:>10} {:>9} {:>9} {:>9}\n",
+        "Design", "MB/s", "cyc/byte", "Ratio", "LUTs", "RAMB36"
+    ));
+    out.push_str(&"-".repeat(74));
+    out.push('\n');
+    let data = generate(Corpus::Wiki, ctx.seed, size);
+
+    let hw_cfg = HwConfig::paper_fast();
+    let hw = compress_to_zlib(&data, &hw_cfg);
+    let res = hw_cfg.resources();
+    out.push_str(&format!(
+        "{:<22} {:>10.1} {:>10.2} {:>9.3} {:>9} {:>9.1}\n",
+        "FSM+BRAM (paper)",
+        hw.mb_per_s(),
+        hw.run.cycles_per_byte(),
+        hw.ratio(),
+        res.luts,
+        res.bram.ramb36_equiv()
+    ));
+
+    let cam_cfg = CamConfig::paper_window();
+    let cam = CamCompressor::new(cam_cfg).compress(&data);
+    let bits = fixed_block_bit_size(&cam.tokens);
+    let res = cam_cfg.resources();
+    out.push_str(&format!(
+        "{:<22} {:>10.1} {:>10.2} {:>9.3} {:>9} {:>9.1}\n",
+        "CAM [7]",
+        cam.mb_per_s(CLOCK_HZ),
+        cam.cycles_per_byte(),
+        data.len() as f64 * 8.0 / bits as f64,
+        res.luts,
+        res.bram.ramb36_equiv()
+    ));
+
+    let sys_cfg = SystolicConfig::paper_window();
+    let sys = SystolicCompressor::new(sys_cfg).compress(&data);
+    let bits = fixed_block_bit_size(&sys.tokens);
+    let res = sys_cfg.resources();
+    out.push_str(&format!(
+        "{:<22} {:>10.1} {:>10.2} {:>9.3} {:>9} {:>9.1}\n",
+        "Systolic [8][9]",
+        sys.mb_per_s(),
+        sys.cycles_per_byte(),
+        data.len() as f64 * 8.0 / bits as f64,
+        res.luts,
+        res.bram.ramb36_equiv()
+    ));
+    out.push_str("(CAM/systolic ratios are token streams through the same fixed-Huffman coder; systolic runs at its 150 MHz local-wiring clock, others at 100 MHz)\n");
+    out
+}
+
+/// EXT B: head-table division factor M — rotation stall share vs BRAM
+/// granularity (the paper fixes M = 16; this sweep shows why).
+pub fn ablation_m(ctx: &ExperimentCtx) -> String {
+    let data = generate(Corpus::Wiki, ctx.seed, ctx.size.min(4_000_000));
+    let mut out = String::from("EXT B: HEAD-TABLE DIVISION FACTOR (15-bit hash, 4 KB window)\n");
+    out.push_str(&format!(
+        "{:<6} {:>12} {:>12} {:>12} {:>10}\n",
+        "M", "MB/s", "rot cycles", "rot share", "stall/rot"
+    ));
+    out.push_str(&"-".repeat(56));
+    out.push('\n');
+    for m in [1u32, 2, 4, 8, 16, 32, 64] {
+        let cfg = HwConfig::paper_fast().with_head_divisions(m);
+        let rep = HwCompressor::new(cfg).compress(&data);
+        let rotate = rep.stats.get(lzfpga_core::HwState::Rotate);
+        out.push_str(&format!(
+            "{:<6} {:>12.1} {:>12} {:>11.2}% {:>10}\n",
+            m,
+            rep.mb_per_s(CLOCK_HZ),
+            rotate,
+            rep.stats.share(lzfpga_core::HwState::Rotate) * 100.0,
+            cfg.rotation_cycles(),
+        ));
+    }
+    out
+}
+
+/// EXT C: hash-function choice — zlib shift-xor vs multiplicative, at two
+/// widths ("exact hash function" is a compile-time generic in the paper).
+pub fn ablation_hash(ctx: &ExperimentCtx) -> String {
+    let data = generate(Corpus::Wiki, ctx.seed, ctx.size.min(4_000_000));
+    let mut out = String::from("EXT C: HASH FUNCTION VARIANTS (4 KB window)\n");
+    out.push_str(&format!(
+        "{:<22} {:>10} {:>10} {:>12} {:>12}\n",
+        "Hash", "MB/s", "Ratio", "chain steps", "cmp bytes"
+    ));
+    out.push_str(&"-".repeat(70));
+    out.push('\n');
+    for bits in [9u32, 15] {
+        for (name, hash_fn) in [
+            (format!("zlib-shift/{bits}b"), HashFn::zlib(bits)),
+            (format!("multiplicative/{bits}b"), HashFn::multiplicative(bits)),
+        ] {
+            let mut cfg = HwConfig::new(4_096, bits);
+            cfg.hash_fn = hash_fn;
+            let rep = compress_to_zlib(&data, &cfg);
+            out.push_str(&format!(
+                "{:<22} {:>10.1} {:>10.3} {:>12} {:>12}\n",
+                name,
+                rep.mb_per_s(),
+                rep.ratio(),
+                rep.run.counters.chain_steps,
+                rep.run.counters.compared_bytes
+            ));
+        }
+    }
+    out
+}
+
+/// EXT H: input-link bandwidth — the background filler delivers 1..4 bytes
+/// per cycle (one LocalLink word = 4 B at full rate); slower links starve
+/// the matcher exactly where matches consume input fastest.
+pub fn ablation_fill(ctx: &ExperimentCtx) -> String {
+    let mut out =
+        String::from("EXT H: INPUT FILL RATE (bytes/cycle; starvation share per corpus)\n");
+    out.push_str(&format!(
+        "{:<16} {:>10} {:>14} {:>14} {:>14}\n",
+        "Corpus", "fill B/cyc", "MB/s", "fetch share", "cyc/byte"
+    ));
+    out.push_str(&"-".repeat(72));
+    out.push('\n');
+    for corpus in [Corpus::Wiki, Corpus::Constant] {
+        for rate in [1u32, 2, 4] {
+            let mut cfg = HwConfig::paper_fast();
+            cfg.fill_bytes_per_cycle = rate;
+            let data = generate(corpus, ctx.seed, ctx.size.min(2_000_000));
+            let rep = HwCompressor::new(cfg).compress(&data);
+            out.push_str(&format!(
+                "{:<16} {:>10} {:>14.1} {:>13.2}% {:>14.2}\n",
+                corpus.name(),
+                rate,
+                rep.mb_per_s(CLOCK_HZ),
+                rep.stats.share(lzfpga_core::HwState::Fetch) * 100.0,
+                rep.cycles_per_byte()
+            ));
+        }
+    }
+    out
+}
+
+/// EXT I: the run-time matching iteration limit, swept finely — Figure 4's
+/// x-axis is really this knob (the level presets are two points on it).
+pub fn chain_sweep(ctx: &ExperimentCtx) -> String {
+    let data = generate(Corpus::Wiki, ctx.seed, ctx.size.min(3_000_000));
+    let mut out =
+        String::from("EXT I: MATCHING ITERATION LIMIT (4 KB window, 15-bit hash, greedy)\n");
+    out.push_str(&format!(
+        "{:<8} {:>12} {:>10} {:>14} {:>14}\n",
+        "limit", "MB/s", "Ratio", "chain steps", "cyc/byte"
+    ));
+    out.push_str(&"-".repeat(62));
+    out.push('\n');
+    for limit in [1u32, 2, 4, 8, 16, 64, 256, 1_024] {
+        let cfg = HwConfig::paper_fast().with_chain_limit(limit);
+        let rep = compress_to_zlib(&data, &cfg);
+        out.push_str(&format!(
+            "{:<8} {:>12.1} {:>10.3} {:>14} {:>14.2}\n",
+            limit,
+            rep.mb_per_s(),
+            rep.ratio(),
+            rep.run.counters.chain_steps,
+            rep.run.cycles_per_byte()
+        ));
+    }
+    out
+}
+
+/// EXT J: generation bits G = 0..6 — the rotation period doubles per bit
+/// ("using k generation bits makes next table rotation occur 2^k times
+/// rarer"), shown as rotation overhead.
+pub fn gen_sweep(ctx: &ExperimentCtx) -> String {
+    let data = generate(Corpus::Wiki, ctx.seed, ctx.size.min(3_000_000));
+    let mut out = String::from("EXT J: GENERATION BITS (4 KB window, 15-bit hash, M = 16)\n");
+    out.push_str(&format!(
+        "{:<6} {:>12} {:>12} {:>12} {:>14} {:>12}\n",
+        "G", "MB/s", "rotations", "rot share", "period bytes", "entry bits"
+    ));
+    out.push_str(&"-".repeat(74));
+    out.push('\n');
+    for g in [0u32, 1, 2, 3, 4, 6] {
+        let mut cfg = HwConfig::paper_fast();
+        cfg.gen_bits = g;
+        let rep = HwCompressor::new(cfg).compress(&data);
+        out.push_str(&format!(
+            "{:<6} {:>12.1} {:>12} {:>11.2}% {:>14} {:>12}\n",
+            g,
+            rep.mb_per_s(CLOCK_HZ),
+            rep.counters.rotations,
+            rep.stats.share(lzfpga_core::HwState::Rotate) * 100.0,
+            cfg.rotation_period_bytes(),
+            cfg.head_entry_bits()
+        ));
+    }
+    out
+}
+
+/// EXT K: token-stream anatomy per corpus — the statistics behind the
+/// tuning constants (match coverage, length/distance histograms, literal
+/// entropy).
+pub fn token_stats(ctx: &ExperimentCtx) -> String {
+    use lzfpga_lzss::analysis::{analyze_tokens, render_stats};
+    let mut out = String::from("EXT K: TOKEN-STREAM ANATOMY (4 KB window, 15-bit hash, fast)\n");
+    for corpus in [Corpus::Wiki, Corpus::X2e, Corpus::JsonTelemetry, Corpus::Mixed] {
+        let data = generate(corpus, ctx.seed, ctx.size.min(2_000_000));
+        let rep = HwCompressor::new(HwConfig::paper_fast()).compress(&data);
+        out.push_str(&format!("{}:\n", corpus.name()));
+        out.push_str(&render_stats(&analyze_tokens(&rep.tokens)));
+    }
+    out
+}
+
+/// EXT D: decompressor throughput — the \[10\] replay/reconfiguration side.
+pub fn decomp(ctx: &ExperimentCtx) -> String {
+    let mut out = String::from("EXT D: DECOMPRESSOR THROUGHPUT (4 KB ring)\n");
+    out.push_str(&format!(
+        "{:<16} {:>12} {:>12} {:>12} {:>12}\n",
+        "Corpus", "comp MB/s", "decomp MB/s", "asymmetry", "dec cyc/B"
+    ));
+    out.push_str(&"-".repeat(68));
+    out.push('\n');
+    for corpus in [Corpus::Wiki, Corpus::X2e, Corpus::JsonTelemetry, Corpus::Random] {
+        let data = generate(corpus, ctx.seed, ctx.size.min(3_000_000));
+        let comp = compress_to_zlib(&data, &HwConfig::paper_fast());
+        let dec = HwDecompressor::new(DecompConfig::paper_fast())
+            .decompress_zlib(&comp.compressed)
+            .expect("own stream decodes");
+        out.push_str(&format!(
+            "{:<16} {:>12.1} {:>12.1} {:>11.2}x {:>12.2}\n",
+            corpus.name(),
+            comp.mb_per_s(),
+            dec.mb_per_s(),
+            dec.mb_per_s() / comp.mb_per_s(),
+            dec.cycles_per_byte()
+        ));
+    }
+    out
+}
+
+/// EXT E: the dynamic-Huffman trade-off the paper declined, quantified.
+pub fn dynhuff(ctx: &ExperimentCtx) -> String {
+    let data = generate(Corpus::Wiki, ctx.seed, ctx.size.min(4_000_000));
+    let rep = HwCompressor::new(HwConfig::paper_fast()).compress(&data);
+    let mut out = String::from("EXT E: FIXED VS DYNAMIC HUFFMAN STAGE (Wiki sample)\n");
+    out.push_str(&format!(
+        "{:<28} {:>12} {:>12} {:>12} {:>10}\n",
+        "Stage", "bits", "ratio gain", "added cyc", "BRAM36"
+    ));
+    out.push_str(&"-".repeat(78));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:<28} {:>12} {:>12} {:>12} {:>10}\n",
+        "fixed (paper)",
+        fixed_block_bit_size(&rep.tokens),
+        "-",
+        0,
+        "0.0"
+    ));
+    for (label, cfg) in [
+        ("dynamic 16K double-buf", DynHuffmanConfig::default()),
+        (
+            "dynamic 16K single-buf",
+            DynHuffmanConfig { double_buffered: false, ..Default::default() },
+        ),
+        (
+            "dynamic 4K double-buf",
+            DynHuffmanConfig { block_tokens: 4_096, ..Default::default() },
+        ),
+    ] {
+        let d = dyn_huffman_stage::evaluate(&rep.tokens, rep.cycles, &cfg);
+        out.push_str(&format!(
+            "{:<28} {:>12} {:>11.2}% {:>12} {:>10.1}\n",
+            label,
+            d.bits,
+            d.ratio_gain() * 100.0,
+            d.added_cycles,
+            d.extra_bram.ramb36_equiv()
+        ));
+    }
+    out
+}
+
+/// EXT F: entropy-coding formats over the same token stream — classic LZSS
+/// fixed fields vs Deflate fixed vs dynamic.
+pub fn entropy(ctx: &ExperimentCtx) -> String {
+    use lzfpga_deflate::encoder::{BlockKind, DeflateEncoder};
+    let mut out = String::from("EXT F: BACK-END ENCODINGS (bits per corpus, same 4 KB-window tokens)\n");
+    out.push_str(&format!(
+        "{:<16} {:>14} {:>14} {:>14} {:>14}\n",
+        "Corpus", "classic 17b", "fixed Huff", "dyn Huff", "raw bits"
+    ));
+    out.push_str(&"-".repeat(76));
+    out.push('\n');
+    for corpus in [Corpus::Wiki, Corpus::X2e, Corpus::LogLines, Corpus::Random] {
+        let data = generate(corpus, ctx.seed, ctx.size.min(2_000_000));
+        let rep = HwCompressor::new(HwConfig::paper_fast()).compress(&data);
+        let classic = classic_bit_size(&rep.tokens, &ClassicParams::okumura());
+        let fixed = fixed_block_bit_size(&rep.tokens);
+        let mut enc = DeflateEncoder::new();
+        enc.write_block(&rep.tokens, BlockKind::DynamicHuffman, true);
+        let dynamic = enc.bit_len();
+        out.push_str(&format!(
+            "{:<16} {:>14} {:>14} {:>14} {:>14}\n",
+            corpus.name(),
+            classic,
+            fixed,
+            dynamic,
+            data.len() * 8
+        ));
+    }
+    out
+}
+
+/// EXT G: multi-engine scale-out (pigz-style chunk parallelism).
+pub fn parallel(ctx: &ExperimentCtx) -> String {
+    let data = generate(Corpus::Wiki, ctx.seed, ctx.size.clamp(1_000_000, 8_000_000));
+    let mut out = String::from("EXT G: MULTI-ENGINE SCALING (64 KB chunks, Wiki sample)\n");
+    out.push_str(&format!(
+        "{:<10} {:>12} {:>10} {:>10} {:>12}\n",
+        "Engines", "MB/s", "Speedup", "Ratio", "chunks"
+    ));
+    out.push_str(&"-".repeat(58));
+    out.push('\n');
+    for instances in [1usize, 2, 4, 8] {
+        let cfg = ParallelConfig {
+            chunk_bytes: 64 * 1024,
+            workers: 0,
+            instances,
+            hw: HwConfig::paper_fast(),
+        };
+        let rep = compress_parallel(&data, &cfg);
+        out.push_str(&format!(
+            "{:<10} {:>12.1} {:>9.2}x {:>10.3} {:>12}\n",
+            instances,
+            rep.mb_per_s(),
+            rep.speedup(),
+            rep.ratio(),
+            rep.chunks.len()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> ExperimentCtx {
+        ExperimentCtx { size: 400_000, seed: 1, threads: 0 }
+    }
+
+    #[test]
+    fn all_extensions_render() {
+        for name in EXTENSION_NAMES {
+            let out = run(name, &ctx()).unwrap();
+            assert!(out.lines().count() >= 4, "{name}:\n{out}");
+        }
+        assert!(run("bogus", &ctx()).is_none());
+    }
+
+    #[test]
+    fn designs_shape_holds() {
+        let out = designs(&ctx());
+        assert!(out.contains("FSM+BRAM"));
+        assert!(out.contains("CAM [7]"));
+        assert!(out.contains("Systolic"));
+    }
+
+    #[test]
+    fn parallel_scaling_is_monotonic() {
+        let out = parallel(&ctx());
+        let speeds: Vec<f64> = out
+            .lines()
+            .filter(|l| l.starts_with(char::is_numeric))
+            .map(|l| l.split_whitespace().nth(1).unwrap().parse().unwrap())
+            .collect();
+        assert!(speeds.windows(2).all(|w| w[1] >= w[0] * 0.99), "{speeds:?}");
+    }
+
+    #[test]
+    fn ablation_m_rotation_stall_shrinks_with_m() {
+        let out = ablation_m(&ctx());
+        let stalls: Vec<u64> = out
+            .lines()
+            .filter(|l| l.starts_with(char::is_numeric))
+            .map(|l| l.split_whitespace().last().unwrap().parse().unwrap())
+            .collect();
+        assert!(stalls.windows(2).all(|w| w[1] <= w[0]), "{stalls:?}");
+    }
+}

@@ -1,0 +1,33 @@
+//! Experiment harness: the code behind every table and figure of the paper.
+//!
+//! Each `experiments` subcommand regenerates one artefact of the paper's
+//! evaluation section (§V):
+//!
+//! | Subcommand | Paper artefact |
+//! |---|---|
+//! | `table1` | Table I — SW vs HW performance and ratio on Wiki and X2E |
+//! | `table2` | Table II — FPGA utilisation vs hash/dictionary size |
+//! | `table3` | Table III — optimisation ablations (bus width, prefetch, generation bits) |
+//! | `fig2` | Fig. 2 — compressed size vs dictionary size per hash width |
+//! | `fig3` | Fig. 3 — compression speed vs dictionary size per hash width |
+//! | `fig4` | Fig. 4 — size & speed at min/max level for 9/15-bit hash |
+//! | `fig5` | Fig. 5 — time share per FSM state |
+//! | `all` | everything above in sequence |
+//!
+//! Extension experiments (`ext-all` or by name) cover the DESIGN.md §6
+//! ablations: `designs` (FSM+BRAM vs CAM vs systolic), `ablation-m`,
+//! `ablation-hash`, `decomp`, `dynhuff`, `entropy`, `parallel`.
+//!
+//! Sample sizes default to a laptop-friendly scale (the paper used
+//! 10–100 MB); pass `--size` to change, `--paper-scale` for the original
+//! sizes. Shapes (who wins, by what factor, where crossovers are) are the
+//! reproduction target, not absolute numbers — see `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod extensions;
+
+pub use experiments::{ExperimentCtx, EXPERIMENT_NAMES};
+pub use extensions::EXTENSION_NAMES;

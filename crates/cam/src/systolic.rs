@@ -1,0 +1,311 @@
+//! Systolic-array LZ matcher — the second alternative architecture from the
+//! paper's related work ("systolic arrays \[8\], \[9\]", Jung/Burleson-style).
+//!
+//! A linear array of `W` processing elements holds the window; the input
+//! streams through the array one byte per cycle. PE `i` continuously
+//! compares the incoming byte against its stored window byte and maintains
+//! a run-length counter of consecutive hits; a reduction tree picks the PE
+//! with the longest current run when a token must be emitted.
+//!
+//! Differences from the CAM model in [`crate`]:
+//!
+//! * **No broadcast fan-out.** Each byte enters at PE 0 and ripples down the
+//!   chain; electrical loading is constant per PE, so systolic arrays close
+//!   timing at higher clock rates than global-broadcast CAMs — the classic
+//!   VLSI argument of \[8\]. The model exposes this as a higher default clock.
+//! * **Strictly one byte per cycle**, like the CAM, but the emitted match
+//!   is the longest *run ending at the current byte* rather than the true
+//!   longest prefix match: a PE's counter resets on any mismatch, so a
+//!   1-byte interruption splits what a chain/CAM matcher would join. This
+//!   costs extra ratio — visible in the comparison experiment.
+//! * **Area:** one byte register + comparator + small counter per PE, but
+//!   no per-cell match-line bitmap logic: ~1.5 LUTs + ~2 FFs per window
+//!   byte, between the paper's design and the CAM.
+//!
+//! The model's token policy: accumulate literals while no run is long
+//! enough; when the best run reaches `MIN_MATCH` and then breaks (or hits
+//! `MAX_MATCH`), emit the match. This greedy run-following policy is what a
+//! counter-per-PE array can implement without random access into the
+//! window.
+
+use lzfpga_deflate::fixed::{MAX_MATCH, MIN_MATCH};
+use lzfpga_deflate::token::Token;
+use lzfpga_sim::resources::{pack_memory, ResourceEstimate};
+
+/// Configuration of the systolic matcher.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystolicConfig {
+    /// Array length = window size in bytes.
+    pub window_size: u32,
+    /// Achievable clock in Hz (local-only wiring closes timing faster than
+    /// the 100 MHz broadcast designs; \[8\] reports ~1.5-2x).
+    pub clock_hz: f64,
+}
+
+impl SystolicConfig {
+    /// Window matched to the paper's fast preset, with the \[8\]-style clock
+    /// advantage.
+    pub fn paper_window() -> Self {
+        Self { window_size: 4_096, clock_hz: 150.0e6 }
+    }
+
+    /// Validate geometry.
+    ///
+    /// # Panics
+    /// Panics on invalid geometry.
+    pub fn validate(&self) {
+        assert!(
+            self.window_size.is_power_of_two() && (256..=65_536).contains(&self.window_size),
+            "systolic window {} must be a power of two in 256..=64K",
+            self.window_size
+        );
+        assert!(self.clock_hz > 0.0, "clock must be positive");
+    }
+
+    /// Logic estimate: per PE a byte register (8 FF), an equality comparator
+    /// (~1 LUT), a 9-bit saturating counter (~0.5 LUT + 9 FF amortised into
+    /// SRL-style packing), plus the log-depth maximum-reduction tree.
+    pub fn resources(&self) -> ResourceEstimate {
+        let w = self.window_size;
+        ResourceEstimate {
+            luts: w + w / 2 + w / 2 + 200,
+            registers: 2 * w + 150,
+            bram: pack_memory(w as usize, 8),
+        }
+    }
+}
+
+/// Result of a systolic compression run.
+#[derive(Debug, Clone)]
+pub struct SystolicRunReport {
+    /// The LZSS command stream.
+    pub tokens: Vec<Token>,
+    /// Total clock cycles (exactly one per input byte).
+    pub cycles: u64,
+    /// Input bytes.
+    pub input_bytes: u64,
+    /// The configured clock, for throughput conversion.
+    pub clock_hz: f64,
+}
+
+impl SystolicRunReport {
+    /// Cycles per input byte (exactly 1 by construction).
+    pub fn cycles_per_byte(&self) -> f64 {
+        if self.input_bytes == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.input_bytes as f64
+        }
+    }
+
+    /// Modelled throughput at the configured clock, MB/s.
+    pub fn mb_per_s(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.input_bytes as f64 / 1e6 * self.clock_hz / self.cycles as f64
+        }
+    }
+}
+
+/// The systolic-array compressor model.
+pub struct SystolicCompressor {
+    cfg: SystolicConfig,
+}
+
+impl SystolicCompressor {
+    /// Instantiate for a configuration.
+    ///
+    /// # Panics
+    /// Panics on invalid geometry.
+    pub fn new(cfg: SystolicConfig) -> Self {
+        cfg.validate();
+        Self { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystolicConfig {
+        &self.cfg
+    }
+
+    /// Compress `data` with run-following greedy matching, one byte/cycle.
+    pub fn compress(&self, data: &[u8]) -> SystolicRunReport {
+        let w = self.cfg.window_size as usize;
+        let n = data.len();
+        // Per-PE run counters; PE i tracks the candidate at distance i+1.
+        // (Simulation stores them densely; hardware has one per PE.)
+        let mut runs: Vec<u32> = vec![0; w];
+        let mut tokens = Vec::new();
+
+        // The pending match being followed: (start position, distance).
+        let mut pend_start: usize = 0;
+        let mut pend_dist: usize = 0;
+        let mut pend_len: usize = 0;
+
+        let mut pos = 0usize;
+        while pos < n {
+            // One cycle: the byte enters the array; every PE whose window
+            // byte equals it extends its run, everyone else resets.
+            let byte = data[pos];
+            let valid = pos.min(w);
+            let mut best_len = 0u32;
+            let mut best_dist = 0usize;
+            for (i, run) in runs[..valid].iter_mut().enumerate() {
+                let dist = i + 1;
+                if data[pos - dist] == byte {
+                    *run += 1;
+                    // Prefer the longest run; tie-break on the smallest
+                    // distance (the reduction tree's priority order).
+                    if *run > best_len {
+                        best_len = *run;
+                        best_dist = dist;
+                    }
+                } else {
+                    *run = 0;
+                }
+            }
+            runs[valid..].fill(0);
+
+            if pend_len > 0 {
+                // Following a match: does its PE still run?
+                let i = pend_dist - 1;
+                if runs.get(i).copied().unwrap_or(0) as usize > pend_len {
+                    pend_len += 1;
+                    if pend_len == MAX_MATCH as usize {
+                        tokens.push(Token::new_match(pend_dist as u32, pend_len as u32));
+                        pend_len = 0;
+                        runs.fill(0); // counters restart after an emit
+                    }
+                    pos += 1;
+                    continue;
+                }
+                // The run broke: emit what was followed (or downgrade).
+                if pend_len >= MIN_MATCH as usize {
+                    tokens.push(Token::new_match(pend_dist as u32, pend_len as u32));
+                } else {
+                    for k in 0..pend_len {
+                        tokens.push(Token::Literal(data[pend_start + k]));
+                    }
+                }
+                pend_len = 0;
+                // The current byte is reconsidered below with fresh eyes
+                // (its compare already happened this cycle).
+            }
+
+            if best_len as usize >= 1 && pos + 1 < n {
+                // Start following the best run from this byte. A run of
+                // best_len ending here covers bytes pos-best_len+1..=pos;
+                // the array can only follow forward, so the pending match
+                // starts at this byte with length 1 when the run is fresh,
+                // or adopts the full run when it began at a literal
+                // boundary. The implementable policy: adopt length 1.
+                pend_start = pos;
+                pend_dist = best_dist;
+                pend_len = 1;
+            } else {
+                tokens.push(Token::Literal(byte));
+            }
+            pos += 1;
+        }
+        // Drain the pending follow at EOF.
+        if pend_len >= MIN_MATCH as usize {
+            tokens.push(Token::new_match(pend_dist as u32, pend_len as u32));
+        } else {
+            for k in 0..pend_len {
+                tokens.push(Token::Literal(data[pend_start + k]));
+            }
+        }
+
+        SystolicRunReport {
+            tokens,
+            cycles: n as u64,
+            input_bytes: n as u64,
+            clock_hz: self.cfg.clock_hz,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lzfpga_lzss::decoder::decode_tokens;
+    use lzfpga_workloads::{generate, Corpus};
+
+    fn roundtrip(data: &[u8]) -> SystolicRunReport {
+        let rep = SystolicCompressor::new(SystolicConfig::paper_window()).compress(data);
+        assert_eq!(decode_tokens(&rep.tokens, 4_096).unwrap(), data, "{:?}", rep.tokens);
+        rep
+    }
+
+    #[test]
+    fn empty_and_small() {
+        assert!(roundtrip(b"").tokens.is_empty());
+        roundtrip(b"x");
+        roundtrip(b"xy");
+        roundtrip(b"xxxxxxx");
+        roundtrip(b"snowy snow");
+    }
+
+    #[test]
+    fn cycles_exactly_one_per_byte() {
+        for corpus in [Corpus::Wiki, Corpus::Random, Corpus::Constant] {
+            let data = generate(corpus, 3, 50_000);
+            let rep = SystolicCompressor::new(SystolicConfig::paper_window()).compress(&data);
+            assert_eq!(rep.cycles, data.len() as u64);
+            assert_eq!(decode_tokens(&rep.tokens, 4_096).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn repetitive_data_produces_long_matches() {
+        let data = b"abcdefgh".repeat(1_000);
+        let rep = roundtrip(&data);
+        let longest = rep
+            .tokens
+            .iter()
+            .filter_map(|t| match t {
+                Token::Match { len, .. } => Some(*len),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        assert!(longest >= 200, "longest match {longest}");
+    }
+
+    #[test]
+    fn window_discipline_holds() {
+        let data = generate(Corpus::Periodic { period: 6_000 }, 2, 40_000);
+        let rep = SystolicCompressor::new(SystolicConfig { window_size: 1_024, clock_hz: 1.0e8 })
+            .compress(&data);
+        for t in &rep.tokens {
+            if let Token::Match { dist, .. } = t {
+                assert!(*dist <= 1_024);
+            }
+        }
+        assert_eq!(decode_tokens(&rep.tokens, 1_024).unwrap(), data);
+    }
+
+    #[test]
+    fn ratio_trails_the_papers_design_but_throughput_is_flat() {
+        use lzfpga_deflate::encoder::fixed_block_bit_size;
+        let data = generate(Corpus::Wiki, 9, 150_000);
+        let sys = SystolicCompressor::new(SystolicConfig::paper_window()).compress(&data);
+        let hw =
+            lzfpga_core::HwCompressor::new(lzfpga_core::HwConfig::paper_fast()).compress(&data);
+        let sys_bits = fixed_block_bit_size(&sys.tokens) as f64;
+        let hw_bits = fixed_block_bit_size(&hw.tokens) as f64;
+        // Run-following matching cannot beat prefix matching with chains.
+        assert!(sys_bits >= hw_bits * 0.98, "{sys_bits} vs {hw_bits}");
+        // ... but the byte-per-cycle array at 150 MHz outruns the FSM.
+        assert!(sys.mb_per_s() > hw.mb_per_s(1.0e8));
+    }
+
+    #[test]
+    fn resources_sit_between_bram_design_and_cam() {
+        let sys = SystolicConfig::paper_window().resources();
+        let cam = crate::CamConfig::paper_window().resources();
+        let bram_design = lzfpga_core::HwConfig::paper_fast().resources();
+        assert!(sys.luts > bram_design.luts);
+        assert!(sys.luts < cam.luts);
+    }
+}

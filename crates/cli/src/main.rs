@@ -1,0 +1,610 @@
+//! `lzfpga` — command-line front-end to the whole stack.
+//!
+//! ```text
+//! lzfpga compress   [--engine hw|sw] [--format zlib|gzip] [--window N]
+//!                   [--hash N] [--level min|medium|max] [--stats]
+//!                   [-o OUT] [FILE]        (stdin when FILE is omitted)
+//! lzfpga decompress [-o OUT] [FILE]        (zlib or gzip, auto-detected)
+//! lzfpga stats      [--window N] [--hash N] [--level L] [FILE]
+//! lzfpga gen        CORPUS SIZE [--seed N] [-o OUT]
+//! ```
+//!
+//! `--engine hw` (default) runs the cycle-accurate hardware model and can
+//! report modelled FPGA throughput; `--engine sw` runs the zlib-equivalent
+//! software reference (identical output at the greedy levels, plus the lazy
+//! `medium`/`max` variants the hardware does not implement).
+
+use std::io::{Read, Write};
+use std::process::ExitCode;
+
+use lzfpga_core::pipeline::compress_to_zlib;
+use lzfpga_core::{DecompConfig, HwConfig, HwDecompressor, HwState};
+use lzfpga_deflate::encoder::BlockKind;
+use lzfpga_deflate::gzip::{gzip_compress_tokens, gzip_decompress};
+use lzfpga_deflate::zlib::{zlib_compress_tokens, zlib_decompress};
+use lzfpga_lzss::params::CompressionLevel;
+use lzfpga_lzss::LzssParams;
+use lzfpga_workloads::Corpus;
+
+const USAGE: &str = "\
+lzfpga <compress|decompress|stats|gen|trace|rtl> [options]
+
+  compress   [--engine hw|sw] [--format zlib|gzip] [--window N] [--hash N]
+             [--level min|medium|max] [--dict FILE] [--stats] [-o OUT] [FILE]
+  decompress [--engine hw|sw] [--dict FILE] [-o OUT] [FILE]
+  stats      [--window N] [--hash N] [--level L] [FILE]
+  gen        CORPUS SIZE [--seed N] [-o OUT]
+  trace      [--window N] [--hash N] [-o OUT.vcd] [FILE]   (VCD waveform)
+  rtl        [--window N] [--hash N] -o OUT_DIR             (VHDL bundle)
+
+FILE defaults to stdin; OUT defaults to stdout.
+Corpora: wiki, x2e-can, log-lines, json-telemetry, sensor-frames, wiki-xml,
+         random, constant, collision-stress, periodic-<N>.";
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Engine {
+    Hw,
+    Sw,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Zlib,
+    Gzip,
+}
+
+#[derive(Debug)]
+struct CommonOpts {
+    engine: Engine,
+    format: Format,
+    window: u32,
+    hash: u32,
+    level: CompressionLevel,
+    stats: bool,
+    dict: Option<String>,
+    output: Option<String>,
+    input: Option<String>,
+    seed: u64,
+    positional: Vec<String>,
+}
+
+impl Default for CommonOpts {
+    fn default() -> Self {
+        Self {
+            engine: Engine::Hw,
+            format: Format::Zlib,
+            window: 4_096,
+            hash: 15,
+            level: CompressionLevel::Min,
+            stats: false,
+            dict: None,
+            output: None,
+            input: None,
+            seed: 1,
+            positional: Vec::new(),
+        }
+    }
+}
+
+fn parse_opts(args: &[String]) -> Result<CommonOpts, String> {
+    let mut o = CommonOpts::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--engine" => {
+                o.engine = match value("--engine")?.as_str() {
+                    "hw" | "hardware" => Engine::Hw,
+                    "sw" | "software" => Engine::Sw,
+                    other => return Err(format!("unknown engine '{other}'")),
+                }
+            }
+            "--format" => {
+                o.format = match value("--format")?.as_str() {
+                    "zlib" => Format::Zlib,
+                    "gzip" | "gz" => Format::Gzip,
+                    other => return Err(format!("unknown format '{other}'")),
+                }
+            }
+            "--window" => {
+                o.window = value("--window")?
+                    .parse()
+                    .map_err(|_| "bad --window value".to_string())?;
+            }
+            "--hash" => {
+                o.hash = value("--hash")?.parse().map_err(|_| "bad --hash value".to_string())?;
+            }
+            "--level" => {
+                o.level = match value("--level")?.as_str() {
+                    "min" | "fast" => CompressionLevel::Min,
+                    "med" | "medium" => CompressionLevel::Medium,
+                    "max" | "best" => CompressionLevel::Max,
+                    other => return Err(format!("unknown level '{other}'")),
+                }
+            }
+            "--seed" => {
+                o.seed = value("--seed")?.parse().map_err(|_| "bad --seed value".to_string())?;
+            }
+            "--stats" => o.stats = true,
+            "--dict" => o.dict = Some(value("--dict")?),
+            "-o" | "--output" => o.output = Some(value("-o")?),
+            flag if flag.starts_with('-') && flag != "-" => {
+                return Err(format!("unknown option '{flag}'"));
+            }
+            positional => o.positional.push(positional.to_string()),
+        }
+    }
+    // The last free positional (if any) that is not consumed by a subcommand
+    // becomes the input file.
+    Ok(o)
+}
+
+fn read_input(path: Option<&str>) -> Result<Vec<u8>, String> {
+    match path {
+        None | Some("-") => {
+            let mut buf = Vec::new();
+            std::io::stdin()
+                .read_to_end(&mut buf)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+            Ok(buf)
+        }
+        Some(p) => std::fs::read(p).map_err(|e| format!("reading {p}: {e}")),
+    }
+}
+
+fn write_output(path: Option<&str>, data: &[u8]) -> Result<(), String> {
+    match path {
+        None | Some("-") => std::io::stdout()
+            .write_all(data)
+            .map_err(|e| format!("writing stdout: {e}")),
+        Some(p) => std::fs::write(p, data).map_err(|e| format!("writing {p}: {e}")),
+    }
+}
+
+fn hw_config(o: &CommonOpts) -> HwConfig {
+    let mut cfg = HwConfig::new(o.window, o.hash);
+    cfg.level = o.level;
+    cfg
+}
+
+fn load_dict(o: &CommonOpts) -> Result<Option<Vec<u8>>, String> {
+    o.dict
+        .as_deref()
+        .map(|p| std::fs::read(p).map_err(|e| format!("reading dictionary {p}: {e}")))
+        .transpose()
+}
+
+fn cmd_compress(o: &CommonOpts) -> Result<(), String> {
+    let data = read_input(o.input.as_deref())?;
+    if let Some(dict) = load_dict(o)? {
+        if o.format == Format::Gzip {
+            return Err("preset dictionaries are a zlib feature (RFC 1950)".into());
+        }
+        let mut hw = lzfpga_core::HwCompressor::new(hw_config(o));
+        let rep = hw.compress_with_dict(&dict, &data);
+        let out = lzfpga_deflate::zlib::zlib_compress_tokens_with_dict(
+            &rep.tokens,
+            &data,
+            &dict,
+            BlockKind::FixedHuffman,
+            o.window.max(256),
+        );
+        if o.stats {
+            eprintln!(
+                "in: {} bytes (+{} dict), out: {} bytes, ratio {:.3}",
+                data.len(),
+                dict.len(),
+                out.len(),
+                data.len() as f64 / out.len().max(1) as f64
+            );
+        }
+        return write_output(o.output.as_deref(), &out);
+    }
+    let (out, hw_report) = match o.engine {
+        Engine::Hw => {
+            let cfg = hw_config(o);
+            let rep = compress_to_zlib(&data, &cfg);
+            let out = match o.format {
+                Format::Zlib => rep.compressed.clone(),
+                Format::Gzip => {
+                    gzip_compress_tokens(&rep.run.tokens, &data, BlockKind::FixedHuffman)
+                }
+            };
+            (out, Some(rep))
+        }
+        Engine::Sw => {
+            let params = LzssParams {
+                window_size: o.window,
+                hash_bits: o.hash,
+                hash_fn: lzfpga_lzss::HashFn::zlib(o.hash),
+                level: o.level,
+                chain_limit: None,
+            };
+            let tokens = lzfpga_lzss::compress(&data, &params);
+            let out = match o.format {
+                Format::Zlib => {
+                    zlib_compress_tokens(&tokens, &data, BlockKind::FixedHuffman, o.window.max(256))
+                }
+                Format::Gzip => gzip_compress_tokens(&tokens, &data, BlockKind::FixedHuffman),
+            };
+            (out, None)
+        }
+    };
+    if o.stats {
+        let ratio = data.len() as f64 / out.len().max(1) as f64;
+        eprintln!("in: {} bytes, out: {} bytes, ratio {ratio:.3}", data.len(), out.len());
+        if let Some(rep) = &hw_report {
+            eprintln!(
+                "hw model: {} cycles, {:.2} cycles/byte, {:.1} MB/s at 100 MHz",
+                rep.run.cycles,
+                rep.run.cycles_per_byte(),
+                rep.mb_per_s()
+            );
+        }
+    }
+    write_output(o.output.as_deref(), &out)
+}
+
+fn cmd_decompress(o: &CommonOpts) -> Result<(), String> {
+    let data = read_input(o.input.as_deref())?;
+    if let Some(dict) = load_dict(o)? {
+        let out = lzfpga_deflate::zlib::zlib_decompress_with_dict(&data, &dict)
+            .map_err(|e| format!("zlib (with dictionary): {e:?}"))?;
+        return write_output(o.output.as_deref(), &out);
+    }
+    let out = if data.len() >= 2 && data[0] == 0x1F && data[1] == 0x8B {
+        gzip_decompress(&data).map_err(|e| format!("gzip: {e:?}"))?
+    } else if o.engine == Engine::Hw {
+        // Drive the cycle-accurate decompressor (only handles the single
+        // fixed-block streams the hardware writes; fall back to the full
+        // software inflate for anything else).
+        let mut d = HwDecompressor::new(DecompConfig {
+            window_size: o.window.clamp(256, 65_536),
+            bus_bytes: 4,
+        });
+        match d.decompress_zlib(&data) {
+            Ok(rep) => {
+                if o.stats {
+                    eprintln!(
+                        "hw decompressor: {} cycles, {:.2} cycles/byte, {:.1} MB/s",
+                        rep.cycles,
+                        rep.cycles_per_byte(),
+                        rep.mb_per_s()
+                    );
+                }
+                rep.bytes
+            }
+            Err(_) => zlib_decompress(&data).map_err(|e| format!("zlib: {e:?}"))?,
+        }
+    } else {
+        zlib_decompress(&data).map_err(|e| format!("zlib: {e:?}"))?
+    };
+    write_output(o.output.as_deref(), &out)
+}
+
+fn cmd_stats(o: &CommonOpts) -> Result<(), String> {
+    let data = read_input(o.input.as_deref())?;
+    let cfg = hw_config(o);
+    let rep = compress_to_zlib(&data, &cfg);
+    println!("input              {:>12} bytes", data.len());
+    println!("compressed         {:>12} bytes", rep.compressed.len());
+    println!("ratio              {:>12.3}", rep.ratio());
+    println!("cycles             {:>12}", rep.run.cycles);
+    println!("cycles/byte        {:>12.3}", rep.run.cycles_per_byte());
+    println!("throughput         {:>9.1} MB/s @ 100 MHz", rep.mb_per_s());
+    println!("LUTs (est.)        {:>12}", rep.resources.luts);
+    println!("RAMB36 (exact)     {:>12.1}", rep.resources.bram.ramb36_equiv());
+    println!();
+    println!("cycle breakdown:");
+    for state in [
+        HwState::Match,
+        HwState::Output,
+        HwState::HashUpdate,
+        HwState::Waiting,
+        HwState::Rotate,
+        HwState::Fetch,
+    ] {
+        println!(
+            "  {:<12} {:>6.1}%  ({} cycles)",
+            format!("{state:?}"),
+            rep.run.stats.share(state) * 100.0,
+            rep.run.stats.get(state)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_trace(o: &CommonOpts) -> Result<(), String> {
+    use lzfpga_core::trace::{spans_to_vcd, trace_compress};
+    let data = read_input(o.input.as_deref())?;
+    let cfg = hw_config(o);
+    let (report, spans) = trace_compress(&data, &cfg);
+    let vcd = spans_to_vcd(&spans, cfg.dma_setup_cycles, report.cycles);
+    eprintln!(
+        "{} bytes -> {} cycles, {} state spans, VCD {} bytes",
+        data.len(),
+        report.cycles,
+        spans.len(),
+        vcd.len()
+    );
+    write_output(o.output.as_deref(), vcd.as_bytes())
+}
+
+fn cmd_rtl(o: &CommonOpts) -> Result<(), String> {
+    let dir = o.output.as_deref().ok_or("rtl requires -o OUT_DIR")?;
+    let cfg = hw_config(o);
+    let bundle = lzfpga_rtlgen::generate_vhdl(&cfg);
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+    for f in &bundle.files {
+        let path = std::path::Path::new(dir).join(&f.name);
+        std::fs::write(&path, &f.contents)
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+    eprintln!("wrote {} VHDL files ({} bytes) to {dir}", bundle.files.len(), bundle.total_len());
+    Ok(())
+}
+
+fn cmd_gen(o: &CommonOpts) -> Result<(), String> {
+    let corpus_name = o
+        .positional
+        .first()
+        .ok_or_else(|| "gen requires: CORPUS SIZE".to_string())?;
+    let size: usize = o
+        .positional
+        .get(1)
+        .ok_or_else(|| "gen requires: CORPUS SIZE".to_string())?
+        .parse()
+        .map_err(|_| "bad SIZE".to_string())?;
+    let corpus = Corpus::parse(corpus_name)
+        .ok_or_else(|| format!("unknown corpus '{corpus_name}'"))?;
+    let data = lzfpga_workloads::generate(corpus, o.seed, size);
+    write_output(o.output.as_deref(), &data)
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(USAGE.to_string());
+    };
+    let mut opts = parse_opts(&args[1..])?;
+    match cmd.as_str() {
+        "compress" | "c" => {
+            opts.input = opts.positional.first().cloned();
+            cmd_compress(&opts)
+        }
+        "decompress" | "d" => {
+            opts.input = opts.positional.first().cloned();
+            cmd_decompress(&opts)
+        }
+        "stats" => {
+            opts.input = opts.positional.first().cloned();
+            cmd_stats(&opts)
+        }
+        "gen" => cmd_gen(&opts),
+        "trace" => {
+            opts.input = opts.positional.first().cloned();
+            cmd_trace(&opts)
+        }
+        "rtl" => cmd_rtl(&opts),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let o = parse_opts(&[]).unwrap();
+        assert_eq!(o.engine, Engine::Hw);
+        assert_eq!(o.format, Format::Zlib);
+        assert_eq!(o.window, 4_096);
+        assert_eq!(o.hash, 15);
+    }
+
+    #[test]
+    fn parse_all_flags() {
+        let o = parse_opts(&strs(&[
+            "--engine", "sw", "--format", "gzip", "--window", "8192", "--hash", "13",
+            "--level", "max", "--seed", "7", "--stats", "-o", "out.bin", "in.bin",
+        ]))
+        .unwrap();
+        assert_eq!(o.engine, Engine::Sw);
+        assert_eq!(o.format, Format::Gzip);
+        assert_eq!(o.window, 8_192);
+        assert_eq!(o.hash, 13);
+        assert_eq!(o.level, CompressionLevel::Max);
+        assert_eq!(o.seed, 7);
+        assert!(o.stats);
+        assert_eq!(o.output.as_deref(), Some("out.bin"));
+        assert_eq!(o.positional, vec!["in.bin"]);
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        assert!(parse_opts(&strs(&["--bogus"])).is_err());
+        assert!(parse_opts(&strs(&["--engine"])).is_err());
+        assert!(parse_opts(&strs(&["--engine", "quantum"])).is_err());
+    }
+
+    #[test]
+    fn file_round_trip_via_tempdir() {
+        let dir = tempfile::tempdir().unwrap();
+        let input = dir.path().join("in.bin");
+        let comp = dir.path().join("out.z");
+        let restored = dir.path().join("back.bin");
+        let data = lzfpga_workloads::generate(Corpus::LogLines, 3, 50_000);
+        std::fs::write(&input, &data).unwrap();
+
+        run(strs(&[
+            "compress",
+            "-o",
+            comp.to_str().unwrap(),
+            input.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let compressed = std::fs::read(&comp).unwrap();
+        assert!(compressed.len() < data.len());
+
+        run(strs(&[
+            "decompress",
+            "-o",
+            restored.to_str().unwrap(),
+            comp.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(std::fs::read(&restored).unwrap(), data);
+    }
+
+    #[test]
+    fn gzip_round_trip_and_sw_engine() {
+        let dir = tempfile::tempdir().unwrap();
+        let input = dir.path().join("in.bin");
+        let comp = dir.path().join("out.gz");
+        let restored = dir.path().join("back.bin");
+        let data = lzfpga_workloads::generate(Corpus::JsonTelemetry, 5, 40_000);
+        std::fs::write(&input, &data).unwrap();
+        run(strs(&[
+            "compress", "--engine", "sw", "--format", "gzip", "--level", "max",
+            "-o", comp.to_str().unwrap(), input.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(strs(&[
+            "decompress", "-o", restored.to_str().unwrap(), comp.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(std::fs::read(&restored).unwrap(), data);
+    }
+
+    #[test]
+    fn hw_and_sw_engines_emit_identical_zlib_at_min_level() {
+        let dir = tempfile::tempdir().unwrap();
+        let input = dir.path().join("in.bin");
+        let a = dir.path().join("hw.z");
+        let b = dir.path().join("sw.z");
+        let data = lzfpga_workloads::generate(Corpus::Wiki, 11, 60_000);
+        std::fs::write(&input, &data).unwrap();
+        run(strs(&["compress", "--engine", "hw", "-o", a.to_str().unwrap(), input.to_str().unwrap()])).unwrap();
+        run(strs(&["compress", "--engine", "sw", "-o", b.to_str().unwrap(), input.to_str().unwrap()])).unwrap();
+        assert_eq!(std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+    }
+
+    #[test]
+    fn gen_writes_exact_size_and_is_seed_stable() {
+        let dir = tempfile::tempdir().unwrap();
+        let out1 = dir.path().join("a.bin");
+        let out2 = dir.path().join("b.bin");
+        run(strs(&["gen", "sensor-frames", "12345", "--seed", "9", "-o", out1.to_str().unwrap()])).unwrap();
+        run(strs(&["gen", "sensor-frames", "12345", "--seed", "9", "-o", out2.to_str().unwrap()])).unwrap();
+        let a = std::fs::read(&out1).unwrap();
+        assert_eq!(a.len(), 12_345);
+        assert_eq!(a, std::fs::read(&out2).unwrap());
+    }
+
+    #[test]
+    fn unknown_command_and_corpus_fail() {
+        assert!(run(strs(&["frobnicate"])).is_err());
+        assert!(run(strs(&["gen", "no-such-corpus", "100"])).is_err());
+        assert!(run(strs(&["gen", "wiki"])).is_err());
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+
+    #[test]
+    fn rtl_writes_the_bundle() {
+        let dir = tempfile::tempdir().unwrap();
+        let out = dir.path().join("rtl");
+        run(vec![
+            "rtl".into(),
+            "--window".into(),
+            "8192".into(),
+            "-o".into(),
+            out.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        let pkg = std::fs::read_to_string(out.join("lzss_pkg.vhd")).unwrap();
+        assert!(pkg.contains("constant WINDOW_BYTES : natural := 8192;"));
+        assert!(out.join("lzss_top.vhd").exists());
+        // Missing -o is an error, not a crash.
+        assert!(run(vec!["rtl".into()]).is_err());
+    }
+
+    #[test]
+    fn trace_writes_a_vcd() {
+        let dir = tempfile::tempdir().unwrap();
+        let input = dir.path().join("in.bin");
+        let vcd = dir.path().join("wave.vcd");
+        std::fs::write(&input, b"trace me trace me trace me".repeat(100)).unwrap();
+        run(vec![
+            "trace".into(),
+            "-o".into(),
+            vcd.to_str().unwrap().into(),
+            input.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&vcd).unwrap();
+        assert!(text.starts_with("$date"));
+        assert!(text.contains("$var wire 3 ! state $end"));
+    }
+}
+
+#[cfg(test)]
+mod dict_tests {
+    use super::*;
+
+    #[test]
+    fn dict_round_trip_through_files() {
+        let dir = tempfile::tempdir().unwrap();
+        let dict_path = dir.path().join("preset.dict");
+        let input = dir.path().join("in.bin");
+        let comp = dir.path().join("out.zdict");
+        let restored = dir.path().join("back.bin");
+        std::fs::write(&dict_path, b"\"ts\":\"seq\":\"src\":\"ecu0\" DEBUG INFO WARN").unwrap();
+        let data = lzfpga_workloads::generate(Corpus::JsonTelemetry, 5, 30_000);
+        std::fs::write(&input, &data).unwrap();
+        run(vec![
+            "compress".into(), "--dict".into(), dict_path.to_str().unwrap().into(),
+            "-o".into(), comp.to_str().unwrap().into(), input.to_str().unwrap().into(),
+        ]).unwrap();
+        // Without the dictionary, decompression must fail.
+        assert!(run(vec![
+            "decompress".into(), "-o".into(), restored.to_str().unwrap().into(),
+            comp.to_str().unwrap().into(),
+        ]).is_err());
+        run(vec![
+            "decompress".into(), "--dict".into(), dict_path.to_str().unwrap().into(),
+            "-o".into(), restored.to_str().unwrap().into(), comp.to_str().unwrap().into(),
+        ]).unwrap();
+        assert_eq!(std::fs::read(&restored).unwrap(), data);
+        // gzip + dict is rejected.
+        assert!(run(vec![
+            "compress".into(), "--format".into(), "gzip".into(),
+            "--dict".into(), dict_path.to_str().unwrap().into(),
+            input.to_str().unwrap().into(),
+        ]).is_err());
+    }
+}

@@ -1,0 +1,324 @@
+//! Hardware configuration — the paper's compile-time generics plus run-time
+//! parameters, with the Table III ablation switches.
+
+use lzfpga_lzss::hash::HashFn;
+use lzfpga_lzss::params::{CompressionLevel, LzssParams};
+use lzfpga_sim::resources::{
+    estimate_huffman_logic, estimate_lzss_logic, pack_memory, BramAllocation, ResourceEstimate,
+};
+
+/// Clock frequency the design closes timing at on the Virtex-5 (the paper
+/// runs the compressor clock at 100 MHz; post-route Fmax was ~ 110 MHz).
+pub const CLOCK_HZ: f64 = 100.0e6;
+
+/// Size of the lookahead ring buffer in bytes (fixed in the design; must
+/// hold at least `MIN_LOOKAHEAD` = 262 bytes plus slack for the filler).
+pub const LOOKAHEAD_BYTES: usize = 512;
+
+/// Full configuration of the hardware compressor model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HwConfig {
+    /// Dictionary (sliding window) size in bytes; power of two, 1K..=32K.
+    pub window_size: u32,
+    /// Hash width in bits; the head table has `2^hash_bits` entries.
+    pub hash_bits: u32,
+    /// Hash function (compile-time generic in the paper).
+    pub hash_fn: HashFn,
+    /// Generation bits `G`: head entries are `log2(D) + G` bits wide and the
+    /// table is rotated every `(2^G − 1)·D` bytes (`G = 0` degenerates to a
+    /// full table wipe every `D` bytes — Table III row D).
+    pub gen_bits: u32,
+    /// Head-table division factor `M`: the table is split into `M` equal
+    /// sub-memories rotated in parallel, so one rotation stalls the FSM for
+    /// `2^hash_bits / M` cycles.
+    pub head_divisions: u32,
+    /// Comparator data-bus width in bytes: 4 for the optimised design, 1 for
+    /// the byte-serial baseline of \[11\] (Table III row B).
+    pub bus_bytes: u32,
+    /// Hash-prefetch FSM enabled (Table III row C disables it).
+    pub hash_prefetch: bool,
+    /// Matching effort preset (run-time "matching iteration limit").
+    pub level: CompressionLevel,
+    /// Optional run-time override of the matching iteration limit (a CSR in
+    /// the hardware; the level presets map onto it).
+    pub chain_limit: Option<u32>,
+    /// Background fill rate in bytes per clock cycle (the DMA/LocalLink side
+    /// delivers one 32-bit word per cycle when streaming).
+    pub fill_bytes_per_cycle: u32,
+    /// Modelled one-off DMA descriptor/setup latency charged per run, in
+    /// cycles (the paper's Table I includes DMA setup in compression time).
+    pub dma_setup_cycles: u64,
+}
+
+impl HwConfig {
+    /// The paper's speed-optimised configuration from Table I: 4 KB
+    /// dictionary, 15-bit hash, fast level, all optimisations on.
+    pub fn paper_fast() -> Self {
+        Self {
+            window_size: 4_096,
+            hash_bits: 15,
+            hash_fn: HashFn::zlib(15),
+            gen_bits: 4,
+            head_divisions: 16,
+            bus_bytes: 4,
+            hash_prefetch: true,
+            level: CompressionLevel::Min,
+            chain_limit: None,
+            fill_bytes_per_cycle: 4,
+            dma_setup_cycles: 20_000,
+        }
+    }
+
+    /// A configuration with the given geometry, defaults elsewhere.
+    pub fn new(window_size: u32, hash_bits: u32) -> Self {
+        Self {
+            window_size,
+            hash_bits,
+            hash_fn: HashFn::zlib(hash_bits),
+            ..Self::paper_fast()
+        }
+    }
+
+    /// Table III row B: byte-serial comparator as in Rigler et al. \[11\].
+    #[must_use]
+    pub fn with_8bit_bus(mut self) -> Self {
+        self.bus_bytes = 1;
+        self
+    }
+
+    /// Table III row C: hash prefetching disabled.
+    #[must_use]
+    pub fn without_prefetch(mut self) -> Self {
+        self.hash_prefetch = false;
+        self
+    }
+
+    /// Table III row D: generation bits reduced to zero (full head-table
+    /// wipe every `window_size` bytes).
+    #[must_use]
+    pub fn without_generation_bits(mut self) -> Self {
+        self.gen_bits = 0;
+        self
+    }
+
+    /// Head table kept in a single memory (no parallel rotation).
+    #[must_use]
+    pub fn with_head_divisions(mut self, m: u32) -> Self {
+        self.head_divisions = m;
+        self
+    }
+
+    /// Set the matching-effort preset.
+    #[must_use]
+    pub fn with_level(mut self, level: CompressionLevel) -> Self {
+        self.level = level;
+        self
+    }
+
+    /// Override the run-time matching iteration limit.
+    #[must_use]
+    pub fn with_chain_limit(mut self, limit: u32) -> Self {
+        self.chain_limit = Some(limit);
+        self
+    }
+
+    /// Check the invariants the model (and hardware) requires.
+    ///
+    /// # Panics
+    /// Panics on invalid geometry.
+    pub fn validate(&self) {
+        self.as_lzss_params().validate();
+        assert!(
+            self.head_divisions.is_power_of_two()
+                && self.head_divisions <= (1 << self.hash_bits),
+            "head divisions {} must be a power of two <= table entries",
+            self.head_divisions
+        );
+        assert!(
+            self.bus_bytes == 1 || self.bus_bytes == 4,
+            "bus width {} must be 1 or 4 bytes",
+            self.bus_bytes
+        );
+        assert!(self.gen_bits <= 8, "generation bits {} out of range", self.gen_bits);
+        assert!(
+            (1..=8).contains(&self.fill_bytes_per_cycle),
+            "fill rate {} bytes/cycle out of range",
+            self.fill_bytes_per_cycle
+        );
+    }
+
+    /// The matcher-relevant subset as software-reference parameters (used by
+    /// the hardware/software equivalence tests).
+    pub fn as_lzss_params(&self) -> LzssParams {
+        LzssParams {
+            window_size: self.window_size,
+            hash_bits: self.hash_bits,
+            hash_fn: self.hash_fn,
+            level: self.level,
+            chain_limit: self.chain_limit,
+        }
+    }
+
+    /// log2 of the window size (dictionary address width).
+    pub fn window_bits(&self) -> u32 {
+        self.window_size.trailing_zeros()
+    }
+
+    /// Width of one head-table entry in bits: dictionary address plus
+    /// generation bits.
+    pub fn head_entry_bits(&self) -> u32 {
+        self.window_bits() + self.gen_bits
+    }
+
+    /// Virtual position space the head entries address: `D · 2^G`.
+    pub fn virtual_span(&self) -> u64 {
+        u64::from(self.window_size) << self.gen_bits
+    }
+
+    /// Cycles one head-table rotation stalls the main FSM:
+    /// `2^hash_bits / M` (sub-memories rotate in parallel).
+    pub fn rotation_cycles(&self) -> u64 {
+        (1u64 << self.hash_bits) / u64::from(self.head_divisions)
+    }
+
+    /// Bytes of input between head-table rotations. With `G` generation bits
+    /// the virtual space is `2^G` windows; a slide is due every
+    /// `(2^G − 1)·D` bytes (for `G = 1` that is every `D` bytes — the zlib
+    /// scheme, as the paper notes). `G = 0` has no headroom at all and must
+    /// wipe the table every `D/2` bytes before positions alias.
+    pub fn rotation_period_bytes(&self) -> u64 {
+        if self.gen_bits == 0 {
+            u64::from(self.window_size) / 2
+        } else {
+            ((1u64 << self.gen_bits) - 1) * u64::from(self.window_size)
+        }
+    }
+
+    /// Exact BRAM allocation of the five memories (Table II's memory story).
+    pub fn bram_allocation(&self) -> BramAllocation {
+        let mut total = BramAllocation::default();
+        // Lookahead buffer: 512 B on a 32-bit (or 8-bit) bus, true dual port.
+        total = total.plus(pack_memory(
+            LOOKAHEAD_BYTES / self.bus_bytes as usize,
+            8 * self.bus_bytes,
+        ));
+        // Dictionary ring.
+        total = total.plus(pack_memory(
+            (self.window_size / self.bus_bytes) as usize,
+            8 * self.bus_bytes,
+        ));
+        // Hash cache: one hash per lookahead offset.
+        total = total.plus(pack_memory(LOOKAHEAD_BYTES, self.hash_bits));
+        // Head table: M sub-memories of 2^H / M entries.
+        let sub_depth = (1usize << self.hash_bits) / self.head_divisions as usize;
+        let head_one = pack_memory(sub_depth, self.head_entry_bits());
+        for _ in 0..self.head_divisions {
+            total = total.plus(head_one);
+        }
+        // Next table: D entries of log2(D) relative-offset bits.
+        total = total.plus(pack_memory(self.window_size as usize, self.window_bits()));
+        total
+    }
+
+    /// Full resource estimate: logic model + exact BRAM packing.
+    pub fn resources(&self) -> ResourceEstimate {
+        let mut est = estimate_lzss_logic(
+            self.window_bits(),
+            self.hash_bits,
+            self.gen_bits,
+            self.bus_bytes,
+            self.head_divisions,
+        )
+        .plus(estimate_huffman_logic());
+        est.bram = self.bram_allocation();
+        est
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fast_validates() {
+        HwConfig::paper_fast().validate();
+    }
+
+    #[test]
+    fn ablation_builders() {
+        let c = HwConfig::paper_fast();
+        assert_eq!(c.with_8bit_bus().bus_bytes, 1);
+        assert!(!c.without_prefetch().hash_prefetch);
+        assert_eq!(c.without_generation_bits().gen_bits, 0);
+        assert_eq!(c.with_head_divisions(1).head_divisions, 1);
+    }
+
+    #[test]
+    fn rotation_arithmetic() {
+        let c = HwConfig::paper_fast(); // G=4, M=16, H=15, D=4K
+        assert_eq!(c.rotation_cycles(), 32_768 / 16);
+        assert_eq!(c.rotation_period_bytes(), 15 * 4_096);
+        let g0 = c.without_generation_bits();
+        assert_eq!(g0.rotation_period_bytes(), 2_048);
+        // G=1: rotation happens every D bytes, as the paper states.
+        let mut g1 = c;
+        g1.gen_bits = 1;
+        assert_eq!(g1.rotation_period_bytes(), 4_096);
+    }
+
+    #[test]
+    fn rotation_overhead_is_1_to_2_percent_at_defaults() {
+        // Paper: the three improvements reduce rotation overhead to 1-2% of
+        // cycles. At ~2 cycles/byte the budget per rotation period is
+        // 2 * period; overhead = rotation_cycles / (2 * period).
+        let c = HwConfig::paper_fast();
+        let overhead =
+            c.rotation_cycles() as f64 / (2.0 * c.rotation_period_bytes() as f64);
+        assert!(overhead < 0.02, "rotation overhead {overhead}");
+    }
+
+    #[test]
+    fn head_entry_width() {
+        let c = HwConfig::paper_fast();
+        assert_eq!(c.head_entry_bits(), 12 + 4);
+        assert_eq!(c.virtual_span(), 4_096 << 4);
+    }
+
+    #[test]
+    fn bram_allocation_scales_with_hash_bits() {
+        let small = HwConfig::new(4_096, 9).bram_allocation();
+        let large = HwConfig::new(4_096, 15).bram_allocation();
+        assert!(
+            large.ramb36_equiv() > small.ramb36_equiv(),
+            "{large:?} !> {small:?}"
+        );
+        // Paper: head table memory dominates and grows as 2^H * (log2 D + G).
+        let bits_needed = (1u64 << 15) * 16;
+        assert!(u64::from(large.kbits()) * 1024 >= bits_needed);
+    }
+
+    #[test]
+    fn resources_in_papers_ballpark() {
+        let est = HwConfig::paper_fast().resources();
+        // ~5.8% of 44800 LUTs = ~2600.
+        assert!((1_800..3_400).contains(&est.luts), "luts {}", est.luts);
+        assert!(est.bram.ramb36_equiv() >= 15.0, "head table alone needs 15+ BRAM36");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be 1 or 4")]
+    fn bad_bus_width_rejected() {
+        let mut c = HwConfig::paper_fast();
+        c.bus_bytes = 2;
+        c.validate();
+    }
+
+    #[test]
+    fn as_lzss_params_round_trip() {
+        let c = HwConfig::new(8_192, 13);
+        let p = c.as_lzss_params();
+        assert_eq!(p.window_size, 8_192);
+        assert_eq!(p.hash_bits, 13);
+        p.validate();
+    }
+}

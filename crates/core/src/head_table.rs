@@ -1,0 +1,213 @@
+//! Head table: hash → most recent dictionary position, with generation bits
+//! and parallel rotation over M sub-memories.
+//!
+//! Entries are `log2(D) + G` bits wide and store *virtual* positions — byte
+//! offsets in a space of `V = 2^G · D` positions ("as if the dictionary was
+//! 2^G times bigger", §IV). Rotation keeps the arithmetic unambiguous:
+//!
+//! * `G ≥ 1`: when the position counter reaches `V`, every entry slides down
+//!   by `V − D` (stale entries clamp to 0). This happens every `(2^G − 1)·D`
+//!   input bytes — for `G = 1` that is every `D` bytes, exactly the zlib
+//!   scheme the paper describes; each extra bit doubles the period.
+//! * `G = 0`: the entry has no headroom at all; positions alias immediately.
+//!   The model wipes the table every `D/2` bytes, which is the only safe
+//!   policy without age information (Table III row D measures this cost).
+//!
+//! The table is physically `M` sub-memories (selected by the hash LSBs) so a
+//! rotation pass costs `2^H / M` cycles instead of `2^H`. Lookup+update of
+//! the same entry happens in a single cycle using both BRAM ports: port A
+//! reads the old value while port B writes the new one (READ_FIRST).
+//!
+//! A never-written entry reads as 0 = "virtual position 0". The design does
+//! not reserve a NIL: validity is a distance check in the matcher, and false
+//! candidates near stream start lose in the byte comparison. This is what
+//! lets the paper's "snowy snow" example match at position 0.
+
+use crate::config::HwConfig;
+use lzfpga_sim::bram::{DualPortBram, Port};
+use lzfpga_sim::clock::Clocked;
+
+/// The head table with its rotation machinery.
+#[derive(Debug, Clone)]
+pub struct HeadTable {
+    banks: Vec<DualPortBram>,
+    bank_mask: u32,
+    bank_shift: u32,
+    /// Rotations performed so far (for reports).
+    rotations: u64,
+}
+
+impl HeadTable {
+    /// Build the table for a configuration (entries power up to zero).
+    pub fn new(cfg: &HwConfig) -> Self {
+        let m = cfg.head_divisions as usize;
+        let depth = (1usize << cfg.hash_bits) / m;
+        let banks = (0..m)
+            .map(|_| DualPortBram::new("head", depth, cfg.head_entry_bits()))
+            .collect();
+        Self {
+            banks,
+            bank_mask: cfg.head_divisions - 1,
+            bank_shift: cfg.head_divisions.trailing_zeros(),
+            rotations: 0,
+        }
+    }
+
+    #[inline]
+    fn locate(&self, h: u32) -> (usize, usize) {
+        ((h & self.bank_mask) as usize, (h >> self.bank_shift) as usize)
+    }
+
+    /// Single-cycle exchange: read the current entry for hash `h` while
+    /// writing `new_pos` into it (port A reads, port B writes — the paper's
+    /// "head and next tables are updated in this cycle" step). Returns the
+    /// old value.
+    pub fn lookup_and_update(&mut self, h: u32, new_pos: u64) -> u64 {
+        let (bank, idx) = self.locate(h);
+        let ram = &mut self.banks[bank];
+        ram.read(Port::A, idx);
+        ram.write(Port::B, idx, new_pos);
+        ram.tick();
+        ram.dout(Port::A)
+    }
+
+    /// Read-only lookup (used by the matcher's probes in tests).
+    pub fn lookup(&mut self, h: u32) -> u64 {
+        let (bank, idx) = self.locate(h);
+        let ram = &mut self.banks[bank];
+        ram.read(Port::A, idx);
+        ram.tick();
+        ram.dout(Port::A)
+    }
+
+    /// Update without reading (hash-update state inserting match bytes).
+    pub fn update(&mut self, h: u32, new_pos: u64) {
+        let (bank, idx) = self.locate(h);
+        let ram = &mut self.banks[bank];
+        ram.write(Port::B, idx, new_pos);
+        ram.tick();
+    }
+
+    /// Rotate: subtract `amount` from every entry, clamping below to 0.
+    /// Returns the stall cycles (`bank depth` — banks rotate in parallel,
+    /// each doing one read-modify-write per cycle through its two ports).
+    pub fn slide(&mut self, amount: u64) -> u64 {
+        for bank in &mut self.banks {
+            for idx in 0..bank.depth() {
+                let e = bank.peek(idx);
+                bank.poke(idx, e.saturating_sub(amount));
+            }
+        }
+        self.rotations += 1;
+        self.banks[0].depth() as u64
+    }
+
+    /// Wipe every entry to zero (the `G = 0` policy). Returns stall cycles.
+    pub fn wipe(&mut self) -> u64 {
+        for bank in &mut self.banks {
+            for idx in 0..bank.depth() {
+                bank.poke(idx, 0);
+            }
+        }
+        self.rotations += 1;
+        self.banks[0].depth() as u64
+    }
+
+    /// Number of rotations performed.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// Total write-port collisions across banks (must stay 0 — asserted in
+    /// integration tests).
+    pub fn collisions(&self) -> u64 {
+        self.banks.iter().map(DualPortBram::collisions).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HwConfig {
+        HwConfig::paper_fast() // H=15, M=16, D=4K, G=4
+    }
+
+    #[test]
+    fn fresh_entries_read_zero() {
+        let mut t = HeadTable::new(&cfg());
+        assert_eq!(t.lookup(0), 0);
+        assert_eq!(t.lookup(12_345), 0);
+    }
+
+    #[test]
+    fn lookup_and_update_returns_old_value() {
+        let mut t = HeadTable::new(&cfg());
+        assert_eq!(t.lookup_and_update(100, 7), 0);
+        assert_eq!(t.lookup_and_update(100, 9), 7);
+        assert_eq!(t.lookup(100), 9);
+    }
+
+    #[test]
+    fn entries_masked_to_declared_width() {
+        let c = cfg(); // entry width = 12 + 4 = 16 bits
+        let mut t = HeadTable::new(&c);
+        t.update(5, (1 << c.head_entry_bits()) + 3);
+        // Value exceeding the field width is truncated by the BRAM — the
+        // model must never store positions >= virtual span (slides prevent
+        // it); the mask makes a violation visible as data corruption in
+        // tests rather than silently widening hardware.
+        assert_eq!(t.lookup(5), 3);
+    }
+
+    #[test]
+    fn different_hashes_use_independent_slots() {
+        let mut t = HeadTable::new(&cfg());
+        // Hashes differing in bank bits and index bits.
+        t.update(0b0000, 11);
+        t.update(0b0001, 22); // adjacent bank
+        t.update(0b1_0000, 33); // same bank 0, next index
+        assert_eq!(t.lookup(0b0000), 11);
+        assert_eq!(t.lookup(0b0001), 22);
+        assert_eq!(t.lookup(0b1_0000), 33);
+    }
+
+    #[test]
+    fn slide_subtracts_and_clamps() {
+        let mut t = HeadTable::new(&cfg());
+        t.update(1, 100);
+        t.update(2, 5_000);
+        let cycles = t.slide(4_096);
+        assert_eq!(cycles, (1 << 15) / 16);
+        assert_eq!(t.lookup(1), 0, "entry below the slide amount clamps to 0");
+        assert_eq!(t.lookup(2), 5_000 - 4_096);
+        assert_eq!(t.rotations(), 1);
+    }
+
+    #[test]
+    fn wipe_zeroes_everything() {
+        let mut t = HeadTable::new(&cfg());
+        t.update(77, 123);
+        let cycles = t.wipe();
+        assert_eq!(cycles, 2_048);
+        assert_eq!(t.lookup(77), 0);
+    }
+
+    #[test]
+    fn single_bank_configuration_works() {
+        let c = HwConfig::paper_fast().with_head_divisions(1);
+        let mut t = HeadTable::new(&c);
+        t.update(0x7FFF, 42);
+        assert_eq!(t.lookup(0x7FFF), 42);
+        assert_eq!(t.slide(1), 1 << 15, "one bank rotates serially");
+    }
+
+    #[test]
+    fn no_port_collisions_in_normal_use() {
+        let mut t = HeadTable::new(&cfg());
+        for i in 0..1_000u32 {
+            t.lookup_and_update(i % 500, u64::from(i));
+        }
+        assert_eq!(t.collisions(), 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Cycle-accurate model of the IPDPS'12 FPGA LZSS compressor.
+//!
+//! This crate is the paper's primary contribution, reproduced at the
+//! fidelity of the authors' own evaluation vehicle (their "cycle-accurate
+//! C++ model" behind every figure): a state machine that charges every
+//! simulated clock cycle to one of the six Figure-5 buckets, backed by the
+//! same five independently addressable dual-port memories the hardware uses.
+//!
+//! Architecture (paper §IV):
+//!
+//! ```text
+//!  input ──► Filling logic ──► Lookahead buffer (512 B, 32-bit bus) ──┐
+//!                │                                                    ▼
+//!                ├────────────► Hash cache (prefetched hashes)     Comparer ──► D/L ──► fixed
+//!                │                                                    ▲        pairs   Huffman
+//!                └────────────► Dictionary ring (1–32 KB, 32-bit) ────┘                encoder
+//!                                    Head table (2^H × (log2 D + G), M sub-memories)
+//!                                    Next table (D × log2 D, relative offsets)
+//! ```
+//!
+//! The model implements all four headline optimisations, each independently
+//! switchable for the Table III ablation study:
+//!
+//! 1. **32-bit wide buses** — up to 4 byte comparisons per cycle
+//!    ([`config::HwConfig::bus_bytes`]);
+//! 2. **hash prefetching** — the literal path takes 2 cycles instead of 3
+//!    ([`config::HwConfig::hash_prefetch`]);
+//! 3. **generation bits** — head-table rotation every `(2^G − 1)·D` bytes
+//!    instead of every `D` bytes ([`config::HwConfig::gen_bits`]);
+//! 4. **head-table division** — rotation runs over `M` sub-memories in
+//!    parallel ([`config::HwConfig::head_divisions`]).
+//!
+//! The compressor's token output is *bit-identical* to the zlib-equivalent
+//! greedy software reference in `lzfpga-lzss` (a property enforced by test),
+//! and the attached fixed-Huffman stage emits a zlib stream any standard
+//! inflate accepts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffers;
+pub mod compressor;
+pub mod config;
+pub mod decompressor;
+pub mod dyn_huffman_stage;
+pub mod engine;
+pub mod head_table;
+pub mod huffman_stage;
+pub mod next_table;
+pub mod pipeline;
+pub mod session;
+pub mod stats;
+pub mod trace;
+
+pub use compressor::{HwCompressor, HwRunReport};
+pub use config::HwConfig;
+pub use decompressor::{DecompConfig, DecompError, DecompReport, HwDecompressor};
+pub use engine::{HwEngine, StepOutcome};
+pub use huffman_stage::HuffmanStage;
+pub use pipeline::{compress_to_zlib, PipelineReport};
+pub use session::{SessionReport, ZlibSession};
+pub use stats::{HwState, StateStats};

@@ -1,0 +1,129 @@
+//! Next table: per dictionary offset, the *relative* distance to the
+//! previous string with the same hash value.
+//!
+//! Storing relative offsets is the paper's first rotation fix: when the head
+//! table slides, relative links stay valid, so the next table is **never**
+//! rotated (the original zlib scheme adjusts both tables). The cost is one
+//! extra adder in the candidate address path — modelled here as plain
+//! subtraction in the matcher.
+//!
+//! An entry is `log2(D)` bits wide; offset 0 encodes "no previous string"
+//! (it cannot be a real link — a position is never its own predecessor), and
+//! gaps of `D` or more are unrepresentable *and* unreachable (they would
+//! fail the window check anyway), so they are clamped to 0 at link time.
+
+use crate::config::HwConfig;
+use lzfpga_sim::bram::{DualPortBram, Port};
+use lzfpga_sim::clock::Clocked;
+
+/// The relative-offset chain table.
+#[derive(Debug, Clone)]
+pub struct NextTable {
+    ram: DualPortBram,
+    wmask: u64,
+}
+
+impl NextTable {
+    /// Build for a configuration (entries power up to 0 = chain end).
+    pub fn new(cfg: &HwConfig) -> Self {
+        Self {
+            ram: DualPortBram::new("next", cfg.window_size as usize, cfg.window_bits()),
+            wmask: u64::from(cfg.window_size) - 1,
+        }
+    }
+
+    /// Record that the string at virtual position `pos` is preceded on its
+    /// hash chain by `prev_head` (the old head-table value). Gaps that do
+    /// not fit `log2(D)` bits clamp to 0 (chain end).
+    pub fn link(&mut self, pos: u64, prev_head: u64) {
+        let gap = pos.saturating_sub(prev_head);
+        let stored = if gap == 0 || gap > self.wmask { 0 } else { gap };
+        self.ram.write(Port::A, (pos & self.wmask) as usize, stored);
+        self.ram.tick();
+    }
+
+    /// Follow the chain from candidate `cand` (virtual position): returns
+    /// the previous candidate, or `None` at the chain end.
+    pub fn step(&mut self, cand: u64) -> Option<u64> {
+        self.ram.read(Port::A, (cand & self.wmask) as usize);
+        self.ram.tick();
+        let gap = self.ram.dout(Port::A);
+        if gap == 0 || gap > cand {
+            None
+        } else {
+            Some(cand - gap)
+        }
+    }
+
+    /// Total reads issued (for activity reports).
+    pub fn read_count(&self) -> u64 {
+        self.ram.read_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> NextTable {
+        NextTable::new(&HwConfig::paper_fast()) // D = 4096
+    }
+
+    #[test]
+    fn fresh_entries_terminate_chains() {
+        let mut t = table();
+        assert_eq!(t.step(100), None);
+    }
+
+    #[test]
+    fn link_and_walk() {
+        let mut t = table();
+        t.link(500, 300);
+        t.link(300, 50);
+        assert_eq!(t.step(500), Some(300));
+        assert_eq!(t.step(300), Some(50));
+        assert_eq!(t.step(50), None);
+    }
+
+    #[test]
+    fn zero_gap_is_chain_end() {
+        let mut t = table();
+        t.link(700, 700);
+        assert_eq!(t.step(700), None);
+    }
+
+    #[test]
+    fn oversized_gap_clamps_to_chain_end() {
+        let mut t = table();
+        t.link(10_000, 1_000); // gap 9000 > 4095
+        assert_eq!(t.step(10_000), None);
+    }
+
+    #[test]
+    fn maximum_representable_gap() {
+        let mut t = table();
+        t.link(5_000, 5_000 - 4_095);
+        assert_eq!(t.step(5_000), Some(905));
+    }
+
+    #[test]
+    fn entries_alias_by_window_offset() {
+        // The table has only D slots; positions D apart share a slot — by
+        // construction the newer write wins, which is correct because the
+        // older position is out of the window.
+        let mut t = table();
+        t.link(100, 40);
+        t.link(100 + 4_096, 100 + 4_096 - 7);
+        assert_eq!(t.step(100 + 4_096), Some(100 + 4_096 - 7));
+    }
+
+    #[test]
+    fn link_to_pseudo_position_zero_from_small_pos() {
+        // Fresh head entries read 0; linking pos -> 0 stores gap == pos,
+        // which walks back to the pseudo candidate at position 0 (stream
+        // start behaviour shared with the software reference).
+        let mut t = table();
+        t.link(6, 0);
+        assert_eq!(t.step(6), Some(0));
+    }
+}

@@ -1,0 +1,345 @@
+//! Streaming compression session — the compressor as the logger actually
+//! uses it.
+//!
+//! The paper's deployment is not "compress one buffer": the testbench
+//! "receives a data block from the PC over Ethernet, stores it in the DDR2
+//! memory, compresses it and sends the result back", and the target system
+//! compresses "real-time streaming data on-the-fly without separate
+//! buffering and compressing stages". [`ZlibSession`] models that mode on
+//! the host API level:
+//!
+//! * [`ZlibSession::write`] appends a chunk as it arrives (a DMA descriptor
+//!   completion) and lets the engine advance as far as the lookahead
+//!   constraint allows;
+//! * [`ZlibSession::flush`] performs a *sync point*: everything written so
+//!   far becomes decodable from the bytes produced so far (one Deflate
+//!   block boundary, `BFINAL = 0`) — what a logger does on a timer so a
+//!   crash loses at most one flush interval;
+//! * [`ZlibSession::finish`] closes the stream: final block, Adler-32
+//!   trailer.
+//!
+//! Matching state (dictionary, hash chains, virtual-position slides)
+//! persists across chunk and flush boundaries, so matches reach back into
+//! earlier chunks exactly as in a one-shot run. Feeding n chunks and
+//! finishing yields **token-for-token** the one-shot stream — enforced by
+//! tests — except that each `flush` may split the token stream into an
+//! extra block (bit-stream framing, not token content).
+//!
+//! Note the flush granularity: a sync point cannot split a pending match,
+//! so up to `MIN_LOOKAHEAD - 1` tail bytes stay buffered awaiting more
+//! input (they are only forced out by `finish`). zlib's `Z_SYNC_FLUSH` has
+//! the same property for the same reason.
+
+use crate::config::HwConfig;
+use crate::engine::{HwEngine, StepOutcome};
+use crate::stats::StateStats;
+use lzfpga_deflate::adler32::Adler32;
+use lzfpga_deflate::encoder::{BlockKind, DeflateEncoder};
+use lzfpga_sim::stream::BackPressure;
+
+/// A streaming zlib compression session over the hardware engine.
+pub struct ZlibSession {
+    engine: HwEngine,
+    /// All input accepted so far (the modelled DDR2 staging buffer).
+    buffer: Vec<u8>,
+    /// Tokens already framed into blocks.
+    framed: usize,
+    encoder: DeflateEncoder,
+    adler: Adler32,
+    /// Compressed bytes already handed to the caller.
+    delivered: usize,
+    header_written: bool,
+    finished: bool,
+    blocks: u64,
+    /// Bytes of `buffer` that are preset dictionary, not payload.
+    dict_len: usize,
+    /// Adler-32 of the preset dictionary (Some = emit FDICT + DICTID).
+    dictid: Option<u32>,
+}
+
+impl ZlibSession {
+    /// Open a session with an always-ready sink.
+    pub fn new(cfg: HwConfig) -> Self {
+        Self::with_sink(cfg, BackPressure::None)
+    }
+
+    /// Open a session with the given output back-pressure policy.
+    pub fn with_sink(cfg: HwConfig, sink: BackPressure) -> Self {
+        Self {
+            engine: HwEngine::new(cfg, sink),
+            buffer: Vec::new(),
+            framed: 0,
+            encoder: DeflateEncoder::new(),
+            adler: Adler32::new(),
+            delivered: 0,
+            header_written: false,
+            finished: false,
+            blocks: 0,
+            dict_len: 0,
+            dictid: None,
+        }
+    }
+
+    /// Open a session primed with a preset dictionary: the stream carries
+    /// the `FDICT` flag + DICTID, and early matches reach into `dict`
+    /// (decode with `zlib_decompress_with_dict`).
+    ///
+    /// # Panics
+    /// Panics if the dictionary exceeds the window.
+    pub fn with_dictionary(cfg: HwConfig, dict: &[u8]) -> Self {
+        let mut s = Self::with_sink(cfg, BackPressure::None);
+        s.buffer.extend_from_slice(dict);
+        s.engine.preload_dictionary(&s.buffer, dict.len());
+        s.dict_len = dict.len();
+        s.dictid = Some(lzfpga_deflate::adler32::adler32(dict));
+        s
+    }
+
+    /// Append an input chunk and advance the engine as far as it can go
+    /// without seeing future bytes.
+    ///
+    /// # Panics
+    /// Panics if called after [`Self::finish`].
+    pub fn write(&mut self, chunk: &[u8]) {
+        assert!(!self.finished, "write() after finish()");
+        self.adler.update(chunk);
+        self.buffer.extend_from_slice(chunk);
+        while self.engine.step(&self.buffer, false) == StepOutcome::Progressed {}
+    }
+
+    /// Bytes accepted so far.
+    pub fn total_in(&self) -> u64 {
+        self.buffer.len() as u64
+    }
+
+    /// Bytes of input fully processed into tokens so far (the rest waits in
+    /// the lookahead).
+    pub fn processed(&self) -> u64 {
+        self.engine.position()
+    }
+
+    /// Sync point: frame all tokens produced so far into a non-final block
+    /// followed by a `Z_SYNC_FLUSH` marker (an empty stored block forcing
+    /// byte alignment), and return the newly available compressed bytes.
+    /// Everything written before the flush is decodable from the bytes
+    /// delivered up to and including it. Returns an empty vector when
+    /// nothing new was produced since the last flush.
+    pub fn flush(&mut self) -> Vec<u8> {
+        assert!(!self.finished, "flush() after finish()");
+        if self.engine.tokens.len() > self.framed {
+            let fresh = &self.engine.tokens[self.framed..];
+            self.encoder.write_block(fresh, BlockKind::FixedHuffman, false);
+            self.encoder.sync_flush();
+            self.framed = self.engine.tokens.len();
+            self.blocks += 2;
+        }
+        self.take_output(false)
+    }
+
+    /// Close the stream: process the buffered tail, frame the final block,
+    /// append the Adler-32 trailer, and return the remaining bytes.
+    pub fn finish(mut self) -> (Vec<u8>, SessionReport) {
+        assert!(!self.finished, "finish() called twice");
+        self.finished = true;
+        while self.engine.step(&self.buffer, true) != StepOutcome::Done {}
+        let fresh = &self.engine.tokens[self.framed..];
+        self.encoder.write_block(fresh, BlockKind::FixedHuffman, true);
+        self.framed = self.engine.tokens.len();
+        self.blocks += 1;
+        let mut out = self.take_output(true);
+        out.extend_from_slice(&self.adler.finish().to_be_bytes());
+        let report = SessionReport {
+            input_bytes: (self.buffer.len() - self.dict_len) as u64,
+            tokens: self.engine.tokens.len() as u64,
+            blocks: self.blocks,
+            cycles: self.engine.cycles(),
+            stats: self.engine.stats().clone(),
+        };
+        (out, report)
+    }
+
+    /// Deliver compressed bytes not yet handed out. Deflate blocks are not
+    /// byte-aligned, so between flushes the last partial byte stays inside
+    /// the encoder; only `final` drains it.
+    fn take_output(&mut self, last: bool) -> Vec<u8> {
+        let mut out = Vec::new();
+        if !self.header_written {
+            // FLEVEL = 1 ("fastest"), matching the one-shot pipeline.
+            out.extend_from_slice(&lzfpga_deflate::zlib::zlib_header_with(
+                self.engine.config().window_size.max(256),
+                1,
+                self.dictid.is_some(),
+            ));
+            if let Some(id) = self.dictid {
+                out.extend_from_slice(&id.to_be_bytes());
+            }
+            self.header_written = true;
+        }
+        if last {
+            let bytes = std::mem::take(&mut self.encoder).finish();
+            out.extend_from_slice(&bytes[self.delivered..]);
+            self.delivered = bytes.len();
+        } else {
+            let bytes = self.encoder.as_bytes();
+            out.extend_from_slice(&bytes[self.delivered..]);
+            self.delivered = bytes.len();
+        }
+        out
+    }
+}
+
+/// Summary of a finished session.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Total input bytes.
+    pub input_bytes: u64,
+    /// Tokens emitted.
+    pub tokens: u64,
+    /// Deflate blocks written (one per flush plus the final one).
+    pub blocks: u64,
+    /// Total engine cycles including DMA setup.
+    pub cycles: u64,
+    /// Cycle statistics.
+    pub stats: StateStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compressor::HwCompressor;
+    use crate::pipeline::compress_to_zlib;
+    use lzfpga_deflate::zlib::zlib_decompress;
+
+    fn chunked(data: &[u8], chunk: usize) -> (Vec<u8>, SessionReport) {
+        let mut s = ZlibSession::new(HwConfig::paper_fast());
+        let mut out = Vec::new();
+        for c in data.chunks(chunk) {
+            s.write(c);
+        }
+        let (tail, rep) = s.finish();
+        out.extend(tail);
+        (out, rep)
+    }
+
+    #[test]
+    fn single_chunk_equals_one_shot_tokens() {
+        let data = lzfpga_workloads::wiki::generate(1, 150_000);
+        let mut s = ZlibSession::new(HwConfig::paper_fast());
+        s.write(&data);
+        let (_, rep) = s.finish();
+        let one_shot = HwCompressor::new(HwConfig::paper_fast()).compress(&data);
+        assert_eq!(rep.tokens, one_shot.tokens.len() as u64);
+    }
+
+    #[test]
+    fn chunk_size_does_not_change_the_stream() {
+        let data = lzfpga_workloads::canlog::generate(9, 80_000);
+        let whole = chunked(&data, usize::MAX).0;
+        for chunk in [1usize, 7, 263, 4_096, 65_536] {
+            let (out, _) = chunked(&data, chunk);
+            assert_eq!(out, whole, "chunk size {chunk} changed the stream");
+            assert_eq!(zlib_decompress(&out).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn session_without_flush_matches_pipeline_bytes() {
+        let data = lzfpga_workloads::wiki::generate(8, 120_000);
+        let (out, _) = chunked(&data, 10_000);
+        let pipeline = compress_to_zlib(&data, &HwConfig::paper_fast());
+        assert_eq!(out, pipeline.compressed);
+    }
+
+    #[test]
+    fn flush_makes_prefix_decodable_and_stream_still_valid() {
+        let data = lzfpga_workloads::patterns::log_lines(4, 100_000);
+        let mut s = ZlibSession::new(HwConfig::paper_fast());
+        let mut out = Vec::new();
+        for c in data.chunks(25_000) {
+            s.write(c);
+            out.extend(s.flush());
+        }
+        let before_finish = out.len();
+        assert!(before_finish > 0, "flushes must deliver bytes incrementally");
+        let (tail, rep) = s.finish();
+        out.extend(tail);
+        assert_eq!(zlib_decompress(&out).unwrap(), data);
+        assert_eq!(rep.input_bytes, data.len() as u64);
+        // The multi-block stream costs a few bytes over the single-block one.
+        let single = compress_to_zlib(&data, &HwConfig::paper_fast());
+        assert!(out.len() >= single.compressed.len());
+        assert!(out.len() < single.compressed.len() + 64);
+    }
+
+    #[test]
+    fn empty_session_produces_valid_empty_stream() {
+        let s = ZlibSession::new(HwConfig::paper_fast());
+        let (out, rep) = s.finish();
+        assert_eq!(zlib_decompress(&out).unwrap(), b"");
+        assert_eq!(rep.tokens, 0);
+    }
+
+    #[test]
+    fn empty_flushes_are_free() {
+        let mut s = ZlibSession::new(HwConfig::paper_fast());
+        s.write(b"tiny");
+        let a = s.flush();
+        let b = s.flush();
+        assert!(b.is_empty(), "second flush with no new tokens must not emit");
+        let (tail, _) = s.finish();
+        let mut out = a;
+        out.extend(b);
+        out.extend(tail);
+        assert_eq!(zlib_decompress(&out).unwrap(), b"tiny");
+    }
+
+    #[test]
+    fn processed_lags_total_in_by_the_lookahead() {
+        let data = vec![b'q'; 10_000];
+        let mut s = ZlibSession::new(HwConfig::paper_fast());
+        s.write(&data);
+        assert_eq!(s.total_in(), 10_000);
+        assert!(s.processed() >= 10_000 - 262);
+        assert!(s.processed() < 10_000, "the tail must wait for EOF");
+    }
+
+    #[test]
+    #[should_panic(expected = "write() after finish")]
+    fn write_after_finish_panics() {
+        // finish() consumes the session, so "after finish" is modelled by
+        // the internal flag through a manual drop order; the public API makes
+        // this unrepresentable, which is the real assertion here.
+        let mut s = ZlibSession::new(HwConfig::paper_fast());
+        s.finished = true;
+        s.write(b"x");
+    }
+
+
+    #[test]
+    fn flushed_prefix_is_independently_decodable() {
+        // The Z_SYNC_FLUSH property: bytes delivered up to a flush decode on
+        // their own (append an empty final block to terminate the Deflate
+        // stream, as recovery tools do for truncated zlib captures).
+        let data = lzfpga_workloads::wiki::generate(12, 60_000);
+        let mut s = ZlibSession::new(HwConfig::paper_fast());
+        s.write(&data);
+        let mut out = s.flush();
+        let covered = s.processed() as usize;
+        assert!(covered > 0);
+        let mut prefix = out.split_off(2); // strip the zlib header
+        prefix.extend_from_slice(&[0x03, 0x00]); // empty BFINAL fixed block
+        let decoded = lzfpga_deflate::inflate(&prefix).unwrap();
+        assert_eq!(decoded, &data[..covered]);
+    }
+
+    #[test]
+    fn long_session_with_rotations_round_trips() {
+        let data = lzfpga_workloads::wiki::generate(6, 500_000);
+        let (out, rep) = chunked(&data, 30_000);
+        assert_eq!(zlib_decompress(&out).unwrap(), data);
+        assert!(rep.cycles > 0);
+        let one_shot = HwCompressor::new(HwConfig::paper_fast()).compress(&data);
+        assert_eq!(rep.tokens, one_shot.tokens.len() as u64);
+        assert!(one_shot.counters.rotations > 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Per-state cycle statistics — the Figure 5 taxonomy.
+
+use lzfpga_sim::clock::CycleStats;
+
+/// The six operating states the paper's Figure 5 breaks compression time
+/// into. Every simulated cycle is charged to exactly one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HwState {
+    /// Waiting for the head-table read after a match invalidated the
+    /// prefetched hash (plus startup hash routing) — "Waiting for data".
+    Waiting = 0,
+    /// Emitting a D/L pair on the output interface (including sink-stall
+    /// cycles) — "Producing output".
+    Output = 1,
+    /// Inserting the bytes of a short match into head/next — "Updating hash
+    /// table".
+    HashUpdate = 2,
+    /// Head-table rotation stalls — "Rotating hash".
+    Rotate = 3,
+    /// Lookahead starvation: the input stream has not yet delivered the
+    /// bytes the matcher needs — "Fetching data".
+    Fetch = 4,
+    /// Match preparation and candidate comparison — "Finding match".
+    Match = 5,
+}
+
+/// Number of states.
+pub const NUM_STATES: usize = 6;
+
+/// Display labels in the paper's wording.
+pub const STATE_LABELS: [&str; NUM_STATES] = [
+    "Waiting for data",
+    "Producing output",
+    "Updating hash table",
+    "Rotating hash",
+    "Fetching data",
+    "Finding match",
+];
+
+/// Cycle accounting across the six states.
+#[derive(Debug, Clone)]
+pub struct StateStats {
+    inner: CycleStats<NUM_STATES>,
+}
+
+impl Default for StateStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StateStats {
+    /// Fresh, zeroed statistics.
+    pub fn new() -> Self {
+        Self { inner: CycleStats::new(STATE_LABELS) }
+    }
+
+    /// Charge `cycles` to `state`.
+    #[inline]
+    pub fn charge(&mut self, state: HwState, cycles: u64) {
+        self.inner.charge(state as usize, cycles);
+    }
+
+    /// Cycles charged to `state`.
+    pub fn get(&self, state: HwState) -> u64 {
+        self.inner.get(state as usize)
+    }
+
+    /// Total cycles across all states.
+    pub fn total(&self) -> u64 {
+        self.inner.total()
+    }
+
+    /// Fraction of total time in `state` (0 when nothing charged).
+    pub fn share(&self, state: HwState) -> f64 {
+        self.inner.share(state as usize)
+    }
+
+    /// `(label, cycles, share)` rows in Figure 5 order.
+    pub fn rows(&self) -> Vec<(&'static str, u64, f64)> {
+        let total = self.total().max(1) as f64;
+        self.inner
+            .iter()
+            .map(|(label, cycles)| (label, cycles, cycles as f64 / total))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_wording() {
+        assert_eq!(STATE_LABELS[HwState::Match as usize], "Finding match");
+        assert_eq!(STATE_LABELS[HwState::Rotate as usize], "Rotating hash");
+    }
+
+    #[test]
+    fn charging_and_shares() {
+        let mut s = StateStats::new();
+        s.charge(HwState::Match, 70);
+        s.charge(HwState::Output, 20);
+        s.charge(HwState::Waiting, 10);
+        assert_eq!(s.total(), 100);
+        assert!((s.share(HwState::Match) - 0.7).abs() < 1e-12);
+        assert_eq!(s.get(HwState::HashUpdate), 0);
+    }
+
+    #[test]
+    fn rows_cover_all_states() {
+        let s = StateStats::new();
+        let rows = s.rows();
+        assert_eq!(rows.len(), NUM_STATES);
+        assert_eq!(rows[5].0, "Finding match");
+    }
+}

@@ -1,0 +1,146 @@
+//! Waveform export: turn a traced compression run into a VCD file a
+//! hardware engineer can open next to the RTL simulation.
+//!
+//! Two signals are dumped at the design's 10 ns (100 MHz) timescale:
+//!
+//! * `state[2:0]` — the main FSM state (the Figure-5 bucket occupying each
+//!   cycle), encoded by [`crate::stats::HwState`] discriminant;
+//! * `busy` — low only while the FSM idles in the DMA-setup preamble.
+//!
+//! The span stream comes from [`crate::engine::HwEngine::enable_trace`];
+//! [`trace_compress`] is the one-call convenience wrapper.
+
+use crate::compressor::HwRunReport;
+use crate::config::HwConfig;
+use crate::engine::{HwEngine, TraceSpan};
+use crate::stats::HwState;
+use lzfpga_sim::stream::BackPressure;
+use lzfpga_sim::vcd::VcdWriter;
+
+/// Compress `data` with tracing enabled; returns the run report and the
+/// recorded state spans.
+pub fn trace_compress(data: &[u8], cfg: &HwConfig) -> (HwRunReport, Vec<TraceSpan>) {
+    let mut engine = HwEngine::new(*cfg, BackPressure::None);
+    engine.enable_trace();
+    engine.run_to_end(data);
+    let spans = engine.take_trace();
+    let stats = engine.stats().clone();
+    let counters = engine.counters();
+    let report = HwRunReport {
+        tokens: std::mem::take(&mut engine.tokens),
+        cycles: stats.total() + cfg.dma_setup_cycles,
+        input_bytes: data.len() as u64,
+        stats,
+        counters,
+    };
+    (report, spans)
+}
+
+/// Render state spans as a VCD dump covering `[0, end_cycle]`.
+pub fn spans_to_vcd(spans: &[TraceSpan], dma_setup_cycles: u64, end_cycle: u64) -> String {
+    let mut w = VcdWriter::new("lzss_compressor", "10 ns");
+    let state = w.add_signal("state", 3);
+    let busy = w.add_signal("busy", 1);
+    w.change(0, busy, 0);
+    if dma_setup_cycles > 0 {
+        // Idle encoding during DMA setup: reuse the Waiting code with busy
+        // low so viewers show a visibly distinct preamble.
+        w.change(0, state, HwState::Waiting as u64);
+    }
+    for span in spans {
+        w.change(span.start, busy, 1);
+        w.change(span.start, state, span.state as u64);
+    }
+    w.finish(end_cycle)
+}
+
+/// Verify a span stream is contiguous and consistent with a run report —
+/// the invariant the tracer guarantees (also used by the test suite).
+///
+/// # Panics
+/// Panics on a gap, overlap, or cycle-count mismatch.
+pub fn assert_contiguous(spans: &[TraceSpan], report: &HwRunReport, cfg: &HwConfig) {
+    let mut clock = cfg.dma_setup_cycles;
+    for (i, s) in spans.iter().enumerate() {
+        assert_eq!(s.start, clock, "span {i} starts at {} expected {clock}", s.start);
+        assert!(s.cycles >= 1, "span {i} is empty");
+        clock += s.cycles;
+    }
+    assert_eq!(clock, report.cycles, "trace does not cover the whole run");
+    // Per-state sums must reproduce the stats exactly.
+    for state in [
+        HwState::Waiting,
+        HwState::Match,
+        HwState::Output,
+        HwState::HashUpdate,
+        HwState::Rotate,
+        HwState::Fetch,
+    ] {
+        let from_trace: u64 =
+            spans.iter().filter(|s| s.state == state).map(|s| s.cycles).sum();
+        assert_eq!(from_trace, report.stats.get(state), "{state:?} cycles diverge");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_covers_every_cycle_exactly_once() {
+        let data = lzfpga_workloads::wiki::generate(3, 60_000);
+        let cfg = HwConfig::paper_fast();
+        let (report, spans) = trace_compress(&data, &cfg);
+        assert!(!spans.is_empty());
+        assert_contiguous(&spans, &report, &cfg);
+    }
+
+    #[test]
+    fn traced_run_equals_untraced_run() {
+        let data = lzfpga_workloads::canlog::generate(5, 40_000);
+        let cfg = HwConfig::paper_fast();
+        let (traced, _) = trace_compress(&data, &cfg);
+        let plain = crate::compressor::HwCompressor::new(cfg).compress(&data);
+        assert_eq!(traced.tokens, plain.tokens);
+        assert_eq!(traced.cycles, plain.cycles);
+    }
+
+    #[test]
+    fn vcd_is_structurally_sound() {
+        let data = b"wave wave wave wave data".repeat(20);
+        let cfg = HwConfig::paper_fast();
+        let (report, spans) = trace_compress(&data, &cfg);
+        let vcd = spans_to_vcd(&spans, cfg.dma_setup_cycles, report.cycles);
+        assert!(vcd.contains("$var wire 3 ! state $end"));
+        assert!(vcd.contains("$var wire 1 \" busy $end"));
+        // Timestamps strictly increasing.
+        let times: Vec<u64> = vcd
+            .lines()
+            .filter(|l| l.starts_with('#'))
+            .map(|l| l[1..].parse().unwrap())
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] < w[1]), "{times:?}");
+        assert_eq!(*times.last().unwrap(), report.cycles);
+        // The busy edge lands exactly at the end of DMA setup.
+        assert!(vcd.contains(&format!("#{}\n1\"", cfg.dma_setup_cycles)));
+    }
+
+    #[test]
+    fn rotation_spans_show_up_on_long_runs() {
+        let data = lzfpga_workloads::wiki::generate(9, 300_000);
+        let (_, spans) = trace_compress(&data, &HwConfig::paper_fast());
+        assert!(spans.iter().any(|s| s.state == HwState::Rotate));
+        // Rotation stalls are long (2^15/16 = 2048 cycles at the preset).
+        let rot = spans.iter().find(|s| s.state == HwState::Rotate).unwrap();
+        assert_eq!(rot.cycles, 2_048);
+    }
+
+    #[test]
+    fn empty_input_produces_a_valid_empty_dump() {
+        let cfg = HwConfig::paper_fast();
+        let (report, spans) = trace_compress(b"", &cfg);
+        assert!(spans.is_empty());
+        let vcd = spans_to_vcd(&spans, cfg.dma_setup_cycles, report.cycles);
+        assert!(vcd.contains("$enddefinitions"));
+    }
+}

@@ -1,0 +1,90 @@
+//! Adler-32 checksum (RFC 1950 §8.2) — the zlib container's integrity check.
+
+const MOD_ADLER: u32 = 65_521;
+/// Largest n such that 255*n*(n+1)/2 + (n+1)*(MOD-1) fits in u32 — the
+/// standard deferred-modulo block size.
+const NMAX: usize = 5_552;
+
+/// Streaming Adler-32 state.
+#[derive(Debug, Clone, Copy)]
+pub struct Adler32 {
+    a: u32,
+    b: u32,
+}
+
+impl Default for Adler32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Adler32 {
+    /// Initial state (checksum of the empty string is 1).
+    pub fn new() -> Self {
+        Self { a: 1, b: 0 }
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        for chunk in data.chunks(NMAX) {
+            for &byte in chunk {
+                self.a += u32::from(byte);
+                self.b += self.a;
+            }
+            self.a %= MOD_ADLER;
+            self.b %= MOD_ADLER;
+        }
+    }
+
+    /// Current checksum value.
+    pub fn finish(&self) -> u32 {
+        (self.b << 16) | self.a
+    }
+}
+
+/// One-shot Adler-32 of `data`.
+pub fn adler32(data: &[u8]) -> u32 {
+    let mut a = Adler32::new();
+    a.update(data);
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_one() {
+        assert_eq!(adler32(b""), 1);
+    }
+
+    #[test]
+    fn known_vectors() {
+        // Standard test vectors (verifiable with `zlib.adler32` in Python).
+        assert_eq!(adler32(b"a"), 0x0062_0062);
+        assert_eq!(adler32(b"abc"), 0x024d_0127);
+        assert_eq!(adler32(b"message digest"), 0x29750586);
+        assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let data: Vec<u8> = (0..=255).cycle().take(100_000).collect();
+        let mut s = Adler32::new();
+        for chunk in data.chunks(977) {
+            s.update(chunk);
+        }
+        assert_eq!(s.finish(), adler32(&data));
+    }
+
+    #[test]
+    fn deferred_modulo_boundary() {
+        // Exactly NMAX bytes of 0xFF stresses the overflow bound.
+        let data = vec![0xFFu8; NMAX];
+        let mut byte_at_a_time = Adler32::new();
+        for &b in &data {
+            byte_at_a_time.update(&[b]);
+        }
+        assert_eq!(adler32(&data), byte_at_a_time.finish());
+    }
+}

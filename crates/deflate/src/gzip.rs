@@ -1,0 +1,351 @@
+//! gzip container (RFC 1952): header, Deflate body, CRC-32 + ISIZE trailer.
+//!
+//! An extension over the paper (which targets the zlib container); provided
+//! so compressed logs can be written as `.gz` files any standard tool opens.
+
+use crate::bitio::BitReader;
+use crate::crc32::crc32;
+use crate::encoder::{BlockKind, DeflateEncoder};
+use crate::inflate::{inflate_into, InflateError};
+use crate::token::Token;
+
+/// Errors produced while decoding a gzip stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GzipError {
+    /// Missing magic bytes or truncated header/trailer.
+    BadHeader,
+    /// Compression method byte is not 8 (Deflate).
+    BadMethod,
+    /// Header flags request a feature this decoder does not implement
+    /// (multi-member concatenation aside, all optional fields are handled).
+    UnsupportedFlags,
+    /// Deflate body failed to decode.
+    Inflate(InflateError),
+    /// CRC-32 trailer mismatch.
+    CrcMismatch,
+    /// ISIZE trailer does not match the decoded length (mod 2^32).
+    SizeMismatch,
+}
+
+impl From<InflateError> for GzipError {
+    fn from(e: InflateError) -> Self {
+        GzipError::Inflate(e)
+    }
+}
+
+impl std::fmt::Display for GzipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GzipError::BadHeader => write!(f, "bad gzip header"),
+            GzipError::BadMethod => write!(f, "gzip method is not deflate"),
+            GzipError::UnsupportedFlags => write!(f, "unsupported gzip flags"),
+            GzipError::Inflate(e) => write!(f, "deflate error: {e}"),
+            GzipError::CrcMismatch => write!(f, "gzip crc32 mismatch"),
+            GzipError::SizeMismatch => write!(f, "gzip isize mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for GzipError {}
+
+const FHCRC: u8 = 1 << 1;
+const FEXTRA: u8 = 1 << 2;
+const FNAME: u8 = 1 << 3;
+const FCOMMENT: u8 = 1 << 4;
+
+/// Optional gzip member metadata (RFC 1952 header fields).
+#[derive(Debug, Clone, Default)]
+pub struct GzipMeta {
+    /// Original file name (`FNAME`, Latin-1, no NUL).
+    pub name: Option<String>,
+    /// Comment field (`FCOMMENT`).
+    pub comment: Option<String>,
+    /// Modification time, Unix seconds (0 = unavailable).
+    pub mtime: u32,
+    /// OS byte (255 = unknown, 3 = Unix).
+    pub os: u8,
+    /// Emit the `FHCRC` header checksum.
+    pub header_crc: bool,
+}
+
+/// Compress a token stream into a complete gzip member. `original` must be
+/// the bytes the tokens expand to (feeds CRC-32 and ISIZE).
+pub fn gzip_compress_tokens(tokens: &[Token], original: &[u8], kind: BlockKind) -> Vec<u8> {
+    gzip_compress_tokens_with(tokens, original, kind, &GzipMeta { os: 255, ..GzipMeta::default() })
+}
+
+/// As [`gzip_compress_tokens`], with explicit header metadata.
+///
+/// # Panics
+/// Panics if a name or comment contains a NUL byte (unrepresentable).
+pub fn gzip_compress_tokens_with(
+    tokens: &[Token],
+    original: &[u8],
+    kind: BlockKind,
+    meta: &GzipMeta,
+) -> Vec<u8> {
+    let mut flg = 0u8;
+    if meta.header_crc {
+        flg |= FHCRC;
+    }
+    if meta.name.is_some() {
+        flg |= FNAME;
+    }
+    if meta.comment.is_some() {
+        flg |= FCOMMENT;
+    }
+    let mut out = vec![0x1F, 0x8B, 8, flg];
+    out.extend_from_slice(&meta.mtime.to_le_bytes());
+    out.push(match kind {
+        BlockKind::DynamicHuffman => 2, // XFL: max compression
+        _ => 4,                         // XFL: fastest
+    });
+    out.push(meta.os);
+    for text in [&meta.name, &meta.comment].into_iter().flatten() {
+        assert!(!text.as_bytes().contains(&0), "gzip text fields cannot hold NUL");
+        out.extend_from_slice(text.as_bytes());
+        out.push(0);
+    }
+    if meta.header_crc {
+        let hcrc = crc32(&out) as u16;
+        out.extend_from_slice(&hcrc.to_le_bytes());
+    }
+    let mut enc = DeflateEncoder::new();
+    enc.write_block(tokens, kind, true);
+    out.extend_from_slice(&enc.finish());
+    out.extend_from_slice(&crc32(original).to_le_bytes());
+    out.extend_from_slice(&(original.len() as u32).to_le_bytes());
+    out
+}
+
+/// Decompress a single gzip member, verifying CRC-32 and ISIZE. Trailing
+/// bytes after the member are rejected as [`GzipError::BadHeader`] — use
+/// [`gzip_decompress_multi`] for concatenated members.
+pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, GzipError> {
+    let (out, consumed) = gzip_decompress_member(data)?;
+    if consumed != data.len() {
+        return Err(GzipError::BadHeader);
+    }
+    Ok(out)
+}
+
+/// Decompress a stream of one or more concatenated gzip members (the
+/// standard `cat a.gz b.gz | gunzip` semantics), returning the joined
+/// payload.
+pub fn gzip_decompress_multi(data: &[u8]) -> Result<Vec<u8>, GzipError> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    if data.is_empty() {
+        return Err(GzipError::BadHeader);
+    }
+    while pos < data.len() {
+        let (member, consumed) = gzip_decompress_member(&data[pos..])?;
+        out.extend_from_slice(&member);
+        pos += consumed;
+    }
+    Ok(out)
+}
+
+/// Decode one member from the front of `data`; returns the payload and the
+/// number of input bytes the member occupied.
+pub fn gzip_decompress_member(data: &[u8]) -> Result<(Vec<u8>, usize), GzipError> {
+    if data.len() < 18 || data[0] != 0x1F || data[1] != 0x8B {
+        return Err(GzipError::BadHeader);
+    }
+    if data[2] != 8 {
+        return Err(GzipError::BadMethod);
+    }
+    let flg = data[3];
+    if flg & 0b1110_0000 != 0 {
+        return Err(GzipError::UnsupportedFlags);
+    }
+    let mut pos = 10usize;
+    if flg & FEXTRA != 0 {
+        if pos + 2 > data.len() {
+            return Err(GzipError::BadHeader);
+        }
+        let xlen = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
+        pos += 2 + xlen;
+    }
+    for flag in [FNAME, FCOMMENT] {
+        if flg & flag != 0 {
+            if pos >= data.len() {
+                return Err(GzipError::BadHeader);
+            }
+            let end = data[pos..].iter().position(|&b| b == 0).ok_or(GzipError::BadHeader)?;
+            pos += end + 1;
+        }
+    }
+    if flg & FHCRC != 0 {
+        if pos + 2 > data.len() {
+            return Err(GzipError::BadHeader);
+        }
+        let stored = u16::from_le_bytes([data[pos], data[pos + 1]]);
+        if crc32(&data[..pos]) as u16 != stored {
+            return Err(GzipError::CrcMismatch);
+        }
+        pos += 2;
+    }
+    if pos + 8 > data.len() {
+        return Err(GzipError::BadHeader);
+    }
+    let body = &data[pos..];
+    let mut r = BitReader::new(body);
+    let mut out = Vec::new();
+    inflate_into(&mut r, &mut out)?;
+    r.align_to_byte();
+    let body_used = body.len() - (r.remaining_bits() / 8) as usize;
+    let trailer_at = pos + body_used;
+    if trailer_at + 8 > data.len() {
+        return Err(GzipError::BadHeader);
+    }
+    let trailer = &data[trailer_at..trailer_at + 8];
+    let stored_crc = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    let stored_size = u32::from_le_bytes([trailer[4], trailer[5], trailer[6], trailer[7]]);
+    if crc32(&out) != stored_crc {
+        return Err(GzipError::CrcMismatch);
+    }
+    if out.len() as u32 != stored_size {
+        return Err(GzipError::SizeMismatch);
+    }
+    Ok((out, trailer_at + 8))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::Token as T;
+
+    fn literals(data: &[u8]) -> Vec<T> {
+        data.iter().copied().map(T::Literal).collect()
+    }
+
+    #[test]
+    fn round_trip() {
+        let data = b"gzip me please, gzip me";
+        let mut tokens = literals(&data[..16]);
+        tokens.push(T::new_match(16, 7));
+        let stream = gzip_compress_tokens(&tokens, data, BlockKind::FixedHuffman);
+        assert_eq!(gzip_decompress(&stream).unwrap(), data);
+    }
+
+    #[test]
+    fn magic_bytes_present() {
+        let stream = gzip_compress_tokens(&[], b"", BlockKind::FixedHuffman);
+        assert_eq!(&stream[..2], &[0x1F, 0x8B]);
+    }
+
+    #[test]
+    fn crc_corruption_detected() {
+        let data = b"payload";
+        let mut stream = gzip_compress_tokens(&literals(data), data, BlockKind::FixedHuffman);
+        let n = stream.len();
+        stream[n - 5] ^= 1; // CRC byte
+        assert_eq!(gzip_decompress(&stream), Err(GzipError::CrcMismatch));
+    }
+
+    #[test]
+    fn isize_corruption_detected() {
+        let data = b"payload";
+        let mut stream = gzip_compress_tokens(&literals(data), data, BlockKind::FixedHuffman);
+        let n = stream.len();
+        stream[n - 1] ^= 1; // ISIZE byte
+        assert_eq!(gzip_decompress(&stream), Err(GzipError::SizeMismatch));
+    }
+
+    #[test]
+    fn header_with_name_field_is_skipped() {
+        let data = b"named";
+        let mut stream = gzip_compress_tokens(&literals(data), data, BlockKind::FixedHuffman);
+        // Inject FNAME: set flag and splice a name after the 10-byte header.
+        stream[3] |= FNAME;
+        let name = b"file.txt\0";
+        let mut with_name = stream[..10].to_vec();
+        with_name.extend_from_slice(name);
+        with_name.extend_from_slice(&stream[10..]);
+        assert_eq!(gzip_decompress(&with_name).unwrap(), data);
+    }
+
+    #[test]
+    fn non_gzip_rejected() {
+        assert_eq!(gzip_decompress(&[0u8; 20]), Err(GzipError::BadHeader));
+    }
+}
+
+#[cfg(test)]
+mod multi_tests {
+    use super::*;
+    use crate::token::Token as T;
+
+    fn literals(data: &[u8]) -> Vec<T> {
+        data.iter().copied().map(T::Literal).collect()
+    }
+
+    #[test]
+    fn metadata_round_trips_and_decodes() {
+        let data = b"named payload with metadata";
+        let meta = GzipMeta {
+            name: Some("log-2011-09-01.bin".into()),
+            comment: Some("X2E capture".into()),
+            mtime: 1_316_000_000,
+            os: 3,
+            header_crc: true,
+        };
+        let stream =
+            gzip_compress_tokens_with(&literals(data), data, BlockKind::FixedHuffman, &meta);
+        assert_eq!(gzip_decompress(&stream).unwrap(), data);
+        // The name is embedded NUL-terminated after the 10-byte header.
+        let name_at = 10;
+        let end = stream[name_at..].iter().position(|&b| b == 0).unwrap();
+        assert_eq!(&stream[name_at..name_at + end], b"log-2011-09-01.bin");
+    }
+
+    #[test]
+    fn corrupted_header_crc_is_detected() {
+        let data = b"check the header";
+        let meta = GzipMeta { header_crc: true, os: 3, ..GzipMeta::default() };
+        let mut stream =
+            gzip_compress_tokens_with(&literals(data), data, BlockKind::FixedHuffman, &meta);
+        stream[4] ^= 0xFF; // MTIME byte is covered by FHCRC
+        assert_eq!(gzip_decompress(&stream), Err(GzipError::CrcMismatch));
+    }
+
+    #[test]
+    fn concatenated_members_decode_as_one_payload() {
+        let a = b"first member ";
+        let b = b"second member ";
+        let c = b"third";
+        let mut stream = Vec::new();
+        for part in [&a[..], b, c] {
+            stream.extend(gzip_compress_tokens(&literals(part), part, BlockKind::FixedHuffman));
+        }
+        let joined: Vec<u8> = [&a[..], b, c].concat();
+        assert_eq!(gzip_decompress_multi(&stream).unwrap(), joined);
+        // The single-member API rejects the concatenation.
+        assert_eq!(gzip_decompress(&stream), Err(GzipError::BadHeader));
+    }
+
+    #[test]
+    fn multi_rejects_trailing_garbage() {
+        let data = b"payload";
+        let mut stream = gzip_compress_tokens(&literals(data), data, BlockKind::FixedHuffman);
+        stream.extend_from_slice(b"junk");
+        assert!(gzip_decompress_multi(&stream).is_err());
+    }
+
+    #[test]
+    fn member_consumed_length_is_exact() {
+        let data = b"measure me";
+        let stream = gzip_compress_tokens(&literals(data), data, BlockKind::FixedHuffman);
+        let (out, used) = gzip_decompress_member(&stream).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(used, stream.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold NUL")]
+    fn nul_in_name_rejected() {
+        let meta = GzipMeta { name: Some("bad\0name".into()), ..GzipMeta::default() };
+        gzip_compress_tokens_with(&[], b"", BlockKind::FixedHuffman, &meta);
+    }
+}

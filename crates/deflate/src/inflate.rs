@@ -1,0 +1,445 @@
+//! A complete Deflate decoder (RFC 1951): stored, fixed and dynamic blocks.
+//!
+//! This is the repo's reference decompressor — the stand-in for the stock
+//! ZLib the paper verified against ("comparing the results to software
+//! reference model"). Every compressed stream produced by any stage in this
+//! workspace must inflate back to the original bytes.
+
+use crate::bitio::{BitReader, OutOfBits};
+use crate::fixed::{
+    distance_base, fixed_dist_lengths, fixed_litlen_lengths, length_base, END_OF_BLOCK,
+};
+use crate::huffman::{DecodeError, Decoder};
+
+/// Errors produced while decoding a Deflate stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InflateError {
+    /// Input ended before the final block completed.
+    UnexpectedEof,
+    /// Reserved block type 11 encountered.
+    ReservedBlockType,
+    /// Stored block LEN/NLEN complement check failed.
+    StoredLengthMismatch,
+    /// A Huffman code table in a dynamic block is invalid.
+    BadCodeTable,
+    /// A decoded symbol is outside its alphabet.
+    BadSymbol,
+    /// A match distance reaches before the start of output.
+    DistanceTooFar,
+    /// The code-length RLE (symbol 16) repeated with no previous length.
+    RepeatWithoutPrevious,
+}
+
+impl From<OutOfBits> for InflateError {
+    fn from(_: OutOfBits) -> Self {
+        InflateError::UnexpectedEof
+    }
+}
+
+impl From<DecodeError> for InflateError {
+    fn from(e: DecodeError) -> Self {
+        match e {
+            DecodeError::OutOfInput => InflateError::UnexpectedEof,
+            DecodeError::InvalidCode => InflateError::BadSymbol,
+        }
+    }
+}
+
+impl std::fmt::Display for InflateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            InflateError::UnexpectedEof => "unexpected end of deflate stream",
+            InflateError::ReservedBlockType => "reserved block type 11",
+            InflateError::StoredLengthMismatch => "stored block LEN/NLEN mismatch",
+            InflateError::BadCodeTable => "invalid huffman code table",
+            InflateError::BadSymbol => "invalid symbol in stream",
+            InflateError::DistanceTooFar => "match distance exceeds output",
+            InflateError::RepeatWithoutPrevious => "length repeat with no previous code",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for InflateError {}
+
+/// Decode a complete Deflate stream into its uncompressed bytes.
+pub fn inflate(data: &[u8]) -> Result<Vec<u8>, InflateError> {
+    let mut r = BitReader::new(data);
+    let mut out = Vec::new();
+    inflate_into(&mut r, &mut out)?;
+    Ok(out)
+}
+
+/// Decode a Deflate stream from an existing reader, appending to `out`.
+/// Returns with the reader positioned just past the final block (mid-byte),
+/// which lets container formats read their trailers after re-alignment.
+pub fn inflate_into(r: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<(), InflateError> {
+    while !inflate_one_block(r, out)? {}
+    Ok(())
+}
+
+/// Decode exactly one Deflate block, appending to `out`. Returns `true`
+/// when the block carried the BFINAL bit.
+pub fn inflate_one_block(r: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<bool, InflateError> {
+    let bfinal = r.read_bit()?;
+    let btype = r.read_bits(2)?;
+    match btype {
+        0b00 => inflate_stored(r, out)?,
+        0b01 => {
+            let lit = Decoder::from_lengths(&fixed_litlen_lengths())
+                .expect("fixed litlen table is valid");
+            let dist = Decoder::from_lengths(&fixed_dist_lengths())
+                .expect("fixed dist table is valid");
+            inflate_compressed(r, out, &lit, &dist)?;
+        }
+        0b10 => {
+            let (lit, dist) = read_dynamic_tables(r)?;
+            inflate_compressed(r, out, &lit, &dist)?;
+        }
+        _ => return Err(InflateError::ReservedBlockType),
+    }
+    Ok(bfinal == 1)
+}
+
+/// Push-based incremental inflate with **block-granular** resumption: feed
+/// compressed bytes as they arrive, take decoded bytes as blocks complete.
+///
+/// The resume point is a block boundary, so output for a block only appears
+/// once its final bit has been fed — which is exactly the granularity the
+/// streaming session's `Z_SYNC_FLUSH` points create (each flush closes a
+/// block and byte-aligns, making everything before it decodable).
+#[derive(Debug, Default)]
+pub struct InflateStream {
+    input: Vec<u8>,
+    out: Vec<u8>,
+    taken: usize,
+    bit_pos: u64,
+    finished: bool,
+}
+
+impl InflateStream {
+    /// New empty stream decoder (raw Deflate, no container framing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed more compressed bytes; decodes as many complete blocks as the
+    /// data now allows. Errors are sticky and final.
+    pub fn feed(&mut self, chunk: &[u8]) -> Result<(), InflateError> {
+        self.input.extend_from_slice(chunk);
+        self.pump()
+    }
+
+    fn pump(&mut self) -> Result<(), InflateError> {
+        while !self.finished {
+            let mut r = BitReader::new(&self.input);
+            let mut skip = self.bit_pos;
+            while skip > 0 {
+                let n = skip.min(32) as u32;
+                r.read_bits(n).expect("resume point is inside fed data");
+                skip -= u64::from(n);
+            }
+            let checkpoint = self.out.len();
+            match inflate_one_block(&mut r, &mut self.out) {
+                Ok(done) => {
+                    self.bit_pos = self.input.len() as u64 * 8 - r.remaining_bits();
+                    if done {
+                        self.finished = true;
+                    }
+                }
+                Err(InflateError::UnexpectedEof) => {
+                    // Partial block: roll back and wait for more bytes.
+                    self.out.truncate(checkpoint);
+                    return Ok(());
+                }
+                Err(e) => {
+                    self.out.truncate(checkpoint);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Take the decoded bytes produced since the last call.
+    pub fn take_output(&mut self) -> Vec<u8> {
+        let fresh = self.out[self.taken..].to_vec();
+        self.taken = self.out.len();
+        // Keep the full history: back-references may reach 32 KB behind.
+        fresh
+    }
+
+    /// True once the final block has been decoded.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Total decoded bytes so far (taken or not).
+    pub fn total_out(&self) -> u64 {
+        self.out.len() as u64
+    }
+}
+
+fn inflate_stored(r: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<(), InflateError> {
+    r.align_to_byte();
+    let len = u16::from_le_bytes([r.read_aligned_byte()?, r.read_aligned_byte()?]);
+    let nlen = u16::from_le_bytes([r.read_aligned_byte()?, r.read_aligned_byte()?]);
+    if len != !nlen {
+        return Err(InflateError::StoredLengthMismatch);
+    }
+    out.reserve(len as usize);
+    for _ in 0..len {
+        out.push(r.read_aligned_byte()?);
+    }
+    Ok(())
+}
+
+/// Order in which code-length-code lengths are transmitted (RFC 1951 §3.2.7).
+const CLCL_ORDER: [usize; 19] = [16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15];
+
+fn read_dynamic_tables(r: &mut BitReader<'_>) -> Result<(Decoder, Decoder), InflateError> {
+    let hlit = r.read_bits(5)? as usize + 257;
+    let hdist = r.read_bits(5)? as usize + 1;
+    let hclen = r.read_bits(4)? as usize + 4;
+    if hlit > 286 || hdist > 30 {
+        return Err(InflateError::BadCodeTable);
+    }
+    let mut clc_lengths = [0u8; 19];
+    for &idx in CLCL_ORDER.iter().take(hclen) {
+        clc_lengths[idx] = r.read_bits(3)? as u8;
+    }
+    let clc = Decoder::from_lengths(&clc_lengths).ok_or(InflateError::BadCodeTable)?;
+
+    let mut lengths = vec![0u8; hlit + hdist];
+    let mut i = 0;
+    while i < lengths.len() {
+        let sym = clc.decode(r)?;
+        match sym {
+            0..=15 => {
+                lengths[i] = sym as u8;
+                i += 1;
+            }
+            16 => {
+                if i == 0 {
+                    return Err(InflateError::RepeatWithoutPrevious);
+                }
+                let prev = lengths[i - 1];
+                let n = r.read_bits(2)? as usize + 3;
+                if i + n > lengths.len() {
+                    return Err(InflateError::BadCodeTable);
+                }
+                lengths[i..i + n].fill(prev);
+                i += n;
+            }
+            17 => {
+                let n = r.read_bits(3)? as usize + 3;
+                if i + n > lengths.len() {
+                    return Err(InflateError::BadCodeTable);
+                }
+                i += n;
+            }
+            18 => {
+                let n = r.read_bits(7)? as usize + 11;
+                if i + n > lengths.len() {
+                    return Err(InflateError::BadCodeTable);
+                }
+                i += n;
+            }
+            _ => return Err(InflateError::BadSymbol),
+        }
+    }
+    if lengths[END_OF_BLOCK] == 0 {
+        // Every block must be terminable.
+        return Err(InflateError::BadCodeTable);
+    }
+    let lit = Decoder::from_lengths(&lengths[..hlit]).ok_or(InflateError::BadCodeTable)?;
+    let dist = Decoder::from_lengths(&lengths[hlit..]).ok_or(InflateError::BadCodeTable)?;
+    Ok((lit, dist))
+}
+
+fn inflate_compressed(
+    r: &mut BitReader<'_>,
+    out: &mut Vec<u8>,
+    lit: &Decoder,
+    dist: &Decoder,
+) -> Result<(), InflateError> {
+    loop {
+        let sym = lit.decode(r)?;
+        match sym {
+            0..=255 => out.push(sym as u8),
+            256 => return Ok(()),
+            257..=285 => {
+                let (base, extra) = length_base(sym).ok_or(InflateError::BadSymbol)?;
+                let len = base + r.read_bits(extra)? as u32;
+                let dsym = dist.decode(r)?;
+                let (dbase, dextra) = distance_base(dsym).ok_or(InflateError::BadSymbol)?;
+                let d = dbase + r.read_bits(dextra)? as u32;
+                let d = d as usize;
+                if d > out.len() {
+                    return Err(InflateError::DistanceTooFar);
+                }
+                // Byte-by-byte copy handles self-overlap (dist < len).
+                let start = out.len() - d;
+                for k in 0..len as usize {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+            _ => return Err(InflateError::BadSymbol),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fixed_stream() {
+        // `python3 -c "import zlib;print(zlib.compress(b'hello hello hello hello',1)[2:-4].hex())"`
+        // yields a zlib stream; this vector is the raw deflate body of
+        // compressing "abc" with fixed codes: literals 'a','b','c' + EOB.
+        // Hand-built: BFINAL=1,BTYPE=01, 'a'=0x61 -> code 0x31+0x61=0x92 (8b),
+        // easier to verify via our own encoder in encoder.rs tests; here we
+        // check a canonical empty fixed block: header + EOB(0000000).
+        let data = [0b0000_0011u8, 0b0000_0000]; // 1,01, then 7 zero bits
+        assert_eq!(inflate(&data).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn reserved_block_type_rejected() {
+        let data = [0b0000_0111u8];
+        assert_eq!(inflate(&data), Err(InflateError::ReservedBlockType));
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let data = [0b0000_0011u8]; // fixed block, EOB cut off
+        assert_eq!(inflate(&data), Err(InflateError::UnexpectedEof));
+    }
+
+    #[test]
+    fn stored_nlen_mismatch_rejected() {
+        // BFINAL=1 BTYPE=00, LEN=1, NLEN=0 (should be !1).
+        let data = [0b0000_0001, 0x01, 0x00, 0x00, 0x00, 0xAA];
+        assert_eq!(inflate(&data), Err(InflateError::StoredLengthMismatch));
+    }
+
+    #[test]
+    fn distance_too_far_rejected() {
+        // Fixed block: match(len 3, dist 1) as the very first symbol.
+        use crate::bitio::BitWriter;
+        use crate::huffman::Codebook;
+        let lit = Codebook::from_lengths(&fixed_litlen_lengths());
+        let dist = Codebook::from_lengths(&fixed_dist_lengths());
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(0b01, 2);
+        lit.encode(&mut w, 257); // len 3, no extra
+        dist.encode(&mut w, 0); // dist 1, no extra
+        lit.encode(&mut w, 256);
+        assert_eq!(inflate(&w.finish()), Err(InflateError::DistanceTooFar));
+    }
+
+    #[test]
+    fn error_display_messages() {
+        assert_eq!(
+            InflateError::DistanceTooFar.to_string(),
+            "match distance exceeds output"
+        );
+    }
+}
+
+#[cfg(test)]
+mod stream_tests {
+    use super::*;
+    use crate::encoder::{BlockKind, DeflateEncoder};
+    use crate::token::Token;
+
+    fn blocks(parts: &[&[u8]]) -> (Vec<u8>, Vec<u8>) {
+        let mut enc = DeflateEncoder::new();
+        let mut joined = Vec::new();
+        for (i, part) in parts.iter().enumerate() {
+            let tokens: Vec<Token> = part.iter().copied().map(Token::Literal).collect();
+            enc.write_block(&tokens, BlockKind::FixedHuffman, i + 1 == parts.len());
+            joined.extend_from_slice(part);
+        }
+        (enc.finish(), joined)
+    }
+
+    #[test]
+    fn byte_at_a_time_feeding_decodes_everything() {
+        let (stream, expected) = blocks(&[b"first block ", b"second", b" third and last"]);
+        let mut s = InflateStream::new();
+        let mut got = Vec::new();
+        for &b in &stream {
+            s.feed(&[b]).unwrap();
+            got.extend(s.take_output());
+        }
+        assert!(s.is_finished());
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn output_appears_at_block_boundaries() {
+        let (stream, expected) = blocks(&[b"alpha beta gamma ", b"delta"]);
+        let mut s = InflateStream::new();
+        // Feed everything except the last byte: the final block is still
+        // open, so only the first block's bytes are out.
+        s.feed(&stream[..stream.len() - 1]).unwrap();
+        let early = s.take_output();
+        assert!(early.starts_with(b"alpha"));
+        assert!(early.len() < expected.len());
+        assert!(!s.is_finished());
+        s.feed(&stream[stream.len() - 1..]).unwrap();
+        let mut got = early;
+        got.extend(s.take_output());
+        assert_eq!(got, expected);
+        assert!(s.is_finished());
+        assert_eq!(s.total_out(), expected.len() as u64);
+    }
+
+    #[test]
+    fn cross_block_back_references_resolve() {
+        let mut enc = DeflateEncoder::new();
+        let lits: Vec<Token> = b"abcdefgh".iter().copied().map(Token::Literal).collect();
+        enc.write_block(&lits, BlockKind::FixedHuffman, false);
+        enc.write_block(&[Token::new_match(8, 8)], BlockKind::FixedHuffman, true);
+        let stream = enc.finish();
+        let mut s = InflateStream::new();
+        for chunk in stream.chunks(3) {
+            s.feed(chunk).unwrap();
+        }
+        let mut got = Vec::new();
+        got.extend(s.take_output());
+        assert_eq!(got, b"abcdefghabcdefgh");
+    }
+
+    #[test]
+    fn corrupt_stream_errors_and_rolls_back() {
+        let (mut stream, _) = blocks(&[b"some payload to protect"]);
+        stream[0] = 0b110; // BFINAL=0 + reserved BTYPE=11
+        let mut s = InflateStream::new();
+        assert!(matches!(s.feed(&stream), Err(InflateError::ReservedBlockType)));
+        assert!(s.take_output().is_empty(), "no partial garbage");
+    }
+
+    #[test]
+    fn session_flush_points_release_output_incrementally() {
+        // (The cross-crate session pairing lives in tests/; here a plain
+        // sync-flush sequence stands in.)
+        let mut enc = DeflateEncoder::new();
+        let t1: Vec<Token> = b"chunk one ".iter().copied().map(Token::Literal).collect();
+        enc.write_block(&t1, BlockKind::FixedHuffman, false);
+        enc.sync_flush();
+        let aligned_len = enc.as_bytes().len();
+        let t2: Vec<Token> = b"chunk two".iter().copied().map(Token::Literal).collect();
+        enc.write_block(&t2, BlockKind::FixedHuffman, true);
+        let stream = enc.finish();
+        let mut s = InflateStream::new();
+        s.feed(&stream[..aligned_len]).unwrap();
+        assert_eq!(s.take_output(), b"chunk one ", "flush point releases its block");
+        s.feed(&stream[aligned_len..]).unwrap();
+        assert_eq!(s.take_output(), b"chunk two");
+    }
+}

@@ -1,0 +1,121 @@
+//! The literal/match token stream shared by every compressor stage.
+//!
+//! This is the "decompressor command" alphabet of §III of the paper: a token
+//! either emits one literal byte or copy-pastes `len` bytes from `dist` bytes
+//! back. On the paper's bit level a command is a `(D, L)` pair where `D == 0`
+//! means literal; [`Token::to_dl_pair`]/[`Token::from_dl_pair`] provide that
+//! exact wire form so tests can exercise the §III format directly.
+
+use crate::fixed::{MAX_DISTANCE, MAX_MATCH, MIN_MATCH};
+
+/// One LZSS decompressor command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Token {
+    /// Output one literal byte.
+    Literal(u8),
+    /// Copy `len` bytes starting `dist` bytes before the current output
+    /// position (self-overlapping copies allowed, as in LZ77).
+    Match {
+        /// Copy distance in bytes, `1..=32768`.
+        dist: u32,
+        /// Copy length in bytes, `3..=258`.
+        len: u32,
+    },
+}
+
+impl Token {
+    /// Construct a match token, validating the Deflate-representable ranges.
+    ///
+    /// # Panics
+    /// Panics when `dist`/`len` fall outside `1..=32768` / `3..=258`.
+    pub fn new_match(dist: u32, len: u32) -> Self {
+        assert!((1..=MAX_DISTANCE).contains(&dist), "distance {dist} out of range");
+        assert!((MIN_MATCH..=MAX_MATCH).contains(&len), "length {len} out of range");
+        Token::Match { dist, len }
+    }
+
+    /// Number of uncompressed bytes this token expands to.
+    #[inline]
+    pub fn expanded_len(&self) -> u32 {
+        match *self {
+            Token::Literal(_) => 1,
+            Token::Match { len, .. } => len,
+        }
+    }
+
+    /// Encode as the paper's `(D, L)` pair: `D == 0` means literal with the
+    /// byte in `L`; otherwise `D` is the distance and `L` the length minus 3.
+    pub fn to_dl_pair(&self) -> (u16, u8) {
+        match *self {
+            Token::Literal(b) => (0, b),
+            Token::Match { dist, len } => {
+                debug_assert!(dist <= u32::from(u16::MAX));
+                debug_assert!(len - MIN_MATCH <= 255);
+                (dist as u16, (len - MIN_MATCH) as u8)
+            }
+        }
+    }
+
+    /// Decode from the paper's `(D, L)` pair.
+    pub fn from_dl_pair(d: u16, l: u8) -> Self {
+        if d == 0 {
+            Token::Literal(l)
+        } else {
+            Token::Match { dist: u32::from(d), len: u32::from(l) + MIN_MATCH }
+        }
+    }
+}
+
+/// Sum of expanded lengths over a token stream.
+pub fn expanded_len(tokens: &[Token]) -> u64 {
+    tokens.iter().map(|t| u64::from(t.expanded_len())).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dl_pair_round_trip_literal() {
+        for b in [0u8, 1, 127, 255] {
+            let t = Token::Literal(b);
+            let (d, l) = t.to_dl_pair();
+            assert_eq!(d, 0);
+            assert_eq!(Token::from_dl_pair(d, l), t);
+        }
+    }
+
+    #[test]
+    fn dl_pair_round_trip_match() {
+        for (dist, len) in [(1u32, 3u32), (6, 4), (4096, 258), (32_768, 100)] {
+            let t = Token::new_match(dist, len);
+            let (d, l) = t.to_dl_pair();
+            assert_ne!(d, 0);
+            assert_eq!(Token::from_dl_pair(d, l), t);
+        }
+    }
+
+    #[test]
+    fn snowy_snow_example() {
+        // The paper's example: "snowy snow" = 6 literals + copy(len 4, dist 6).
+        let tokens: Vec<Token> = "snowy "
+            .bytes()
+            .map(Token::Literal)
+            .chain([Token::new_match(6, 4)])
+            .collect();
+        assert_eq!(tokens.len(), 7);
+        assert_eq!(expanded_len(&tokens), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "length 2 out of range")]
+    fn short_match_rejected() {
+        let _ = Token::new_match(5, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "distance 0 out of range")]
+    fn zero_distance_rejected() {
+        let _ = Token::new_match(0, 3);
+    }
+}

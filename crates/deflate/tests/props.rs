@@ -1,0 +1,199 @@
+//! Property tests over the format layer: bit I/O, canonical Huffman
+//! construction, token codecs and whole-block encode/decode, under
+//! proptest-generated adversarial inputs.
+
+use lzfpga_deflate::adler32::{adler32, Adler32};
+use lzfpga_deflate::bitio::{BitReader, BitWriter};
+use lzfpga_deflate::crc32::{crc32, Crc32};
+use lzfpga_deflate::encoder::{BlockKind, DeflateEncoder};
+use lzfpga_deflate::fixed::{distance_symbol, length_symbol, MAX_MATCH, MIN_MATCH};
+use lzfpga_deflate::huffman::{build_lengths, canonical_codes, Codebook, Decoder};
+use lzfpga_deflate::inflate::inflate;
+use lzfpga_deflate::token::Token;
+use proptest::prelude::*;
+
+/// Random bit-field sequences: (value, width) with value < 2^width.
+fn bit_fields() -> impl Strategy<Value = Vec<(u64, u32)>> {
+    proptest::collection::vec(
+        (1u32..=57).prop_flat_map(|w| {
+            let max = if w == 57 { u64::MAX >> 7 } else { (1u64 << w) - 1 };
+            (0..=max, Just(w))
+        }),
+        0..200,
+    )
+}
+
+/// A structurally valid token stream (matches never reach before start).
+fn token_streams() -> impl Strategy<Value = Vec<Token>> {
+    proptest::collection::vec(
+        prop_oneof![
+            any::<u8>().prop_map(Token::Literal),
+            (MIN_MATCH..=MAX_MATCH, 1u32..=600).prop_map(|(len, dist)| Token::Match { dist, len }),
+        ],
+        0..300,
+    )
+    .prop_map(|raw| {
+        // Legalise: matches may only reach into already-produced output.
+        let mut produced = 0u32;
+        let mut out = Vec::with_capacity(raw.len());
+        for t in raw {
+            match t {
+                Token::Literal(_) => {
+                    out.push(t);
+                    produced += 1;
+                }
+                Token::Match { dist, len } => {
+                    if produced == 0 {
+                        out.push(Token::Literal(0x55));
+                        produced += 1;
+                    }
+                    let dist = dist.min(produced);
+                    out.push(Token::Match { dist, len });
+                    produced += len;
+                }
+            }
+        }
+        out
+    })
+}
+
+fn expand(tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { dist, len } => {
+                for _ in 0..len {
+                    let b = out[out.len() - dist as usize];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn bitio_round_trips(fields in bit_fields()) {
+        let mut w = BitWriter::new();
+        for &(v, n) in &fields {
+            w.write_bits(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &fields {
+            prop_assert_eq!(r.read_bits(n).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free(freqs in proptest::collection::vec(0u64..1000, 2..60)) {
+        let lengths = build_lengths(&freqs, 15);
+        // Kraft inequality.
+        let kraft: f64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-i32::from(l)))
+            .sum();
+        prop_assert!(kraft <= 1.0 + 1e-9, "kraft {kraft}");
+        // Every symbol with nonzero frequency got a code.
+        for (i, &f) in freqs.iter().enumerate() {
+            if f > 0 {
+                prop_assert!(lengths[i] > 0, "symbol {i} lost its code");
+            }
+        }
+        // Canonical codes of equal length are distinct and ordered.
+        let codes = canonical_codes(&lengths);
+        for i in 0..lengths.len() {
+            for j in (i + 1)..lengths.len() {
+                if lengths[i] != 0 && lengths[i] == lengths[j] {
+                    prop_assert_ne!(codes[i], codes[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn huffman_encode_decode_inverts(freqs in proptest::collection::vec(0u64..1000, 2..60)) {
+        let mut freqs = freqs;
+        // Ensure at least two used symbols so a real tree exists.
+        freqs[0] += 1;
+        let last = freqs.len() - 1;
+        freqs[last] += 1;
+        let lengths = build_lengths(&freqs, 15);
+        let book = Codebook::from_lengths(&lengths);
+        let decoder = Decoder::from_lengths(&lengths).expect("valid lengths");
+        let symbols: Vec<usize> =
+            freqs.iter().enumerate().filter(|(_, &f)| f > 0).map(|(i, _)| i).collect();
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            book.encode(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in &symbols {
+            prop_assert_eq!(decoder.decode(&mut r).unwrap() as usize, s);
+        }
+    }
+
+    #[test]
+    fn token_dl_pairs_round_trip(tokens in token_streams()) {
+        for t in &tokens {
+            let (d, l) = t.to_dl_pair();
+            prop_assert_eq!(&Token::from_dl_pair(d, l), t);
+        }
+    }
+
+    #[test]
+    fn fixed_and_dynamic_blocks_inflate(tokens in token_streams()) {
+        let expected = expand(&tokens);
+        for kind in [BlockKind::FixedHuffman, BlockKind::DynamicHuffman] {
+            let mut enc = DeflateEncoder::new();
+            enc.write_block(&tokens, kind, true);
+            let stream = enc.finish();
+            prop_assert_eq!(&inflate(&stream).unwrap(), &expected, "{:?}", kind);
+        }
+    }
+
+    #[test]
+    fn multi_block_streams_inflate(tokens in token_streams(), split in 0usize..300) {
+        let expected = expand(&tokens);
+        let cut = split.min(tokens.len());
+        let mut enc = DeflateEncoder::new();
+        enc.write_block(&tokens[..cut], BlockKind::FixedHuffman, false);
+        enc.sync_flush();
+        enc.write_block(&tokens[cut..], BlockKind::DynamicHuffman, true);
+        prop_assert_eq!(inflate(&enc.finish()).unwrap(), expected);
+    }
+
+    #[test]
+    fn checksums_are_chunking_invariant(data in proptest::collection::vec(any::<u8>(), 0..5000),
+                                        cut in 0usize..5000) {
+        let cut = cut.min(data.len());
+        let mut a = Adler32::new();
+        a.update(&data[..cut]);
+        a.update(&data[cut..]);
+        prop_assert_eq!(a.finish(), adler32(&data));
+        let mut c = Crc32::new();
+        c.update(&data[..cut]);
+        c.update(&data[cut..]);
+        prop_assert_eq!(c.finish(), crc32(&data));
+    }
+
+    #[test]
+    fn length_and_distance_symbols_cover_their_ranges(len in MIN_MATCH..=MAX_MATCH,
+                                                      dist in 1u32..=32_768) {
+        let l = length_symbol(len);
+        prop_assert!((257..=285).contains(&l.symbol));
+        let base = lzfpga_deflate::fixed::length_base(l.symbol).unwrap();
+        prop_assert_eq!(base.0 + l.extra_val, len);
+        prop_assert!(l.extra_val < (1 << l.extra_bits) || l.extra_bits == 0);
+        let d = distance_symbol(dist);
+        prop_assert!(d.symbol < 30);
+        let base = lzfpga_deflate::fixed::distance_base(d.symbol).unwrap();
+        prop_assert_eq!(base.0 + d.extra_val, dist);
+    }
+}

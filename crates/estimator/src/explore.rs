@@ -1,0 +1,162 @@
+//! Decision helpers over sweep results: Pareto filtering, budget-constrained
+//! selection, and the named presets the paper's interactive tool ships.
+//!
+//! The paper frames the tool's purpose as "finding a trade-off between FPGA
+//! resource utilization, compression ratio and performance for a specific
+//! data sample" — three objectives. This module turns a sweep's raw rows
+//! into those decisions.
+
+use crate::sweep::{EstimatePoint, EstimateResult};
+use lzfpga_core::HwConfig;
+use lzfpga_lzss::params::CompressionLevel;
+
+/// What to optimise when picking a single configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// Maximise compression ratio.
+    Ratio,
+    /// Maximise modelled throughput.
+    Speed,
+    /// Maximise `ratio^weight * speed` — `weight > 1` leans toward ratio.
+    Balanced {
+        /// Exponent applied to the ratio term.
+        weight: f64,
+    },
+}
+
+impl Objective {
+    fn score(&self, r: &EstimateResult) -> f64 {
+        match *self {
+            Objective::Ratio => r.ratio,
+            Objective::Speed => r.mb_per_s,
+            Objective::Balanced { weight } => r.ratio.powf(weight) * r.mb_per_s,
+        }
+    }
+}
+
+/// Pick the best result under a block-RAM budget (RAMB36 equivalents).
+/// Returns `None` when nothing fits.
+pub fn best_under_budget(
+    results: &[EstimateResult],
+    bram36_budget: f64,
+    objective: Objective,
+) -> Option<&EstimateResult> {
+    results
+        .iter()
+        .filter(|r| r.bram36_equiv <= bram36_budget)
+        .max_by(|a, b| objective.score(a).total_cmp(&objective.score(b)))
+}
+
+/// `a` dominates `b` when it is no worse on all three axes (ratio ↑,
+/// speed ↑, BRAM ↓) and strictly better on at least one.
+fn dominates(a: &EstimateResult, b: &EstimateResult) -> bool {
+    let ge = a.ratio >= b.ratio && a.mb_per_s >= b.mb_per_s && a.bram36_equiv <= b.bram36_equiv;
+    let gt = a.ratio > b.ratio || a.mb_per_s > b.mb_per_s || a.bram36_equiv < b.bram36_equiv;
+    ge && gt
+}
+
+/// The Pareto-efficient subset of a sweep (ratio ↑, speed ↑, BRAM ↓),
+/// in the input order.
+pub fn pareto_front(results: &[EstimateResult]) -> Vec<&EstimateResult> {
+    results
+        .iter()
+        .filter(|candidate| !results.iter().any(|other| dominates(other, candidate)))
+        .collect()
+}
+
+/// Named presets mirroring the paper's tool: each is a starting point for a
+/// class of deployment.
+pub fn presets() -> Vec<EstimatePoint> {
+    let named = |label: &str, cfg: HwConfig| EstimatePoint { label: label.to_string(), config: cfg };
+    vec![
+        // Table I's operating point.
+        named("paper-fast", HwConfig::paper_fast()),
+        // Smallest footprint that still compresses usefully.
+        named("tiny", {
+            let mut c = HwConfig::new(1_024, 9);
+            c.head_divisions = 4;
+            c
+        }),
+        // Balanced logger: mid window, mid hash.
+        named("balanced", HwConfig::new(8_192, 13)),
+        // Ratio-leaning: big window, deep chains.
+        named("ratio", {
+            let mut c = HwConfig::new(16_384, 15);
+            c.level = CompressionLevel::Max;
+            c
+        }),
+        // Byte-serial minimal-logic build (the [11] shape).
+        named("minimal-logic", {
+            let mut c = HwConfig::new(4_096, 11).with_8bit_bus().without_prefetch();
+            c.head_divisions = 1;
+            c
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{evaluate, grid_points, run_sweep};
+    use lzfpga_workloads::{generate, Corpus};
+
+    fn sweep() -> Vec<EstimateResult> {
+        let data = generate(Corpus::Wiki, 5, 300_000);
+        let points = grid_points(&[1_024, 4_096, 16_384], &[9, 13, 15], CompressionLevel::Min);
+        run_sweep(&data, &points, 0)
+    }
+
+    #[test]
+    fn budget_selection_respects_the_budget() {
+        let results = sweep();
+        for budget in [8.0f64, 12.0, 24.0, 64.0] {
+            if let Some(best) = best_under_budget(&results, budget, Objective::Ratio) {
+                assert!(best.bram36_equiv <= budget);
+                // Nothing under budget compresses better.
+                for r in &results {
+                    if r.bram36_equiv <= budget {
+                        assert!(r.ratio <= best.ratio + 1e-12);
+                    }
+                }
+            }
+        }
+        assert!(best_under_budget(&results, 0.5, Objective::Ratio).is_none());
+    }
+
+    #[test]
+    fn objectives_pick_different_winners() {
+        let results = sweep();
+        let ratio = best_under_budget(&results, 64.0, Objective::Ratio).unwrap();
+        let speed = best_under_budget(&results, 64.0, Objective::Speed).unwrap();
+        assert!(ratio.ratio >= speed.ratio);
+        assert!(speed.mb_per_s >= ratio.mb_per_s);
+    }
+
+    #[test]
+    fn pareto_front_is_nonempty_and_mutually_nondominated() {
+        let results = sweep();
+        let front = pareto_front(&results);
+        assert!(!front.is_empty());
+        assert!(front.len() < results.len(), "a full grid always has dominated points");
+        for a in &front {
+            for b in &front {
+                assert!(!dominates(a, b) || std::ptr::eq(*a, *b));
+            }
+        }
+        // Extremes always survive.
+        let max_ratio = results.iter().map(|r| r.ratio).fold(0.0, f64::max);
+        assert!(front.iter().any(|r| r.ratio == max_ratio));
+    }
+
+    #[test]
+    fn presets_validate_and_span_the_space() {
+        let data = generate(Corpus::X2e, 3, 100_000);
+        let results: Vec<_> = presets().iter().map(|p| evaluate(&data, p)).collect();
+        let tiny = results.iter().find(|r| r.label == "tiny").unwrap();
+        let ratio = results.iter().find(|r| r.label == "ratio").unwrap();
+        let fast = results.iter().find(|r| r.label == "paper-fast").unwrap();
+        assert!(tiny.bram36_equiv < fast.bram36_equiv);
+        assert!(ratio.ratio > tiny.ratio);
+        assert!(fast.mb_per_s > ratio.mb_per_s);
+    }
+}

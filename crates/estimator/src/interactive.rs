@@ -1,0 +1,300 @@
+//! Interactive estimation shell — the Rust counterpart of the paper's C#
+//! front-end that "allows constructing series of parameter sets, iteratively
+//! runs the C++ model and visualizes the obtained results".
+//!
+//! The shell holds a data sample and a result table; commands mutate them:
+//!
+//! ```text
+//! data <corpus> <bytes> [seed]    load a generated sample
+//! file <path>                     load a file as the sample
+//! sweep dicts=1k,4k hashes=9,15 [levels=min,max]
+//! presets                         evaluate the named presets
+//! show                            render the result table
+//! csv                             render results as CSV
+//! pareto                          show only the Pareto-efficient rows
+//! best <bram36-budget> [ratio|speed]
+//! clear                           drop accumulated results
+//! help / quit
+//! ```
+//!
+//! [`Shell::execute`] is a pure-ish command interpreter returning the text
+//! to display, so the whole surface is unit-testable without a TTY;
+//! `lzfpga-estimate --interactive` wires it to stdin.
+
+use crate::explore::{best_under_budget, pareto_front, presets, Objective};
+use crate::report::{render_csv, render_table};
+use crate::sweep::{evaluate, EstimatePoint, EstimateResult, run_sweep};
+use lzfpga_core::HwConfig;
+use lzfpga_lzss::params::CompressionLevel;
+use lzfpga_workloads::Corpus;
+
+/// Interactive session state.
+pub struct Shell {
+    data: Vec<u8>,
+    data_desc: String,
+    results: Vec<EstimateResult>,
+    threads: usize,
+}
+
+impl Default for Shell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Shell {
+    /// Fresh shell with an empty sample.
+    pub fn new() -> Self {
+        Self { data: Vec::new(), data_desc: "(none)".into(), results: Vec::new(), threads: 0 }
+    }
+
+    /// True when a `quit`/`exit` command was executed.
+    pub fn execute(&mut self, line: &str) -> (String, bool) {
+        let mut parts = line.split_whitespace();
+        let cmd = match parts.next() {
+            Some(c) => c,
+            None => return (String::new(), false),
+        };
+        let args: Vec<&str> = parts.collect();
+        let out = match cmd {
+            "help" | "?" => HELP.to_string(),
+            "quit" | "exit" => return ("bye".into(), true),
+            "data" => self.cmd_data(&args),
+            "file" => self.cmd_file(&args),
+            "sweep" => self.cmd_sweep(&args),
+            "presets" => self.cmd_presets(),
+            "show" => render_table(&self.results),
+            "csv" => render_csv(&self.results),
+            "pareto" => {
+                let front: Vec<EstimateResult> =
+                    pareto_front(&self.results).into_iter().cloned().collect();
+                render_table(&front)
+            }
+            "best" => self.cmd_best(&args),
+            "clear" => {
+                self.results.clear();
+                "results cleared".into()
+            }
+            other => format!("unknown command '{other}' — try 'help'"),
+        };
+        (out, false)
+    }
+
+    fn require_data(&self) -> Result<(), String> {
+        if self.data.is_empty() {
+            Err("no sample loaded — use 'data <corpus> <bytes>' or 'file <path>'".into())
+        } else {
+            Ok(())
+        }
+    }
+
+    fn cmd_data(&mut self, args: &[&str]) -> String {
+        let (Some(name), Some(size)) = (args.first(), args.get(1)) else {
+            return "usage: data <corpus> <bytes> [seed]".into();
+        };
+        let Some(corpus) = Corpus::parse(name) else {
+            return format!("unknown corpus '{name}'");
+        };
+        let Ok(size) = parse_size(size) else {
+            return format!("bad size '{}'", size);
+        };
+        let seed = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+        self.data = lzfpga_workloads::generate(corpus, seed, size);
+        self.data_desc = format!("{} x{} (seed {seed})", corpus.name(), self.data.len());
+        format!("loaded {} bytes of {}", self.data.len(), corpus.name())
+    }
+
+    fn cmd_file(&mut self, args: &[&str]) -> String {
+        let Some(path) = args.first() else {
+            return "usage: file <path>".into();
+        };
+        match std::fs::read(path) {
+            Ok(bytes) => {
+                self.data_desc = format!("{path} x{}", bytes.len());
+                self.data = bytes;
+                format!("loaded {} bytes from {path}", self.data.len())
+            }
+            Err(e) => format!("cannot read {path}: {e}"),
+        }
+    }
+
+    fn cmd_sweep(&mut self, args: &[&str]) -> String {
+        if let Err(e) = self.require_data() {
+            return e;
+        }
+        let mut dicts = vec![1_024u32, 2_048, 4_096, 8_192, 16_384];
+        let mut hashes = vec![9u32, 11, 13, 15];
+        let mut levels = vec![CompressionLevel::Min];
+        for a in args {
+            if let Some(v) = a.strip_prefix("dicts=") {
+                match v.split(',').map(parse_size_u32).collect::<Result<Vec<_>, _>>() {
+                    Ok(d) => dicts = d,
+                    Err(e) => return e,
+                }
+            } else if let Some(v) = a.strip_prefix("hashes=") {
+                match v.split(',').map(|h| h.parse().map_err(|_| format!("bad hash '{h}'"))).collect() {
+                    Ok(h) => hashes = h,
+                    Err(e) => return e,
+                }
+            } else if let Some(v) = a.strip_prefix("levels=") {
+                let mut parsed = Vec::new();
+                for l in v.split(',') {
+                    match l {
+                        "min" => parsed.push(CompressionLevel::Min),
+                        "med" | "medium" => parsed.push(CompressionLevel::Medium),
+                        "max" => parsed.push(CompressionLevel::Max),
+                        other => return format!("bad level '{other}'"),
+                    }
+                }
+                levels = parsed;
+            } else {
+                return format!("unknown sweep argument '{a}'");
+            }
+        }
+        let mut points = Vec::new();
+        for &level in &levels {
+            for &d in &dicts {
+                for &h in &hashes {
+                    let mut cfg = HwConfig::new(d, h);
+                    cfg.level = level;
+                    points.push(EstimatePoint::new(cfg));
+                }
+            }
+        }
+        let n = points.len();
+        let results = run_sweep(&self.data, &points, self.threads);
+        self.results.extend(results);
+        format!("evaluated {n} points over {} ({} rows total)", self.data_desc, self.results.len())
+    }
+
+    fn cmd_presets(&mut self) -> String {
+        if let Err(e) = self.require_data() {
+            return e;
+        }
+        for p in presets() {
+            self.results.push(evaluate(&self.data, &p));
+        }
+        format!("evaluated {} presets", presets().len())
+    }
+
+    fn cmd_best(&mut self, args: &[&str]) -> String {
+        let Some(budget) = args.first().and_then(|b| b.parse::<f64>().ok()) else {
+            return "usage: best <bram36-budget> [ratio|speed]".into();
+        };
+        let objective = match args.get(1).copied() {
+            None | Some("ratio") => Objective::Ratio,
+            Some("speed") => Objective::Speed,
+            Some(other) => return format!("unknown objective '{other}'"),
+        };
+        match best_under_budget(&self.results, budget, objective) {
+            Some(best) => format!(
+                "{}: ratio {:.3}, {:.1} MB/s, {:.1} RAMB36, {} LUTs",
+                best.label, best.ratio, best.mb_per_s, best.bram36_equiv, best.luts
+            ),
+            None => format!("nothing fits within {budget} RAMB36"),
+        }
+    }
+}
+
+const HELP: &str = "\
+commands:
+  data <corpus> <bytes> [seed]   generate a sample (e.g. data wiki 4M)
+  file <path>                    load a file as the sample
+  sweep [dicts=..] [hashes=..] [levels=..]
+  presets                        evaluate the named presets
+  show | csv | pareto            render accumulated results
+  best <bram36> [ratio|speed]    pick the best point under a BRAM budget
+  clear | help | quit";
+
+/// Parse a size with optional `k`/`K`/`m`/`M` suffix.
+fn parse_size(s: &str) -> Result<usize, String> {
+    let (digits, mult) = match s.chars().last() {
+        Some('k') | Some('K') => (&s[..s.len() - 1], 1_024),
+        Some('m') | Some('M') => (&s[..s.len() - 1], 1_024 * 1_024),
+        _ => (s, 1),
+    };
+    digits
+        .parse::<usize>()
+        .map(|v| v * mult)
+        .map_err(|_| format!("bad size '{s}'"))
+}
+
+fn parse_size_u32(s: &str) -> Result<u32, String> {
+    parse_size(s).map(|v| v as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exec(shell: &mut Shell, line: &str) -> String {
+        shell.execute(line).0
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        let mut s = Shell::new();
+        assert!(exec(&mut s, "help").contains("sweep"));
+        assert!(exec(&mut s, "frobnicate").contains("unknown command"));
+        assert_eq!(exec(&mut s, ""), "");
+    }
+
+    #[test]
+    fn quit_signals_exit() {
+        let mut s = Shell::new();
+        assert!(s.execute("quit").1);
+        assert!(!s.execute("show").1);
+    }
+
+    #[test]
+    fn sweep_requires_data() {
+        let mut s = Shell::new();
+        assert!(exec(&mut s, "sweep").contains("no sample"));
+        assert!(exec(&mut s, "presets").contains("no sample"));
+    }
+
+    #[test]
+    fn data_sweep_show_best_workflow() {
+        let mut s = Shell::new();
+        assert!(exec(&mut s, "data wiki 200k 3").contains("loaded 204800 bytes"));
+        let out = exec(&mut s, "sweep dicts=1k,4k hashes=9,15");
+        assert!(out.contains("evaluated 4 points"), "{out}");
+        let table = exec(&mut s, "show");
+        assert!(table.contains("4K/15b"), "{table}");
+        let best = exec(&mut s, "best 64 ratio");
+        assert!(best.contains("ratio"), "{best}");
+        let none = exec(&mut s, "best 0.1");
+        assert!(none.contains("nothing fits"));
+        assert!(exec(&mut s, "clear").contains("cleared"));
+        assert!(!exec(&mut s, "show").contains("4K/15b"));
+    }
+
+    #[test]
+    fn pareto_and_csv_render() {
+        let mut s = Shell::new();
+        exec(&mut s, "data x2e 100k");
+        exec(&mut s, "sweep dicts=1k,16k hashes=9,15");
+        let csv = exec(&mut s, "csv");
+        assert!(csv.lines().count() >= 5);
+        let pareto = exec(&mut s, "pareto");
+        assert!(pareto.lines().count() <= exec(&mut s, "show").lines().count());
+    }
+
+    #[test]
+    fn size_suffixes() {
+        assert_eq!(parse_size("4k").unwrap(), 4_096);
+        assert_eq!(parse_size("2M").unwrap(), 2 * 1_024 * 1_024);
+        assert_eq!(parse_size("123").unwrap(), 123);
+        assert!(parse_size("4q").is_err());
+    }
+
+    #[test]
+    fn bad_sweep_arguments_do_not_panic() {
+        let mut s = Shell::new();
+        exec(&mut s, "data wiki 50k");
+        assert!(exec(&mut s, "sweep dicts=banana").contains("bad"));
+        assert!(exec(&mut s, "sweep hashes=zz").contains("bad hash"));
+        assert!(exec(&mut s, "sweep levels=ultra").contains("bad level"));
+        assert!(exec(&mut s, "sweep what=ever").contains("unknown sweep argument"));
+    }
+}

@@ -1,0 +1,31 @@
+//! Design-space exploration tool — the Rust counterpart of the paper's
+//! "interactive estimation tool" \[17\].
+//!
+//! The paper ships a cycle-accurate C++ model plus a C# front-end that
+//! "allows constructing series of parameter sets (e.g. iterating an
+//! arbitrary parameter over a given range), iteratively runs the C++ model
+//! and visualizes the obtained results". Here:
+//!
+//! * [`sweep`] — parameter-series construction and the (multi-threaded)
+//!   sweep runner over the cycle-accurate model;
+//! * [`explore`] — Pareto filtering, BRAM-budget selection and named presets;
+//! * [`interactive`] — the command shell behind `lzfpga-estimate
+//!   --interactive` (the C# front-end's role);
+//! * [`report`] — fixed-width table and CSV rendering of the results,
+//!   including block-RAM usage, compression ratio and clock-cycle usage —
+//!   the three axes the paper's tool reports.
+//!
+//! The `lzfpga-estimate` binary wraps both behind a CLI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explore;
+pub mod interactive;
+pub mod report;
+pub mod sweep;
+
+pub use explore::{best_under_budget, pareto_front, presets, Objective};
+pub use interactive::Shell;
+pub use report::{render_csv, render_series, render_table, Metric};
+pub use sweep::{run_sweep, EstimatePoint, EstimateResult};

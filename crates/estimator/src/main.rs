@@ -1,0 +1,234 @@
+//! `lzfpga-estimate` — the interactive estimation tool (CLI form).
+//!
+//! Compresses a sample (generated corpus or a file) under one or more
+//! parameter sets and reports block-RAM amount, compression ratio and
+//! clock-cycle usage, like the paper's design-space exploration tool.
+//!
+//! ```text
+//! lzfpga-estimate [--corpus wiki|x2e-can|log-lines|random] [--file PATH]
+//!                 [--size BYTES] [--seed N]
+//!                 [--dicts 1024,2048,4096,8192,16384] [--hashes 9,11,13,15]
+//!                 [--levels min,max] [--threads N] [--csv]
+//! ```
+
+use lzfpga_estimator::sweep::{run_sweep, EstimatePoint};
+use lzfpga_estimator::{render_csv, render_table};
+use lzfpga_core::HwConfig;
+use lzfpga_lzss::params::CompressionLevel;
+use lzfpga_workloads::Corpus;
+
+struct Args {
+    presets: bool,
+    pareto: bool,
+    series: Option<lzfpga_estimator::Metric>,
+    budget: Option<f64>,
+    corpus: Corpus,
+    file: Option<String>,
+    size: usize,
+    seed: u64,
+    dicts: Vec<u32>,
+    hashes: Vec<u32>,
+    levels: Vec<CompressionLevel>,
+    threads: usize,
+    csv: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            presets: false,
+            pareto: false,
+            series: None,
+            budget: None,
+            corpus: Corpus::Wiki,
+            file: None,
+            size: 4_000_000,
+            seed: 1,
+            dicts: vec![1_024, 2_048, 4_096, 8_192, 16_384],
+            hashes: vec![9, 11, 13, 15],
+            levels: vec![CompressionLevel::Min],
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            csv: false,
+        }
+    }
+}
+
+fn parse_level(s: &str) -> Result<CompressionLevel, String> {
+    match s {
+        "min" | "fast" => Ok(CompressionLevel::Min),
+        "med" | "medium" => Ok(CompressionLevel::Medium),
+        "max" | "best" => Ok(CompressionLevel::Max),
+        other => Err(format!("unknown level '{other}' (use min|medium|max)")),
+    }
+}
+
+fn parse_list<T: std::str::FromStr>(s: &str, what: &str) -> Result<Vec<T>, String> {
+    s.split(',')
+        .map(|part| part.trim().parse().map_err(|_| format!("bad {what} value '{part}'")))
+        .collect()
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match flag.as_str() {
+            "--corpus" => {
+                let v = value("--corpus")?;
+                args.corpus =
+                    Corpus::parse(&v).ok_or_else(|| format!("unknown corpus '{v}'"))?;
+            }
+            "--file" => args.file = Some(value("--file")?),
+            "--size" => args.size = value("--size")?.parse().map_err(|e| format!("--size: {e}"))?,
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--dicts" => args.dicts = parse_list(&value("--dicts")?, "dictionary")?,
+            "--hashes" => args.hashes = parse_list(&value("--hashes")?, "hash-bits")?,
+            "--levels" => {
+                args.levels = value("--levels")?
+                    .split(',')
+                    .map(|s| parse_level(s.trim()))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--threads" => {
+                args.threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
+            "--csv" => args.csv = true,
+            "--presets" => args.presets = true,
+            "--pareto" => args.pareto = true,
+            "--series" => {
+                args.series = Some(match value("--series")?.as_str() {
+                    "size" => lzfpga_estimator::Metric::CompressedMb,
+                    "speed" => lzfpga_estimator::Metric::MbPerS,
+                    "ratio" => lzfpga_estimator::Metric::Ratio,
+                    "bram" => lzfpga_estimator::Metric::Bram36,
+                    other => return Err(format!("unknown series metric '{other}'")),
+                })
+            }
+            "--budget" => {
+                args.budget =
+                    Some(value("--budget")?.parse().map_err(|e| format!("--budget: {e}"))?)
+            }
+            "--interactive" | "-i" => {
+                run_interactive();
+                std::process::exit(0);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "lzfpga-estimate: design-space exploration for the LZSS FPGA compressor\n\n\
+                     Options:\n  --corpus NAME    wiki | x2e-can | log-lines | random | periodic-N (default wiki)\n  \
+                     --file PATH      use a file instead of a generated corpus\n  \
+                     --size BYTES     sample size (default 4000000)\n  \
+                     --seed N         generator seed (default 1)\n  \
+                     --dicts LIST     dictionary sizes, comma separated\n  \
+                     --hashes LIST    hash widths in bits, comma separated\n  \
+                     --levels LIST    min | medium | max (default min)\n  \
+                     --threads N      sweep parallelism\n  \
+                     --csv            CSV output instead of a table\n  \
+                     --presets        evaluate the named presets instead of a grid\n  \
+                     --pareto         keep only Pareto-efficient rows\n  \
+                     --budget N       report best ratio/speed under N RAMB36\n  \
+                     --series M       figure-style pivot (size|speed|ratio|bram)\n  \
+                     --interactive    start the command shell (type 'help' inside)"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+/// The interactive front-end loop: read a line, execute, print, repeat.
+fn run_interactive() {
+    use std::io::{BufRead, Write};
+    let mut shell = lzfpga_estimator::Shell::new();
+    let stdin = std::io::stdin();
+    print!("lzfpga> ");
+    std::io::stdout().flush().ok();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let (out, quit) = shell.execute(&line);
+        if !out.is_empty() {
+            println!("{out}");
+        }
+        if quit {
+            return;
+        }
+        print!("lzfpga> ");
+        std::io::stdout().flush().ok();
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let data = match &args.file {
+        Some(path) => match std::fs::read(path) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => lzfpga_workloads::generate(args.corpus, args.seed, args.size),
+    };
+
+    let mut points = Vec::new();
+    if args.presets {
+        points.extend(lzfpga_estimator::presets());
+    } else {
+        for &level in &args.levels {
+            for &h in &args.hashes {
+                for &d in &args.dicts {
+                    points.push(EstimatePoint::new(HwConfig::new(d, h).with_level(level)));
+                }
+            }
+        }
+    }
+
+    eprintln!(
+        "evaluating {} parameter sets over {} bytes on {} threads...",
+        points.len(),
+        data.len(),
+        args.threads
+    );
+    let mut results = run_sweep(&data, &points, args.threads);
+    if args.pareto {
+        let front: Vec<_> =
+            lzfpga_estimator::pareto_front(&results).into_iter().cloned().collect();
+        results = front;
+    }
+    if let Some(metric) = args.series {
+        print!("{}", lzfpga_estimator::render_series(&results, metric));
+    } else if args.csv {
+        print!("{}", render_csv(&results));
+    } else {
+        print!("{}", render_table(&results));
+    }
+    if let Some(budget) = args.budget {
+        for (label, objective) in [
+            ("best ratio", lzfpga_estimator::Objective::Ratio),
+            ("fastest", lzfpga_estimator::Objective::Speed),
+        ] {
+            match lzfpga_estimator::best_under_budget(&results, budget, objective) {
+                Some(best) => println!(
+                    "{label} within {budget} RAMB36: {} (ratio {:.3}, {:.1} MB/s, {:.1} RAMB36)",
+                    best.label, best.ratio, best.mb_per_s, best.bram36_equiv
+                ),
+                None => println!("{label}: nothing fits within {budget} RAMB36"),
+            }
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Rendering of sweep results: fixed-width console tables and CSV.
+
+use crate::sweep::EstimateResult;
+use lzfpga_core::stats::STATE_LABELS;
+
+/// Render results as a fixed-width console table (the estimator's default
+/// report: block RAM amount, compression ratio and clock cycle usage).
+pub fn render_table(results: &[EstimateResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:>9} {:>10} {:>7} {:>9} {:>8} {:>8} {:>7}\n",
+        "config", "in (KB)", "out (KB)", "ratio", "cyc/byte", "MB/s", "BRAM36", "LUTs"
+    ));
+    out.push_str(&"-".repeat(79));
+    out.push('\n');
+    for r in results {
+        out.push_str(&format!(
+            "{:<14} {:>9.0} {:>10.1} {:>7.3} {:>9.3} {:>8.1} {:>8.1} {:>7}\n",
+            r.label,
+            r.input_bytes as f64 / 1024.0,
+            r.compressed_bytes as f64 / 1024.0,
+            r.ratio,
+            r.cycles_per_byte,
+            r.mb_per_s,
+            r.bram36_equiv,
+            r.luts,
+        ));
+    }
+    out
+}
+
+/// Render results as CSV with a header row (for external plotting — the
+/// paper's C# front-end drew charts from exactly these columns).
+pub fn render_csv(results: &[EstimateResult]) -> String {
+    let mut out = String::from(
+        "config,window,hash_bits,level,input_bytes,compressed_bytes,ratio,cycles,cycles_per_byte,mb_per_s,bram36_equiv,luts",
+    );
+    for label in STATE_LABELS {
+        out.push(',');
+        out.push_str(&label.to_lowercase().replace(' ', "_"));
+    }
+    out.push('\n');
+    for r in results {
+        out.push_str(&format!(
+            "{},{},{},{:?},{},{},{:.6},{},{:.6},{:.3},{:.1},{}",
+            r.label,
+            r.config.window_size,
+            r.config.hash_bits,
+            r.config.level,
+            r.input_bytes,
+            r.compressed_bytes,
+            r.ratio,
+            r.cycles,
+            r.cycles_per_byte,
+            r.mb_per_s,
+            r.bram36_equiv,
+            r.luts,
+        ));
+        for share in r.state_shares {
+            out.push_str(&format!(",{share:.6}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{evaluate, EstimatePoint};
+    use lzfpga_core::HwConfig;
+
+    fn one_result() -> EstimateResult {
+        let data = lzfpga_workloads::patterns::log_lines(1, 50_000);
+        evaluate(&data, &EstimatePoint::new(HwConfig::paper_fast()))
+    }
+
+    #[test]
+    fn table_contains_label_and_headers() {
+        let t = render_table(&[one_result()]);
+        assert!(t.contains("config"));
+        assert!(t.contains("4K/15b/min"));
+        assert!(t.contains("MB/s"));
+    }
+
+    #[test]
+    fn csv_has_header_plus_one_row_per_result() {
+        let r = one_result();
+        let csv = render_csv(&[r.clone(), r]);
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("config,window,"));
+        assert!(lines[0].contains("finding_match"));
+        let fields = lines[1].split(',').count();
+        assert_eq!(fields, lines[0].split(',').count());
+    }
+
+    #[test]
+    fn empty_results_render_header_only() {
+        let csv = render_csv(&[]);
+        assert_eq!(csv.trim_end().lines().count(), 1);
+    }
+}
+
+/// Which metric a series pivot reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Compressed size in MB (the Figure 2 axis).
+    CompressedMb,
+    /// Throughput in MB/s at the design clock (the Figure 3 axis).
+    MbPerS,
+    /// Compression ratio.
+    Ratio,
+    /// RAMB36 equivalents.
+    Bram36,
+}
+
+impl Metric {
+    fn of(&self, r: &EstimateResult) -> f64 {
+        match self {
+            Metric::CompressedMb => r.compressed_bytes as f64 / 1e6,
+            Metric::MbPerS => r.mb_per_s,
+            Metric::Ratio => r.ratio,
+            Metric::Bram36 => r.bram36_equiv,
+        }
+    }
+}
+
+/// Pivot sweep results into a figure-style series table: one row per hash
+/// width, one column per dictionary size, cells holding `metric` — the
+/// layout of the paper's Figures 2 and 3, for any sweep the tool ran.
+/// Missing grid points render as `-`.
+pub fn render_series(results: &[EstimateResult], metric: Metric) -> String {
+    let mut dicts: Vec<u32> = results.iter().map(|r| r.config.window_size).collect();
+    dicts.sort_unstable();
+    dicts.dedup();
+    let mut hashes: Vec<u32> = results.iter().map(|r| r.config.hash_bits).collect();
+    hashes.sort_unstable();
+    hashes.dedup();
+    let mut out = String::new();
+    out.push_str(&format!("{:<10}", "hash\\dict"));
+    for d in &dicts {
+        out.push_str(&format!(" {:>9}", format!("{}K", d / 1_024)));
+    }
+    out.push('\n');
+    for h in &hashes {
+        out.push_str(&format!("{:<10}", format!("{h} bits")));
+        for d in &dicts {
+            let cell = results
+                .iter()
+                .find(|r| r.config.window_size == *d && r.config.hash_bits == *h)
+                .map(|r| format!("{:>9.3}", metric.of(r)))
+                .unwrap_or_else(|| format!("{:>9}", "-"));
+            out.push_str(&format!(" {cell}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod series_tests {
+    use super::*;
+    use crate::sweep::{grid_points, run_sweep};
+    use lzfpga_lzss::params::CompressionLevel;
+    use lzfpga_workloads::{generate, Corpus};
+
+    #[test]
+    fn series_pivot_has_figure_layout() {
+        let data = generate(Corpus::Wiki, 3, 150_000);
+        let points = grid_points(&[1_024, 4_096], &[9, 15], CompressionLevel::Min);
+        let results = run_sweep(&data, &points, 0);
+        let table = render_series(&results, Metric::MbPerS);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 3, "{table}");
+        assert!(lines[0].contains("1K") && lines[0].contains("4K"));
+        assert!(lines[1].starts_with("9 bits"));
+        assert!(lines[2].starts_with("15 bits"));
+        // Figure-3 shape inside the pivot: more hash bits, more speed.
+        let val = |line: &str, col: usize| -> f64 {
+            line.split_whitespace().nth(col + 2).unwrap().parse().unwrap()
+        };
+        assert!(val(lines[2], 0) > val(lines[1], 0));
+    }
+
+    #[test]
+    fn missing_grid_points_render_as_dash() {
+        let data = generate(Corpus::Wiki, 3, 60_000);
+        // A deliberately ragged sweep: only the diagonal points.
+        let mut points = grid_points(&[1_024], &[9], CompressionLevel::Min);
+        points.extend(grid_points(&[4_096], &[15], CompressionLevel::Min));
+        let results = run_sweep(&data, &points, 0);
+        let table = render_series(&results, Metric::Ratio);
+        assert!(table.contains('-'), "{table}");
+    }
+
+    #[test]
+    fn all_metrics_render() {
+        let data = generate(Corpus::X2e, 1, 60_000);
+        let points = grid_points(&[2_048], &[12], CompressionLevel::Min);
+        let results = run_sweep(&data, &points, 0);
+        for m in [Metric::CompressedMb, Metric::MbPerS, Metric::Ratio, Metric::Bram36] {
+            let t = render_series(&results, m);
+            assert!(t.contains("12 bits"), "{m:?}: {t}");
+        }
+    }
+}

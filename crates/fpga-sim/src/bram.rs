@@ -1,0 +1,390 @@
+//! True dual-port block RAM model with synchronous reads.
+//!
+//! Xilinx block RAMs (and the generic `altsyncram`-style megafunctions) share
+//! the same contract this model enforces:
+//!
+//! * Each of the two ports (`A` and `B`) can perform **one** operation per
+//!   clock cycle: a read, a write, or a simultaneous read+write of the same
+//!   address (the result of which depends on the port's [`WriteMode`]).
+//! * Reads are **synchronous**: the address presented during cycle *n* yields
+//!   data on the port's output register during cycle *n + 1*. Reading the
+//!   output before ever issuing a read returns the reset value (0).
+//! * The two ports are fully independent — this is precisely the property the
+//!   paper exploits to fill the lookahead buffer and dictionary in the
+//!   background while the main FSM reads them.
+//! * Writing the same address from both ports in the same cycle is a
+//!   **collision**; real hardware gives undefined data. The model applies
+//!   port B last and increments [`DualPortBram::collisions`] so tests can
+//!   assert the design never relies on undefined behaviour.
+//!
+//! Words are stored as `u64` regardless of the declared `data_bits`; values
+//! are masked on write so a model bug that overflows the declared width is
+//! caught by the mask rather than silently widening the hardware.
+
+use crate::clock::Clocked;
+
+/// Port selector for a [`DualPortBram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Port {
+    /// Port A — by convention the main-FSM-facing port in this design.
+    A,
+    /// Port B — by convention the background-filler-facing port.
+    B,
+}
+
+impl Port {
+    #[inline]
+    fn idx(self) -> usize {
+        match self {
+            Port::A => 0,
+            Port::B => 1,
+        }
+    }
+}
+
+/// Behaviour of a port's output register during a simultaneous read+write to
+/// the same address, mirroring the Xilinx `WRITE_MODE` attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WriteMode {
+    /// Output register receives the *old* memory contents (Xilinx
+    /// `READ_FIRST`). The default, and what the ring buffers in this design
+    /// assume.
+    #[default]
+    ReadFirst,
+    /// Output register receives the newly written data (`WRITE_FIRST`).
+    WriteFirst,
+    /// Output register keeps its previous value during writes (`NO_CHANGE`).
+    NoChange,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PortState {
+    /// Address presented this cycle, if any.
+    pending_addr: Option<usize>,
+    /// Write data presented this cycle, if any.
+    pending_write: Option<u64>,
+    /// Registered output, visible after the next tick.
+    dout: u64,
+}
+
+/// A true dual-port synchronous-read block RAM.
+#[derive(Debug, Clone)]
+pub struct DualPortBram {
+    name: &'static str,
+    words: Vec<u64>,
+    data_bits: u32,
+    mask: u64,
+    write_mode: WriteMode,
+    ports: [PortState; 2],
+    collisions: u64,
+    reads: u64,
+    writes: u64,
+}
+
+impl DualPortBram {
+    /// Create a RAM with `depth` words of `data_bits` bits each, initialised
+    /// to zero (Xilinx BRAMs power up to a defined init value; the design
+    /// relies on zero-initialised head tables exactly like zlib does).
+    ///
+    /// # Panics
+    /// Panics if `depth` is zero or `data_bits` is zero or above 64.
+    pub fn new(name: &'static str, depth: usize, data_bits: u32) -> Self {
+        assert!(depth > 0, "{name}: BRAM depth must be non-zero");
+        assert!(
+            (1..=64).contains(&data_bits),
+            "{name}: data width must be 1..=64 bits"
+        );
+        let mask = if data_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << data_bits) - 1
+        };
+        Self {
+            name,
+            words: vec![0; depth],
+            data_bits,
+            mask,
+            write_mode: WriteMode::default(),
+            ports: [PortState::default(); 2],
+            collisions: 0,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Select the write mode (applies to both ports).
+    #[must_use]
+    pub fn with_write_mode(mut self, mode: WriteMode) -> Self {
+        self.write_mode = mode;
+        self
+    }
+
+    /// Number of addressable words.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Declared word width in bits.
+    #[inline]
+    pub fn data_bits(&self) -> u32 {
+        self.data_bits
+    }
+
+    /// Instance name (used in panic messages and resource reports).
+    #[inline]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Present a read address on `port` for this cycle. Data appears on
+    /// [`Self::dout`] after the next [`Clocked::tick`].
+    ///
+    /// # Panics
+    /// Panics if the port already has an operation scheduled this cycle or
+    /// the address is out of range — both are design bugs, not data errors.
+    #[inline]
+    pub fn read(&mut self, port: Port, addr: usize) {
+        debug_assert!(
+            addr < self.words.len(),
+            "{}: read address {addr} out of range (depth {})",
+            self.name,
+            self.words.len()
+        );
+        let p = &mut self.ports[port.idx()];
+        debug_assert!(
+            p.pending_addr.is_none(),
+            "{}: port {port:?} already has an operation this cycle",
+            self.name
+        );
+        p.pending_addr = Some(addr);
+        self.reads += 1;
+    }
+
+    /// Present a write of `data` to `addr` on `port` for this cycle. The
+    /// port's output register follows the configured [`WriteMode`].
+    #[inline]
+    pub fn write(&mut self, port: Port, addr: usize, data: u64) {
+        debug_assert!(
+            addr < self.words.len(),
+            "{}: write address {addr} out of range (depth {})",
+            self.name,
+            self.words.len()
+        );
+        let p = &mut self.ports[port.idx()];
+        debug_assert!(
+            p.pending_addr.is_none(),
+            "{}: port {port:?} already has an operation this cycle",
+            self.name
+        );
+        p.pending_addr = Some(addr);
+        p.pending_write = Some(data & self.mask);
+        self.writes += 1;
+    }
+
+    /// Registered output of `port` — the result of the read issued in the
+    /// previous cycle.
+    #[inline]
+    pub fn dout(&self, port: Port) -> u64 {
+        self.ports[port.idx()].dout
+    }
+
+    /// Direct combinational peek at the memory array. This is a *testbench*
+    /// facility (the equivalent of reading the array in a VHDL testbench);
+    /// synthesisable logic in the model must go through the ports.
+    #[inline]
+    pub fn peek(&self, addr: usize) -> u64 {
+        self.words[addr]
+    }
+
+    /// Testbench back-door write (used to preload contents in tests).
+    pub fn poke(&mut self, addr: usize, data: u64) {
+        self.words[addr] = data & self.mask;
+    }
+
+    /// Number of same-cycle same-address write collisions observed so far.
+    #[inline]
+    pub fn collisions(&self) -> u64 {
+        self.collisions
+    }
+
+    /// Total reads issued over the simulation.
+    #[inline]
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total writes issued over the simulation.
+    #[inline]
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Reset contents and port registers to power-up state, keeping
+    /// statistics counters at zero.
+    pub fn reset(&mut self) {
+        self.words.fill(0);
+        self.ports = [PortState::default(); 2];
+        self.collisions = 0;
+        self.reads = 0;
+        self.writes = 0;
+    }
+}
+
+impl Clocked for DualPortBram {
+    /// Commit the cycle: apply writes, latch read data.
+    fn tick(&mut self) {
+        // Detect write/write collisions before applying anything.
+        if let (Some(a0), Some(a1)) = (self.ports[0].pending_addr, self.ports[1].pending_addr) {
+            if a0 == a1 && self.ports[0].pending_write.is_some() && self.ports[1].pending_write.is_some()
+            {
+                self.collisions += 1;
+            }
+        }
+        for i in 0..2 {
+            let (addr, wdata) = (self.ports[i].pending_addr, self.ports[i].pending_write);
+            if let Some(addr) = addr {
+                match wdata {
+                    Some(data) => {
+                        let old = self.words[addr];
+                        self.words[addr] = data;
+                        self.ports[i].dout = match self.write_mode {
+                            WriteMode::ReadFirst => old,
+                            WriteMode::WriteFirst => data,
+                            WriteMode::NoChange => self.ports[i].dout,
+                        };
+                    }
+                    None => {
+                        self.ports[i].dout = self.words[addr];
+                    }
+                }
+            }
+            self.ports[i].pending_addr = None;
+            self.ports[i].pending_write = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_is_synchronous() {
+        let mut ram = DualPortBram::new("t", 16, 8);
+        ram.poke(3, 0xAB);
+        ram.read(Port::A, 3);
+        // Before the clock edge the output register still holds reset value.
+        assert_eq!(ram.dout(Port::A), 0);
+        ram.tick();
+        assert_eq!(ram.dout(Port::A), 0xAB);
+    }
+
+    #[test]
+    fn output_register_holds_between_reads() {
+        let mut ram = DualPortBram::new("t", 8, 16);
+        ram.poke(1, 0x1234);
+        ram.read(Port::A, 1);
+        ram.tick();
+        // Idle cycles do not disturb the registered output.
+        ram.tick();
+        ram.tick();
+        assert_eq!(ram.dout(Port::A), 0x1234);
+    }
+
+    #[test]
+    fn ports_are_independent() {
+        let mut ram = DualPortBram::new("t", 32, 32);
+        ram.poke(5, 55);
+        ram.write(Port::B, 9, 99);
+        ram.read(Port::A, 5);
+        ram.tick();
+        assert_eq!(ram.dout(Port::A), 55);
+        assert_eq!(ram.peek(9), 99);
+        assert_eq!(ram.collisions(), 0);
+    }
+
+    #[test]
+    fn write_is_masked_to_declared_width() {
+        let mut ram = DualPortBram::new("t", 4, 12);
+        ram.write(Port::A, 0, 0xFFFF);
+        ram.tick();
+        assert_eq!(ram.peek(0), 0x0FFF);
+    }
+
+    #[test]
+    fn read_first_write_mode() {
+        let mut ram = DualPortBram::new("t", 4, 8).with_write_mode(WriteMode::ReadFirst);
+        ram.poke(2, 0x11);
+        ram.write(Port::A, 2, 0x22);
+        ram.tick();
+        assert_eq!(ram.dout(Port::A), 0x11, "READ_FIRST returns old data");
+        assert_eq!(ram.peek(2), 0x22);
+    }
+
+    #[test]
+    fn write_first_write_mode() {
+        let mut ram = DualPortBram::new("t", 4, 8).with_write_mode(WriteMode::WriteFirst);
+        ram.poke(2, 0x11);
+        ram.write(Port::A, 2, 0x22);
+        ram.tick();
+        assert_eq!(ram.dout(Port::A), 0x22, "WRITE_FIRST forwards new data");
+    }
+
+    #[test]
+    fn no_change_write_mode() {
+        let mut ram = DualPortBram::new("t", 4, 8).with_write_mode(WriteMode::NoChange);
+        ram.poke(0, 0xAA);
+        ram.read(Port::A, 0);
+        ram.tick();
+        assert_eq!(ram.dout(Port::A), 0xAA);
+        ram.write(Port::A, 1, 0xBB);
+        ram.tick();
+        assert_eq!(ram.dout(Port::A), 0xAA, "NO_CHANGE preserves output on writes");
+    }
+
+    #[test]
+    fn same_address_write_collision_is_counted() {
+        let mut ram = DualPortBram::new("t", 4, 8);
+        ram.write(Port::A, 1, 0x01);
+        ram.write(Port::B, 1, 0x02);
+        ram.tick();
+        assert_eq!(ram.collisions(), 1);
+        // Model resolves deterministically: port B applied last.
+        assert_eq!(ram.peek(1), 0x02);
+    }
+
+    #[test]
+    fn simultaneous_read_a_write_b_different_addresses() {
+        let mut ram = DualPortBram::new("t", 8, 8);
+        ram.poke(0, 7);
+        ram.read(Port::A, 0);
+        ram.write(Port::B, 0, 9);
+        ram.tick();
+        // Port A read of an address port B writes the same cycle: on real
+        // hardware this is only safe in READ_FIRST-style arrangements; the
+        // model returns the old value for the reader.
+        assert_eq!(ram.dout(Port::A), 7);
+        assert_eq!(ram.peek(0), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has an operation")]
+    #[cfg(debug_assertions)]
+    fn double_operation_per_port_panics() {
+        let mut ram = DualPortBram::new("t", 4, 8);
+        ram.read(Port::A, 0);
+        ram.read(Port::A, 1);
+    }
+
+    #[test]
+    fn reset_clears_contents_and_counters() {
+        let mut ram = DualPortBram::new("t", 4, 8);
+        ram.write(Port::A, 1, 0xFF);
+        ram.tick();
+        ram.reset();
+        assert_eq!(ram.peek(1), 0);
+        assert_eq!(ram.write_count(), 0);
+        assert_eq!(ram.dout(Port::A), 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Clocking discipline shared by all cycle-level components.
+//!
+//! The simulation uses the classic two-phase model of synchronous hardware:
+//! during a cycle, components exchange combinational signals by calling each
+//! other's "issue"/"peek" methods; at the end of the cycle the driver calls
+//! [`Clocked::tick`] on every component, which atomically commits registered
+//! state (BRAM output registers, FSM state, counters). No component may
+//! observe another component's *post-tick* state within the same cycle —
+//! exactly the single-clock-domain contract of the RTL.
+
+/// A component with clocked (registered) state.
+pub trait Clocked {
+    /// Commit one clock cycle: apply scheduled writes, advance registers.
+    fn tick(&mut self);
+}
+
+/// Cycle accounting helper with a user-defined set of state labels.
+///
+/// The paper's Figure 5 breaks total compression time into six buckets
+/// (waiting for data, producing output, updating the hash table, rotating the
+/// hash table, fetching data, finding a match). `CycleStats` is the generic
+/// mechanism: the main FSM charges every simulated cycle to exactly one
+/// bucket, and the invariant `sum(buckets) == total_cycles` is checked by
+/// tests.
+#[derive(Debug, Clone)]
+pub struct CycleStats<const N: usize> {
+    buckets: [u64; N],
+    labels: [&'static str; N],
+}
+
+impl<const N: usize> CycleStats<N> {
+    /// Create a stats block with one bucket per label.
+    pub fn new(labels: [&'static str; N]) -> Self {
+        Self { buckets: [0; N], labels }
+    }
+
+    /// Charge `cycles` to bucket `idx`.
+    #[inline]
+    pub fn charge(&mut self, idx: usize, cycles: u64) {
+        self.buckets[idx] += cycles;
+    }
+
+    /// Cycles accumulated in bucket `idx`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> u64 {
+        self.buckets[idx]
+    }
+
+    /// Label of bucket `idx`.
+    #[inline]
+    pub fn label(&self, idx: usize) -> &'static str {
+        self.labels[idx]
+    }
+
+    /// Total cycles across all buckets.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Fraction (0..=1) of the total charged to bucket `idx`; 0 when empty.
+    pub fn share(&self, idx: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.buckets[idx] as f64 / total as f64
+        }
+    }
+
+    /// Iterate `(label, cycles)` pairs in bucket order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.labels.iter().copied().zip(self.buckets.iter().copied())
+    }
+
+    /// Reset all buckets to zero.
+    pub fn reset(&mut self) {
+        self.buckets = [0; N];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_total() {
+        let mut s = CycleStats::new(["a", "b", "c"]);
+        s.charge(0, 5);
+        s.charge(2, 10);
+        s.charge(0, 1);
+        assert_eq!(s.get(0), 6);
+        assert_eq!(s.get(1), 0);
+        assert_eq!(s.total(), 16);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let mut s = CycleStats::new(["x", "y"]);
+        s.charge(0, 3);
+        s.charge(1, 7);
+        let sum: f64 = (0..2).map(|i| s.share(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((s.share(1) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_share() {
+        let s: CycleStats<2> = CycleStats::new(["x", "y"]);
+        assert_eq!(s.share(0), 0.0);
+        assert_eq!(s.total(), 0);
+    }
+
+    #[test]
+    fn iter_preserves_order_and_labels() {
+        let mut s = CycleStats::new(["first", "second"]);
+        s.charge(1, 2);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![("first", 0), ("second", 2)]);
+    }
+
+    #[test]
+    fn reset_zeroes_buckets() {
+        let mut s = CycleStats::new(["a"]);
+        s.charge(0, 9);
+        s.reset();
+        assert_eq!(s.total(), 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Cycle-level FPGA simulation substrate.
+//!
+//! This crate models the small set of FPGA primitives that the IPDPS'12 LZSS
+//! compressor design is built from, at the fidelity the paper's own
+//! cycle-accurate estimator uses:
+//!
+//! * [`bram::DualPortBram`] — a true dual-port block RAM with synchronous
+//!   (registered) reads, per-port write enables, configurable write modes and
+//!   collision accounting. This is the Virtex-5 BRAM abstraction the paper's
+//!   five independently addressable memories map onto.
+//! * [`clock::Clocked`] and [`clock::CycleStats`] — the clocking discipline:
+//!   every component exposes combinational "issue" methods used during a
+//!   cycle and a `tick()` that commits state at the clock edge.
+//! * [`stream::HandshakeStream`] — a valid/ready stream register with
+//!   pluggable back-pressure, modelling the LocalLink-style interfaces the
+//!   compressor uses on both ends.
+//! * [`resources`] — a Virtex-5 resource model (RAMB18/RAMB36 packing,
+//!   LUT/FF estimates) used to regenerate Table II of the paper.
+//!
+//! The compressor core in `lzfpga-core` instantiates these primitives exactly
+//! as the RTL is structured, so cycle counts fall out of the simulation
+//! rather than an analytic formula.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bram;
+pub mod clock;
+pub mod resources;
+pub mod rng;
+pub mod stream;
+pub mod vcd;
+
+pub use bram::{DualPortBram, Port, WriteMode};
+pub use clock::{Clocked, CycleStats};
+pub use resources::{BramKind, ResourceEstimate, Virtex5Part};
+pub use stream::{BackPressure, HandshakeStream};

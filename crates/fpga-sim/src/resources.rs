@@ -1,0 +1,273 @@
+//! Virtex-5 resource model.
+//!
+//! The paper's Table II reports LUT/register usage and (implicitly) block-RAM
+//! consumption on an XC5VFX70T. Without running Xilinx tooling we reproduce
+//! those numbers with a model:
+//!
+//! * **BRAM counting is exact arithmetic**: a requested `depth x width`
+//!   memory is packed into RAMB36/RAMB18 primitives using the Virtex-5
+//!   aspect-ratio table, choosing the minimal-primitive allocation — this is
+//!   what XST does for simple inferred RAMs.
+//! * **LUT/FF counts are an estimate** derived from datapath widths. The
+//!   paper itself observes that logic usage stays "insignificant and almost
+//!   the same (5.2+0.6 % of the Virtex-5)" across all reasonable parameter
+//!   sets, so the estimate is anchored there and varies mildly with address
+//!   and hash widths.
+
+/// Block RAM primitive kinds available on Virtex-5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BramKind {
+    /// 18 Kbit primitive (RAMB18).
+    Ramb18,
+    /// 36 Kbit primitive (RAMB36).
+    Ramb36,
+}
+
+/// Virtex-5 aspect ratios: (depth, width) configurations of each primitive.
+/// True-dual-port modes only (the design uses both ports everywhere).
+const RAMB36_CONFIGS: &[(usize, u32)] =
+    &[(32_768, 1), (16_384, 2), (8_192, 4), (4_096, 9), (2_048, 18), (1_024, 36)];
+const RAMB18_CONFIGS: &[(usize, u32)] =
+    &[(16_384, 1), (8_192, 2), (4_096, 4), (2_048, 9), (1_024, 18)];
+
+/// Result of packing one logical memory into BRAM primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BramAllocation {
+    /// Number of RAMB36 primitives used.
+    pub ramb36: u32,
+    /// Number of RAMB18 primitives used.
+    pub ramb18: u32,
+}
+
+impl BramAllocation {
+    /// Total capacity in kilobits consumed by the allocation.
+    pub fn kbits(&self) -> u32 {
+        self.ramb36 * 36 + self.ramb18 * 18
+    }
+
+    /// Count in RAMB36-equivalents (a RAMB18 is half a RAMB36 site).
+    pub fn ramb36_equiv(&self) -> f64 {
+        f64::from(self.ramb36) + f64::from(self.ramb18) * 0.5
+    }
+
+    /// Component-wise sum of two allocations.
+    #[must_use]
+    pub fn plus(self, other: Self) -> Self {
+        Self { ramb36: self.ramb36 + other.ramb36, ramb18: self.ramb18 + other.ramb18 }
+    }
+}
+
+fn primitives_needed(configs: &[(usize, u32)], depth: usize, width: u32) -> u32 {
+    configs
+        .iter()
+        .map(|&(d, w)| {
+            let rows = depth.div_ceil(d) as u32;
+            let cols = width.div_ceil(w);
+            rows * cols
+        })
+        .min()
+        .expect("config table is non-empty")
+}
+
+/// Pack a `depth x width` true-dual-port memory into Virtex-5 BRAMs using the
+/// minimal number of primitives, preferring a single RAMB18 when the memory
+/// fits one (XST does the same to save the larger site).
+pub fn pack_memory(depth: usize, width: u32) -> BramAllocation {
+    assert!(depth > 0 && width > 0, "memory must have non-zero geometry");
+    let n36 = primitives_needed(RAMB36_CONFIGS, depth, width);
+    let n18 = primitives_needed(RAMB18_CONFIGS, depth, width);
+    // A RAMB18 occupies half a BRAM site; use 18s whenever that strictly
+    // reduces occupied 36-sites (n18 primitives fit in ceil(n18/2) sites).
+    if n18 <= n36 {
+        BramAllocation { ramb36: 0, ramb18: n18 }
+    } else {
+        BramAllocation { ramb36: n36, ramb18: 0 }
+    }
+}
+
+/// A Virtex-5 part's headline capacities.
+#[derive(Debug, Clone, Copy)]
+pub struct Virtex5Part {
+    /// Marketing name, e.g. "XC5VFX70T".
+    pub name: &'static str,
+    /// 6-input LUT count.
+    pub luts: u32,
+    /// Flip-flop (slice register) count.
+    pub registers: u32,
+    /// RAMB36 site count (each site can host two RAMB18s).
+    pub bram36_sites: u32,
+}
+
+impl Virtex5Part {
+    /// The ML-507 board's FPGA used in the paper.
+    pub const XC5VFX70T: Virtex5Part = Virtex5Part {
+        name: "XC5VFX70T",
+        luts: 44_800,
+        registers: 44_800,
+        bram36_sites: 148,
+    };
+
+    /// Fraction of the part's LUTs a design consumes.
+    pub fn lut_utilization(&self, luts: u32) -> f64 {
+        f64::from(luts) / f64::from(self.luts)
+    }
+
+    /// Fraction of the part's BRAM sites an allocation consumes.
+    pub fn bram_utilization(&self, alloc: BramAllocation) -> f64 {
+        let sites = f64::from(alloc.ramb36) + (f64::from(alloc.ramb18) / 2.0).ceil();
+        sites / f64::from(self.bram36_sites)
+    }
+}
+
+/// Estimated logic + memory cost of a design configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceEstimate {
+    /// Estimated 6-input LUTs.
+    pub luts: u32,
+    /// Estimated flip-flops.
+    pub registers: u32,
+    /// Exact BRAM allocation.
+    pub bram: BramAllocation,
+}
+
+impl ResourceEstimate {
+    /// Combine two sub-design estimates.
+    #[must_use]
+    pub fn plus(self, other: Self) -> Self {
+        Self {
+            luts: self.luts + other.luts,
+            registers: self.registers + other.registers,
+            bram: self.bram.plus(other.bram),
+        }
+    }
+}
+
+/// LUT/FF estimate for the LZSS datapath + control, anchored at the paper's
+/// "~5.2 % of the FX70T" observation (≈ 2 300 LUTs) and varied with the
+/// widths that actually change logic: dictionary address bits, hash bits and
+/// the comparator bus width.
+///
+/// The model: a fixed control/FSM core, plus per-bit costs for the two
+/// address generators (adders/comparators over `dict_addr_bits + gen_bits`),
+/// the hash function datapath (`hash_bits` wide xor/shift network replicated
+/// for the prefetch unit), and the `bus_bytes`-wide byte comparator with its
+/// priority encoder.
+pub fn estimate_lzss_logic(
+    dict_addr_bits: u32,
+    hash_bits: u32,
+    gen_bits: u32,
+    bus_bytes: u32,
+    head_divisions: u32,
+) -> ResourceEstimate {
+    let addr = dict_addr_bits + gen_bits;
+    let luts = 1_650                      // main FSM, filler FSM, prefetch FSM control
+        + 14 * addr                       // ring pointers, rotation comparators, adders
+        + 22 * hash_bits                  // hash datapath x2 (compute + prefetch)
+        + 56 * bus_bytes                  // byte comparators + priority encoder
+        + 18 * head_divisions;            // per-submemory rotation counters/muxes
+    let registers = 1_050 + 11 * addr + 16 * hash_bits + 34 * bus_bytes + 12 * head_divisions;
+    ResourceEstimate { luts, registers, bram: BramAllocation::default() }
+}
+
+/// LUT/FF estimate for the fixed-table Huffman encoder stage (the paper
+/// quotes it at ≈ 0.6 % of the part ≈ 270 LUTs; fixed tables are pure logic,
+/// so the cost does not vary with LZSS parameters).
+pub fn estimate_huffman_logic() -> ResourceEstimate {
+    ResourceEstimate { luts: 270, registers: 210, bram: BramAllocation::default() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_small_memory_fits_one_ramb18() {
+        // 512 x 32 lookahead buffer: 16 kbit => one RAMB18 (512x36 fits 1Kx18? no:
+        // 512 deep, 32 wide needs 1024x18 x2 = 2 RAMB18, or 1024x36 -> 1 RAMB36.
+        // The packer must pick the single RAMB36... unless two 18s are better.
+        let a = pack_memory(512, 32);
+        // 2 RAMB18 occupy one site, tie with 1 RAMB36; either is one site.
+        assert!(a.ramb36_equiv() <= 1.0, "allocation {a:?}");
+    }
+
+    #[test]
+    fn deep_narrow_memory() {
+        // 32K x 1 fits exactly one RAMB36.
+        assert_eq!(pack_memory(32_768, 1), BramAllocation { ramb36: 1, ramb18: 0 });
+    }
+
+    #[test]
+    fn tiny_memory_uses_a_ramb18() {
+        let a = pack_memory(256, 8);
+        assert_eq!(a, BramAllocation { ramb36: 0, ramb18: 1 });
+    }
+
+    #[test]
+    fn wide_memory_splits_columns() {
+        // 1K x 72 => two 1Kx36 RAMB36 (or four RAMB18-equivalents).
+        let a = pack_memory(1_024, 72);
+        assert!(a.kbits() >= 72, "must provide at least 72 kbit: {a:?}");
+        assert!(a.ramb36_equiv() <= 2.0, "should not exceed two sites: {a:?}");
+    }
+
+    #[test]
+    fn head_table_15bit_hash_example() {
+        // 2^15 entries x (12 dict addr + 3 gen) bits = 32K x 15 = 480 kbit
+        // => at least 14 RAMB36.
+        let a = pack_memory(1 << 15, 15);
+        assert!(a.kbits() >= 480);
+        assert!(a.ramb36 >= 14 || a.ramb18 >= 27, "{a:?}");
+    }
+
+    #[test]
+    fn allocation_grows_monotonically_with_width() {
+        let mut prev = 0.0;
+        for w in [1, 2, 4, 9, 18, 36, 64] {
+            let eq = pack_memory(8_192, w).ramb36_equiv();
+            assert!(eq >= prev, "width {w}: {eq} < {prev}");
+            prev = eq;
+        }
+    }
+
+    #[test]
+    fn capacity_always_sufficient() {
+        for depth in [100, 511, 1_024, 5_000, 40_000] {
+            for width in [1, 7, 8, 15, 31, 36, 50] {
+                let a = pack_memory(depth, width);
+                let need_kbit = (depth as u64 * u64::from(width)) as f64 / 1024.0;
+                assert!(
+                    f64::from(a.kbits()) >= need_kbit,
+                    "{depth}x{width}: {a:?} too small"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lut_estimate_in_papers_ballpark() {
+        // 4KB dict (12 addr bits), 15-bit hash, 3 gen bits, 4-byte bus, 8 divisions.
+        let e = estimate_lzss_logic(12, 15, 3, 4, 8).plus(estimate_huffman_logic());
+        let part = Virtex5Part::XC5VFX70T;
+        let util = part.lut_utilization(e.luts);
+        // Paper: LZSS+Huffman ~ 5.2 + 0.6 percent.
+        assert!((0.03..0.09).contains(&util), "LUT utilization {util}");
+    }
+
+    #[test]
+    fn logic_estimate_nearly_flat_across_params() {
+        // Paper: utilization "remains insignificant and almost the same" for
+        // all reasonable dictionary/hash sizes.
+        let small = estimate_lzss_logic(10, 9, 1, 4, 1).luts;
+        let large = estimate_lzss_logic(16, 15, 4, 4, 16).luts;
+        let spread = f64::from(large - small) / f64::from(small);
+        assert!(spread < 0.25, "spread {spread}");
+    }
+
+    #[test]
+    fn part_utilization_fractions() {
+        let part = Virtex5Part::XC5VFX70T;
+        assert!((part.lut_utilization(2_330) - 0.052).abs() < 0.001);
+        let a = BramAllocation { ramb36: 37, ramb18: 0 };
+        assert!((part.bram_utilization(a) - 0.25).abs() < 0.0001);
+    }
+}

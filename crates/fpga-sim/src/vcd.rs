@@ -1,0 +1,221 @@
+//! Minimal Value-Change-Dump (IEEE 1364 §18) writer.
+//!
+//! Hardware teams debug cycle behaviour in waveform viewers; a model that
+//! cannot produce waveforms is hard to cross-check against the RTL it
+//! claims to mirror. This writer covers the subset every viewer (GTKWave,
+//! Surfer) accepts: scalar and vector wires, one scope, decimal timestamps
+//! in a configurable timescale.
+//!
+//! The API is deliberately slim: declare signals, then feed monotonically
+//! non-decreasing `(time, signal, value)` changes and `finish()` into a
+//! `String`. Redundant changes (same value as last emitted) are dropped, as
+//! real dumpers do.
+
+/// Handle to a declared signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignalId(usize);
+
+struct Signal {
+    name: String,
+    width: u32,
+    code: String,
+    last: Option<u64>,
+}
+
+/// A VCD file under construction.
+pub struct VcdWriter {
+    timescale: &'static str,
+    module: String,
+    signals: Vec<Signal>,
+    body: String,
+    current_time: Option<u64>,
+    header_emitted: bool,
+}
+
+impl VcdWriter {
+    /// Start a dump. `timescale` is a VCD timescale string (e.g. `"10 ns"`
+    /// for a 100 MHz clock where one unit = one cycle).
+    pub fn new(module: &str, timescale: &'static str) -> Self {
+        Self {
+            timescale,
+            module: module.to_string(),
+            signals: Vec::new(),
+            body: String::new(),
+            current_time: None,
+            header_emitted: false,
+        }
+    }
+
+    /// Declare a wire of `width` bits. All declarations must precede the
+    /// first [`Self::change`].
+    ///
+    /// # Panics
+    /// Panics if called after dumping started or `width` is 0 or > 64.
+    pub fn add_signal(&mut self, name: &str, width: u32) -> SignalId {
+        assert!(!self.header_emitted, "declare signals before the first change");
+        assert!((1..=64).contains(&width), "width {width} out of range");
+        let idx = self.signals.len();
+        // Identifier codes: printable ASCII 33..=126, multi-char as needed.
+        let mut code = String::new();
+        let mut v = idx;
+        loop {
+            code.push((33 + (v % 94)) as u8 as char);
+            v /= 94;
+            if v == 0 {
+                break;
+            }
+        }
+        self.signals.push(Signal { name: name.to_string(), width, code, last: None });
+        SignalId(idx)
+    }
+
+    fn emit_header(&mut self) {
+        if self.header_emitted {
+            return;
+        }
+        self.header_emitted = true;
+        let mut h = String::new();
+        h.push_str("$date lzfpga cycle-accurate model $end\n");
+        h.push_str(&format!("$timescale {} $end\n", self.timescale));
+        h.push_str(&format!("$scope module {} $end\n", self.module));
+        for s in &self.signals {
+            h.push_str(&format!("$var wire {} {} {} $end\n", s.width, s.code, s.name));
+        }
+        h.push_str("$upscope $end\n$enddefinitions $end\n");
+        self.body.insert_str(0, &h);
+    }
+
+    /// Record `signal` taking `value` at `time` (in timescale units).
+    ///
+    /// # Panics
+    /// Panics if time moves backwards or the value exceeds the wire width.
+    pub fn change(&mut self, time: u64, signal: SignalId, value: u64) {
+        self.emit_header();
+        let s = &self.signals[signal.0];
+        assert!(
+            s.width == 64 || value < (1u64 << s.width),
+            "value {value} wider than {} bits for {}",
+            s.width,
+            s.name
+        );
+        if self.signals[signal.0].last == Some(value) {
+            return;
+        }
+        match self.current_time {
+            Some(t) => {
+                assert!(time >= t, "time ran backwards: {time} < {t}");
+                if time > t {
+                    self.body.push_str(&format!("#{time}\n"));
+                    self.current_time = Some(time);
+                }
+            }
+            None => {
+                self.body.push_str(&format!("#{time}\n"));
+                self.current_time = Some(time);
+            }
+        }
+        let s = &mut self.signals[signal.0];
+        if s.width == 1 {
+            self.body.push_str(&format!("{}{}\n", value, s.code));
+        } else {
+            self.body.push_str(&format!("b{:b} {}\n", value, s.code));
+        }
+        s.last = Some(value);
+    }
+
+    /// Close the dump at `end_time` and return the VCD text.
+    pub fn finish(mut self, end_time: u64) -> String {
+        self.emit_header();
+        if self.current_time != Some(end_time) {
+            self.body.push_str(&format!("#{end_time}\n"));
+        }
+        self.body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_dump() -> String {
+        let mut w = VcdWriter::new("top", "10 ns");
+        let clk = w.add_signal("state", 3);
+        let stall = w.add_signal("stall", 1);
+        w.change(0, clk, 0b101);
+        w.change(0, stall, 0);
+        w.change(5, clk, 0b001);
+        w.change(9, stall, 1);
+        w.finish(12)
+    }
+
+    #[test]
+    fn header_structure() {
+        let vcd = simple_dump();
+        assert!(vcd.starts_with("$date"));
+        assert!(vcd.contains("$timescale 10 ns $end"));
+        assert!(vcd.contains("$scope module top $end"));
+        assert!(vcd.contains("$var wire 3 ! state $end"));
+        assert!(vcd.contains("$var wire 1 \" stall $end"));
+        assert!(vcd.contains("$enddefinitions $end"));
+    }
+
+    #[test]
+    fn changes_are_time_ordered_and_deduplicated() {
+        let vcd = simple_dump();
+        let times: Vec<u64> = vcd
+            .lines()
+            .filter(|l| l.starts_with('#'))
+            .map(|l| l[1..].parse().unwrap())
+            .collect();
+        assert_eq!(times, vec![0, 5, 9, 12]);
+        assert!(vcd.contains("b101 !"));
+        assert!(vcd.contains("b1 !"));
+        assert!(vcd.contains("0\""));
+        assert!(vcd.contains("1\""));
+    }
+
+    #[test]
+    fn redundant_change_emits_nothing() {
+        let mut w = VcdWriter::new("m", "1 ns");
+        let s = w.add_signal("x", 4);
+        w.change(0, s, 7);
+        w.change(3, s, 7); // same value: dropped
+        let vcd = w.finish(4);
+        assert_eq!(vcd.matches("b111 !").count(), 1);
+        assert!(!vcd.contains("#3\n"), "dropped change must not advance time:\n{vcd}");
+    }
+
+    #[test]
+    fn many_signals_get_distinct_codes() {
+        let mut w = VcdWriter::new("m", "1 ns");
+        let ids: Vec<_> = (0..200).map(|i| w.add_signal(&format!("s{i}"), 1)).collect();
+        for (i, id) in ids.iter().enumerate() {
+            w.change(i as u64, *id, 1);
+        }
+        let vcd = w.finish(300);
+        // 200 declarations with unique codes.
+        let codes: std::collections::HashSet<&str> = vcd
+            .lines()
+            .filter(|l| l.starts_with("$var"))
+            .map(|l| l.split_whitespace().nth(3).unwrap())
+            .collect();
+        assert_eq!(codes.len(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "time ran backwards")]
+    fn backwards_time_panics() {
+        let mut w = VcdWriter::new("m", "1 ns");
+        let s = w.add_signal("x", 1);
+        w.change(5, s, 1);
+        w.change(3, s, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than")]
+    fn oversized_value_panics() {
+        let mut w = VcdWriter::new("m", "1 ns");
+        let s = w.add_signal("x", 2);
+        w.change(0, s, 4);
+    }
+}

@@ -1,0 +1,217 @@
+//! Token-stream analysis: the statistics behind the design's tuning
+//! constants (why `nice_length` = 8 at the fast preset, why a 4 KB window
+//! captures most of the text redundancy, why fixed Huffman loses on far
+//! matches).
+//!
+//! [`analyze_tokens`] computes match-length and distance histograms in the
+//! Deflate bucket geometry (so the numbers map 1:1 onto code costs),
+//! literal entropy, and coverage shares — the inputs a designer reads
+//! before choosing window/hash/level parameters.
+
+use lzfpga_deflate::token::Token;
+
+/// Bucket boundaries for match lengths (Deflate-ish, powers of two).
+pub const LEN_BUCKETS: [u32; 7] = [3, 4, 8, 16, 32, 128, 258];
+
+/// Bucket boundaries for distances.
+pub const DIST_BUCKETS: [u32; 8] = [1, 16, 64, 256, 1_024, 4_096, 16_384, 32_768];
+
+/// Aggregated statistics of a token stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenStats {
+    /// Literal tokens.
+    pub literals: u64,
+    /// Match tokens.
+    pub matches: u64,
+    /// Bytes covered by matches.
+    pub match_bytes: u64,
+    /// Match count per [`LEN_BUCKETS`] bucket (bucket i covers lengths
+    /// `LEN_BUCKETS[i]..LEN_BUCKETS[i+1]`, last bucket is exact 258).
+    pub len_histogram: [u64; LEN_BUCKETS.len()],
+    /// Match count per [`DIST_BUCKETS`] bucket.
+    pub dist_histogram: [u64; DIST_BUCKETS.len()],
+    /// Shannon entropy of the literal bytes, bits per literal.
+    pub literal_entropy_bits: f64,
+    /// Mean match length (0 when no matches).
+    pub mean_match_len: f64,
+    /// Mean match distance (0 when no matches).
+    pub mean_match_dist: f64,
+}
+
+impl TokenStats {
+    /// Fraction of output bytes produced by matches.
+    pub fn match_coverage(&self) -> f64 {
+        let total = self.literals + self.match_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.match_bytes as f64 / total as f64
+        }
+    }
+
+    /// A lower bound (bits) for any entropy coder over this stream that
+    /// codes literals independently: literal entropy + 1 flag bit per
+    /// token, matches charged their fixed-field minimum.
+    pub fn naive_lower_bound_bits(&self) -> f64 {
+        self.literals as f64 * (self.literal_entropy_bits + 1.0)
+            + self.matches as f64 * (1.0 + 15.0 + 8.0)
+    }
+}
+
+fn bucket_of(value: u32, buckets: &[u32]) -> usize {
+    let mut idx = 0;
+    for (i, &b) in buckets.iter().enumerate() {
+        if value >= b {
+            idx = i;
+        }
+    }
+    idx
+}
+
+/// Analyze a token stream.
+pub fn analyze_tokens(tokens: &[Token]) -> TokenStats {
+    let mut literals = 0u64;
+    let mut matches = 0u64;
+    let mut match_bytes = 0u64;
+    let mut len_histogram = [0u64; LEN_BUCKETS.len()];
+    let mut dist_histogram = [0u64; DIST_BUCKETS.len()];
+    let mut byte_freq = [0u64; 256];
+    let mut len_sum = 0u64;
+    let mut dist_sum = 0u64;
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => {
+                literals += 1;
+                byte_freq[b as usize] += 1;
+            }
+            Token::Match { dist, len } => {
+                matches += 1;
+                match_bytes += u64::from(len);
+                len_sum += u64::from(len);
+                dist_sum += u64::from(dist);
+                len_histogram[bucket_of(len, &LEN_BUCKETS)] += 1;
+                dist_histogram[bucket_of(dist, &DIST_BUCKETS)] += 1;
+            }
+        }
+    }
+    let literal_entropy_bits = if literals == 0 {
+        0.0
+    } else {
+        let n = literals as f64;
+        byte_freq
+            .iter()
+            .filter(|&&f| f > 0)
+            .map(|&f| {
+                let p = f as f64 / n;
+                -p * p.log2()
+            })
+            .sum()
+    };
+    TokenStats {
+        literals,
+        matches,
+        match_bytes,
+        len_histogram,
+        dist_histogram,
+        literal_entropy_bits,
+        mean_match_len: if matches == 0 { 0.0 } else { len_sum as f64 / matches as f64 },
+        mean_match_dist: if matches == 0 { 0.0 } else { dist_sum as f64 / matches as f64 },
+    }
+}
+
+/// Render the histograms as a fixed-width report (used by the `token-stats`
+/// experiment).
+pub fn render_stats(stats: &TokenStats) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "literals {} | matches {} | coverage {:.1}% | mean len {:.1} | mean dist {:.0} | literal H {:.2} b\n",
+        stats.literals,
+        stats.matches,
+        stats.match_coverage() * 100.0,
+        stats.mean_match_len,
+        stats.mean_match_dist,
+        stats.literal_entropy_bits
+    ));
+    out.push_str("  len buckets : ");
+    for (i, &b) in LEN_BUCKETS.iter().enumerate() {
+        out.push_str(&format!("{b}+:{} ", stats.len_histogram[i]));
+    }
+    out.push_str("\n  dist buckets: ");
+    for (i, &b) in DIST_BUCKETS.iter().enumerate() {
+        out.push_str(&format!("{b}+:{} ", stats.dist_histogram[i]));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::LzssParams;
+    use crate::reference::compress;
+
+    #[test]
+    fn empty_stream() {
+        let s = analyze_tokens(&[]);
+        assert_eq!(s.literals, 0);
+        assert_eq!(s.matches, 0);
+        assert_eq!(s.match_coverage(), 0.0);
+        assert_eq!(s.literal_entropy_bits, 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_correct() {
+        let tokens = vec![
+            Token::Literal(b'a'),
+            Token::Match { dist: 1, len: 3 },
+            Token::Match { dist: 15, len: 4 },
+            Token::Match { dist: 16, len: 7 },
+            Token::Match { dist: 4_096, len: 258 },
+        ];
+        let s = analyze_tokens(&tokens);
+        assert_eq!(s.len_histogram[0], 1); // len 3
+        assert_eq!(s.len_histogram[1], 2); // len 4..7 (4 and 7)
+        assert_eq!(s.len_histogram[6], 1); // len 258
+        assert_eq!(s.dist_histogram[0], 2); // dist 1..15
+        assert_eq!(s.dist_histogram[1], 1); // dist 16..63
+        assert_eq!(s.dist_histogram[5], 1); // dist 4096..16383
+        assert_eq!(s.match_bytes, 3 + 4 + 7 + 258);
+    }
+
+    #[test]
+    fn entropy_bounds() {
+        // Uniform bytes → ~8 bits; constant bytes → 0 bits.
+        let uniform: Vec<Token> = (0..=255u8).cycle().take(25_600).map(Token::Literal).collect();
+        let s = analyze_tokens(&uniform);
+        assert!((s.literal_entropy_bits - 8.0).abs() < 1e-9);
+        let constant: Vec<Token> = std::iter::repeat_n(Token::Literal(b'q'), 100).collect();
+        assert_eq!(analyze_tokens(&constant).literal_entropy_bits, 0.0);
+    }
+
+    #[test]
+    fn real_text_statistics_are_sane() {
+        let data: Vec<u8> = (0..40_000u32)
+            .flat_map(|i| format!("word{} ", i % 700).into_bytes())
+            .collect();
+        let tokens = compress(&data, &LzssParams::paper_fast());
+        let s = analyze_tokens(&tokens);
+        assert_eq!(s.literals + s.match_bytes, data.len() as u64);
+        assert!(s.match_coverage() > 0.5, "{}", s.match_coverage());
+        assert!(s.mean_match_len >= 3.0);
+        assert!(s.literal_entropy_bits > 2.0 && s.literal_entropy_bits < 8.0);
+        let rendered = render_stats(&s);
+        assert!(rendered.contains("coverage"));
+        assert!(rendered.contains("len buckets"));
+    }
+
+    #[test]
+    fn naive_bound_is_below_fixed_huffman_cost() {
+        let data: Vec<u8> = (0..30_000u32)
+            .flat_map(|i| format!("entry {} ", i % 321).into_bytes())
+            .collect();
+        let tokens = compress(&data, &LzssParams::paper_fast());
+        let s = analyze_tokens(&tokens);
+        let actual = lzfpga_deflate::encoder::fixed_block_bit_size(&tokens) as f64;
+        assert!(s.naive_lower_bound_bits() < actual * 1.2);
+    }
+}

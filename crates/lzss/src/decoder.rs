@@ -1,0 +1,180 @@
+//! LZSS token decoder — expands decompressor commands back into bytes.
+//!
+//! This is the §III "decompressor" side of the format: literals append one
+//! byte; `copy(dist, len)` replays bytes from the sliding window, allowing
+//! self-overlap. The decoder additionally enforces the *configured* window
+//! size (stricter than Deflate's global 32 KiB bound) so tests catch any
+//! compressor emitting distances its own dictionary could not have held.
+
+use lzfpga_deflate::token::Token;
+
+/// Errors detected while expanding a token stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// A match references data before the start of output.
+    DistanceBeforeStart {
+        /// Output position at which the bad token was seen.
+        at: usize,
+        /// The offending distance.
+        dist: u32,
+    },
+    /// A match distance exceeds the configured window size.
+    DistanceExceedsWindow {
+        /// Output position at which the bad token was seen.
+        at: usize,
+        /// The offending distance.
+        dist: u32,
+        /// The configured window.
+        window: u32,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            DecodeError::DistanceBeforeStart { at, dist } => {
+                write!(f, "distance {dist} reaches before start of output at {at}")
+            }
+            DecodeError::DistanceExceedsWindow { at, dist, window } => {
+                write!(f, "distance {dist} exceeds window {window} at {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Expand `tokens` into bytes, enforcing `window_size` as the maximum
+/// distance.
+pub fn decode_tokens(tokens: &[Token], window_size: u32) -> Result<Vec<u8>, DecodeError> {
+    let mut out = Vec::with_capacity(tokens.len() * 2);
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { dist, len } => {
+                if dist > window_size {
+                    return Err(DecodeError::DistanceExceedsWindow {
+                        at: out.len(),
+                        dist,
+                        window: window_size,
+                    });
+                }
+                if dist as usize > out.len() {
+                    return Err(DecodeError::DistanceBeforeStart { at: out.len(), dist });
+                }
+                let start = out.len() - dist as usize;
+                for k in 0..len as usize {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Expand `tokens` produced against a preset dictionary: distances may
+/// reach into `dict`, whose bytes do not appear in the output.
+pub fn decode_tokens_with_dict(
+    tokens: &[Token],
+    dict: &[u8],
+    window_size: u32,
+) -> Result<Vec<u8>, DecodeError> {
+    let mut out = dict.to_vec();
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { dist, len } => {
+                if dist > window_size {
+                    return Err(DecodeError::DistanceExceedsWindow {
+                        at: out.len() - dict.len(),
+                        dist,
+                        window: window_size,
+                    });
+                }
+                if dist as usize > out.len() {
+                    return Err(DecodeError::DistanceBeforeStart {
+                        at: out.len() - dict.len(),
+                        dist,
+                    });
+                }
+                let start = out.len() - dist as usize;
+                for k in 0..len as usize {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out.drain(..dict.len());
+    Ok(out)
+}
+
+/// Expand a stream of the paper's raw `(D, L)` pairs (§III wire format).
+pub fn decode_dl_stream(pairs: &[(u16, u8)], window_size: u32) -> Result<Vec<u8>, DecodeError> {
+    let tokens: Vec<Token> = pairs.iter().map(|&(d, l)| Token::from_dl_pair(d, l)).collect();
+    decode_tokens(&tokens, window_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lzfpga_deflate::token::Token as T;
+
+    #[test]
+    fn literal_stream() {
+        let tokens: Vec<T> = b"plain".iter().copied().map(T::Literal).collect();
+        assert_eq!(decode_tokens(&tokens, 4_096).unwrap(), b"plain");
+    }
+
+    #[test]
+    fn snowy_snow_paper_example() {
+        let mut tokens: Vec<T> = b"snowy ".iter().copied().map(T::Literal).collect();
+        tokens.push(T::new_match(6, 4));
+        assert_eq!(decode_tokens(&tokens, 4_096).unwrap(), b"snowy snow");
+    }
+
+    #[test]
+    fn overlapping_copy_rle_style() {
+        let tokens = vec![T::Literal(b'x'), T::new_match(1, 258)];
+        let out = decode_tokens(&tokens, 1_024).unwrap();
+        assert_eq!(out.len(), 259);
+        assert!(out.iter().all(|&b| b == b'x'));
+    }
+
+    #[test]
+    fn distance_before_start_rejected() {
+        let tokens = vec![T::Literal(b'a'), T::new_match(2, 3)];
+        assert_eq!(
+            decode_tokens(&tokens, 4_096),
+            Err(DecodeError::DistanceBeforeStart { at: 1, dist: 2 })
+        );
+    }
+
+    #[test]
+    fn window_violation_rejected() {
+        let tokens: Vec<T> = (0..2_000u32)
+            .map(|i| T::Literal((i % 251) as u8))
+            .chain([T::new_match(1_500, 3)])
+            .collect();
+        assert_eq!(
+            decode_tokens(&tokens, 1_024),
+            Err(DecodeError::DistanceExceedsWindow { at: 2_000, dist: 1_500, window: 1_024 })
+        );
+        // The same stream is fine with a 2 KiB window.
+        assert!(decode_tokens(&tokens, 2_048).is_ok());
+    }
+
+    #[test]
+    fn dl_pair_stream_round_trip() {
+        let pairs = vec![(0u16, b's'), (0, b'n'), (0, b'o'), (0, b'w'), (0, b'y'), (0, b' '), (6, 1)];
+        assert_eq!(decode_dl_stream(&pairs, 4_096).unwrap(), b"snowy snow");
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = DecodeError::DistanceExceedsWindow { at: 7, dist: 9_999, window: 4_096 };
+        assert!(e.to_string().contains("9999"));
+        assert!(e.to_string().contains("4096"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests on the algorithm layer: compression round trips under
+//! arbitrary data/parameters, hash-function contracts, classic-format
+//! round trips, and cost-model monotonicity.
+
+use lzfpga_lzss::classic::{decode_classic, encode_classic, ClassicParams};
+use lzfpga_lzss::cost::estimate_software;
+use lzfpga_lzss::decoder::decode_tokens;
+use lzfpga_lzss::hash::{HashFn, HASH_BYTES};
+use lzfpga_lzss::params::{CompressionLevel, LzssParams};
+use lzfpga_lzss::reference::{compress, max_distance};
+use lzfpga_deflate::token::Token;
+use proptest::prelude::*;
+
+fn params_strategy() -> impl Strategy<Value = LzssParams> {
+    (
+        prop_oneof![Just(1_024u32), Just(2_048), Just(4_096), Just(16_384)],
+        9u32..=15,
+        prop_oneof![
+            Just(CompressionLevel::Min),
+            Just(CompressionLevel::Medium),
+            Just(CompressionLevel::Max)
+        ],
+        any::<bool>(),
+    )
+        .prop_map(|(window, hash, level, mult)| LzssParams {
+            window_size: window,
+            hash_bits: hash,
+            hash_fn: if mult { HashFn::multiplicative(hash) } else { HashFn::zlib(hash) },
+            level,
+            chain_limit: None,
+        })
+}
+
+fn inputs() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..8_000),
+        proptest::collection::vec(prop_oneof![Just(b'x'), Just(b'y'), Just(b'.')], 0..12_000),
+        (1usize..200, proptest::collection::vec(any::<u8>(), 1..64))
+            .prop_map(|(n, tile)| tile.iter().copied().cycle().take(n * tile.len()).collect()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn compress_decode_round_trips(data in inputs(), params in params_strategy()) {
+        let tokens = compress(&data, &params);
+        prop_assert_eq!(decode_tokens(&tokens, params.window_size).unwrap(), data);
+    }
+
+    #[test]
+    fn all_matches_respect_the_window(data in inputs(), params in params_strategy()) {
+        let limit = max_distance(params.window_size);
+        for t in compress(&data, &params) {
+            if let Token::Match { dist, len } = t {
+                prop_assert!(dist >= 1 && dist <= limit);
+                prop_assert!((3..=258).contains(&len));
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_is_exact(data in inputs(), params in params_strategy()) {
+        let covered: u64 = compress(&data, &params)
+            .iter()
+            .map(|t| match *t {
+                Token::Literal(_) => 1,
+                Token::Match { len, .. } => u64::from(len),
+            })
+            .sum();
+        prop_assert_eq!(covered, data.len() as u64);
+    }
+
+    #[test]
+    fn hash_values_stay_in_declared_range(bytes in any::<[u8; 3]>(), bits in 8u32..=16) {
+        for f in [HashFn::zlib(bits), HashFn::multiplicative(bits)] {
+            let h = f.hash3(bytes[0], bytes[1], bytes[2]);
+            prop_assert!(h < (1 << bits), "{f:?}: {h}");
+        }
+    }
+
+    #[test]
+    fn hash_at_matches_hash3(data in proptest::collection::vec(any::<u8>(), HASH_BYTES..200),
+                             bits in 8u32..=16) {
+        let f = HashFn::zlib(bits);
+        for pos in 0..=data.len() - HASH_BYTES {
+            prop_assert_eq!(
+                f.hash_at(&data, pos),
+                f.hash3(data[pos], data[pos + 1], data[pos + 2])
+            );
+        }
+    }
+
+    #[test]
+    fn classic_format_round_trips(data in inputs()) {
+        let params = LzssParams::new(4_096, 13, CompressionLevel::Min);
+        let tokens = compress(&data, &params);
+        let cp = ClassicParams::okumura();
+        let bits = encode_classic(&tokens, &cp);
+        prop_assert_eq!(decode_classic(&bits, &cp).unwrap(), data);
+    }
+
+    #[test]
+    fn cost_model_is_monotone_in_input(data in inputs()) {
+        // More data never costs fewer modelled cycles.
+        let params = LzssParams::paper_fast();
+        let half = estimate_software(&data[..data.len() / 2], &params);
+        let full = estimate_software(&data, &params);
+        prop_assert!(full.cycles >= half.cycles);
+        prop_assert_eq!(full.tokens, compress(&data, &params));
+    }
+
+    #[test]
+    fn deeper_levels_never_compress_worse(data in inputs()) {
+        let bits = |level| {
+            let params = LzssParams::new(4_096, 15, level);
+            lzfpga_deflate::encoder::fixed_block_bit_size(&compress(&data, &params))
+        };
+        let min = bits(CompressionLevel::Min);
+        let max = bits(CompressionLevel::Max);
+        // The lazy matcher can in principle lose a little on tiny inputs
+        // but must never be more than marginally worse.
+        prop_assert!(max as f64 <= min as f64 * 1.02 + 64.0, "max {max} vs min {min}");
+    }
+}

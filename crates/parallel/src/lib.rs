@@ -1,0 +1,307 @@
+//! Chunk-parallel compression over multiple compressor instances.
+//!
+//! The paper puts **one** LZSS engine next to the CPU; a Virtex-5 has room
+//! for several (Table II: ~5-7 % of the chip each), and a logging
+//! aggregator with multiple input channels can run them side by side. This
+//! crate models that scale-out the way `pigz` does for software deflate:
+//!
+//! * the input splits into fixed-size **chunks**, each compressed by an
+//!   independent engine (fresh dictionary — chunk boundaries lose a little
+//!   ratio, quantified in tests);
+//! * every chunk becomes a run of non-final Deflate blocks; concatenated
+//!   they form **one standard zlib stream** (matches never cross chunk
+//!   boundaries, so block concatenation is sound), with a single Adler-32
+//!   over the whole input;
+//! * the output is **bit-identical for any worker count** — parallelism is
+//!   an implementation detail, never a format change.
+//!
+//! Host-side parallelism uses `crossbeam::scope` with a shared atomic work
+//! queue (no work stealing needed — chunks are uniform); the *modelled*
+//! FPGA speedup assigns chunks round-robin to `instances` engines and takes
+//! the makespan, reproducing the near-linear scaling a multi-engine design
+//! gets until the DMA bandwidth saturates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use lzfpga_core::config::CLOCK_HZ;
+use lzfpga_core::{HwCompressor, HwConfig};
+use lzfpga_deflate::adler32::adler32;
+use lzfpga_deflate::encoder::{BlockKind, DeflateEncoder};
+use lzfpga_deflate::token::Token;
+use lzfpga_deflate::zlib::zlib_header;
+
+/// Parallel compression configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelConfig {
+    /// Chunk size in bytes (each chunk gets a fresh dictionary).
+    pub chunk_bytes: usize,
+    /// Host worker threads (0 = all available cores).
+    pub workers: usize,
+    /// Modelled hardware engine instances on the FPGA.
+    pub instances: usize,
+    /// Per-engine configuration.
+    pub hw: HwConfig,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        Self {
+            chunk_bytes: 256 * 1024,
+            workers: 0,
+            instances: 4,
+            hw: HwConfig::paper_fast(),
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// Validate the configuration.
+    ///
+    /// # Panics
+    /// Panics on a zero chunk size or zero instances.
+    pub fn validate(&self) {
+        assert!(self.chunk_bytes >= 4_096, "chunks below 4 KiB waste all ratio");
+        assert!(self.instances >= 1, "at least one engine instance");
+        self.hw.validate();
+    }
+}
+
+/// Per-chunk outcome.
+#[derive(Debug, Clone)]
+pub struct ChunkReport {
+    /// Chunk index.
+    pub index: usize,
+    /// Input bytes in this chunk.
+    pub input_bytes: u64,
+    /// Engine cycles spent (DMA setup included, as in Table I).
+    pub cycles: u64,
+    /// Tokens produced.
+    pub tokens: u64,
+}
+
+/// Result of a parallel compression run.
+#[derive(Debug, Clone)]
+pub struct ParallelReport {
+    /// The single zlib stream covering the whole input.
+    pub compressed: Vec<u8>,
+    /// Per-chunk engine metrics, in chunk order.
+    pub chunks: Vec<ChunkReport>,
+    /// Makespan in cycles when the chunks run on `instances` engines
+    /// (greedy round-robin assignment in chunk order).
+    pub makespan_cycles: u64,
+    /// Total engine cycles across all chunks (the 1-instance makespan).
+    pub total_cycles: u64,
+    /// Input size.
+    pub input_bytes: u64,
+}
+
+impl ParallelReport {
+    /// Compression ratio (input / output).
+    pub fn ratio(&self) -> f64 {
+        if self.compressed.is_empty() {
+            0.0
+        } else {
+            self.input_bytes as f64 / self.compressed.len() as f64
+        }
+    }
+
+    /// Modelled aggregate throughput of the multi-engine design, MB/s.
+    pub fn mb_per_s(&self) -> f64 {
+        if self.makespan_cycles == 0 {
+            0.0
+        } else {
+            self.input_bytes as f64 / 1e6 * CLOCK_HZ / self.makespan_cycles as f64
+        }
+    }
+
+    /// Modelled speedup over a single engine.
+    pub fn speedup(&self) -> f64 {
+        if self.makespan_cycles == 0 {
+            1.0
+        } else {
+            self.total_cycles as f64 / self.makespan_cycles as f64
+        }
+    }
+}
+
+/// Compress `data` chunk-parallel into one standard zlib stream.
+///
+/// The output bytes depend only on `cfg.chunk_bytes` and `cfg.hw` — never
+/// on `cfg.workers` or `cfg.instances`.
+pub fn compress_parallel(data: &[u8], cfg: &ParallelConfig) -> ParallelReport {
+    cfg.validate();
+    let chunks: Vec<&[u8]> = if data.is_empty() {
+        vec![&[]]
+    } else {
+        data.chunks(cfg.chunk_bytes).collect()
+    };
+    let n_chunks = chunks.len();
+    let workers = if cfg.workers == 0 {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    } else {
+        cfg.workers
+    }
+    .min(n_chunks)
+    .max(1);
+
+    // Compress chunks in parallel; results land in their slots.
+    let mut slots: Vec<Option<(Vec<Token>, u64)>> = vec![None; n_chunks];
+    {
+        let next = AtomicUsize::new(0);
+        let mut slot_refs: Vec<_> = slots.iter_mut().collect();
+        // Workers pull chunk indices from a shared atomic counter and send
+        // results over a channel; the scope's owner thread files them into
+        // their slots, so no locking is needed anywhere.
+        let (tx, rx) = crossbeam::channel::unbounded();
+        crossbeam::thread::scope(|s| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let chunks = &chunks;
+                let hw = cfg.hw;
+                s.spawn(move |_| {
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= chunks.len() {
+                            break;
+                        }
+                        let rep = HwCompressor::new(hw).compress(chunks[i]);
+                        tx.send((i, rep.tokens, rep.cycles)).expect("collector alive");
+                    }
+                });
+            }
+            drop(tx);
+            for (i, tokens, cycles) in rx {
+                *slot_refs[i] = Some((tokens, cycles));
+            }
+            // Scope join happens here; `slot_refs` borrow ends with it.
+        })
+        .expect("worker panicked");
+    }
+
+    // Stitch: zlib header, per-chunk block runs, single Adler trailer.
+    let mut enc = DeflateEncoder::new();
+    let mut reports = Vec::with_capacity(n_chunks);
+    for (i, slot) in slots.into_iter().enumerate() {
+        let (tokens, cycles) = slot.expect("every chunk compressed");
+        enc.write_block(&tokens, BlockKind::FixedHuffman, i + 1 == n_chunks);
+        reports.push(ChunkReport {
+            index: i,
+            input_bytes: chunks[i].len() as u64,
+            cycles,
+            tokens: tokens.len() as u64,
+        });
+    }
+    let mut compressed = zlib_header(cfg.hw.window_size.max(256), 1).to_vec();
+    compressed.extend_from_slice(&enc.finish());
+    compressed.extend_from_slice(&adler32(data).to_be_bytes());
+
+    // Makespan on `instances` engines, chunks assigned round-robin.
+    let mut engine_load = vec![0u64; cfg.instances];
+    for r in &reports {
+        engine_load[r.index % cfg.instances] += r.cycles;
+    }
+    let makespan = engine_load.into_iter().max().unwrap_or(0);
+    let total: u64 = reports.iter().map(|r| r.cycles).sum();
+
+    ParallelReport {
+        compressed,
+        chunks: reports,
+        makespan_cycles: makespan,
+        total_cycles: total,
+        input_bytes: data.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lzfpga_core::pipeline::compress_to_zlib;
+    use lzfpga_deflate::zlib::zlib_decompress;
+    use lzfpga_workloads::{generate, Corpus};
+
+    fn cfg(chunk: usize, workers: usize, instances: usize) -> ParallelConfig {
+        ParallelConfig {
+            chunk_bytes: chunk,
+            workers,
+            instances,
+            hw: HwConfig::paper_fast(),
+        }
+    }
+
+    #[test]
+    fn output_is_valid_zlib() {
+        let data = generate(Corpus::Wiki, 5, 700_000);
+        let rep = compress_parallel(&data, &cfg(128 * 1024, 0, 4));
+        assert_eq!(zlib_decompress(&rep.compressed).unwrap(), data);
+        assert_eq!(rep.chunks.len(), 6);
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_bytes() {
+        let data = generate(Corpus::X2e, 9, 400_000);
+        let baseline = compress_parallel(&data, &cfg(64 * 1024, 1, 1));
+        for workers in [2usize, 3, 8] {
+            let rep = compress_parallel(&data, &cfg(64 * 1024, workers, workers));
+            assert_eq!(rep.compressed, baseline.compressed, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn single_chunk_matches_the_pipeline_exactly() {
+        let data = generate(Corpus::LogLines, 3, 100_000);
+        let par = compress_parallel(&data, &cfg(1 << 20, 2, 2));
+        let single = compress_to_zlib(&data, &HwConfig::paper_fast());
+        assert_eq!(par.compressed, single.compressed);
+    }
+
+    #[test]
+    fn chunking_costs_a_little_ratio() {
+        let data = generate(Corpus::Wiki, 7, 600_000);
+        let whole = compress_parallel(&data, &cfg(1 << 20, 0, 1));
+        let chopped = compress_parallel(&data, &cfg(16 * 1024, 0, 1));
+        assert!(chopped.compressed.len() >= whole.compressed.len());
+        // ... but only a little: the dictionary warms up in a few KB.
+        assert!(
+            (chopped.compressed.len() as f64) < whole.compressed.len() as f64 * 1.10,
+            "{} vs {}",
+            chopped.compressed.len(),
+            whole.compressed.len()
+        );
+    }
+
+    #[test]
+    fn multi_engine_speedup_is_near_linear() {
+        let data = generate(Corpus::Wiki, 2, 1_200_000);
+        let rep4 = compress_parallel(&data, &cfg(64 * 1024, 0, 4));
+        assert!(rep4.speedup() > 3.0, "speedup {}", rep4.speedup());
+        assert!(rep4.mb_per_s() > 120.0, "{} MB/s", rep4.mb_per_s());
+        let rep1 = compress_parallel(&data, &cfg(64 * 1024, 0, 1));
+        assert_eq!(rep1.makespan_cycles, rep1.total_cycles);
+    }
+
+    #[test]
+    fn empty_input_yields_a_valid_empty_stream() {
+        let rep = compress_parallel(b"", &cfg(8 * 1024, 2, 2));
+        assert_eq!(zlib_decompress(&rep.compressed).unwrap(), b"");
+    }
+
+    #[test]
+    #[should_panic(expected = "chunks below 4 KiB")]
+    fn tiny_chunks_rejected() {
+        compress_parallel(b"x", &cfg(1024, 1, 1));
+    }
+
+    #[test]
+    fn cycle_accounting_sums() {
+        let data = generate(Corpus::SensorFrames, 4, 300_000);
+        let rep = compress_parallel(&data, &cfg(64 * 1024, 0, 3));
+        let sum: u64 = rep.chunks.iter().map(|c| c.cycles).sum();
+        assert_eq!(sum, rep.total_cycles);
+        assert!(rep.makespan_cycles <= rep.total_cycles);
+        assert!(rep.makespan_cycles >= rep.total_cycles / 3);
+    }
+}

@@ -1,0 +1,35 @@
+//! Deterministic workload generators standing in for the paper's data sets.
+//!
+//! The paper evaluates on (a) a fragment of a Wikipedia text snapshot (the
+//! Large Text Compression Benchmark's `enwik`) and (b) traces from an X2E
+//! automotive CAN logger. Neither is redistributable here, so this crate
+//! generates synthetic equivalents whose *compression behaviour* matches the
+//! originals at the operating points the paper reports (see `DESIGN.md`,
+//! substitutions table):
+//!
+//! * [`wiki`] — Markov-chain English-like text with a Zipf vocabulary and
+//!   light wiki markup; calibrated to a fast-preset ratio of ≈ 1.6–1.8 at a
+//!   4 KB window (Table I reports 1.68–1.69).
+//! * [`canlog`] — binary CAN logger records with periodic frame IDs,
+//!   slowly-drifting signal payloads and monotonic timestamps; calibrated to
+//!   ≈ 1.7 at the fast preset (Table I).
+//! * [`patterns`] — corner-case inputs (incompressible, constant, periodic,
+//!   hash-collision stress) for tests and ablation benches.
+//! * [`corpus`] — a named registry so experiments can ask for "wiki, 10 MB,
+//!   seed 1" reproducibly.
+//!
+//! All generators are deterministic functions of `(seed, len)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod canlog;
+pub mod markup;
+pub mod mixed;
+pub mod corpus;
+pub mod patterns;
+pub mod sensor;
+pub mod telemetry;
+pub mod wiki;
+
+pub use corpus::{generate, Corpus};

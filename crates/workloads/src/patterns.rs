@@ -1,0 +1,115 @@
+//! Corner-case synthetic inputs for tests and ablation benches.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform random bytes — incompressible; the LZSS worst case where almost
+/// every position becomes a literal (the paper's "30–85 % of matching
+/// operations unsuccessful" upper end).
+pub fn random(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
+    (0..len).map(|_| rng.gen()).collect()
+}
+
+/// A single repeated byte — maximal compressibility, exercises back-to-back
+/// 258-byte matches and the hash-skip path.
+pub fn constant(byte: u8, len: usize) -> Vec<u8> {
+    vec![byte; len]
+}
+
+/// A block of `period` random bytes tiled to `len` — every position past the
+/// first period matches at exactly `dist == period`, which makes dictionary
+/// sizing effects razor sharp (compresses iff `period < window`).
+pub fn periodic(seed: u64, period: usize, len: usize) -> Vec<u8> {
+    assert!(period > 0);
+    let block = random(seed ^ 0x9E37, period);
+    block.iter().copied().cycle().take(len).collect()
+}
+
+/// Text-like structured records with a numeric field — mildly compressible,
+/// the classic log-file shape.
+pub fn log_lines(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x106);
+    let levels = ["INFO", "WARN", "DEBUG", "ERROR"];
+    let subsystems = ["net.eth0", "disk.sda", "sched", "mm", "fs.ext4", "usb.hub"];
+    let mut out = Vec::with_capacity(len + 80);
+    let mut t_ms = 0u64;
+    while out.len() < len {
+        t_ms += u64::from(rng.gen_range(1..250u32));
+        let line = format!(
+            "[{:>10}.{:03}] {} {}: op={} latency={}us status=0x{:04x}\n",
+            t_ms / 1000,
+            t_ms % 1000,
+            levels[rng.gen_range(0..levels.len())],
+            subsystems[rng.gen_range(0..subsystems.len())],
+            rng.gen_range(0..32u32),
+            rng.gen_range(10..50_000u32),
+            rng.gen_range(0..65_536u32),
+        );
+        out.extend_from_slice(line.as_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+/// Adversarial input for the hash chains: every 3-gram hashes to a small set
+/// of buckets (byte values chosen from a tiny alphabet), maximising chain
+/// collisions and match-iteration work — the stress case for Fig. 3's
+/// hash-size argument.
+pub fn collision_stress(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC011);
+    // Alphabet of 4 symbols: 64 possible trigrams, tiny hash image.
+    const ALPHABET: [u8; 4] = [0x00, 0x01, 0x02, 0x03];
+    (0..len).map(|_| ALPHABET[rng.gen_range(0..4)]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_deterministic_and_high_entropy() {
+        let a = random(1, 65_536);
+        assert_eq!(a, random(1, 65_536));
+        let mut hist = [0u64; 256];
+        for &b in &a {
+            hist[b as usize] += 1;
+        }
+        let max = *hist.iter().max().unwrap() as f64;
+        let mean = a.len() as f64 / 256.0;
+        assert!(max < mean * 1.5, "skewed histogram: max {max}, mean {mean}");
+    }
+
+    #[test]
+    fn periodic_repeats_exactly() {
+        let p = periodic(2, 100, 1_000);
+        for i in 100..p.len() {
+            assert_eq!(p[i], p[i - 100]);
+        }
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        assert!(constant(7, 500).iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn log_lines_look_like_logs() {
+        let data = log_lines(3, 20_000);
+        let s = String::from_utf8_lossy(&data);
+        assert!(s.contains("latency="));
+        assert!(s.lines().count() > 100);
+    }
+
+    #[test]
+    fn collision_stress_uses_tiny_alphabet() {
+        let data = collision_stress(1, 10_000);
+        assert!(data.iter().all(|&b| b < 4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_period_rejected() {
+        periodic(1, 0, 10);
+    }
+}

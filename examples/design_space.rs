@@ -1,0 +1,50 @@
+//! Design-space exploration: the workflow the paper's estimation tool [17]
+//! supports — run a data sample through the cycle-accurate model across a
+//! grid of (dictionary size, hash bits) points, then pick the best
+//! configuration that fits a block-RAM budget.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use lzfpga::estimator::sweep::grid_points;
+use lzfpga::estimator::{render_table, run_sweep};
+use lzfpga::lzss::CompressionLevel;
+use lzfpga::workloads::{generate, Corpus};
+
+fn main() {
+    // The sample to optimise for: your real data. Here, 2 MB of the
+    // Wikipedia-like corpus.
+    let data = generate(Corpus::Wiki, 7, 2_000_000);
+
+    // The paper's Figure 2/3 grid.
+    let dicts = [1_024u32, 2_048, 4_096, 8_192, 16_384];
+    let hashes = [9u32, 11, 13, 15];
+    let points = grid_points(&dicts, &hashes, CompressionLevel::Min);
+
+    println!("sweeping {} configurations over {} bytes...\n", points.len(), data.len());
+    let results = run_sweep(&data, &points, 0 /* all cores */);
+    println!("{}", render_table(&results));
+
+    // Constraint: an embedded design that can only spare 16 RAMB36 blocks
+    // (the XC5VFX70T has 148 in total; the rest belongs to the SoC).
+    let budget = 16.0;
+    let best = results
+        .iter()
+        .filter(|r| r.bram36_equiv <= budget)
+        .max_by(|a, b| a.ratio.total_cmp(&b.ratio))
+        .expect("at least one config fits");
+    println!("best ratio within a {budget} RAMB36 budget: {}", best.label);
+    println!("  ratio {:.3}, {:.1} MB/s, {:.1} RAMB36, {} LUTs",
+        best.ratio, best.mb_per_s, best.bram36_equiv, best.luts);
+
+    // And the fastest one, for throughput-bound loggers.
+    let fastest = results
+        .iter()
+        .filter(|r| r.bram36_equiv <= budget)
+        .max_by(|a, b| a.mb_per_s.total_cmp(&b.mb_per_s))
+        .expect("at least one config fits");
+    println!("fastest within the same budget: {}", fastest.label);
+    println!("  ratio {:.3}, {:.1} MB/s, {:.1} RAMB36, {} LUTs",
+        fastest.ratio, fastest.mb_per_s, fastest.bram36_equiv, fastest.luts);
+}

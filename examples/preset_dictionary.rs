@@ -1,0 +1,58 @@
+//! Preset dictionaries for small-record logging: when each stored record is
+//! only a few hundred bytes (one record per flash page, per MQTT message,
+//! per database row), a cold window has nothing to match against — priming
+//! it with the schema's recurring text recovers most of the lost ratio.
+//!
+//! ```text
+//! cargo run --release --example preset_dictionary
+//! ```
+
+use lzfpga::deflate::encoder::BlockKind;
+use lzfpga::deflate::zlib::{zlib_compress_tokens_with_dict, zlib_decompress_with_dict};
+use lzfpga::hw::{HwCompressor, HwConfig};
+use lzfpga::workloads::{generate, Corpus};
+
+fn main() {
+    // The deployment ships this dictionary with the decoder: the JSON keys
+    // every telemetry record repeats.
+    let dict = b"{\"ts\":,\"seq\":,\"src\":\"ecu0\",\"temperature_c\":,\"vbus_mv\":,\
+                 \"rpm\":,\"throttle_pct\":,\"lambda\":,\"gear\":,\"oil_pressure_kpa\":}"
+        .to_vec();
+    let cfg = HwConfig::paper_fast();
+
+    println!("dictionary: {} bytes of recurring record schema\n", dict.len());
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>10}",
+        "record size", "cold bytes", "primed bytes", "cold ratio", "primed"
+    );
+
+    for record_bytes in [200usize, 500, 1_000, 4_000, 16_000, 64_000] {
+        let record = generate(Corpus::JsonTelemetry, 42, record_bytes);
+        let cold = HwCompressor::new(cfg).compress(&record);
+        let cold_stream = lzfpga::deflate::zlib_compress_tokens(
+            &cold.tokens,
+            &record,
+            BlockKind::FixedHuffman,
+            4_096,
+        );
+        let primed = HwCompressor::new(cfg).compress_with_dict(&dict, &record);
+        let primed_stream = zlib_compress_tokens_with_dict(
+            &primed.tokens,
+            &record,
+            &dict,
+            BlockKind::FixedHuffman,
+            4_096,
+        );
+        assert_eq!(zlib_decompress_with_dict(&primed_stream, &dict).unwrap(), record);
+        println!(
+            "{:<14} {:>12} {:>12} {:>12.2} {:>10.2}",
+            record_bytes,
+            cold_stream.len(),
+            primed_stream.len(),
+            record.len() as f64 / cold_stream.len() as f64,
+            record.len() as f64 / primed_stream.len() as f64,
+        );
+    }
+    println!("\npriming pays most below ~4 KB records and washes out once the");
+    println!("window warms itself up — exactly zlib's deflateSetDictionary trade-off");
+}

@@ -1,0 +1,174 @@
+//! Preset-dictionary (RFC 1950 FDICT) support, end to end: a logger whose
+//! records share a known preamble primes the window with it and compresses
+//! the first records as well as the thousandth.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+use lzfpga::deflate::zlib::{zlib_compress_tokens_with_dict, zlib_decompress_with_dict};
+use lzfpga::deflate::encoder::BlockKind;
+use lzfpga::deflate::Token;
+use lzfpga::hw::{HwCompressor, HwConfig};
+use lzfpga::lzss::decoder::decode_tokens_with_dict;
+use lzfpga::lzss::reference::compress_with_dict;
+use lzfpga::workloads::{generate, Corpus};
+
+fn logger_dict() -> Vec<u8> {
+    // A plausible preset: the field names and common values every record
+    // repeats (what a deployment would ship alongside the decoder).
+    let mut d = Vec::new();
+    d.extend_from_slice(b"\"ts\":\"seq\":\"src\":\"ecu0\"\"temperature_c\":\"vbus_mv\":");
+    d.extend_from_slice(b"\"rpm\":\"throttle_pct\":\"lambda\":\"gear\":\"oil_pressure_kpa\":");
+    d.extend_from_slice(b" DEBUG INFO WARN ERROR net.eth0 fs.ext4 disk.sda op= latency=");
+    d.extend_from_slice(b"us status=0x");
+    d
+}
+
+#[test]
+fn hw_and_sw_agree_with_a_dictionary() {
+    let dict = logger_dict();
+    let data = generate(Corpus::JsonTelemetry, 3, 60_000);
+    let cfg = HwConfig::paper_fast();
+    let hw = HwCompressor::new(cfg).compress_with_dict(&dict, &data);
+    let sw = compress_with_dict(&dict, &data, &cfg.as_lzss_params());
+    assert_eq!(hw.tokens, sw, "dictionary priming must steer both models identically");
+    assert_eq!(decode_tokens_with_dict(&hw.tokens, &dict, 4_096).unwrap(), data);
+}
+
+#[test]
+fn dictionary_improves_early_compression() {
+    let dict = logger_dict();
+    // Short payload: without priming there is nothing to match against.
+    let data = generate(Corpus::JsonTelemetry, 5, 600);
+    let cfg = HwConfig::paper_fast();
+    let primed = HwCompressor::new(cfg).compress_with_dict(&dict, &data);
+    let cold = HwCompressor::new(cfg).compress(&data);
+    let bits = |t: &[Token]| lzfpga::deflate::encoder::fixed_block_bit_size(t);
+    assert!(
+        bits(&primed.tokens) < bits(&cold.tokens) * 95 / 100,
+        "priming must help short payloads: {} vs {}",
+        bits(&primed.tokens),
+        bits(&cold.tokens)
+    );
+    let has_dict_reach = primed.tokens.iter().take(30).any(|t| matches!(t, Token::Match { .. }));
+    assert!(has_dict_reach, "early matches must reach into the dictionary");
+}
+
+#[test]
+fn fdict_container_round_trips() {
+    let dict = logger_dict();
+    let data = generate(Corpus::LogLines, 9, 40_000);
+    let cfg = HwConfig::paper_fast();
+    let rep = HwCompressor::new(cfg).compress_with_dict(&dict, &data);
+    let stream =
+        zlib_compress_tokens_with_dict(&rep.tokens, &data, &dict, BlockKind::FixedHuffman, 4_096);
+    assert_eq!(stream[1] & 0x20, 0x20, "FDICT flag set");
+    assert_eq!(zlib_decompress_with_dict(&stream, &dict).unwrap(), data);
+    // The wrong dictionary is rejected by DICTID before any inflation.
+    assert!(zlib_decompress_with_dict(&stream, b"wrong dictionary").is_err());
+    // A dictionary-free decode refuses the FDICT stream.
+    assert!(lzfpga::deflate::zlib_decompress(&stream).is_err());
+}
+
+#[test]
+fn real_zlib_decodes_our_fdict_stream() {
+    let dict = logger_dict();
+    let data = generate(Corpus::JsonTelemetry, 21, 50_000);
+    let cfg = HwConfig::paper_fast();
+    let rep = HwCompressor::new(cfg).compress_with_dict(&dict, &data);
+    let stream =
+        zlib_compress_tokens_with_dict(&rep.tokens, &data, &dict, BlockKind::FixedHuffman, 4_096);
+    // python3 reads the dictionary (hex, argv) and the stream (stdin).
+    let script = "import sys,zlib,binascii;\
+                  zd=binascii.unhexlify(sys.argv[1]);\
+                  o=zlib.decompressobj(zdict=zd);\
+                  sys.stdout.buffer.write(o.decompress(sys.stdin.buffer.read()))";
+    let hex: String = dict.iter().map(|b| format!("{b:02x}")).collect();
+    let child = Command::new("python3")
+        .args(["-c", script, &hex])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn();
+    let Ok(mut child) = child else {
+        eprintln!("python3 unavailable — skipping system-zlib FDICT check");
+        return;
+    };
+    child.stdin.take().unwrap().write_all(&stream).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "system zlib rejected the FDICT stream: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(out.stdout, data);
+}
+
+#[test]
+fn oversized_dictionary_rejected() {
+    let cfg = HwConfig::new(1_024, 12);
+    let dict = vec![b'd'; 5_000];
+    let result = std::panic::catch_unwind(move || {
+        HwCompressor::new(cfg).compress_with_dict(&dict, b"payload")
+    });
+    assert!(result.is_err(), "a dictionary larger than the window must panic");
+}
+
+#[test]
+fn empty_dictionary_degenerates_to_plain_compression() {
+    let data = generate(Corpus::Wiki, 2, 30_000);
+    let cfg = HwConfig::paper_fast();
+    let primed = HwCompressor::new(cfg).compress_with_dict(b"", &data);
+    let plain = HwCompressor::new(cfg).compress(&data);
+    assert_eq!(primed.tokens, plain.tokens);
+}
+
+#[test]
+fn session_with_dictionary_streams_fdict() {
+    use lzfpga::hw::ZlibSession;
+    let dict = logger_dict();
+    let data = generate(Corpus::JsonTelemetry, 7, 80_000);
+    let mut s = ZlibSession::with_dictionary(HwConfig::paper_fast(), &dict);
+    let mut out = Vec::new();
+    for c in data.chunks(10_000) {
+        s.write(c);
+        out.extend(s.flush());
+    }
+    let (tail, rep) = s.finish();
+    out.extend(tail);
+    assert_eq!(rep.input_bytes, data.len() as u64);
+    assert_eq!(out[1] & 0x20, 0x20, "FDICT set in the session header");
+    assert_eq!(zlib_decompress_with_dict(&out, &dict).unwrap(), data);
+}
+
+#[test]
+fn streaming_inflate_follows_session_flushes_live() {
+    // The full loop a log *viewer* runs: the logger session flushes
+    // periodically; the viewer's InflateStream shows each flushed window
+    // without waiting for the stream to close.
+    use lzfpga::deflate::InflateStream;
+    use lzfpga::hw::ZlibSession;
+    let data = generate(Corpus::LogLines, 17, 120_000);
+    let mut session = ZlibSession::new(HwConfig::paper_fast());
+    let mut viewer = InflateStream::new();
+    let mut seen = Vec::new();
+    let mut fed_header = false;
+    for chunk in data.chunks(30_000) {
+        session.write(chunk);
+        let mut bytes = session.flush();
+        if !fed_header && bytes.len() >= 2 {
+            bytes.drain(..2); // strip the zlib header for the raw decoder
+            fed_header = true;
+        }
+        viewer.feed(&bytes).unwrap();
+        let fresh = viewer.take_output();
+        assert!(!fresh.is_empty(), "each flush must surface new log content");
+        seen.extend(fresh);
+        assert_eq!(&data[..seen.len()], &seen[..], "viewer sees a true prefix");
+    }
+    let (tail, _) = session.finish();
+    viewer.feed(&tail[..tail.len() - 4]).unwrap(); // body without Adler
+    seen.extend(viewer.take_output());
+    assert!(viewer.is_finished());
+    assert_eq!(seen, data);
+}
