@@ -145,10 +145,7 @@ mod tests {
 
     #[test]
     fn time_budget_stops_the_loop() {
-        let budget = Budget {
-            bytes: u64::MAX,
-            deadline: Some(std::time::Instant::now()),
-        };
+        let budget = Budget { bytes: u64::MAX, deadline: Some(std::time::Instant::now()) };
         assert_eq!(run_soak(1, &budget, false), 0);
     }
 }

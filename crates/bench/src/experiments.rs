@@ -142,15 +142,9 @@ pub fn table3(ctx: &ExperimentCtx) -> String {
             c.with_8bit_bus().without_prefetch().without_generation_bits()
         }),
     ];
-    let mut out = String::from(
-        "TABLE III: COMPRESSION SPEED WITHOUT OPTIMIZATIONS (Wiki sample)\n",
-    );
-    out.push_str(&format!(
-        "{:<42} {:>12} {:>12}\n",
-        "Configuration",
-        "4KB window",
-        "16KB window"
-    ));
+    let mut out =
+        String::from("TABLE III: COMPRESSION SPEED WITHOUT OPTIMIZATIONS (Wiki sample)\n");
+    out.push_str(&format!("{:<42} {:>12} {:>12}\n", "Configuration", "4KB window", "16KB window"));
     out.push_str(&"-".repeat(68));
     out.push('\n');
     let mut speeds = Vec::new();
@@ -182,10 +176,8 @@ fn fig_grid(ctx: &ExperimentCtx, level: CompressionLevel) -> Vec<lzfpga_estimato
 /// Fig. 2: compressed size vs dictionary size, one series per hash width.
 pub fn fig2(ctx: &ExperimentCtx) -> String {
     let results = fig_grid(ctx, CompressionLevel::Min);
-    let mut out = format!(
-        "FIG 2: COMPRESSED SIZE (MB) OF A {:.0} MB WIKI FRAGMENT\n",
-        ctx.size as f64 / 1e6
-    );
+    let mut out =
+        format!("FIG 2: COMPRESSED SIZE (MB) OF A {:.0} MB WIKI FRAGMENT\n", ctx.size as f64 / 1e6);
     out.push_str(&series_table(&results, |r| r.compressed_bytes as f64 / 1e6, "{:>9.3}"));
     out
 }
@@ -253,9 +245,11 @@ pub fn fig4(ctx: &ExperimentCtx) -> String {
     }
     let results = run_sweep(&data, &points, ctx.threads);
     for (metric_name, metric) in [
-        ("size MB", Box::new(|r: &lzfpga_estimator::EstimateResult| {
-            r.compressed_bytes as f64 / 1e6
-        }) as Box<dyn Fn(&lzfpga_estimator::EstimateResult) -> f64>),
+        (
+            "size MB",
+            Box::new(|r: &lzfpga_estimator::EstimateResult| r.compressed_bytes as f64 / 1e6)
+                as Box<dyn Fn(&lzfpga_estimator::EstimateResult) -> f64>,
+        ),
         ("speed MB/s", Box::new(|r: &lzfpga_estimator::EstimateResult| r.mb_per_s)),
     ] {
         for &level in &[CompressionLevel::Min, CompressionLevel::Max] {
@@ -392,8 +386,7 @@ mod tests {
         // For the 15-bit series the compressed size must fall monotonically
         // from 1K to 16K dictionaries.
         let line = f.lines().find(|l| l.starts_with("15")).unwrap();
-        let vals: Vec<f64> =
-            line.split_whitespace().skip(1).map(|v| v.parse().unwrap()).collect();
+        let vals: Vec<f64> = line.split_whitespace().skip(1).map(|v| v.parse().unwrap()).collect();
         assert_eq!(vals.len(), 5);
         for w in vals.windows(2) {
             assert!(w[1] <= w[0] * 1.005, "size should shrink: {vals:?}");

@@ -51,20 +51,14 @@ pub fn run(name: &str, ctx: &ExperimentCtx) -> Option<String> {
 
 /// Run every extension experiment.
 pub fn run_all(ctx: &ExperimentCtx) -> String {
-    EXTENSION_NAMES
-        .iter()
-        .map(|n| run(n, ctx).expect("known name"))
-        .collect::<Vec<_>>()
-        .join("\n")
+    EXTENSION_NAMES.iter().map(|n| run(n, ctx).expect("known name")).collect::<Vec<_>>().join("\n")
 }
 
 /// EXT A: the three architectures head-to-head — the paper's FSM+BRAM
 /// design vs the related-work CAM \[7\] and systolic array \[8\]\[9\].
 pub fn designs(ctx: &ExperimentCtx) -> String {
     let size = ctx.size.min(2_000_000); // the CAM/systolic sims are O(n*W)
-    let mut out = String::from(
-        "EXT A: MATCHER ARCHITECTURES (4 KB window; text sample)\n",
-    );
+    let mut out = String::from("EXT A: MATCHER ARCHITECTURES (4 KB window; text sample)\n");
     out.push_str(&format!(
         "{:<22} {:>10} {:>10} {:>9} {:>9} {:>9}\n",
         "Design", "MB/s", "cyc/byte", "Ratio", "LUTs", "RAMB36"
@@ -330,10 +324,7 @@ pub fn dynhuff(ctx: &ExperimentCtx) -> String {
             "dynamic 16K single-buf",
             DynHuffmanConfig { double_buffered: false, ..Default::default() },
         ),
-        (
-            "dynamic 4K double-buf",
-            DynHuffmanConfig { block_tokens: 4_096, ..Default::default() },
-        ),
+        ("dynamic 4K double-buf", DynHuffmanConfig { block_tokens: 4_096, ..Default::default() }),
     ] {
         let d = dyn_huffman_stage::evaluate(&rep.tokens, rep.cycles, &cfg);
         out.push_str(&format!(
@@ -352,7 +343,8 @@ pub fn dynhuff(ctx: &ExperimentCtx) -> String {
 /// fixed fields vs Deflate fixed vs dynamic.
 pub fn entropy(ctx: &ExperimentCtx) -> String {
     use lzfpga_deflate::encoder::{BlockKind, DeflateEncoder};
-    let mut out = String::from("EXT F: BACK-END ENCODINGS (bits per corpus, same 4 KB-window tokens)\n");
+    let mut out =
+        String::from("EXT F: BACK-END ENCODINGS (bits per corpus, same 4 KB-window tokens)\n");
     out.push_str(&format!(
         "{:<16} {:>14} {:>14} {:>14} {:>14}\n",
         "Corpus", "classic 17b", "fixed Huff", "dyn Huff", "raw bits"
@@ -395,8 +387,9 @@ pub fn parallel(ctx: &ExperimentCtx) -> String {
             workers: 0,
             instances,
             hw: HwConfig::paper_fast(),
+            ..ParallelConfig::default()
         };
-        let rep = compress_parallel(&data, &cfg);
+        let rep = compress_parallel(&data, &cfg).expect("valid scale-out config");
         out.push_str(&format!(
             "{:<10} {:>12.1} {:>9.2}x {:>10.3} {:>12}\n",
             instances,

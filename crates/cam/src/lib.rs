@@ -307,8 +307,8 @@ mod tests {
         for corpus in [Corpus::Wiki, Corpus::CollisionStress] {
             let data = generate(corpus, 7, 150_000);
             let cam = CamCompressor::new(CamConfig::paper_window()).compress(&data);
-            let hw = lzfpga_core::HwCompressor::new(lzfpga_core::HwConfig::paper_fast())
-                .compress(&data);
+            let hw =
+                lzfpga_core::HwCompressor::new(lzfpga_core::HwConfig::paper_fast()).compress(&data);
             let cam_bits = fixed_block_bit_size(&cam.tokens);
             let hw_bits = fixed_block_bit_size(&hw.tokens);
             assert!(

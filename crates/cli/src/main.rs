@@ -1,8 +1,9 @@
 //! `lzfpga` — command-line front-end to the whole stack.
 //!
 //! ```text
-//! lzfpga compress   [--engine hw|sw] [--format zlib|gzip] [--window N]
+//! lzfpga compress   [--engine hw|sw|turbo] [--format zlib|gzip] [--window N]
 //!                   [--hash N] [--level min|medium|max] [--stats]
+//!                   [--parallel] [--chunk N] [--workers N]
 //!                   [-o OUT] [FILE]        (stdin when FILE is omitted)
 //! lzfpga decompress [-o OUT] [FILE]        (zlib or gzip, auto-detected)
 //! lzfpga stats      [--window N] [--hash N] [--level L] [FILE]
@@ -12,25 +13,32 @@
 //! `--engine hw` (default) runs the cycle-accurate hardware model and can
 //! report modelled FPGA throughput; `--engine sw` runs the zlib-equivalent
 //! software reference (identical output at the greedy levels, plus the lazy
-//! `medium`/`max` variants the hardware does not implement).
+//! `medium`/`max` variants the hardware does not implement); `--engine
+//! turbo` runs the word-at-a-time fast path (same output as `sw` at every
+//! level — and thus as `hw` at the greedy `min` level — as fast as the
+//! host allows). `--parallel` compresses in
+//! fixed-size chunks on a thread pool — the zlib stream stays byte-for-byte
+//! independent of the worker count.
 
 use std::io::{Read, Write};
 use std::process::ExitCode;
 
-use lzfpga_core::pipeline::compress_to_zlib;
+use lzfpga_core::pipeline::{compress_to_zlib, turbo_compress_to_zlib};
 use lzfpga_core::{DecompConfig, HwConfig, HwDecompressor, HwState};
 use lzfpga_deflate::encoder::BlockKind;
 use lzfpga_deflate::gzip::{gzip_compress_tokens, gzip_decompress};
 use lzfpga_deflate::zlib::{zlib_compress_tokens, zlib_decompress};
 use lzfpga_lzss::params::CompressionLevel;
 use lzfpga_lzss::LzssParams;
+use lzfpga_parallel::{compress_parallel, EngineKind, ParallelConfig};
 use lzfpga_workloads::Corpus;
 
 const USAGE: &str = "\
 lzfpga <compress|decompress|stats|gen|trace|rtl> [options]
 
-  compress   [--engine hw|sw] [--format zlib|gzip] [--window N] [--hash N]
-             [--level min|medium|max] [--dict FILE] [--stats] [-o OUT] [FILE]
+  compress   [--engine hw|sw|turbo] [--format zlib|gzip] [--window N] [--hash N]
+             [--level min|medium|max] [--dict FILE] [--stats]
+             [--parallel] [--chunk N] [--workers N] [-o OUT] [FILE]
   decompress [--engine hw|sw] [--dict FILE] [-o OUT] [FILE]
   stats      [--window N] [--hash N] [--level L] [FILE]
   gen        CORPUS SIZE [--seed N] [-o OUT]
@@ -45,6 +53,7 @@ Corpora: wiki, x2e-can, log-lines, json-telemetry, sensor-frames, wiki-xml,
 enum Engine {
     Hw,
     Sw,
+    Turbo,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +74,9 @@ struct CommonOpts {
     output: Option<String>,
     input: Option<String>,
     seed: u64,
+    parallel: bool,
+    chunk_bytes: usize,
+    workers: usize,
     positional: Vec<String>,
 }
 
@@ -81,6 +93,9 @@ impl Default for CommonOpts {
             output: None,
             input: None,
             seed: 1,
+            parallel: false,
+            chunk_bytes: 256 * 1024,
+            workers: 0,
             positional: Vec::new(),
         }
     }
@@ -90,14 +105,14 @@ fn parse_opts(args: &[String]) -> Result<CommonOpts, String> {
     let mut o = CommonOpts::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        let mut value = |name: &str| {
-            it.next().cloned().ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} requires a value"));
         match a.as_str() {
             "--engine" => {
                 o.engine = match value("--engine")?.as_str() {
                     "hw" | "hardware" => Engine::Hw,
                     "sw" | "software" => Engine::Sw,
+                    "turbo" | "fast" => Engine::Turbo,
                     other => return Err(format!("unknown engine '{other}'")),
                 }
             }
@@ -109,9 +124,8 @@ fn parse_opts(args: &[String]) -> Result<CommonOpts, String> {
                 }
             }
             "--window" => {
-                o.window = value("--window")?
-                    .parse()
-                    .map_err(|_| "bad --window value".to_string())?;
+                o.window =
+                    value("--window")?.parse().map_err(|_| "bad --window value".to_string())?;
             }
             "--hash" => {
                 o.hash = value("--hash")?.parse().map_err(|_| "bad --hash value".to_string())?;
@@ -128,6 +142,15 @@ fn parse_opts(args: &[String]) -> Result<CommonOpts, String> {
                 o.seed = value("--seed")?.parse().map_err(|_| "bad --seed value".to_string())?;
             }
             "--stats" => o.stats = true,
+            "--parallel" => o.parallel = true,
+            "--chunk" => {
+                o.chunk_bytes =
+                    value("--chunk")?.parse().map_err(|_| "bad --chunk value".to_string())?;
+            }
+            "--workers" => {
+                o.workers =
+                    value("--workers")?.parse().map_err(|_| "bad --workers value".to_string())?;
+            }
             "--dict" => o.dict = Some(value("--dict")?),
             "-o" | "--output" => o.output = Some(value("-o")?),
             flag if flag.starts_with('-') && flag != "-" => {
@@ -145,9 +168,7 @@ fn read_input(path: Option<&str>) -> Result<Vec<u8>, String> {
     match path {
         None | Some("-") => {
             let mut buf = Vec::new();
-            std::io::stdin()
-                .read_to_end(&mut buf)
-                .map_err(|e| format!("reading stdin: {e}"))?;
+            std::io::stdin().read_to_end(&mut buf).map_err(|e| format!("reading stdin: {e}"))?;
             Ok(buf)
         }
         Some(p) => std::fs::read(p).map_err(|e| format!("reading {p}: {e}")),
@@ -156,9 +177,9 @@ fn read_input(path: Option<&str>) -> Result<Vec<u8>, String> {
 
 fn write_output(path: Option<&str>, data: &[u8]) -> Result<(), String> {
     match path {
-        None | Some("-") => std::io::stdout()
-            .write_all(data)
-            .map_err(|e| format!("writing stdout: {e}")),
+        None | Some("-") => {
+            std::io::stdout().write_all(data).map_err(|e| format!("writing stdout: {e}"))
+        }
         Some(p) => std::fs::write(p, data).map_err(|e| format!("writing {p}: {e}")),
     }
 }
@@ -202,6 +223,33 @@ fn cmd_compress(o: &CommonOpts) -> Result<(), String> {
         }
         return write_output(o.output.as_deref(), &out);
     }
+    if o.parallel {
+        if o.format == Format::Gzip {
+            return Err("--parallel emits a zlib stream; gzip framing is single-stream".into());
+        }
+        let cfg = ParallelConfig {
+            chunk_bytes: o.chunk_bytes,
+            workers: o.workers,
+            instances: 1,
+            hw: hw_config(o),
+            engine: match o.engine {
+                Engine::Hw => EngineKind::Modelled,
+                Engine::Sw | Engine::Turbo => EngineKind::Turbo,
+            },
+        };
+        let rep = compress_parallel(&data, &cfg).map_err(|e| format!("parallel config: {e}"))?;
+        if o.stats {
+            eprintln!(
+                "in: {} bytes, out: {} bytes, ratio {:.3} ({} chunks of {} bytes)",
+                data.len(),
+                rep.compressed.len(),
+                rep.ratio(),
+                rep.chunks.len(),
+                o.chunk_bytes
+            );
+        }
+        return write_output(o.output.as_deref(), &rep.compressed);
+    }
     let (out, hw_report) = match o.engine {
         Engine::Hw => {
             let cfg = hw_config(o);
@@ -228,6 +276,18 @@ fn cmd_compress(o: &CommonOpts) -> Result<(), String> {
                     zlib_compress_tokens(&tokens, &data, BlockKind::FixedHuffman, o.window.max(256))
                 }
                 Format::Gzip => gzip_compress_tokens(&tokens, &data, BlockKind::FixedHuffman),
+            };
+            (out, None)
+        }
+        Engine::Turbo => {
+            let cfg = hw_config(o);
+            let out = match o.format {
+                Format::Zlib => turbo_compress_to_zlib(&data, &cfg),
+                Format::Gzip => {
+                    let tokens =
+                        lzfpga_lzss::TurboEngine::new().compress(&data, &cfg.as_lzss_params());
+                    gzip_compress_tokens(&tokens, &data, BlockKind::FixedHuffman)
+                }
             };
             (out, None)
         }
@@ -347,18 +407,16 @@ fn cmd_rtl(o: &CommonOpts) -> Result<(), String> {
 }
 
 fn cmd_gen(o: &CommonOpts) -> Result<(), String> {
-    let corpus_name = o
-        .positional
-        .first()
-        .ok_or_else(|| "gen requires: CORPUS SIZE".to_string())?;
+    let corpus_name =
+        o.positional.first().ok_or_else(|| "gen requires: CORPUS SIZE".to_string())?;
     let size: usize = o
         .positional
         .get(1)
         .ok_or_else(|| "gen requires: CORPUS SIZE".to_string())?
         .parse()
         .map_err(|_| "bad SIZE".to_string())?;
-    let corpus = Corpus::parse(corpus_name)
-        .ok_or_else(|| format!("unknown corpus '{corpus_name}'"))?;
+    let corpus =
+        Corpus::parse(corpus_name).ok_or_else(|| format!("unknown corpus '{corpus_name}'"))?;
     let data = lzfpga_workloads::generate(corpus, o.seed, size);
     write_output(o.output.as_deref(), &data)
 }
@@ -406,6 +464,33 @@ fn main() -> ExitCode {
     }
 }
 
+/// Std-only stand-in for `tempfile::tempdir()`: a unique directory under
+/// the system temp dir, removed on drop.
+#[cfg(test)]
+struct TestDir(std::path::PathBuf);
+
+#[cfg(test)]
+impl TestDir {
+    fn new() -> Self {
+        static COUNTER: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("lzfpga-cli-test-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("create test dir");
+        Self(path)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -426,8 +511,8 @@ mod tests {
     #[test]
     fn parse_all_flags() {
         let o = parse_opts(&strs(&[
-            "--engine", "sw", "--format", "gzip", "--window", "8192", "--hash", "13",
-            "--level", "max", "--seed", "7", "--stats", "-o", "out.bin", "in.bin",
+            "--engine", "sw", "--format", "gzip", "--window", "8192", "--hash", "13", "--level",
+            "max", "--seed", "7", "--stats", "-o", "out.bin", "in.bin",
         ]))
         .unwrap();
         assert_eq!(o.engine, Engine::Sw);
@@ -450,73 +535,86 @@ mod tests {
 
     #[test]
     fn file_round_trip_via_tempdir() {
-        let dir = tempfile::tempdir().unwrap();
+        let dir = TestDir::new();
         let input = dir.path().join("in.bin");
         let comp = dir.path().join("out.z");
         let restored = dir.path().join("back.bin");
         let data = lzfpga_workloads::generate(Corpus::LogLines, 3, 50_000);
         std::fs::write(&input, &data).unwrap();
 
-        run(strs(&[
-            "compress",
-            "-o",
-            comp.to_str().unwrap(),
-            input.to_str().unwrap(),
-        ]))
-        .unwrap();
+        run(strs(&["compress", "-o", comp.to_str().unwrap(), input.to_str().unwrap()])).unwrap();
         let compressed = std::fs::read(&comp).unwrap();
         assert!(compressed.len() < data.len());
 
-        run(strs(&[
-            "decompress",
-            "-o",
-            restored.to_str().unwrap(),
-            comp.to_str().unwrap(),
-        ]))
-        .unwrap();
+        run(strs(&["decompress", "-o", restored.to_str().unwrap(), comp.to_str().unwrap()]))
+            .unwrap();
         assert_eq!(std::fs::read(&restored).unwrap(), data);
     }
 
     #[test]
     fn gzip_round_trip_and_sw_engine() {
-        let dir = tempfile::tempdir().unwrap();
+        let dir = TestDir::new();
         let input = dir.path().join("in.bin");
         let comp = dir.path().join("out.gz");
         let restored = dir.path().join("back.bin");
         let data = lzfpga_workloads::generate(Corpus::JsonTelemetry, 5, 40_000);
         std::fs::write(&input, &data).unwrap();
         run(strs(&[
-            "compress", "--engine", "sw", "--format", "gzip", "--level", "max",
-            "-o", comp.to_str().unwrap(), input.to_str().unwrap(),
+            "compress",
+            "--engine",
+            "sw",
+            "--format",
+            "gzip",
+            "--level",
+            "max",
+            "-o",
+            comp.to_str().unwrap(),
+            input.to_str().unwrap(),
         ]))
         .unwrap();
-        run(strs(&[
-            "decompress", "-o", restored.to_str().unwrap(), comp.to_str().unwrap(),
-        ]))
-        .unwrap();
+        run(strs(&["decompress", "-o", restored.to_str().unwrap(), comp.to_str().unwrap()]))
+            .unwrap();
         assert_eq!(std::fs::read(&restored).unwrap(), data);
     }
 
     #[test]
     fn hw_and_sw_engines_emit_identical_zlib_at_min_level() {
-        let dir = tempfile::tempdir().unwrap();
+        let dir = TestDir::new();
         let input = dir.path().join("in.bin");
         let a = dir.path().join("hw.z");
         let b = dir.path().join("sw.z");
         let data = lzfpga_workloads::generate(Corpus::Wiki, 11, 60_000);
         std::fs::write(&input, &data).unwrap();
-        run(strs(&["compress", "--engine", "hw", "-o", a.to_str().unwrap(), input.to_str().unwrap()])).unwrap();
-        run(strs(&["compress", "--engine", "sw", "-o", b.to_str().unwrap(), input.to_str().unwrap()])).unwrap();
+        run(strs(&[
+            "compress",
+            "--engine",
+            "hw",
+            "-o",
+            a.to_str().unwrap(),
+            input.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(strs(&[
+            "compress",
+            "--engine",
+            "sw",
+            "-o",
+            b.to_str().unwrap(),
+            input.to_str().unwrap(),
+        ]))
+        .unwrap();
         assert_eq!(std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
     }
 
     #[test]
     fn gen_writes_exact_size_and_is_seed_stable() {
-        let dir = tempfile::tempdir().unwrap();
+        let dir = TestDir::new();
         let out1 = dir.path().join("a.bin");
         let out2 = dir.path().join("b.bin");
-        run(strs(&["gen", "sensor-frames", "12345", "--seed", "9", "-o", out1.to_str().unwrap()])).unwrap();
-        run(strs(&["gen", "sensor-frames", "12345", "--seed", "9", "-o", out2.to_str().unwrap()])).unwrap();
+        run(strs(&["gen", "sensor-frames", "12345", "--seed", "9", "-o", out1.to_str().unwrap()]))
+            .unwrap();
+        run(strs(&["gen", "sensor-frames", "12345", "--seed", "9", "-o", out2.to_str().unwrap()]))
+            .unwrap();
         let a = std::fs::read(&out1).unwrap();
         assert_eq!(a.len(), 12_345);
         assert_eq!(a, std::fs::read(&out2).unwrap());
@@ -528,6 +626,112 @@ mod tests {
         assert!(run(strs(&["gen", "no-such-corpus", "100"])).is_err());
         assert!(run(strs(&["gen", "wiki"])).is_err());
     }
+
+    #[test]
+    fn parallel_round_trips_and_ignores_worker_count() {
+        let dir = TestDir::new();
+        let input = dir.path().join("in.bin");
+        let data = lzfpga_workloads::generate(Corpus::Mixed, 21, 200_000);
+        std::fs::write(&input, &data).unwrap();
+        let one = dir.path().join("w1.z");
+        let four = dir.path().join("w4.z");
+        let restored = dir.path().join("back.bin");
+        run(strs(&[
+            "compress",
+            "--engine",
+            "turbo",
+            "--parallel",
+            "--chunk",
+            "32768",
+            "--workers",
+            "1",
+            "-o",
+            one.to_str().unwrap(),
+            input.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(strs(&[
+            "compress",
+            "--engine",
+            "turbo",
+            "--parallel",
+            "--chunk",
+            "32768",
+            "--workers",
+            "4",
+            "-o",
+            four.to_str().unwrap(),
+            input.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(std::fs::read(&one).unwrap(), std::fs::read(&four).unwrap());
+        run(strs(&["decompress", "-o", restored.to_str().unwrap(), one.to_str().unwrap()]))
+            .unwrap();
+        assert_eq!(std::fs::read(&restored).unwrap(), data);
+    }
+
+    #[test]
+    fn parallel_hw_and_turbo_engines_agree() {
+        let dir = TestDir::new();
+        let input = dir.path().join("in.bin");
+        std::fs::write(&input, lzfpga_workloads::generate(Corpus::Wiki, 4, 120_000)).unwrap();
+        let hw = dir.path().join("hw.z");
+        let turbo = dir.path().join("turbo.z");
+        run(strs(&[
+            "compress",
+            "--engine",
+            "hw",
+            "--parallel",
+            "--chunk",
+            "32768",
+            "-o",
+            hw.to_str().unwrap(),
+            input.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(strs(&[
+            "compress",
+            "--engine",
+            "turbo",
+            "--parallel",
+            "--chunk",
+            "32768",
+            "-o",
+            turbo.to_str().unwrap(),
+            input.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(std::fs::read(&hw).unwrap(), std::fs::read(&turbo).unwrap());
+    }
+
+    #[test]
+    fn parallel_config_errors_are_reported() {
+        let dir = TestDir::new();
+        let input = dir.path().join("in.bin");
+        std::fs::write(&input, b"too small a chunk").unwrap();
+        let err = run(strs(&[
+            "compress",
+            "--parallel",
+            "--chunk",
+            "1024",
+            "-o",
+            "-",
+            input.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("parallel config"), "unexpected error: {err}");
+        let err = run(strs(&[
+            "compress",
+            "--parallel",
+            "--format",
+            "gzip",
+            "-o",
+            "-",
+            input.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("single-stream"), "unexpected error: {err}");
+    }
 }
 
 #[cfg(test)]
@@ -536,7 +740,7 @@ mod trace_tests {
 
     #[test]
     fn rtl_writes_the_bundle() {
-        let dir = tempfile::tempdir().unwrap();
+        let dir = TestDir::new();
         let out = dir.path().join("rtl");
         run(vec![
             "rtl".into(),
@@ -555,7 +759,7 @@ mod trace_tests {
 
     #[test]
     fn trace_writes_a_vcd() {
-        let dir = tempfile::tempdir().unwrap();
+        let dir = TestDir::new();
         let input = dir.path().join("in.bin");
         let vcd = dir.path().join("wave.vcd");
         std::fs::write(&input, b"trace me trace me trace me".repeat(100)).unwrap();
@@ -578,7 +782,7 @@ mod dict_tests {
 
     #[test]
     fn dict_round_trip_through_files() {
-        let dir = tempfile::tempdir().unwrap();
+        let dir = TestDir::new();
         let dict_path = dir.path().join("preset.dict");
         let input = dir.path().join("in.bin");
         let comp = dir.path().join("out.zdict");
@@ -587,24 +791,41 @@ mod dict_tests {
         let data = lzfpga_workloads::generate(Corpus::JsonTelemetry, 5, 30_000);
         std::fs::write(&input, &data).unwrap();
         run(vec![
-            "compress".into(), "--dict".into(), dict_path.to_str().unwrap().into(),
-            "-o".into(), comp.to_str().unwrap().into(), input.to_str().unwrap().into(),
-        ]).unwrap();
+            "compress".into(),
+            "--dict".into(),
+            dict_path.to_str().unwrap().into(),
+            "-o".into(),
+            comp.to_str().unwrap().into(),
+            input.to_str().unwrap().into(),
+        ])
+        .unwrap();
         // Without the dictionary, decompression must fail.
         assert!(run(vec![
-            "decompress".into(), "-o".into(), restored.to_str().unwrap().into(),
+            "decompress".into(),
+            "-o".into(),
+            restored.to_str().unwrap().into(),
             comp.to_str().unwrap().into(),
-        ]).is_err());
+        ])
+        .is_err());
         run(vec![
-            "decompress".into(), "--dict".into(), dict_path.to_str().unwrap().into(),
-            "-o".into(), restored.to_str().unwrap().into(), comp.to_str().unwrap().into(),
-        ]).unwrap();
+            "decompress".into(),
+            "--dict".into(),
+            dict_path.to_str().unwrap().into(),
+            "-o".into(),
+            restored.to_str().unwrap().into(),
+            comp.to_str().unwrap().into(),
+        ])
+        .unwrap();
         assert_eq!(std::fs::read(&restored).unwrap(), data);
         // gzip + dict is rejected.
         assert!(run(vec![
-            "compress".into(), "--format".into(), "gzip".into(),
-            "--dict".into(), dict_path.to_str().unwrap().into(),
+            "compress".into(),
+            "--format".into(),
+            "gzip".into(),
+            "--dict".into(),
+            dict_path.to_str().unwrap().into(),
             input.to_str().unwrap().into(),
-        ]).is_err());
+        ])
+        .is_err());
     }
 }

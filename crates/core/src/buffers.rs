@@ -47,16 +47,8 @@ impl StreamBuffers {
     pub fn new(cfg: &HwConfig) -> Self {
         let bus = cfg.bus_bytes;
         Self {
-            lookahead: DualPortBram::new(
-                "lookahead",
-                LOOKAHEAD_BYTES / bus as usize,
-                8 * bus,
-            ),
-            dictionary: DualPortBram::new(
-                "dictionary",
-                (cfg.window_size / bus) as usize,
-                8 * bus,
-            ),
+            lookahead: DualPortBram::new("lookahead", LOOKAHEAD_BYTES / bus as usize, 8 * bus),
+            dictionary: DualPortBram::new("dictionary", (cfg.window_size / bus) as usize, 8 * bus),
             bus,
             fill_rate: u64::from(cfg.fill_bytes_per_cycle),
             filled: 0,
@@ -141,10 +133,7 @@ impl StreamBuffers {
         if available >= need {
             return 0;
         }
-        debug_assert!(
-            need <= LOOKAHEAD_BYTES as u64,
-            "need {need} exceeds lookahead capacity"
-        );
+        debug_assert!(need <= LOOKAHEAD_BYTES as u64, "need {need} exceeds lookahead capacity");
         (need - available).div_ceil(self.fill_rate)
     }
 

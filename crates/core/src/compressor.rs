@@ -109,10 +109,7 @@ impl HwCompressor {
     /// host the rotation margin.
     pub fn new(cfg: HwConfig) -> Self {
         cfg.validate();
-        assert!(
-            cfg.window_size >= 1_024,
-            "hardware model requires a window of at least 1 KiB"
-        );
+        assert!(cfg.window_size >= 1_024, "hardware model requires a window of at least 1 KiB");
         Self { cfg, last_rotations: 0 }
     }
 
@@ -177,9 +174,9 @@ impl HwCompressor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stats::HwState;
     use lzfpga_lzss::decoder::decode_tokens;
     use lzfpga_lzss::params::CompressionLevel;
-    use crate::stats::HwState;
 
     fn run(data: &[u8]) -> HwRunReport {
         HwCompressor::new(HwConfig::paper_fast()).compress(data)
@@ -213,10 +210,7 @@ mod tests {
     fn stats_account_for_every_cycle() {
         let data = b"the quick brown fox jumps over the lazy dog ".repeat(50);
         let r = run(&data);
-        assert_eq!(
-            r.cycles,
-            r.stats.total() + HwConfig::paper_fast().dma_setup_cycles
-        );
+        assert_eq!(r.cycles, r.stats.total() + HwConfig::paper_fast().dma_setup_cycles);
         assert!(r.stats.get(HwState::Match) > 0);
         assert!(r.stats.get(HwState::Output) > 0);
     }
@@ -248,8 +242,7 @@ mod tests {
     fn prefetch_saves_cycles() {
         let data = lzfpga_workloads::patterns::log_lines(5, 200_000);
         let with = HwCompressor::new(HwConfig::paper_fast()).compress(&data);
-        let without =
-            HwCompressor::new(HwConfig::paper_fast().without_prefetch()).compress(&data);
+        let without = HwCompressor::new(HwConfig::paper_fast().without_prefetch()).compress(&data);
         assert_eq!(with.tokens, without.tokens, "prefetch must not change output");
         assert!(with.cycles < without.cycles);
         assert!(with.counters.prefetch_hits > 0);
@@ -276,9 +269,8 @@ mod tests {
 
     #[test]
     fn gen0_wipes_cost_heavily() {
-        let data: Vec<u8> = (0..400_000u32)
-            .flat_map(|i| format!("{} ", i % 3_000).into_bytes())
-            .collect();
+        let data: Vec<u8> =
+            (0..400_000u32).flat_map(|i| format!("{} ", i % 3_000).into_bytes()).collect();
         let good = HwCompressor::new(HwConfig::paper_fast()).compress(&data);
         let bad =
             HwCompressor::new(HwConfig::paper_fast().without_generation_bits()).compress(&data);
@@ -314,10 +306,8 @@ mod tests {
             data.extend_from_slice(format!("w{} ", i % 701).as_bytes());
         }
         let fast = HwCompressor::new(HwConfig::paper_fast()).compress(&data);
-        let best = HwCompressor::new(
-            HwConfig::paper_fast().with_level(CompressionLevel::Max),
-        )
-        .compress(&data);
+        let best = HwCompressor::new(HwConfig::paper_fast().with_level(CompressionLevel::Max))
+            .compress(&data);
         let size = |tokens: &[Token]| lzfpga_deflate::encoder::fixed_block_bit_size(tokens);
         assert!(size(&best.tokens) <= size(&fast.tokens));
         assert!(best.cycles > fast.cycles);
@@ -335,11 +325,7 @@ mod tests {
             cfg.gen_bits = gen_bits;
             let mut c = HwCompressor::new(cfg);
             let r = c.compress(&data);
-            assert_eq!(
-                decode_tokens(&r.tokens, 1_024).unwrap(),
-                data,
-                "gen_bits = {gen_bits}"
-            );
+            assert_eq!(decode_tokens(&r.tokens, 1_024).unwrap(), data, "gen_bits = {gen_bits}");
             assert_eq!(c.rotations(), r.counters.rotations);
         }
     }

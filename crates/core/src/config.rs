@@ -71,12 +71,7 @@ impl HwConfig {
 
     /// A configuration with the given geometry, defaults elsewhere.
     pub fn new(window_size: u32, hash_bits: u32) -> Self {
-        Self {
-            window_size,
-            hash_bits,
-            hash_fn: HashFn::zlib(hash_bits),
-            ..Self::paper_fast()
-        }
+        Self { window_size, hash_bits, hash_fn: HashFn::zlib(hash_bits), ..Self::paper_fast() }
     }
 
     /// Table III row B: byte-serial comparator as in Rigler et al. \[11\].
@@ -129,8 +124,7 @@ impl HwConfig {
     pub fn validate(&self) {
         self.as_lzss_params().validate();
         assert!(
-            self.head_divisions.is_power_of_two()
-                && self.head_divisions <= (1 << self.hash_bits),
+            self.head_divisions.is_power_of_two() && self.head_divisions <= (1 << self.hash_bits),
             "head divisions {} must be a power of two <= table entries",
             self.head_divisions
         );
@@ -198,15 +192,11 @@ impl HwConfig {
     pub fn bram_allocation(&self) -> BramAllocation {
         let mut total = BramAllocation::default();
         // Lookahead buffer: 512 B on a 32-bit (or 8-bit) bus, true dual port.
-        total = total.plus(pack_memory(
-            LOOKAHEAD_BYTES / self.bus_bytes as usize,
-            8 * self.bus_bytes,
-        ));
+        total =
+            total.plus(pack_memory(LOOKAHEAD_BYTES / self.bus_bytes as usize, 8 * self.bus_bytes));
         // Dictionary ring.
-        total = total.plus(pack_memory(
-            (self.window_size / self.bus_bytes) as usize,
-            8 * self.bus_bytes,
-        ));
+        total = total
+            .plus(pack_memory((self.window_size / self.bus_bytes) as usize, 8 * self.bus_bytes));
         // Hash cache: one hash per lookahead offset.
         total = total.plus(pack_memory(LOOKAHEAD_BYTES, self.hash_bits));
         // Head table: M sub-memories of 2^H / M entries.
@@ -272,8 +262,7 @@ mod tests {
         // cycles. At ~2 cycles/byte the budget per rotation period is
         // 2 * period; overhead = rotation_cycles / (2 * period).
         let c = HwConfig::paper_fast();
-        let overhead =
-            c.rotation_cycles() as f64 / (2.0 * c.rotation_period_bytes() as f64);
+        let overhead = c.rotation_cycles() as f64 / (2.0 * c.rotation_period_bytes() as f64);
         assert!(overhead < 0.02, "rotation overhead {overhead}");
     }
 
@@ -288,10 +277,7 @@ mod tests {
     fn bram_allocation_scales_with_hash_bits() {
         let small = HwConfig::new(4_096, 9).bram_allocation();
         let large = HwConfig::new(4_096, 15).bram_allocation();
-        assert!(
-            large.ramb36_equiv() > small.ramb36_equiv(),
-            "{large:?} !> {small:?}"
-        );
+        assert!(large.ramb36_equiv() > small.ramb36_equiv(), "{large:?} !> {small:?}");
         // Paper: head table memory dominates and grows as 2^H * (log2 D + G).
         let bits_needed = (1u64 << 15) * 16;
         assert!(u64::from(large.kbits()) * 1024 >= bits_needed);

@@ -28,10 +28,10 @@
 
 use crate::config::CLOCK_HZ;
 use crate::stats::{HwState, StateStats};
-use lzfpga_deflate::fixed::{distance_base, length_base, END_OF_BLOCK};
-use lzfpga_deflate::huffman::{Decoder as HuffDecoder, DecodeError};
 use lzfpga_deflate::bitio::BitReader;
+use lzfpga_deflate::fixed::{distance_base, length_base, END_OF_BLOCK};
 use lzfpga_deflate::fixed::{fixed_dist_lengths, fixed_litlen_lengths};
+use lzfpga_deflate::huffman::{DecodeError, Decoder as HuffDecoder};
 use lzfpga_deflate::token::Token;
 use lzfpga_sim::bram::{DualPortBram, Port};
 use lzfpga_sim::clock::Clocked;
@@ -194,10 +194,10 @@ impl HwDecompressor {
 
         // Deliver one byte through the handshake, charging sink stalls.
         let deliver = |b: u8,
-                           ring: &mut DualPortBram,
-                           stream: &mut HandshakeStream<u8>,
-                           bytes: &mut Vec<u8>,
-                           stats: &mut StateStats| {
+                       ring: &mut DualPortBram,
+                       stream: &mut HandshakeStream<u8>,
+                       bytes: &mut Vec<u8>,
+                       stats: &mut StateStats| {
             stream.offer(b);
             let mut stalls = 0u64;
             while stream.take().is_none() {
@@ -230,14 +230,12 @@ impl HwDecompressor {
             // shift register already holds them); the distance symbol needs
             // its own decode cycle.
             let (len_base, len_extra) = length_base(sym).ok_or(DecompError::BadSymbol)?;
-            let len = len_base
-                + r.read_bits(len_extra).map_err(|_| DecompError::Truncated)? as u32;
+            let len = len_base + r.read_bits(len_extra).map_err(|_| DecompError::Truncated)? as u32;
             let dsym = self.dist.decode(&mut r).map_err(DecompError::from)?;
             stats.charge(HwState::Match, 1);
-            let (dist_base, dist_extra) =
-                distance_base(dsym).ok_or(DecompError::BadSymbol)?;
-            let dist = dist_base
-                + r.read_bits(dist_extra).map_err(|_| DecompError::Truncated)? as u32;
+            let (dist_base, dist_extra) = distance_base(dsym).ok_or(DecompError::BadSymbol)?;
+            let dist =
+                dist_base + r.read_bits(dist_extra).map_err(|_| DecompError::Truncated)? as u32;
             if u64::from(dist) > bytes.len() as u64 {
                 return Err(DecompError::DistanceTooFar { dist, produced: bytes.len() as u64 });
             }
@@ -287,8 +285,7 @@ impl HwDecompressor {
         let trailer = &gz[gz.len() - 8..];
         let crc = u32::from_le_bytes(trailer[..4].try_into().expect("4 bytes"));
         let isize = u32::from_le_bytes(trailer[4..].try_into().expect("4 bytes"));
-        if lzfpga_deflate::crc32::crc32(&report.bytes) != crc
-            || report.bytes.len() as u32 != isize
+        if lzfpga_deflate::crc32::crc32(&report.bytes) != crc || report.bytes.len() as u32 != isize
         {
             return Err(DecompError::BadSymbol);
         }
@@ -338,9 +335,7 @@ mod tests {
     fn literal_stream_round_trips() {
         let tokens: Vec<Token> = b"plain literals".iter().map(|&b| Token::Literal(b)).collect();
         let block = fixed_block(&tokens);
-        let rep = HwDecompressor::new(DecompConfig::paper_fast())
-            .decompress_block(&block)
-            .unwrap();
+        let rep = HwDecompressor::new(DecompConfig::paper_fast()).decompress_block(&block).unwrap();
         assert_eq!(rep.bytes, b"plain literals");
         assert_eq!(rep.tokens, tokens);
     }
@@ -361,16 +356,9 @@ mod tests {
         let data = lzfpga_workloads::wiki::generate(5, 300_000);
         let comp = HwCompressor::new(HwConfig::paper_fast()).compress(&data);
         let block = fixed_block(&comp.tokens);
-        let dec = HwDecompressor::new(DecompConfig::paper_fast())
-            .decompress_block(&block)
-            .unwrap();
+        let dec = HwDecompressor::new(DecompConfig::paper_fast()).decompress_block(&block).unwrap();
         assert_eq!(dec.bytes, data);
-        assert!(
-            dec.cycles < comp.cycles,
-            "decompress {} !< compress {}",
-            dec.cycles,
-            comp.cycles
-        );
+        assert!(dec.cycles < comp.cycles, "decompress {} !< compress {}", dec.cycles, comp.cycles);
     }
 
     #[test]
@@ -378,12 +366,12 @@ mod tests {
         let data = b"0123456789abcdefghijklmnopqrstuv".repeat(2_000);
         let comp = HwCompressor::new(HwConfig::paper_fast()).compress(&data);
         let block = fixed_block(&comp.tokens);
-        let wide = HwDecompressor::new(DecompConfig::paper_fast())
-            .decompress_block(&block)
-            .unwrap();
-        let narrow = HwDecompressor::new(DecompConfig { bus_bytes: 1, ..DecompConfig::paper_fast() })
-            .decompress_block(&block)
-            .unwrap();
+        let wide =
+            HwDecompressor::new(DecompConfig::paper_fast()).decompress_block(&block).unwrap();
+        let narrow =
+            HwDecompressor::new(DecompConfig { bus_bytes: 1, ..DecompConfig::paper_fast() })
+                .decompress_block(&block)
+                .unwrap();
         assert_eq!(wide.bytes, narrow.bytes);
         assert!(wide.cycles < narrow.cycles);
     }
@@ -395,9 +383,7 @@ mod tests {
         let mut tokens = vec![Token::Literal(b'a')];
         tokens.push(Token::Match { dist: 1, len: 258 });
         let block = fixed_block(&tokens);
-        let rep = HwDecompressor::new(DecompConfig::paper_fast())
-            .decompress_block(&block)
-            .unwrap();
+        let rep = HwDecompressor::new(DecompConfig::paper_fast()).decompress_block(&block).unwrap();
         assert_eq!(rep.bytes, vec![b'a'; 259]);
     }
 
@@ -406,8 +392,7 @@ mod tests {
         let tokens: Vec<Token> = b"some data to cut".iter().map(|&b| Token::Literal(b)).collect();
         let block = fixed_block(&tokens);
         for cut in 1..block.len() {
-            let r = HwDecompressor::new(DecompConfig::paper_fast())
-                .decompress_block(&block[..cut]);
+            let r = HwDecompressor::new(DecompConfig::paper_fast()).decompress_block(&block[..cut]);
             // Any prefix must either be rejected or decode fewer bytes; the
             // decoder must never panic. (A cut can land after a complete
             // token and before EOB, which reports Truncated.)
@@ -421,9 +406,8 @@ mod tests {
     fn distance_before_stream_start_is_rejected() {
         let tokens = vec![Token::Literal(b'x'), Token::Match { dist: 5, len: 3 }];
         let block = fixed_block(&tokens);
-        let err = HwDecompressor::new(DecompConfig::paper_fast())
-            .decompress_block(&block)
-            .unwrap_err();
+        let err =
+            HwDecompressor::new(DecompConfig::paper_fast()).decompress_block(&block).unwrap_err();
         assert!(matches!(err, DecompError::DistanceTooFar { dist: 5, produced: 1 }));
     }
 
@@ -432,9 +416,7 @@ mod tests {
         let data = lzfpga_workloads::canlog::generate(3, 60_000);
         let rep = compress_to_zlib(&data, &HwConfig::paper_fast());
         let body = &rep.compressed[2..rep.compressed.len() - 4];
-        let free = HwDecompressor::new(DecompConfig::paper_fast())
-            .decompress_block(body)
-            .unwrap();
+        let free = HwDecompressor::new(DecompConfig::paper_fast()).decompress_block(body).unwrap();
         let pressed = HwDecompressor::new(DecompConfig::paper_fast())
             .decompress_block_with_sink(body, BackPressure::Duty { ready: 1, period: 2 })
             .unwrap();

@@ -108,11 +108,8 @@ impl DynStageReport {
 pub fn evaluate(tokens: &[Token], producer_cycles: u64, cfg: &DynHuffmanConfig) -> DynStageReport {
     cfg.validate();
     let n = tokens.len();
-    let blocks: Vec<&[Token]> = if n == 0 {
-        vec![&[]]
-    } else {
-        tokens.chunks(cfg.block_tokens).collect()
-    };
+    let blocks: Vec<&[Token]> =
+        if n == 0 { vec![&[]] } else { tokens.chunks(cfg.block_tokens).collect() };
 
     // Bit-exact dynamic encoding of exactly the blocks the hardware forms.
     let mut enc = DeflateEncoder::new();
@@ -179,10 +176,7 @@ mod tests {
         }
         let stream = enc.finish();
         assert_eq!(stream.len() as u64, rep.bits.div_ceil(8));
-        assert_eq!(
-            inflate(&stream).unwrap(),
-            decode_tokens(&tokens, 4_096).unwrap()
-        );
+        assert_eq!(inflate(&stream).unwrap(), decode_tokens(&tokens, 4_096).unwrap());
         assert_eq!(decode_tokens(&tokens, 4_096).unwrap(), data);
     }
 

@@ -97,10 +97,7 @@ impl HwEngine {
     /// setup charge is applied here, as in the paper's Table I methodology.
     pub fn new(cfg: HwConfig, sink: BackPressure) -> Self {
         cfg.validate();
-        assert!(
-            cfg.window_size >= 1_024,
-            "hardware model requires a window of at least 1 KiB"
-        );
+        assert!(cfg.window_size >= 1_024, "hardware model requires a window of at least 1 KiB");
         let span = cfg.virtual_span();
         Self {
             cfg,

@@ -42,9 +42,8 @@ impl HeadTable {
     pub fn new(cfg: &HwConfig) -> Self {
         let m = cfg.head_divisions as usize;
         let depth = (1usize << cfg.hash_bits) / m;
-        let banks = (0..m)
-            .map(|_| DualPortBram::new("head", depth, cfg.head_entry_bits()))
-            .collect();
+        let banks =
+            (0..m).map(|_| DualPortBram::new("head", depth, cfg.head_entry_bits())).collect();
         Self {
             banks,
             bank_mask: cfg.head_divisions - 1,

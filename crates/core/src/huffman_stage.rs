@@ -318,7 +318,8 @@ mod tests {
 
     #[test]
     fn literals_only() {
-        let tokens: Vec<Token> = b"hello, huffman stage".iter().map(|&b| Token::Literal(b)).collect();
+        let tokens: Vec<Token> =
+            b"hello, huffman stage".iter().map(|&b| Token::Literal(b)).collect();
         assert_bit_exact(&tokens);
     }
 

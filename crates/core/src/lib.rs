@@ -57,6 +57,8 @@ pub use config::HwConfig;
 pub use decompressor::{DecompConfig, DecompError, DecompReport, HwDecompressor};
 pub use engine::{HwEngine, StepOutcome};
 pub use huffman_stage::HuffmanStage;
-pub use pipeline::{compress_to_zlib, PipelineReport};
+pub use pipeline::{
+    compress_to_zlib, turbo_compress_to_zlib, turbo_compress_to_zlib_with, PipelineReport,
+};
 pub use session::{SessionReport, ZlibSession};
 pub use stats::{HwState, StateStats};

@@ -66,6 +66,24 @@ pub fn compress_to_zlib_with_sink(
     PipelineReport { compressed, run, resources: cfg.resources() }
 }
 
+/// Software fast path to the same bytes as [`compress_to_zlib`]: the turbo
+/// match kernel replaces the cycle-accurate model, the zlib framing is
+/// unchanged. Passing a reusable `engine` keeps the run allocation-free in
+/// the steady state (token buffers aside).
+pub fn turbo_compress_to_zlib_with(
+    engine: &mut lzfpga_lzss::TurboEngine,
+    data: &[u8],
+    cfg: &HwConfig,
+) -> Vec<u8> {
+    let tokens = engine.compress(data, &cfg.as_lzss_params());
+    zlib_compress_tokens(&tokens, data, BlockKind::FixedHuffman, cfg.window_size.max(256))
+}
+
+/// As [`turbo_compress_to_zlib_with`] with a throwaway engine.
+pub fn turbo_compress_to_zlib(data: &[u8], cfg: &HwConfig) -> Vec<u8> {
+    turbo_compress_to_zlib_with(&mut lzfpga_lzss::TurboEngine::new(), data, cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,7 +110,8 @@ mod tests {
         // splitmix64 output bytes: genuinely incompressible.
         let data: Vec<u8> = (0..40_000u64)
             .map(|i| {
-                let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                let mut z =
+                    i.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_mul(0xBF58_476D_1CE4_E5B9);
                 z ^= z >> 27;
                 (z.wrapping_mul(0x94D0_49BB_1331_11EB) >> 56) as u8
             })
@@ -108,6 +127,17 @@ mod tests {
         let rep = compress_to_zlib(b"tiny", &HwConfig::paper_fast());
         assert!(rep.resources.luts > 0);
         assert!(rep.resources.bram.ramb36_equiv() > 0.0);
+    }
+
+    #[test]
+    fn turbo_fast_path_produces_identical_bytes() {
+        let data = b"the same bytes, faster: the same bytes, faster! ".repeat(500);
+        let mut engine = lzfpga_lzss::TurboEngine::new();
+        for cfg in [HwConfig::paper_fast(), HwConfig::new(1_024, 12), HwConfig::new(32_768, 15)] {
+            let hw = compress_to_zlib(&data, &cfg);
+            assert_eq!(turbo_compress_to_zlib_with(&mut engine, &data, &cfg), hw.compressed);
+            assert_eq!(turbo_compress_to_zlib(&data, &cfg), hw.compressed);
+        }
     }
 
     #[test]

@@ -314,7 +314,6 @@ mod tests {
         s.write(b"x");
     }
 
-
     #[test]
     fn flushed_prefix_is_independently_decodable() {
         // The Z_SYNC_FLUSH property: bytes delivered up to a flush decode on

@@ -79,10 +79,7 @@ impl StateStats {
     /// `(label, cycles, share)` rows in Figure 5 order.
     pub fn rows(&self) -> Vec<(&'static str, u64, f64)> {
         let total = self.total().max(1) as f64;
-        self.inner
-            .iter()
-            .map(|(label, cycles)| (label, cycles, cycles as f64 / total))
-            .collect()
+        self.inner.iter().map(|(label, cycles)| (label, cycles, cycles as f64 / total)).collect()
     }
 }
 

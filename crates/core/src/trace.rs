@@ -76,8 +76,7 @@ pub fn assert_contiguous(spans: &[TraceSpan], report: &HwRunReport, cfg: &HwConf
         HwState::Rotate,
         HwState::Fetch,
     ] {
-        let from_trace: u64 =
-            spans.iter().filter(|s| s.state == state).map(|s| s.cycles).sum();
+        let from_trace: u64 = spans.iter().filter(|s| s.state == state).map(|s| s.cycles).sum();
         assert_eq!(from_trace, report.stats.get(state), "{state:?} cycles diverge");
     }
 }
@@ -114,11 +113,8 @@ mod tests {
         assert!(vcd.contains("$var wire 3 ! state $end"));
         assert!(vcd.contains("$var wire 1 \" busy $end"));
         // Timestamps strictly increasing.
-        let times: Vec<u64> = vcd
-            .lines()
-            .filter(|l| l.starts_with('#'))
-            .map(|l| l[1..].parse().unwrap())
-            .collect();
+        let times: Vec<u64> =
+            vcd.lines().filter(|l| l.starts_with('#')).map(|l| l[1..].parse().unwrap()).collect();
         assert!(times.windows(2).all(|w| w[0] < w[1]), "{times:?}");
         assert_eq!(*times.last().unwrap(), report.cycles);
         // The busy edge lands exactly at the end of DMA setup.

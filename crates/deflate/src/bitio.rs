@@ -28,10 +28,14 @@ impl BitWriter {
         debug_assert!(n == 64 || value < (1u64 << n), "value {value} wider than {n} bits");
         self.bitbuf |= value << self.bitcount;
         self.bitcount += n;
-        while self.bitcount >= 8 {
-            self.out.push((self.bitbuf & 0xFF) as u8);
-            self.bitbuf >>= 8;
-            self.bitcount -= 8;
+        if self.bitcount >= 8 {
+            // Flush every complete byte in one memcpy-sized append; bitcount
+            // can reach 64 (7 buffered + 57 new), where the shift below would
+            // be out of range, hence the checked variant.
+            let flushed = (self.bitcount / 8) as usize;
+            self.out.extend_from_slice(&self.bitbuf.to_le_bytes()[..flushed]);
+            self.bitbuf = self.bitbuf.checked_shr(flushed as u32 * 8).unwrap_or(0);
+            self.bitcount -= flushed as u32 * 8;
         }
     }
 

@@ -121,11 +121,8 @@ impl DeflateEncoder {
             })
             .collect();
         // Stored blocks are capped at 65535 bytes; split as needed.
-        let chunks: Vec<&[u8]> = if bytes.is_empty() {
-            vec![&bytes[..]]
-        } else {
-            bytes.chunks(65_535).collect()
-        };
+        let chunks: Vec<&[u8]> =
+            if bytes.is_empty() { vec![&bytes[..]] } else { bytes.chunks(65_535).collect() };
         let n = chunks.len();
         for (i, chunk) in chunks.into_iter().enumerate() {
             let final_bit = last && i + 1 == n;
@@ -148,9 +145,15 @@ impl DeflateEncoder {
     fn write_fixed(&mut self, tokens: &[Token], last: bool) {
         self.writer.write_bits(u64::from(last), 1);
         self.writer.write_bits(0b01, 2);
-        let litlen = Codebook::from_lengths(&fixed_litlen_lengths());
-        let dist = Codebook::from_lengths(&fixed_dist_lengths());
-        self.write_symbols(tokens, &litlen, &dist);
+        // The fixed codebooks never change; build them once per process.
+        static FIXED: std::sync::OnceLock<(Codebook, Codebook)> = std::sync::OnceLock::new();
+        let (litlen, dist) = FIXED.get_or_init(|| {
+            (
+                Codebook::from_lengths(&fixed_litlen_lengths()),
+                Codebook::from_lengths(&fixed_dist_lengths()),
+            )
+        });
+        self.write_symbols(tokens, litlen, dist);
     }
 
     fn write_dynamic(&mut self, tokens: &[Token], last: bool) {
@@ -176,18 +179,12 @@ impl DeflateEncoder {
             dist_lengths[0] = 1;
         }
 
-        let hlit = lit_lengths
-            .iter()
-            .rposition(|&l| l != 0)
-            .map_or(257, |p| (p + 1).max(257));
+        let hlit = lit_lengths.iter().rposition(|&l| l != 0).map_or(257, |p| (p + 1).max(257));
         let hdist = dist_lengths.iter().rposition(|&l| l != 0).map_or(1, |p| p + 1);
 
         // RLE-compress the concatenated length vectors with symbols 16/17/18.
-        let all_lengths: Vec<u8> = lit_lengths[..hlit]
-            .iter()
-            .chain(&dist_lengths[..hdist])
-            .copied()
-            .collect();
+        let all_lengths: Vec<u8> =
+            lit_lengths[..hlit].iter().chain(&dist_lengths[..hdist]).copied().collect();
         let clc_symbols = rle_code_lengths(&all_lengths);
 
         let mut clc_freq = [0u64; 19];
@@ -197,10 +194,8 @@ impl DeflateEncoder {
         // Code-length codes are capped at 7 bits.
         let clc_lengths = build_lengths(&clc_freq, 7);
 
-        let hclen = CLCL_ORDER
-            .iter()
-            .rposition(|&s| clc_lengths[s] != 0)
-            .map_or(4, |p| (p + 1).max(4));
+        let hclen =
+            CLCL_ORDER.iter().rposition(|&s| clc_lengths[s] != 0).map_or(4, |p| (p + 1).max(4));
 
         self.writer.write_bits(u64::from(last), 1);
         self.writer.write_bits(0b10, 2);
@@ -222,16 +217,40 @@ impl DeflateEncoder {
     }
 
     fn write_symbols(&mut self, tokens: &[Token], litlen: &Codebook, dist: &Codebook) {
+        // Direct (code, bits) table for the literal path: one fixed-size
+        // array index per literal instead of two slice loads, and the
+        // missing-code check is hoisted to a single cheap compare.
+        let mut lit = [(0u16, 0u8); 256];
+        for (b, entry) in lit.iter_mut().enumerate() {
+            if litlen.length(b) > 0 {
+                *entry = litlen.code(b);
+            }
+        }
         for t in tokens {
             match *t {
-                Token::Literal(b) => litlen.encode(&mut self.writer, b as usize),
+                Token::Literal(b) => {
+                    let (c, l) = lit[b as usize];
+                    assert!(l > 0, "literal {b} has no code");
+                    self.writer.write_bits(u64::from(c), u32::from(l));
+                }
                 Token::Match { dist: d, len } => {
+                    // Compose all four fields (length code + extra, distance
+                    // code + extra, at most 15+5+15+13 = 48 bits) into one
+                    // accumulator write — the per-token cost is dominated by
+                    // `write_bits` calls, not the table lookups.
                     let ls = length_symbol(len);
-                    litlen.encode(&mut self.writer, ls.symbol as usize);
-                    self.writer.write_bits(u64::from(ls.extra_val), ls.extra_bits);
+                    let (lc, ll) = litlen.code(ls.symbol as usize);
                     let ds = distance_symbol(d);
-                    dist.encode(&mut self.writer, ds.symbol as usize);
-                    self.writer.write_bits(u64::from(ds.extra_val), ds.extra_bits);
+                    let (dc, dl) = dist.code(ds.symbol as usize);
+                    let mut v = u64::from(lc);
+                    let mut n = u32::from(ll);
+                    v |= u64::from(ls.extra_val) << n;
+                    n += ls.extra_bits;
+                    v |= u64::from(dc) << n;
+                    n += u32::from(dl);
+                    v |= u64::from(ds.extra_val) << n;
+                    n += ds.extra_bits;
+                    self.writer.write_bits(v, n);
                 }
             }
         }
@@ -468,16 +487,13 @@ mod pick_tests {
 
     #[test]
     fn picked_kind_is_never_beaten_and_always_decodes() {
-        let cases: Vec<Vec<T>> = vec![
-            literals(b"short"),
-            literals(&b"the quick brown fox ".repeat(200)),
-            {
+        let cases: Vec<Vec<T>> =
+            vec![literals(b"short"), literals(&b"the quick brown fox ".repeat(200)), {
                 let mut t = literals(b"seed data");
                 t.push(T::new_match(9, 258));
                 t.push(T::new_match(4, 37));
                 t
-            },
-        ];
+            }];
         for tokens in cases {
             let picked = pick_block_kind(&tokens);
             let size = |kind| {

@@ -39,31 +39,69 @@ pub fn fixed_dist_lengths() -> [u8; NUM_DIST] {
 
 /// `(base_length, extra_bits)` for length codes 257..=285, index 0 = code 257.
 pub const LENGTH_CODES: [(u32, u32); 29] = [
-    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
-    (11, 1), (13, 1), (15, 1), (17, 1),
-    (19, 2), (23, 2), (27, 2), (31, 2),
-    (35, 3), (43, 3), (51, 3), (59, 3),
-    (67, 4), (83, 4), (99, 4), (115, 4),
-    (131, 5), (163, 5), (195, 5), (227, 5),
+    (3, 0),
+    (4, 0),
+    (5, 0),
+    (6, 0),
+    (7, 0),
+    (8, 0),
+    (9, 0),
+    (10, 0),
+    (11, 1),
+    (13, 1),
+    (15, 1),
+    (17, 1),
+    (19, 2),
+    (23, 2),
+    (27, 2),
+    (31, 2),
+    (35, 3),
+    (43, 3),
+    (51, 3),
+    (59, 3),
+    (67, 4),
+    (83, 4),
+    (99, 4),
+    (115, 4),
+    (131, 5),
+    (163, 5),
+    (195, 5),
+    (227, 5),
     (258, 0),
 ];
 
 /// `(base_distance, extra_bits)` for distance codes 0..=29.
 pub const DIST_CODES: [(u32, u32); 30] = [
-    (1, 0), (2, 0), (3, 0), (4, 0),
-    (5, 1), (7, 1),
-    (9, 2), (13, 2),
-    (17, 3), (25, 3),
-    (33, 4), (49, 4),
-    (65, 5), (97, 5),
-    (129, 6), (193, 6),
-    (257, 7), (385, 7),
-    (513, 8), (769, 8),
-    (1025, 9), (1537, 9),
-    (2049, 10), (3073, 10),
-    (4097, 11), (6145, 11),
-    (8193, 12), (12_289, 12),
-    (16_385, 13), (24_577, 13),
+    (1, 0),
+    (2, 0),
+    (3, 0),
+    (4, 0),
+    (5, 1),
+    (7, 1),
+    (9, 2),
+    (13, 2),
+    (17, 3),
+    (25, 3),
+    (33, 4),
+    (49, 4),
+    (65, 5),
+    (97, 5),
+    (129, 6),
+    (193, 6),
+    (257, 7),
+    (385, 7),
+    (513, 8),
+    (769, 8),
+    (1025, 9),
+    (1537, 9),
+    (2049, 10),
+    (3073, 10),
+    (4097, 11),
+    (6145, 11),
+    (8193, 12),
+    (12_289, 12),
+    (16_385, 13),
+    (24_577, 13),
 ];
 
 /// Encoded form of a match length: the litlen symbol plus its extra bits.
@@ -179,10 +217,7 @@ mod tests {
 
     #[test]
     fn length_258_uses_code_285() {
-        assert_eq!(
-            length_symbol(258),
-            LengthSym { symbol: 285, extra_bits: 0, extra_val: 0 }
-        );
+        assert_eq!(length_symbol(258), LengthSym { symbol: 285, extra_bits: 0, extra_val: 0 });
     }
 
     #[test]

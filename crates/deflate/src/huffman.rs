@@ -32,10 +32,7 @@ pub fn canonical_codes(lengths: &[u8]) -> Vec<u16> {
     let mut code: u32 = 0;
     for bits in 1..=MAX_BITS {
         code = (code + bl_count[bits - 1]) << 1;
-        assert!(
-            code + bl_count[bits] <= (1 << bits),
-            "oversubscribed code space at length {bits}"
-        );
+        assert!(code + bl_count[bits] <= (1 << bits), "oversubscribed code space at length {bits}");
         next_code[bits] = code as u16;
     }
     lengths
@@ -305,9 +302,8 @@ pub fn build_lengths(freqs: &[u64], max_bits: u8) -> Vec<u8> {
     // Reassign depths to leaves longest-codes-to-rarest-symbols: iterate
     // leaves from rarest to most frequent, drawing lengths from longest to
     // shortest. Canonicalisation later only cares about the multiset.
-    let mut len_iter = (1..=max_bits as usize)
-        .rev()
-        .flat_map(|l| std::iter::repeat_n(l, bl_count[l] as usize));
+    let mut len_iter =
+        (1..=max_bits as usize).rev().flat_map(|l| std::iter::repeat_n(l, bl_count[l] as usize));
     for &(_, sym) in &leaves {
         let l = len_iter.next().expect("length pool matches leaf count");
         lengths[sym] = l as u8;

@@ -88,8 +88,8 @@ pub fn inflate_one_block(r: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<boo
         0b01 => {
             let lit = Decoder::from_lengths(&fixed_litlen_lengths())
                 .expect("fixed litlen table is valid");
-            let dist = Decoder::from_lengths(&fixed_dist_lengths())
-                .expect("fixed dist table is valid");
+            let dist =
+                Decoder::from_lengths(&fixed_dist_lengths()).expect("fixed dist table is valid");
             inflate_compressed(r, out, &lit, &dist)?;
         }
         0b10 => {
@@ -343,10 +343,7 @@ mod tests {
 
     #[test]
     fn error_display_messages() {
-        assert_eq!(
-            InflateError::DistanceTooFar.to_string(),
-            "match distance exceeds output"
-        );
+        assert_eq!(InflateError::DistanceTooFar.to_string(), "match distance exceeds output");
     }
 }
 

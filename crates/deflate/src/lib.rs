@@ -10,6 +10,8 @@
 //! * [`fixed`] — the RFC 1951 §3.2.6 fixed literal/length and distance
 //!   tables, plus the length/distance extra-bits mapping.
 //! * [`token`] — the literal/match token stream shared with the LZSS stages.
+//! * [`sink`] — the [`TokenSink`] consumer interface the match kernels feed,
+//!   the software shape of the matcher→Huffman FIFO.
 //! * [`encoder`] — token stream → Deflate blocks (stored, fixed-Huffman, and
 //!   dynamic-Huffman — the trade-off the paper declined in hardware).
 //! * [`mod@inflate`] — a full Deflate decoder (stored/fixed/dynamic) used as the
@@ -30,11 +32,13 @@ pub mod fixed;
 pub mod gzip;
 pub mod huffman;
 pub mod inflate;
+pub mod sink;
 pub mod token;
 pub mod vectors;
 pub mod zlib;
 
 pub use encoder::{pick_block_kind, BlockKind, DeflateEncoder};
 pub use inflate::{inflate, InflateError, InflateStream};
+pub use sink::{CountingSink, TokenSink};
 pub use token::Token;
 pub use zlib::{zlib_compress_tokens, zlib_decompress, ZlibError};

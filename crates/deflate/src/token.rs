@@ -98,11 +98,8 @@ mod tests {
     #[test]
     fn snowy_snow_example() {
         // The paper's example: "snowy snow" = 6 literals + copy(len 4, dist 6).
-        let tokens: Vec<Token> = "snowy "
-            .bytes()
-            .map(Token::Literal)
-            .chain([Token::new_match(6, 4)])
-            .collect();
+        let tokens: Vec<Token> =
+            "snowy ".bytes().map(Token::Literal).chain([Token::new_match(6, 4)]).collect();
         assert_eq!(tokens.len(), 7);
         assert_eq!(expanded_len(&tokens), 10);
     }

@@ -21,40 +21,34 @@ pub fn interop_text() -> Vec<u8> {
 
 /// `zlib.compress(text, 1)` from CPython's zlib (madler zlib 1.2.13).
 pub const ZLIB_LEVEL1: &[u8] = &[
-    120, 1, 237, 147, 93, 14, 194, 64, 8, 132, 175, 194, 9, 122, 9, 211,
-    131, 108, 101, 220, 37, 238, 79, 5, 154, 90, 79, 239, 218, 122, 6, 227,
-    67, 95, 8, 9, 3, 36, 243, 193, 88, 38, 48, 131, 169, 194, 215, 166,
-    119, 202, 45, 70, 168, 209, 172, 141, 151, 43, 40, 73, 76, 121, 35, 5,
-    47, 149, 67, 117, 50, 87, 132, 98, 3, 141, 103, 235, 255, 218, 116, 105,
-    101, 86, 152, 73, 141, 228, 9, 7, 86, 254, 194, 35, 169, 29, 104, 200,
-    228, 82, 208, 179, 28, 158, 176, 93, 102, 242, 2, 133, 202, 52, 245, 176,
-    10, 123, 234, 229, 199, 34, 138, 130, 234, 70, 183, 166, 187, 174, 223, 2,
-    52, 111, 159, 233, 230, 77, 67, 4, 21, 176, 132, 129, 206, 197, 251, 7,
-    253, 194, 234, 55, 209, 117, 102, 252,
+    120, 1, 237, 147, 93, 14, 194, 64, 8, 132, 175, 194, 9, 122, 9, 211, 131, 108, 101, 220, 37,
+    238, 79, 5, 154, 90, 79, 239, 218, 122, 6, 227, 67, 95, 8, 9, 3, 36, 243, 193, 88, 38, 48, 131,
+    169, 194, 215, 166, 119, 202, 45, 70, 168, 209, 172, 141, 151, 43, 40, 73, 76, 121, 35, 5, 47,
+    149, 67, 117, 50, 87, 132, 98, 3, 141, 103, 235, 255, 218, 116, 105, 101, 86, 152, 73, 141,
+    228, 9, 7, 86, 254, 194, 35, 169, 29, 104, 200, 228, 82, 208, 179, 28, 158, 176, 93, 102, 242,
+    2, 133, 202, 52, 245, 176, 10, 123, 234, 229, 199, 34, 138, 130, 234, 70, 183, 166, 187, 174,
+    223, 2, 52, 111, 159, 233, 230, 77, 67, 4, 21, 176, 132, 129, 206, 197, 251, 7, 253, 194, 234,
+    55, 209, 117, 102, 252,
 ];
 /// `zlib.compress(text, 6)` from CPython's zlib (madler zlib 1.2.13).
 pub const ZLIB_LEVEL6: &[u8] = &[
-    120, 156, 237, 141, 221, 13, 194, 48, 12, 132, 87, 241, 4, 44, 129, 58,
-    72, 138, 143, 196, 34, 63, 197, 118, 84, 202, 244, 132, 194, 12, 136, 135,
-    190, 88, 39, 221, 125, 254, 166, 50, 131, 25, 76, 21, 190, 54, 189, 81,
-    110, 49, 66, 141, 22, 109, 220, 47, 160, 36, 49, 229, 141, 20, 220, 43,
-    135, 234, 100, 174, 8, 197, 78, 52, 29, 232, 255, 162, 231, 86, 22, 133,
-    153, 212, 72, 158, 240, 33, 249, 219, 147, 212, 193, 132, 76, 46, 5, 35,
-    229, 240, 128, 237, 51, 147, 39, 40, 84, 166, 121, 156, 85, 216, 211, 168,
-    239, 93, 20, 5, 213, 141, 174, 77, 247, 221, 208, 65, 243, 246, 254, 110,
-    222, 52, 68, 80, 1, 75, 56, 196, 63, 20, 191, 0, 209, 117, 102, 252,
+    120, 156, 237, 141, 221, 13, 194, 48, 12, 132, 87, 241, 4, 44, 129, 58, 72, 138, 143, 196, 34,
+    63, 197, 118, 84, 202, 244, 132, 194, 12, 136, 135, 190, 88, 39, 221, 125, 254, 166, 50, 131,
+    25, 76, 21, 190, 54, 189, 81, 110, 49, 66, 141, 22, 109, 220, 47, 160, 36, 49, 229, 141, 20,
+    220, 43, 135, 234, 100, 174, 8, 197, 78, 52, 29, 232, 255, 162, 231, 86, 22, 133, 153, 212, 72,
+    158, 240, 33, 249, 219, 147, 212, 193, 132, 76, 46, 5, 35, 229, 240, 128, 237, 51, 147, 39, 40,
+    84, 166, 121, 156, 85, 216, 211, 168, 239, 93, 20, 5, 213, 141, 174, 77, 247, 221, 208, 65,
+    243, 246, 254, 110, 222, 52, 68, 80, 1, 75, 56, 196, 63, 20, 191, 0, 209, 117, 102, 252,
 ];
 /// `zlib.compress(text, 9)` from CPython's zlib (madler zlib 1.2.13).
 pub const ZLIB_LEVEL9: &[u8] = &[
-    120, 218, 237, 141, 221, 13, 194, 48, 12, 132, 87, 241, 4, 44, 129, 58,
-    72, 138, 143, 196, 34, 63, 197, 118, 84, 202, 244, 132, 194, 12, 136, 135,
-    190, 88, 39, 221, 125, 254, 166, 50, 131, 25, 76, 21, 190, 54, 189, 81,
-    110, 49, 66, 141, 22, 109, 220, 47, 160, 36, 49, 229, 141, 20, 220, 43,
-    135, 234, 100, 174, 8, 197, 78, 52, 29, 232, 255, 162, 231, 86, 22, 133,
-    153, 212, 72, 158, 240, 33, 249, 219, 147, 212, 193, 132, 76, 46, 5, 35,
-    229, 240, 128, 237, 51, 147, 39, 40, 84, 166, 121, 156, 85, 216, 211, 168,
-    239, 93, 20, 5, 213, 141, 174, 77, 247, 221, 208, 65, 243, 246, 254, 110,
-    222, 52, 68, 80, 1, 75, 56, 196, 63, 20, 191, 0, 209, 117, 102, 252,
+    120, 218, 237, 141, 221, 13, 194, 48, 12, 132, 87, 241, 4, 44, 129, 58, 72, 138, 143, 196, 34,
+    63, 197, 118, 84, 202, 244, 132, 194, 12, 136, 135, 190, 88, 39, 221, 125, 254, 166, 50, 131,
+    25, 76, 21, 190, 54, 189, 81, 110, 49, 66, 141, 22, 109, 220, 47, 160, 36, 49, 229, 141, 20,
+    220, 43, 135, 234, 100, 174, 8, 197, 78, 52, 29, 232, 255, 162, 231, 86, 22, 133, 153, 212, 72,
+    158, 240, 33, 249, 219, 147, 212, 193, 132, 76, 46, 5, 35, 229, 240, 128, 237, 51, 147, 39, 40,
+    84, 166, 121, 156, 85, 216, 211, 168, 239, 93, 20, 5, 213, 141, 174, 77, 247, 221, 208, 65,
+    243, 246, 254, 110, 222, 52, 68, 80, 1, 75, 56, 196, 63, 20, 191, 0, 209, 117, 102, 252,
 ];
 #[cfg(test)]
 mod tests {
@@ -65,9 +59,8 @@ mod tests {
     fn real_zlib_streams_inflate_to_the_text() {
         let text = interop_text();
         for (level, stream) in [(1, ZLIB_LEVEL1), (6, ZLIB_LEVEL6), (9, ZLIB_LEVEL9)] {
-            let out = zlib_decompress(stream).unwrap_or_else(|e| {
-                panic!("level {level} reference stream rejected: {e:?}")
-            });
+            let out = zlib_decompress(stream)
+                .unwrap_or_else(|e| panic!("level {level} reference stream rejected: {e:?}"));
             assert_eq!(out, text, "level {level} decodes to the wrong bytes");
         }
     }

@@ -249,10 +249,7 @@ mod tests {
             zlib_compress_tokens(&literals(data), data, BlockKind::FixedHuffman, 32_768);
         let n = stream.len();
         stream[n - 1] ^= 0xFF;
-        assert!(matches!(
-            zlib_decompress(&stream),
-            Err(ZlibError::ChecksumMismatch { .. })
-        ));
+        assert!(matches!(zlib_decompress(&stream), Err(ZlibError::ChecksumMismatch { .. })));
     }
 
     #[test]

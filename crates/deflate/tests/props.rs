@@ -1,6 +1,7 @@
 //! Property tests over the format layer: bit I/O, canonical Huffman
-//! construction, token codecs and whole-block encode/decode, under
-//! proptest-generated adversarial inputs.
+//! construction, token codecs and whole-block encode/decode, under inputs
+//! drawn from a seeded in-repo xorshift generator (deterministic, no
+//! external framework).
 
 use lzfpga_deflate::adler32::{adler32, Adler32};
 use lzfpga_deflate::bitio::{BitReader, BitWriter};
@@ -10,51 +11,60 @@ use lzfpga_deflate::fixed::{distance_symbol, length_symbol, MAX_MATCH, MIN_MATCH
 use lzfpga_deflate::huffman::{build_lengths, canonical_codes, Codebook, Decoder};
 use lzfpga_deflate::inflate::inflate;
 use lzfpga_deflate::token::Token;
-use proptest::prelude::*;
+use lzfpga_sim::rng::XorShift64;
+
+const CASES: usize = 64;
 
 /// Random bit-field sequences: (value, width) with value < 2^width.
-fn bit_fields() -> impl Strategy<Value = Vec<(u64, u32)>> {
-    proptest::collection::vec(
-        (1u32..=57).prop_flat_map(|w| {
+fn bit_fields(rng: &mut XorShift64) -> Vec<(u64, u32)> {
+    (0..rng.below_usize(200))
+        .map(|_| {
+            let w = rng.range_u32(1, 57);
             let max = if w == 57 { u64::MAX >> 7 } else { (1u64 << w) - 1 };
-            (0..=max, Just(w))
-        }),
-        0..200,
-    )
+            (rng.next_below(max + 1), w)
+        })
+        .collect()
 }
 
 /// A structurally valid token stream (matches never reach before start).
-fn token_streams() -> impl Strategy<Value = Vec<Token>> {
-    proptest::collection::vec(
-        prop_oneof![
-            any::<u8>().prop_map(Token::Literal),
-            (MIN_MATCH..=MAX_MATCH, 1u32..=600).prop_map(|(len, dist)| Token::Match { dist, len }),
-        ],
-        0..300,
-    )
-    .prop_map(|raw| {
-        // Legalise: matches may only reach into already-produced output.
-        let mut produced = 0u32;
-        let mut out = Vec::with_capacity(raw.len());
-        for t in raw {
-            match t {
-                Token::Literal(_) => {
-                    out.push(t);
-                    produced += 1;
-                }
-                Token::Match { dist, len } => {
-                    if produced == 0 {
-                        out.push(Token::Literal(0x55));
-                        produced += 1;
-                    }
-                    let dist = dist.min(produced);
-                    out.push(Token::Match { dist, len });
-                    produced += len;
+fn token_stream(rng: &mut XorShift64) -> Vec<Token> {
+    let raw: Vec<Token> = (0..rng.below_usize(300))
+        .map(|_| {
+            if rng.chance(1, 2) {
+                Token::Literal(rng.next_u8())
+            } else {
+                Token::Match {
+                    dist: rng.range_u32(1, 600),
+                    len: rng.range_u32(MIN_MATCH, MAX_MATCH),
                 }
             }
+        })
+        .collect();
+    // Legalise: matches may only reach into already-produced output.
+    let mut produced = 0u32;
+    let mut out = Vec::with_capacity(raw.len());
+    for t in raw {
+        match t {
+            Token::Literal(_) => {
+                out.push(t);
+                produced += 1;
+            }
+            Token::Match { dist, len } => {
+                if produced == 0 {
+                    out.push(Token::Literal(0x55));
+                    produced += 1;
+                }
+                let dist = dist.min(produced);
+                out.push(Token::Match { dist, len });
+                produced += len;
+            }
         }
-        out
-    })
+    }
+    out
+}
+
+fn random_freqs(rng: &mut XorShift64) -> Vec<u64> {
+    (0..2 + rng.below_usize(58)).map(|_| rng.next_below(1_000)).collect()
 }
 
 fn expand(tokens: &[Token]) -> Vec<u8> {
@@ -73,11 +83,11 @@ fn expand(tokens: &[Token]) -> Vec<u8> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn bitio_round_trips(fields in bit_fields()) {
+#[test]
+fn bitio_round_trips() {
+    let mut rng = XorShift64::new(0xDEF1_0001);
+    for _ in 0..CASES {
+        let fields = bit_fields(&mut rng);
         let mut w = BitWriter::new();
         for &(v, n) in &fields {
             w.write_bits(v, n);
@@ -85,40 +95,44 @@ proptest! {
         let bytes = w.finish();
         let mut r = BitReader::new(&bytes);
         for &(v, n) in &fields {
-            prop_assert_eq!(r.read_bits(n).unwrap(), v);
+            assert_eq!(r.read_bits(n).unwrap(), v);
         }
     }
+}
 
-    #[test]
-    fn canonical_codes_are_prefix_free(freqs in proptest::collection::vec(0u64..1000, 2..60)) {
+#[test]
+fn canonical_codes_are_prefix_free() {
+    let mut rng = XorShift64::new(0xDEF1_0002);
+    for _ in 0..CASES {
+        let freqs = random_freqs(&mut rng);
         let lengths = build_lengths(&freqs, 15);
         // Kraft inequality.
-        let kraft: f64 = lengths
-            .iter()
-            .filter(|&&l| l > 0)
-            .map(|&l| 2f64.powi(-i32::from(l)))
-            .sum();
-        prop_assert!(kraft <= 1.0 + 1e-9, "kraft {kraft}");
+        let kraft: f64 =
+            lengths.iter().filter(|&&l| l > 0).map(|&l| 2f64.powi(-i32::from(l))).sum();
+        assert!(kraft <= 1.0 + 1e-9, "kraft {kraft}");
         // Every symbol with nonzero frequency got a code.
         for (i, &f) in freqs.iter().enumerate() {
             if f > 0 {
-                prop_assert!(lengths[i] > 0, "symbol {i} lost its code");
+                assert!(lengths[i] > 0, "symbol {i} lost its code");
             }
         }
-        // Canonical codes of equal length are distinct and ordered.
+        // Canonical codes of equal length are distinct.
         let codes = canonical_codes(&lengths);
         for i in 0..lengths.len() {
             for j in (i + 1)..lengths.len() {
                 if lengths[i] != 0 && lengths[i] == lengths[j] {
-                    prop_assert_ne!(codes[i], codes[j]);
+                    assert_ne!(codes[i], codes[j]);
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn huffman_encode_decode_inverts(freqs in proptest::collection::vec(0u64..1000, 2..60)) {
-        let mut freqs = freqs;
+#[test]
+fn huffman_encode_decode_inverts() {
+    let mut rng = XorShift64::new(0xDEF1_0003);
+    for _ in 0..CASES {
+        let mut freqs = random_freqs(&mut rng);
         // Ensure at least two used symbols so a real tree exists.
         freqs[0] += 1;
         let last = freqs.len() - 1;
@@ -135,65 +149,84 @@ proptest! {
         let bytes = w.finish();
         let mut r = BitReader::new(&bytes);
         for &s in &symbols {
-            prop_assert_eq!(decoder.decode(&mut r).unwrap() as usize, s);
+            assert_eq!(decoder.decode(&mut r).unwrap() as usize, s);
         }
     }
+}
 
-    #[test]
-    fn token_dl_pairs_round_trip(tokens in token_streams()) {
-        for t in &tokens {
+#[test]
+fn token_dl_pairs_round_trip() {
+    let mut rng = XorShift64::new(0xDEF1_0004);
+    for _ in 0..CASES {
+        for t in &token_stream(&mut rng) {
             let (d, l) = t.to_dl_pair();
-            prop_assert_eq!(&Token::from_dl_pair(d, l), t);
+            assert_eq!(&Token::from_dl_pair(d, l), t);
         }
     }
+}
 
-    #[test]
-    fn fixed_and_dynamic_blocks_inflate(tokens in token_streams()) {
+#[test]
+fn fixed_and_dynamic_blocks_inflate() {
+    let mut rng = XorShift64::new(0xDEF1_0005);
+    for _ in 0..CASES {
+        let tokens = token_stream(&mut rng);
         let expected = expand(&tokens);
         for kind in [BlockKind::FixedHuffman, BlockKind::DynamicHuffman] {
             let mut enc = DeflateEncoder::new();
             enc.write_block(&tokens, kind, true);
             let stream = enc.finish();
-            prop_assert_eq!(&inflate(&stream).unwrap(), &expected, "{:?}", kind);
+            assert_eq!(&inflate(&stream).unwrap(), &expected, "{kind:?}");
         }
     }
+}
 
-    #[test]
-    fn multi_block_streams_inflate(tokens in token_streams(), split in 0usize..300) {
+#[test]
+fn multi_block_streams_inflate() {
+    let mut rng = XorShift64::new(0xDEF1_0006);
+    for _ in 0..CASES {
+        let tokens = token_stream(&mut rng);
         let expected = expand(&tokens);
-        let cut = split.min(tokens.len());
+        let cut = rng.below_usize(300).min(tokens.len());
         let mut enc = DeflateEncoder::new();
         enc.write_block(&tokens[..cut], BlockKind::FixedHuffman, false);
         enc.sync_flush();
         enc.write_block(&tokens[cut..], BlockKind::DynamicHuffman, true);
-        prop_assert_eq!(inflate(&enc.finish()).unwrap(), expected);
+        assert_eq!(inflate(&enc.finish()).unwrap(), expected);
     }
+}
 
-    #[test]
-    fn checksums_are_chunking_invariant(data in proptest::collection::vec(any::<u8>(), 0..5000),
-                                        cut in 0usize..5000) {
-        let cut = cut.min(data.len());
+#[test]
+fn checksums_are_chunking_invariant() {
+    let mut rng = XorShift64::new(0xDEF1_0007);
+    for _ in 0..CASES {
+        let mut data = vec![0u8; rng.below_usize(5_000)];
+        rng.fill_bytes(&mut data);
+        let cut = rng.below_usize(5_000).min(data.len());
         let mut a = Adler32::new();
         a.update(&data[..cut]);
         a.update(&data[cut..]);
-        prop_assert_eq!(a.finish(), adler32(&data));
+        assert_eq!(a.finish(), adler32(&data));
         let mut c = Crc32::new();
         c.update(&data[..cut]);
         c.update(&data[cut..]);
-        prop_assert_eq!(c.finish(), crc32(&data));
+        assert_eq!(c.finish(), crc32(&data));
     }
+}
 
-    #[test]
-    fn length_and_distance_symbols_cover_their_ranges(len in MIN_MATCH..=MAX_MATCH,
-                                                      dist in 1u32..=32_768) {
+#[test]
+fn length_and_distance_symbols_cover_their_ranges() {
+    let mut rng = XorShift64::new(0xDEF1_0008);
+    for _ in 0..512 {
+        let len = rng.range_u32(MIN_MATCH, MAX_MATCH);
+        let dist = rng.range_u32(1, 32_768);
         let l = length_symbol(len);
-        prop_assert!((257..=285).contains(&l.symbol));
+        assert!((257..=285).contains(&l.symbol));
         let base = lzfpga_deflate::fixed::length_base(l.symbol).unwrap();
-        prop_assert_eq!(base.0 + l.extra_val, len);
-        prop_assert!(l.extra_val < (1 << l.extra_bits) || l.extra_bits == 0);
+        assert_eq!(base.0 + l.extra_val, len);
+        assert!(l.extra_val < (1 << l.extra_bits) || l.extra_bits == 0);
         let d = distance_symbol(dist);
-        prop_assert!(d.symbol < 30);
+        assert!(d.symbol < 30);
         let base = lzfpga_deflate::fixed::distance_base(d.symbol).unwrap();
-        prop_assert_eq!(base.0 + d.extra_val, dist);
+        assert_eq!(base.0 + d.extra_val, dist);
     }
 }

@@ -67,7 +67,8 @@ pub fn pareto_front(results: &[EstimateResult]) -> Vec<&EstimateResult> {
 /// Named presets mirroring the paper's tool: each is a starting point for a
 /// class of deployment.
 pub fn presets() -> Vec<EstimatePoint> {
-    let named = |label: &str, cfg: HwConfig| EstimatePoint { label: label.to_string(), config: cfg };
+    let named =
+        |label: &str, cfg: HwConfig| EstimatePoint { label: label.to_string(), config: cfg };
     vec![
         // Table I's operating point.
         named("paper-fast", HwConfig::paper_fast()),

@@ -23,7 +23,7 @@
 
 use crate::explore::{best_under_budget, pareto_front, presets, Objective};
 use crate::report::{render_csv, render_table};
-use crate::sweep::{evaluate, EstimatePoint, EstimateResult, run_sweep};
+use crate::sweep::{evaluate, run_sweep, EstimatePoint, EstimateResult};
 use lzfpga_core::HwConfig;
 use lzfpga_lzss::params::CompressionLevel;
 use lzfpga_workloads::Corpus;
@@ -132,7 +132,11 @@ impl Shell {
                     Err(e) => return e,
                 }
             } else if let Some(v) = a.strip_prefix("hashes=") {
-                match v.split(',').map(|h| h.parse().map_err(|_| format!("bad hash '{h}'"))).collect() {
+                match v
+                    .split(',')
+                    .map(|h| h.parse().map_err(|_| format!("bad hash '{h}'")))
+                    .collect()
+                {
                     Ok(h) => hashes = h,
                     Err(e) => return e,
                 }
@@ -213,10 +217,7 @@ fn parse_size(s: &str) -> Result<usize, String> {
         Some('m') | Some('M') => (&s[..s.len() - 1], 1_024 * 1_024),
         _ => (s, 1),
     };
-    digits
-        .parse::<usize>()
-        .map(|v| v * mult)
-        .map_err(|_| format!("bad size '{s}'"))
+    digits.parse::<usize>().map(|v| v * mult).map_err(|_| format!("bad size '{s}'"))
 }
 
 fn parse_size_u32(s: &str) -> Result<u32, String> {

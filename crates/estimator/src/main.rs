@@ -11,9 +11,9 @@
 //!                 [--levels min,max] [--threads N] [--csv]
 //! ```
 
+use lzfpga_core::HwConfig;
 use lzfpga_estimator::sweep::{run_sweep, EstimatePoint};
 use lzfpga_estimator::{render_csv, render_table};
-use lzfpga_core::HwConfig;
 use lzfpga_lzss::params::CompressionLevel;
 use lzfpga_workloads::Corpus;
 
@@ -72,14 +72,11 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |flag: &str| {
-            it.next().ok_or_else(|| format!("{flag} requires a value"))
-        };
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
         match flag.as_str() {
             "--corpus" => {
                 let v = value("--corpus")?;
-                args.corpus =
-                    Corpus::parse(&v).ok_or_else(|| format!("unknown corpus '{v}'"))?;
+                args.corpus = Corpus::parse(&v).ok_or_else(|| format!("unknown corpus '{v}'"))?;
             }
             "--file" => args.file = Some(value("--file")?),
             "--size" => args.size = value("--size")?.parse().map_err(|e| format!("--size: {e}"))?,
@@ -206,8 +203,7 @@ fn main() {
     );
     let mut results = run_sweep(&data, &points, args.threads);
     if args.pareto {
-        let front: Vec<_> =
-            lzfpga_estimator::pareto_front(&results).into_iter().cloned().collect();
+        let front: Vec<_> = lzfpga_estimator::pareto_front(&results).into_iter().cloned().collect();
         results = front;
     }
     if let Some(metric) = args.series {

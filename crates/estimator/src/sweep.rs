@@ -24,12 +24,7 @@ impl EstimatePoint {
             CompressionLevel::Max => "max",
         };
         Self {
-            label: format!(
-                "{}K/{}b/{}",
-                config.window_size / 1024,
-                config.hash_bits,
-                level
-            ),
+            label: format!("{}K/{}b/{}", config.window_size / 1024, config.hash_bits, level),
             config,
         }
     }
@@ -92,7 +87,7 @@ pub fn evaluate(data: &[u8], point: &EstimatePoint) -> EstimateResult {
 }
 
 /// Run all points over `data`, distributing across `threads` OS threads
-/// (crossbeam scoped threads; results keep input order).
+/// (`std::thread::scope`; results keep input order).
 pub fn run_sweep(data: &[u8], points: &[EstimatePoint], threads: usize) -> Vec<EstimateResult> {
     let threads = threads.max(1).min(points.len().max(1));
     if threads <= 1 || points.len() <= 1 {
@@ -100,29 +95,29 @@ pub fn run_sweep(data: &[u8], points: &[EstimatePoint], threads: usize) -> Vec<E
     }
     // Self-scheduling over an atomic index: threads claim points one at a
     // time (configurations differ wildly in cost, so static chunking would
-    // leave cores idle) and deliver results over a channel keyed by index.
-    let mut results: Vec<Option<EstimateResult>> = vec![None; points.len()];
+    // leave cores idle) and file results into index-keyed slots behind one
+    // mutex — contention is negligible next to the cost of `evaluate`.
+    let results: std::sync::Mutex<Vec<Option<EstimateResult>>> =
+        std::sync::Mutex::new(vec![None; points.len()]);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, EstimateResult)>();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            let tx = tx.clone();
-            let next = &next;
-            s.spawn(move |_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= points.len() {
                     break;
                 }
-                tx.send((i, evaluate(data, &points[i]))).expect("collector alive");
+                let r = evaluate(data, &points[i]);
+                results.lock().expect("sweep slot lock")[i] = Some(r);
             });
         }
-        drop(tx);
-        for (i, r) in rx.iter() {
-            results[i] = Some(r);
-        }
-    })
-    .expect("sweep threads panicked");
-    results.into_iter().map(|r| r.expect("all points evaluated")).collect()
+    });
+    results
+        .into_inner()
+        .expect("sweep slot lock")
+        .into_iter()
+        .map(|r| r.expect("all points evaluated"))
+        .collect()
 }
 
 /// Series builder: the Fig. 2/3 grid — every (dictionary, hash) pair.
@@ -199,11 +194,6 @@ mod tests {
         let data = sample();
         let pts = grid_points(&[1_024, 16_384], &[15], CompressionLevel::Min);
         let res = run_sweep(&data, &pts, 2);
-        assert!(
-            res[1].ratio > res[0].ratio,
-            "16K {} !> 1K {}",
-            res[1].ratio,
-            res[0].ratio
-        );
+        assert!(res[1].ratio > res[0].ratio, "16K {} !> 1K {}", res[1].ratio, res[0].ratio);
     }
 }

@@ -90,15 +90,8 @@ impl DualPortBram {
     /// Panics if `depth` is zero or `data_bits` is zero or above 64.
     pub fn new(name: &'static str, depth: usize, data_bits: u32) -> Self {
         assert!(depth > 0, "{name}: BRAM depth must be non-zero");
-        assert!(
-            (1..=64).contains(&data_bits),
-            "{name}: data width must be 1..=64 bits"
-        );
-        let mask = if data_bits == 64 {
-            u64::MAX
-        } else {
-            (1u64 << data_bits) - 1
-        };
+        assert!((1..=64).contains(&data_bits), "{name}: data width must be 1..=64 bits");
+        let mask = if data_bits == 64 { u64::MAX } else { (1u64 << data_bits) - 1 };
         Self {
             name,
             words: vec![0; depth],
@@ -236,7 +229,9 @@ impl Clocked for DualPortBram {
     fn tick(&mut self) {
         // Detect write/write collisions before applying anything.
         if let (Some(a0), Some(a1)) = (self.ports[0].pending_addr, self.ports[1].pending_addr) {
-            if a0 == a1 && self.ports[0].pending_write.is_some() && self.ports[1].pending_write.is_some()
+            if a0 == a1
+                && self.ports[0].pending_write.is_some()
+                && self.ports[1].pending_write.is_some()
             {
                 self.collisions += 1;
             }

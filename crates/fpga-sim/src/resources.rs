@@ -100,12 +100,8 @@ pub struct Virtex5Part {
 
 impl Virtex5Part {
     /// The ML-507 board's FPGA used in the paper.
-    pub const XC5VFX70T: Virtex5Part = Virtex5Part {
-        name: "XC5VFX70T",
-        luts: 44_800,
-        registers: 44_800,
-        bram36_sites: 148,
-    };
+    pub const XC5VFX70T: Virtex5Part =
+        Virtex5Part { name: "XC5VFX70T", luts: 44_800, registers: 44_800, bram36_sites: 148 };
 
     /// Fraction of the part's LUTs a design consumes.
     pub fn lut_utilization(&self, luts: u32) -> f64 {
@@ -164,7 +160,7 @@ pub fn estimate_lzss_logic(
         + 14 * addr                       // ring pointers, rotation comparators, adders
         + 22 * hash_bits                  // hash datapath x2 (compute + prefetch)
         + 56 * bus_bytes                  // byte comparators + priority encoder
-        + 18 * head_divisions;            // per-submemory rotation counters/muxes
+        + 18 * head_divisions; // per-submemory rotation counters/muxes
     let registers = 1_050 + 11 * addr + 16 * hash_bits + 34 * bus_bytes + 12 * head_divisions;
     ResourceEstimate { luts, registers, bram: BramAllocation::default() }
 }
@@ -235,10 +231,7 @@ mod tests {
             for width in [1, 7, 8, 15, 31, 36, 50] {
                 let a = pack_memory(depth, width);
                 let need_kbit = (depth as u64 * u64::from(width)) as f64 / 1024.0;
-                assert!(
-                    f64::from(a.kbits()) >= need_kbit,
-                    "{depth}x{width}: {a:?} too small"
-                );
+                assert!(f64::from(a.kbits()) >= need_kbit, "{depth}x{width}: {a:?} too small");
             }
         }
     }

@@ -15,9 +15,7 @@ impl XorShift64 {
     /// Create a generator. A zero seed is remapped to a fixed non-zero
     /// constant because xorshift has an all-zero fixed point.
     pub fn new(seed: u64) -> Self {
-        Self {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
-        }
+        Self { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
     }
 
     /// Next 64-bit value.
@@ -43,6 +41,58 @@ impl XorShift64 {
     #[inline]
     pub fn chance(&mut self, num: u64, denom: u64) -> bool {
         self.next_below(denom) < num
+    }
+
+    /// Next byte (top bits of the 64-bit state, which are the best-mixed).
+    #[inline]
+    pub fn next_u8(&mut self) -> u8 {
+        (self.next_u64() >> 56) as u8
+    }
+
+    /// Next 16-bit value.
+    #[inline]
+    pub fn next_u16(&mut self) -> u16 {
+        (self.next_u64() >> 48) as u16
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform index in `0..bound` (`bound > 0`), as a `usize`.
+    #[inline]
+    pub fn below_usize(&mut self, bound: usize) -> usize {
+        self.next_below(bound as u64) as usize
+    }
+
+    /// Uniform value in the inclusive range `lo..=hi` (`lo <= hi`).
+    #[inline]
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Uniform value in the inclusive range `lo..=hi` (`lo <= hi`).
+    #[inline]
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.range_u64(u64::from(lo), u64::from(hi)) as u32
+    }
+
+    /// Uniform value in the inclusive range `lo..=hi` (`lo <= hi`), signed.
+    #[inline]
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        lo + self.next_below((hi - lo + 1) as u64) as i64
+    }
+
+    /// Fill `buf` with uniform random bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
     }
 }
 
@@ -79,5 +129,47 @@ mod tests {
         let hits = (0..100_000).filter(|_| r.chance(1, 4)).count();
         // 25% +/- 2% over 100k trials.
         assert!((23_000..27_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn ranges_are_inclusive_and_cover() {
+        let mut r = XorShift64::new(3);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            let v = r.range_u32(2, 6);
+            assert!((2..=6).contains(&v));
+            seen[(v - 2) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+        for _ in 0..1_000 {
+            let v = r.range_i64(-3, 3);
+            assert!((-3..=3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut r = XorShift64::new(11);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((0.45..0.55).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn fill_bytes_is_deterministic_and_unbiased_enough() {
+        let mut a = XorShift64::new(5);
+        let mut b = XorShift64::new(5);
+        let mut x = [0u8; 1_000];
+        let mut y = [0u8; 1_000];
+        a.fill_bytes(&mut x);
+        b.fill_bytes(&mut y);
+        assert_eq!(x, y);
+        let distinct = x.iter().collect::<std::collections::HashSet<_>>().len();
+        assert!(distinct > 200, "{distinct} distinct bytes");
     }
 }

@@ -66,13 +66,7 @@ impl<T> HandshakeStream<T> {
                 PolicyState::Random { num, denom, rng: XorShift64::new(seed) }
             }
         };
-        let mut s = Self {
-            slot: None,
-            policy,
-            ready_now: true,
-            accepted: 0,
-            stalled_cycles: 0,
-        };
+        let mut s = Self { slot: None, policy, ready_now: true, accepted: 0, stalled_cycles: 0 };
         s.evaluate_ready();
         s
     }

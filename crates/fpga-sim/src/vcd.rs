@@ -162,11 +162,8 @@ mod tests {
     #[test]
     fn changes_are_time_ordered_and_deduplicated() {
         let vcd = simple_dump();
-        let times: Vec<u64> = vcd
-            .lines()
-            .filter(|l| l.starts_with('#'))
-            .map(|l| l[1..].parse().unwrap())
-            .collect();
+        let times: Vec<u64> =
+            vcd.lines().filter(|l| l.starts_with('#')).map(|l| l[1..].parse().unwrap()).collect();
         assert_eq!(times, vec![0, 5, 9, 12]);
         assert!(vcd.contains("b101 !"));
         assert!(vcd.contains("b1 !"));

@@ -1,11 +1,12 @@
 //! Property tests on the simulation substrate: the dual-port BRAM against a
 //! golden shadow model under random operation sequences, and handshake
-//! stream conservation laws under random back-pressure.
+//! stream conservation laws under random back-pressure. Operation sequences
+//! come from the crate's own seeded xorshift generator.
 
 use lzfpga_sim::bram::{DualPortBram, Port, WriteMode};
 use lzfpga_sim::clock::Clocked;
+use lzfpga_sim::rng::XorShift64;
 use lzfpga_sim::stream::{BackPressure, HandshakeStream};
-use proptest::prelude::*;
 
 /// One cycle's worth of port operations.
 #[derive(Debug, Clone, Copy)]
@@ -15,22 +16,18 @@ enum Op {
     Write(usize, u64),
 }
 
-fn ops(depth: usize) -> impl Strategy<Value = Vec<(Op, Op)>> {
-    let one = move || {
-        prop_oneof![
-            Just(Op::Idle),
-            (0..depth).prop_map(Op::Read),
-            (0..depth, any::<u64>()).prop_map(|(a, v)| Op::Write(a, v)),
-        ]
-    };
-    proptest::collection::vec((one(), one()), 0..200)
+fn random_op(rng: &mut XorShift64, depth: usize) -> Op {
+    match rng.below_usize(3) {
+        0 => Op::Idle,
+        1 => Op::Read(rng.below_usize(depth)),
+        _ => Op::Write(rng.below_usize(depth), rng.next_u64()),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
-
-    #[test]
-    fn bram_matches_shadow_model(seq in ops(32)) {
+#[test]
+fn bram_matches_shadow_model() {
+    let mut rng = XorShift64::new(0x51B0_0001);
+    for _ in 0..96 {
         let depth = 32usize;
         let bits = 16u32;
         let mask = (1u64 << bits) - 1;
@@ -38,7 +35,9 @@ proptest! {
         let mut shadow = vec![0u64; depth];
         let mut dout = [0u64; 2]; // expected registered outputs
 
-        for (a_op, b_op) in seq {
+        for _ in 0..rng.below_usize(200) {
+            let a_op = random_op(&mut rng, depth);
+            let b_op = random_op(&mut rng, depth);
             // Drive the ports.
             for (i, op) in [(0usize, a_op), (1usize, b_op)] {
                 let port = if i == 0 { Port::A } else { Port::B };
@@ -65,22 +64,26 @@ proptest! {
                 }
             }
             ram.tick();
-            prop_assert_eq!(ram.dout(Port::A), dout[0]);
-            prop_assert_eq!(ram.dout(Port::B), dout[1]);
+            assert_eq!(ram.dout(Port::A), dout[0]);
+            assert_eq!(ram.dout(Port::B), dout[1]);
         }
         // Final contents agree everywhere.
         for (addr, &v) in shadow.iter().enumerate() {
-            prop_assert_eq!(ram.peek(addr), v);
+            assert_eq!(ram.peek(addr), v);
         }
     }
+}
 
-    #[test]
-    fn handshake_stream_conserves_items(policy in prop_oneof![
-            Just(BackPressure::None),
-            (1u32..4, 4u32..8).prop_map(|(r, p)| BackPressure::Duty { ready: r, period: p }),
-            (1u64..4, any::<u64>()).prop_map(|(n, seed)| BackPressure::Random { num: n, denom: 4, seed }),
-        ],
-        items in proptest::collection::vec(any::<u32>(), 0..100)) {
+#[test]
+fn handshake_stream_conserves_items() {
+    let mut rng = XorShift64::new(0x51B0_0002);
+    for _ in 0..96 {
+        let policy = match rng.below_usize(3) {
+            0 => BackPressure::None,
+            1 => BackPressure::Duty { ready: rng.range_u32(1, 3), period: rng.range_u32(4, 7) },
+            _ => BackPressure::Random { num: rng.range_u64(1, 3), denom: 4, seed: rng.next_u64() },
+        };
+        let items: Vec<u32> = (0..rng.below_usize(100)).map(|_| rng.next_u64() as u32).collect();
         let policy_desc = format!("{policy:?}");
         let mut s = HandshakeStream::new(policy);
         let mut produced = items.clone().into_iter();
@@ -99,9 +102,9 @@ proptest! {
             }
             s.tick();
             guard += 1;
-            prop_assert!(guard < 10_000, "livelock under {policy_desc}");
+            assert!(guard < 10_000, "livelock under {policy_desc}");
         }
         // FIFO order, nothing lost, nothing duplicated.
-        prop_assert_eq!(received, items);
+        assert_eq!(received, items);
     }
 }

@@ -190,9 +190,8 @@ mod tests {
 
     #[test]
     fn real_text_statistics_are_sane() {
-        let data: Vec<u8> = (0..40_000u32)
-            .flat_map(|i| format!("word{} ", i % 700).into_bytes())
-            .collect();
+        let data: Vec<u8> =
+            (0..40_000u32).flat_map(|i| format!("word{} ", i % 700).into_bytes()).collect();
         let tokens = compress(&data, &LzssParams::paper_fast());
         let s = analyze_tokens(&tokens);
         assert_eq!(s.literals + s.match_bytes, data.len() as u64);
@@ -206,9 +205,8 @@ mod tests {
 
     #[test]
     fn naive_bound_is_below_fixed_huffman_cost() {
-        let data: Vec<u8> = (0..30_000u32)
-            .flat_map(|i| format!("entry {} ", i % 321).into_bytes())
-            .collect();
+        let data: Vec<u8> =
+            (0..30_000u32).flat_map(|i| format!("entry {} ", i % 321).into_bytes()).collect();
         let tokens = compress(&data, &LzssParams::paper_fast());
         let s = analyze_tokens(&tokens);
         let actual = lzfpga_deflate::encoder::fixed_block_bit_size(&tokens) as f64;

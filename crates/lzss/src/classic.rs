@@ -166,8 +166,7 @@ pub fn decode_classic(data: &[u8], params: &ClassicParams) -> Result<Vec<u8>, Cl
             }
             let dist =
                 r.read_bits(params.offset_bits).map_err(|_| ClassicError::Truncated)? as u32 + 1;
-            let len = r.read_bits(params.length_bits).map_err(|_| ClassicError::Truncated)?
-                as u32
+            let len = r.read_bits(params.length_bits).map_err(|_| ClassicError::Truncated)? as u32
                 + MIN_MATCH;
             if u64::from(dist) > out.len() as u64 {
                 return Err(ClassicError::DistanceTooFar { dist, produced: out.len() as u64 });
@@ -247,9 +246,8 @@ mod tests {
 
     #[test]
     fn geometry_variants_round_trip() {
-        let data: Vec<u8> = (0..30_000u32)
-            .flat_map(|i| format!("{} ", i % 800).into_bytes())
-            .collect();
+        let data: Vec<u8> =
+            (0..30_000u32).flat_map(|i| format!("{} ", i % 800).into_bytes()).collect();
         for (ob, lb) in [(8u32, 2u32), (10, 3), (12, 4), (14, 6), (16, 8)] {
             let cp = ClassicParams { offset_bits: ob, length_bits: lb };
             let params = LzssParams::new(
@@ -347,9 +345,6 @@ mod tests {
         w.write_bits(100, 12);
         w.write_bits(0, 4);
         let bad = w.finish();
-        assert!(matches!(
-            decode_classic(&bad, &cp),
-            Err(ClassicError::DistanceTooFar { .. })
-        ));
+        assert!(matches!(decode_classic(&bad, &cp), Err(ClassicError::DistanceTooFar { .. })));
     }
 }

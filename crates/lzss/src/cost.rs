@@ -168,11 +168,7 @@ pub fn estimate_software_with(
         + w.emit_literal * ops.literals as f64
         + w.emit_match * ops.matches as f64;
     let seconds = cycles / PPC440_HZ;
-    let mb_per_s = if seconds > 0.0 {
-        ops.input_bytes as f64 / 1e6 / seconds
-    } else {
-        0.0
-    };
+    let mb_per_s = if seconds > 0.0 { ops.input_bytes as f64 / 1e6 / seconds } else { 0.0 };
     SoftwareEstimate { tokens, ops, cycles, mb_per_s }
 }
 

@@ -167,7 +167,8 @@ mod tests {
 
     #[test]
     fn dl_pair_stream_round_trip() {
-        let pairs = vec![(0u16, b's'), (0, b'n'), (0, b'o'), (0, b'w'), (0, b'y'), (0, b' '), (6, 1)];
+        let pairs =
+            vec![(0u16, b's'), (0, b'n'), (0, b'o'), (0, b'w'), (0, b'y'), (0, b' '), (6, 1)];
         assert_eq!(decode_dl_stream(&pairs, 4_096).unwrap(), b"snowy snow");
     }
 

@@ -121,10 +121,7 @@ mod tests {
         let f = HashFn::multiplicative(12);
         let data = b"hello world";
         for pos in 0..data.len() - 2 {
-            assert_eq!(
-                f.hash_at(data, pos),
-                f.hash3(data[pos], data[pos + 1], data[pos + 2])
-            );
+            assert_eq!(f.hash_at(data, pos), f.hash3(data[pos], data[pos + 1], data[pos + 2]));
         }
     }
 

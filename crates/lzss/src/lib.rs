@@ -22,6 +22,9 @@
 //! * [`cost`] — an instrumented operation-count model of the compressor on a
 //!   PowerPC-440-class embedded CPU (the paper's 400 MHz SW baseline),
 //!   documented in `DESIGN.md` as a substitution for the physical board.
+//! * [`turbo`] — the same algorithm as [`mod@reference`], token-for-token,
+//!   but with a word-at-a-time match kernel and reusable arenas: the
+//!   software fast path the throughput harness measures.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,9 +36,11 @@ pub mod decoder;
 pub mod hash;
 pub mod params;
 pub mod reference;
+pub mod turbo;
 
 pub use analysis::{analyze_tokens, TokenStats};
 pub use decoder::{decode_tokens, DecodeError};
 pub use hash::HashFn;
 pub use params::{CompressionLevel, LzssParams};
 pub use reference::{compress, compress_with_probe, Probe};
+pub use turbo::TurboEngine;

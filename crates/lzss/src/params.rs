@@ -134,11 +134,7 @@ impl LzssParams {
             "window size {} outside 256..=32768",
             self.window_size
         );
-        assert!(
-            (8..=20).contains(&self.hash_bits),
-            "hash bits {} outside 8..=20",
-            self.hash_bits
-        );
+        assert!((8..=20).contains(&self.hash_bits), "hash bits {} outside 8..=20", self.hash_bits);
     }
 
     /// log2(window_size): the dictionary address width in bits.

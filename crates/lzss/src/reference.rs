@@ -152,7 +152,11 @@ pub fn compress_with_dict(dict: &[u8], data: &[u8], params: &LzssParams) -> Vec<
 }
 
 /// Compress `data`, reporting dynamic operation counts to `probe`.
-pub fn compress_with_probe<P: Probe>(data: &[u8], params: &LzssParams, probe: &mut P) -> Vec<Token> {
+pub fn compress_with_probe<P: Probe>(
+    data: &[u8],
+    params: &LzssParams,
+    probe: &mut P,
+) -> Vec<Token> {
     params.validate();
     let tuning = params.effective_tuning();
     if tuning.lazy {
@@ -331,13 +335,19 @@ fn compress_lazy<P: Probe>(data: &[u8], params: &LzssParams, probe: &mut P) -> V
         probe.position_inserted();
 
         // Reduce effort when the pending match is already good (zlib).
-        let budget = if prev_len >= tuning.good_length {
-            tuning.max_chain >> 2
-        } else {
-            tuning.max_chain
-        };
+        let budget =
+            if prev_len >= tuning.good_length { tuning.max_chain >> 2 } else { tuning.max_chain };
         let (mut cur_len, cur_dist) = if prev_len < tuning.max_lazy {
-            longest_match(data, pos, cand, &tables, max_dist, budget.max(1), tuning.nice_length, probe)
+            longest_match(
+                data,
+                pos,
+                cand,
+                &tables,
+                max_dist,
+                budget.max(1),
+                tuning.nice_length,
+                probe,
+            )
         } else {
             (0, 0)
         };

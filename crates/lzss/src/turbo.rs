@@ -1,0 +1,438 @@
+//! Turbo software fast path: the reference algorithm with a word-at-a-time
+//! match kernel and zero-allocation engine reuse.
+//!
+//! [`mod@crate::reference`] optimises for being *obviously* the zlib
+//! algorithm — byte loops, fresh tables per call, a probe on every
+//! operation. This module is the same decision procedure made fast:
+//!
+//! * **Word-at-a-time matching.** Where the hardware compares a full
+//!   dictionary bus word per cycle (§IV of the paper; see `compare_cycles`
+//!   in `lzfpga-core`), the software kernel loads 8 bytes per step as a
+//!   little-endian `u64`, XORs candidate against cursor, and finds the first
+//!   mismatching byte with `trailing_zeros() / 8` — one branch per 8 bytes
+//!   instead of one per byte.
+//! * **Arena reuse.** A [`TurboEngine`] owns its head/next tables and hands
+//!   them to every call: compressing a stream of chunks allocates nothing
+//!   after the first chunk (reset is a `fill(0)`, preserving the hardware's
+//!   BRAM power-up-to-zero semantics).
+//! * **Sink output.** Tokens stream into a
+//!   [`TokenSink`](lzfpga_deflate::sink::TokenSink), so callers can buffer,
+//!   count, or encode without an intermediate `Vec` when they don't need
+//!   one.
+//!
+//! The output is **token-for-token identical** to [`crate::compress`] for
+//! every parameter set — greedy and lazy — which transitively makes it
+//! identical to the cycle-accurate hardware model. The tests here and the
+//! workspace-level `turbo_equivalence` suite enforce that.
+
+use crate::hash::HASH_BYTES;
+use crate::params::LzssParams;
+use crate::reference::max_distance;
+use lzfpga_deflate::fixed::{MAX_MATCH, MIN_MATCH};
+use lzfpga_deflate::sink::TokenSink;
+use lzfpga_deflate::token::Token;
+
+/// Same threshold as the reference lazy path (zlib's `TOO_FAR`).
+const TOO_FAR: u32 = 4_096;
+
+/// Length of the common prefix of `data[a..]` and `data[b..]`, capped at
+/// `limit`, compared 8 bytes at a time.
+///
+/// Caller guarantees `a < b` and `b + limit <= data.len()` (the reference
+/// compressor's `limit = MAX_MATCH.min(len - pos)` invariant), so every
+/// 8-byte load below is in bounds for both cursors.
+#[inline]
+pub fn match_length_fast(data: &[u8], a: usize, b: usize, limit: u32) -> u32 {
+    debug_assert!(a < b);
+    debug_assert!(b + limit as usize <= data.len());
+    let max = limit as usize;
+    // `a + max <= b + max <= data.len()`, so both windows are in bounds; the
+    // exact-length subslices let the compiler drop per-iteration checks and
+    // `chunks_exact(8)` makes each `try_into` a free reinterpretation.
+    let pa = &data[a..a + max];
+    let pb = &data[b..b + max];
+    let mut n = 0usize;
+    for (ca, cb) in pa.chunks_exact(8).zip(pb.chunks_exact(8)) {
+        let wa = u64::from_le_bytes(ca.try_into().expect("8-byte chunk"));
+        let wb = u64::from_le_bytes(cb.try_into().expect("8-byte chunk"));
+        let diff = wa ^ wb;
+        if diff != 0 {
+            // First differing byte: in little-endian order the low byte of
+            // the word is the first byte of the slice, so the mismatch
+            // offset is trailing-zero-bits / 8 — the software form of the
+            // hardware's priority encoder over the bus comparator lanes.
+            return (n + (diff.trailing_zeros() / 8) as usize) as u32;
+        }
+        n += 8;
+    }
+    while n < max && pa[n] == pb[n] {
+        n += 1;
+    }
+    n as u32
+}
+
+/// Per-run search geometry, hoisted out of the hot loop.
+#[derive(Clone, Copy)]
+struct Search {
+    /// Largest emittable distance (`max_distance(window_size)`).
+    max_dist: u32,
+    /// Stop searching once a match of this length is found.
+    nice: u32,
+}
+
+/// zlib `INSERT_STRING`: file `pos` under `h`, return the old head.
+///
+/// `head` and `prev` must be exactly the live regions (`1 << hash_bits` and
+/// `window_size` entries) so the mask-derived-from-length indexing below is
+/// both correct and bounds-check free. Positions are `u32` — half the table
+/// footprint of the reference's `usize` entries, which matters because the
+/// head table is hit at a random slot for every input position.
+#[inline]
+fn insert(head: &mut [u32], prev: &mut [u32], h: u32, pos: u32) -> u32 {
+    let slot = h as usize & (head.len() - 1);
+    let old = head[slot];
+    prev[pos as usize & (prev.len() - 1)] = old;
+    head[slot] = pos;
+    old
+}
+
+/// Walk the chain from `cand` for the longest match against `data[pos..]`;
+/// identical decisions to the reference `longest_match`. `prev` is the live
+/// `window_size`-entry ring (its length is the index mask + 1).
+#[inline]
+fn longest_match(
+    data: &[u8],
+    pos: usize,
+    mut cand: u32,
+    prev: &[u32],
+    search: Search,
+    mut chain_budget: u32,
+) -> (u32, u32) {
+    let Search { max_dist, nice } = search;
+    let wmask = prev.len() - 1;
+    let limit = MAX_MATCH.min((data.len() - pos) as u32);
+    let nice = nice.min(limit);
+    let mut best_len = 0u32;
+    let mut best_dist = 0u32;
+    // zlib's `scan_end` register: the byte a candidate must reproduce at
+    // offset `best_len` to have any chance of beating the current best.
+    let mut scan_end = data[pos];
+    while chain_budget > 0 {
+        if cand as usize >= pos {
+            break;
+        }
+        let dist = (pos - cand as usize) as u32;
+        if dist > max_dist {
+            break;
+        }
+        // Quick reject (zlib's probe): a candidate can only beat `best_len`
+        // if it also matches at offset `best_len`, so one byte compare skips
+        // most full kernel runs without changing which matches are found.
+        // `best_len < limit` holds here — a best of `limit >= nice` would
+        // have exited at its update below — so both probes are in bounds.
+        if data[cand as usize + best_len as usize] == scan_end {
+            let len = match_length_fast(data, cand as usize, pos, limit);
+            if len > best_len {
+                best_len = len;
+                best_dist = dist;
+                if len >= nice {
+                    break;
+                }
+                scan_end = data[pos + len as usize];
+            }
+        }
+        let nxt = prev[cand as usize & wmask];
+        if nxt < cand {
+            cand = nxt;
+        } else {
+            break;
+        }
+        chain_budget -= 1;
+    }
+    (best_len, best_dist)
+}
+
+/// A reusable LZSS compression engine: the reference algorithm with
+/// persistent head/next arenas and the word-at-a-time kernel.
+///
+/// Construction is cheap; tables are grown lazily to the largest geometry
+/// seen and zero-filled (not reallocated) between inputs.
+#[derive(Debug, Default)]
+pub struct TurboEngine {
+    /// Head table arena; the live region is `1 << hash_bits` entries.
+    head: Vec<u32>,
+    /// Next (chained previous-position) arena; live region is `window_size`.
+    prev: Vec<u32>,
+}
+
+impl TurboEngine {
+    /// A fresh engine with empty arenas.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Zero the live table regions for `params`, growing the arenas if this
+    /// geometry is larger than anything seen before.
+    fn reset(&mut self, params: &LzssParams) {
+        let head_len = 1usize << params.hash_bits;
+        let prev_len = params.window_size as usize;
+        if self.head.len() < head_len {
+            self.head.resize(head_len, 0);
+        }
+        if self.prev.len() < prev_len {
+            self.prev.resize(prev_len, 0);
+        }
+        self.head[..head_len].fill(0);
+        self.prev[..prev_len].fill(0);
+    }
+
+    /// Compress `data`, streaming tokens into `sink`. Token-for-token
+    /// identical to [`crate::compress`] with the same `params`.
+    pub fn compress_into<S: TokenSink>(&mut self, data: &[u8], params: &LzssParams, sink: &mut S) {
+        params.validate();
+        assert!(data.len() <= u32::MAX as usize, "turbo inputs are limited to 4 GiB - 1");
+        self.reset(params);
+        if params.effective_tuning().lazy {
+            self.run_lazy(data, params, sink);
+        } else {
+            self.run_greedy(data, params, sink);
+        }
+    }
+
+    /// Convenience wrapper buffering the tokens.
+    pub fn compress(&mut self, data: &[u8], params: &LzssParams) -> Vec<Token> {
+        let mut out = Vec::new();
+        self.compress_into(data, params, &mut out);
+        out
+    }
+
+    fn run_greedy<S: TokenSink>(&mut self, data: &[u8], params: &LzssParams, sink: &mut S) {
+        let tuning = params.effective_tuning();
+        let search =
+            Search { max_dist: max_distance(params.window_size), nice: tuning.nice_length };
+        let hash = params.hash_fn;
+        let Self { head, prev } = self;
+        let head = &mut head[..1usize << params.hash_bits];
+        let prev = &mut prev[..params.window_size as usize];
+        let n = data.len();
+        let mut pos = 0usize;
+
+        while pos < n {
+            if n - pos < HASH_BYTES {
+                sink.literal(data[pos]);
+                pos += 1;
+                continue;
+            }
+            let h = hash.hash_at(data, pos);
+            let cand = insert(head, prev, h, pos as u32);
+
+            let (best_len, best_dist) =
+                longest_match(data, pos, cand, prev, search, tuning.max_chain);
+
+            if best_len >= MIN_MATCH {
+                sink.matched(best_dist, best_len);
+                if best_len <= tuning.max_lazy {
+                    for k in pos + 1..pos + best_len as usize {
+                        if k + HASH_BYTES <= n {
+                            let hk = hash.hash_at(data, k);
+                            insert(head, prev, hk, k as u32);
+                        }
+                    }
+                }
+                pos += best_len as usize;
+            } else {
+                sink.literal(data[pos]);
+                pos += 1;
+            }
+        }
+    }
+
+    fn run_lazy<S: TokenSink>(&mut self, data: &[u8], params: &LzssParams, sink: &mut S) {
+        let tuning = params.effective_tuning();
+        let search =
+            Search { max_dist: max_distance(params.window_size), nice: tuning.nice_length };
+        let hash = params.hash_fn;
+        let Self { head, prev } = self;
+        let head = &mut head[..1usize << params.hash_bits];
+        let prev = &mut prev[..params.window_size as usize];
+        let n = data.len();
+        let mut pos = 0usize;
+
+        let mut prev_len = 0u32;
+        let mut prev_dist = 0u32;
+        let mut have_prev_literal = false;
+
+        while pos < n {
+            if n - pos < HASH_BYTES {
+                if prev_len >= MIN_MATCH {
+                    sink.matched(prev_dist, prev_len);
+                    let skip = prev_len as usize - 1;
+                    prev_len = 0;
+                    have_prev_literal = false;
+                    pos += skip;
+                    continue;
+                }
+                if have_prev_literal {
+                    sink.literal(data[pos - 1]);
+                    have_prev_literal = false;
+                }
+                sink.literal(data[pos]);
+                pos += 1;
+                continue;
+            }
+
+            let h = hash.hash_at(data, pos);
+            let cand = insert(head, prev, h, pos as u32);
+
+            let budget = if prev_len >= tuning.good_length {
+                tuning.max_chain >> 2
+            } else {
+                tuning.max_chain
+            };
+            let (mut cur_len, cur_dist) = if prev_len < tuning.max_lazy {
+                longest_match(data, pos, cand, prev, search, budget.max(1))
+            } else {
+                (0, 0)
+            };
+            if cur_len == MIN_MATCH && cur_dist > TOO_FAR {
+                cur_len = 0;
+            }
+
+            if prev_len >= MIN_MATCH && cur_len <= prev_len {
+                sink.matched(prev_dist, prev_len);
+                for k in pos + 1..pos - 1 + prev_len as usize {
+                    if k + HASH_BYTES <= n {
+                        let hk = hash.hash_at(data, k);
+                        insert(head, prev, hk, k as u32);
+                    }
+                }
+                pos += prev_len as usize - 1;
+                prev_len = 0;
+                have_prev_literal = false;
+            } else {
+                if have_prev_literal {
+                    sink.literal(data[pos - 1]);
+                }
+                prev_len = cur_len;
+                prev_dist = cur_dist;
+                have_prev_literal = true;
+                pos += 1;
+            }
+        }
+        if have_prev_literal {
+            sink.literal(data[n - 1]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CompressionLevel;
+    use crate::reference::compress as reference_compress;
+    use lzfpga_sim::rng::XorShift64;
+
+    /// Naive byte loop the fast kernel must agree with everywhere.
+    fn match_length_slow(data: &[u8], a: usize, b: usize, limit: u32) -> u32 {
+        let max = limit as usize;
+        let mut n = 0usize;
+        while n < max && data[a + n] == data[b + n] {
+            n += 1;
+        }
+        n as u32
+    }
+
+    #[test]
+    fn fast_kernel_agrees_with_byte_loop() {
+        let mut rng = XorShift64::new(41);
+        // Low-entropy data so long common prefixes actually occur, plus
+        // mismatches planted at every offset within a word.
+        let mut data: Vec<u8> = (0..4_096).map(|_| b'a' + rng.next_u8() % 3).collect();
+        for plant in 0..32 {
+            data[1_000 + plant * 7] = b'z';
+        }
+        for _ in 0..5_000 {
+            let b = 1 + rng.below_usize(data.len() - 1);
+            let a = rng.below_usize(b);
+            let limit = MAX_MATCH.min((data.len() - b) as u32);
+            assert_eq!(
+                match_length_fast(&data, a, b, limit),
+                match_length_slow(&data, a, b, limit),
+                "a={a} b={b} limit={limit}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_kernel_handles_every_boundary_length() {
+        // All prefix lengths 0..=40 across the 8-byte word boundaries.
+        for agree in 0..=40usize {
+            let mut data = vec![b'x'; 100 + agree];
+            data[50 + agree] = b'!';
+            let limit = MAX_MATCH.min((data.len() - 50) as u32);
+            assert_eq!(match_length_fast(&data, 0, 50, limit), agree as u32);
+        }
+    }
+
+    #[test]
+    fn snowy_snow_finds_the_papers_match() {
+        let tokens = TurboEngine::new().compress(b"snowy snow", &LzssParams::paper_fast());
+        assert_eq!(tokens.len(), 7, "{tokens:?}");
+        assert_eq!(tokens[6], Token::Match { dist: 6, len: 4 });
+    }
+
+    fn sample_corpora() -> Vec<Vec<u8>> {
+        let mut rng = XorShift64::new(7);
+        let mut random = vec![0u8; 20_000];
+        rng.fill_bytes(&mut random);
+        let mut lowent: Vec<u8> = (0..40_000).map(|_| b'a' + rng.next_u8() % 4).collect();
+        lowent.extend_from_slice(&lowent.clone());
+        vec![
+            Vec::new(),
+            b"a".to_vec(),
+            b"snowy snow".to_vec(),
+            vec![b'z'; 10_000],
+            random,
+            lowent,
+            b"abcabcabcabc xyz abcabc xyz ".repeat(200),
+        ]
+    }
+
+    #[test]
+    fn token_identical_to_reference_all_levels() {
+        let mut engine = TurboEngine::new();
+        for data in sample_corpora() {
+            for level in [CompressionLevel::Min, CompressionLevel::Medium, CompressionLevel::Max] {
+                for (w, h) in [(1_024u32, 12u32), (4_096, 15), (32_768, 15)] {
+                    let params = LzssParams::new(w, h, level);
+                    let expect = reference_compress(&data, &params);
+                    let got = engine.compress(&data, &params);
+                    assert_eq!(got, expect, "len={} {params:?}", data.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arena_reuse_does_not_leak_state_between_inputs() {
+        let mut engine = TurboEngine::new();
+        let params = LzssParams::paper_fast();
+        let a = engine.compress(b"snowy snow", &params);
+        // Compress something else (different geometry too), then repeat.
+        let _ = engine
+            .compress(&vec![7u8; 50_000], &LzssParams::new(32_768, 15, CompressionLevel::Max));
+        let b = engine.compress(b"snowy snow", &params);
+        assert_eq!(a, b);
+        assert_eq!(a, TurboEngine::new().compress(b"snowy snow", &params));
+    }
+
+    #[test]
+    fn counting_sink_sees_full_coverage() {
+        let data = b"the quick brown fox jumps over the lazy dog. ".repeat(100);
+        let mut engine = TurboEngine::new();
+        let mut counts = lzfpga_deflate::sink::CountingSink::default();
+        engine.compress_into(&data, &LzssParams::paper_fast(), &mut counts);
+        assert_eq!(counts.expanded_bytes, data.len() as u64);
+        assert!(counts.matches > 0);
+    }
+}

@@ -12,19 +12,33 @@
 //!   they form **one standard zlib stream** (matches never cross chunk
 //!   boundaries, so block concatenation is sound), with a single Adler-32
 //!   over the whole input;
-//! * the output is **bit-identical for any worker count** — parallelism is
-//!   an implementation detail, never a format change.
+//! * the output is **bit-identical for any worker count and any engine
+//!   kind** — parallelism is an implementation detail, never a format
+//!   change.
 //!
-//! Host-side parallelism uses `crossbeam::scope` with a shared atomic work
-//! queue (no work stealing needed — chunks are uniform); the *modelled*
-//! FPGA speedup assigns chunks round-robin to `instances` engines and takes
-//! the makespan, reproducing the near-linear scaling a multi-engine design
-//! gets until the DMA bandwidth saturates.
+//! Host-side parallelism uses `std::thread::scope` with a shared atomic
+//! work queue (no work stealing needed — chunks are uniform). The stitcher
+//! runs on the calling thread and consumes chunk results *in order as they
+//! land*, so the Deflate bit-packing of chunk `i` overlaps the matching of
+//! chunks `i+1..` — a two-stage software pipeline mirroring the paper's
+//! matcher→Huffman FIFO decoupling.
+//!
+//! Two front-ends produce the (identical) token streams:
+//!
+//! * [`EngineKind::Modelled`] — the cycle-accurate hardware model, whose
+//!   per-chunk cycle counts feed the multi-engine *makespan* model
+//!   (chunks round-robin onto `instances` engines), reproducing the
+//!   near-linear scaling a multi-engine design gets until DMA saturates;
+//! * [`EngineKind::Turbo`] — the word-at-a-time software fast path
+//!   ([`lzfpga_lzss::turbo`]); each worker keeps one reusable
+//!   [`TurboEngine`] and recycles token buffers through a freelist, so the
+//!   steady state allocates nothing per chunk.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 use lzfpga_core::config::CLOCK_HZ;
 use lzfpga_core::{HwCompressor, HwConfig};
@@ -32,6 +46,22 @@ use lzfpga_deflate::adler32::adler32;
 use lzfpga_deflate::encoder::{BlockKind, DeflateEncoder};
 use lzfpga_deflate::token::Token;
 use lzfpga_deflate::zlib::zlib_header;
+use lzfpga_lzss::TurboEngine;
+
+/// Which compressor front-end produces the per-chunk token streams.
+///
+/// Both kinds emit token-for-token identical streams (enforced by tests);
+/// the choice trades metrics for speed: `Modelled` yields per-chunk cycle
+/// counts for the FPGA scale-out model, `Turbo` runs as fast as the host
+/// allows and reports zero cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Cycle-accurate hardware model (slow, fully instrumented).
+    #[default]
+    Modelled,
+    /// Word-at-a-time software fast path (no cycle model).
+    Turbo,
+}
 
 /// Parallel compression configuration.
 #[derive(Debug, Clone, Copy)]
@@ -44,6 +74,8 @@ pub struct ParallelConfig {
     pub instances: usize,
     /// Per-engine configuration.
     pub hw: HwConfig,
+    /// Token-stream front-end.
+    pub engine: EngineKind,
 }
 
 impl Default for ParallelConfig {
@@ -53,19 +85,53 @@ impl Default for ParallelConfig {
             workers: 0,
             instances: 4,
             hw: HwConfig::paper_fast(),
+            engine: EngineKind::Modelled,
         }
     }
 }
 
+/// Rejected [`ParallelConfig`] values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParallelConfigError {
+    /// Chunks below 4 KiB waste all compression ratio on dictionary warm-up.
+    ChunkTooSmall {
+        /// The offending chunk size.
+        chunk_bytes: usize,
+    },
+    /// At least one modelled engine instance is required.
+    NoInstances,
+}
+
+impl std::fmt::Display for ParallelConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ParallelConfigError::ChunkTooSmall { chunk_bytes } => {
+                write!(f, "chunks below 4 KiB waste all ratio (got {chunk_bytes} bytes)")
+            }
+            ParallelConfigError::NoInstances => write!(f, "at least one engine instance"),
+        }
+    }
+}
+
+impl std::error::Error for ParallelConfigError {}
+
 impl ParallelConfig {
     /// Validate the configuration.
     ///
+    /// # Errors
+    /// Returns an error on a sub-4-KiB chunk size or zero instances.
+    ///
     /// # Panics
-    /// Panics on a zero chunk size or zero instances.
-    pub fn validate(&self) {
-        assert!(self.chunk_bytes >= 4_096, "chunks below 4 KiB waste all ratio");
-        assert!(self.instances >= 1, "at least one engine instance");
+    /// Panics when the embedded [`HwConfig`] is invalid (its own contract).
+    pub fn validate(&self) -> Result<(), ParallelConfigError> {
+        if self.chunk_bytes < 4_096 {
+            return Err(ParallelConfigError::ChunkTooSmall { chunk_bytes: self.chunk_bytes });
+        }
+        if self.instances < 1 {
+            return Err(ParallelConfigError::NoInstances);
+        }
         self.hw.validate();
+        Ok(())
     }
 }
 
@@ -76,7 +142,8 @@ pub struct ChunkReport {
     pub index: usize,
     /// Input bytes in this chunk.
     pub input_bytes: u64,
-    /// Engine cycles spent (DMA setup included, as in Table I).
+    /// Engine cycles spent (DMA setup included, as in Table I). Zero for
+    /// the [`EngineKind::Turbo`] front-end, which has no cycle model.
     pub cycles: u64,
     /// Tokens produced.
     pub tokens: u64,
@@ -127,74 +194,99 @@ impl ParallelReport {
     }
 }
 
+/// One finished chunk waiting for the stitcher.
+type Slot = Option<(Vec<Token>, u64)>;
+
 /// Compress `data` chunk-parallel into one standard zlib stream.
 ///
 /// The output bytes depend only on `cfg.chunk_bytes` and `cfg.hw` — never
-/// on `cfg.workers` or `cfg.instances`.
-pub fn compress_parallel(data: &[u8], cfg: &ParallelConfig) -> ParallelReport {
-    cfg.validate();
-    let chunks: Vec<&[u8]> = if data.is_empty() {
-        vec![&[]]
-    } else {
-        data.chunks(cfg.chunk_bytes).collect()
-    };
+/// on `cfg.workers`, `cfg.instances`, or `cfg.engine`.
+///
+/// # Errors
+/// Returns [`ParallelConfigError`] when `cfg` fails validation.
+pub fn compress_parallel(
+    data: &[u8],
+    cfg: &ParallelConfig,
+) -> Result<ParallelReport, ParallelConfigError> {
+    cfg.validate()?;
+    let chunks: Vec<&[u8]> =
+        if data.is_empty() { vec![&[]] } else { data.chunks(cfg.chunk_bytes).collect() };
     let n_chunks = chunks.len();
     let workers = if cfg.workers == 0 {
         std::thread::available_parallelism().map_or(4, |n| n.get())
     } else {
         cfg.workers
     }
-    .min(n_chunks)
-    .max(1);
+    .clamp(1, n_chunks);
 
-    // Compress chunks in parallel; results land in their slots.
-    let mut slots: Vec<Option<(Vec<Token>, u64)>> = vec![None; n_chunks];
-    {
-        let next = AtomicUsize::new(0);
-        let mut slot_refs: Vec<_> = slots.iter_mut().collect();
-        // Workers pull chunk indices from a shared atomic counter and send
-        // results over a channel; the scope's owner thread files them into
-        // their slots, so no locking is needed anywhere.
-        let (tx, rx) = crossbeam::channel::unbounded();
-        crossbeam::thread::scope(|s| {
-            for _ in 0..workers {
-                let tx = tx.clone();
-                let next = &next;
-                let chunks = &chunks;
-                let hw = cfg.hw;
-                s.spawn(move |_| {
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= chunks.len() {
-                            break;
-                        }
-                        let rep = HwCompressor::new(hw).compress(chunks[i]);
-                        tx.send((i, rep.tokens, rep.cycles)).expect("collector alive");
-                    }
-                });
-            }
-            drop(tx);
-            for (i, tokens, cycles) in rx {
-                *slot_refs[i] = Some((tokens, cycles));
-            }
-            // Scope join happens here; `slot_refs` borrow ends with it.
-        })
-        .expect("worker panicked");
-    }
+    // Workers pull chunk indices from a shared atomic counter and file the
+    // token stream into its index's slot; the stitcher (this thread) waits
+    // on the condvar for the next in-order slot and encodes it while later
+    // chunks are still being matched. Turbo workers recycle token buffers
+    // through the freelist, so steady-state chunks allocate nothing.
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Slot>> = Mutex::new((0..n_chunks).map(|_| None).collect());
+    let ready = Condvar::new();
+    let freelist: Mutex<Vec<Vec<Token>>> = Mutex::new(Vec::new());
+    let params = cfg.hw.as_lzss_params();
 
-    // Stitch: zlib header, per-chunk block runs, single Adler trailer.
     let mut enc = DeflateEncoder::new();
     let mut reports = Vec::with_capacity(n_chunks);
-    for (i, slot) in slots.into_iter().enumerate() {
-        let (tokens, cycles) = slot.expect("every chunk compressed");
-        enc.write_block(&tokens, BlockKind::FixedHuffman, i + 1 == n_chunks);
-        reports.push(ChunkReport {
-            index: i,
-            input_bytes: chunks[i].len() as u64,
-            cycles,
-            tokens: tokens.len() as u64,
-        });
-    }
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let mut turbo = TurboEngine::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_chunks {
+                        break;
+                    }
+                    let result = match cfg.engine {
+                        EngineKind::Modelled => {
+                            let rep = HwCompressor::new(cfg.hw).compress(chunks[i]);
+                            (rep.tokens, rep.cycles)
+                        }
+                        EngineKind::Turbo => {
+                            let mut buf =
+                                freelist.lock().expect("freelist lock").pop().unwrap_or_default();
+                            buf.clear();
+                            turbo.compress_into(chunks[i], &params, &mut buf);
+                            (buf, 0)
+                        }
+                    };
+                    slots.lock().expect("slot lock")[i] = Some(result);
+                    ready.notify_all();
+                }
+            });
+        }
+
+        // Stitch: per-chunk block runs, in order, overlapping the workers.
+        for (i, chunk) in chunks.iter().enumerate() {
+            let (tokens, cycles) = {
+                let mut guard = slots.lock().expect("slot lock");
+                loop {
+                    if let Some(done) = guard[i].take() {
+                        break done;
+                    }
+                    guard = ready.wait(guard).expect("slot lock");
+                }
+            };
+            enc.write_block(&tokens, BlockKind::FixedHuffman, i + 1 == n_chunks);
+            reports.push(ChunkReport {
+                index: i,
+                input_bytes: chunk.len() as u64,
+                cycles,
+                tokens: tokens.len() as u64,
+            });
+            if cfg.engine == EngineKind::Turbo {
+                let mut buf = tokens;
+                buf.clear();
+                freelist.lock().expect("freelist lock").push(buf);
+            }
+        }
+    });
+
+    // zlib framing: header, the stitched blocks, single Adler trailer.
     let mut compressed = zlib_header(cfg.hw.window_size.max(256), 1).to_vec();
     compressed.extend_from_slice(&enc.finish());
     compressed.extend_from_slice(&adler32(data).to_be_bytes());
@@ -207,13 +299,13 @@ pub fn compress_parallel(data: &[u8], cfg: &ParallelConfig) -> ParallelReport {
     let makespan = engine_load.into_iter().max().unwrap_or(0);
     let total: u64 = reports.iter().map(|r| r.cycles).sum();
 
-    ParallelReport {
+    Ok(ParallelReport {
         compressed,
         chunks: reports,
         makespan_cycles: makespan,
         total_cycles: total,
         input_bytes: data.len() as u64,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -229,13 +321,18 @@ mod tests {
             workers,
             instances,
             hw: HwConfig::paper_fast(),
+            engine: EngineKind::Modelled,
         }
+    }
+
+    fn turbo_cfg(chunk: usize, workers: usize) -> ParallelConfig {
+        ParallelConfig { engine: EngineKind::Turbo, ..cfg(chunk, workers, 1) }
     }
 
     #[test]
     fn output_is_valid_zlib() {
         let data = generate(Corpus::Wiki, 5, 700_000);
-        let rep = compress_parallel(&data, &cfg(128 * 1024, 0, 4));
+        let rep = compress_parallel(&data, &cfg(128 * 1024, 0, 4)).unwrap();
         assert_eq!(zlib_decompress(&rep.compressed).unwrap(), data);
         assert_eq!(rep.chunks.len(), 6);
     }
@@ -243,17 +340,37 @@ mod tests {
     #[test]
     fn worker_count_never_changes_the_bytes() {
         let data = generate(Corpus::X2e, 9, 400_000);
-        let baseline = compress_parallel(&data, &cfg(64 * 1024, 1, 1));
+        let baseline = compress_parallel(&data, &cfg(64 * 1024, 1, 1)).unwrap();
         for workers in [2usize, 3, 8] {
-            let rep = compress_parallel(&data, &cfg(64 * 1024, workers, workers));
+            let rep = compress_parallel(&data, &cfg(64 * 1024, workers, workers)).unwrap();
             assert_eq!(rep.compressed, baseline.compressed, "workers = {workers}");
         }
     }
 
     #[test]
+    fn turbo_engine_is_byte_identical_to_the_model() {
+        let data = generate(Corpus::Mixed, 11, 500_000);
+        let modelled = compress_parallel(&data, &cfg(64 * 1024, 1, 1)).unwrap();
+        for workers in [1usize, 2, 4] {
+            let turbo = compress_parallel(&data, &turbo_cfg(64 * 1024, workers)).unwrap();
+            assert_eq!(turbo.compressed, modelled.compressed, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn turbo_reports_no_cycles() {
+        let data = generate(Corpus::Wiki, 3, 100_000);
+        let rep = compress_parallel(&data, &turbo_cfg(32 * 1024, 2)).unwrap();
+        assert_eq!(rep.total_cycles, 0);
+        assert_eq!(rep.makespan_cycles, 0);
+        assert!((rep.speedup() - 1.0).abs() < f64::EPSILON);
+        assert_eq!(rep.mb_per_s(), 0.0);
+    }
+
+    #[test]
     fn single_chunk_matches_the_pipeline_exactly() {
         let data = generate(Corpus::LogLines, 3, 100_000);
-        let par = compress_parallel(&data, &cfg(1 << 20, 2, 2));
+        let par = compress_parallel(&data, &cfg(1 << 20, 2, 2)).unwrap();
         let single = compress_to_zlib(&data, &HwConfig::paper_fast());
         assert_eq!(par.compressed, single.compressed);
     }
@@ -261,8 +378,8 @@ mod tests {
     #[test]
     fn chunking_costs_a_little_ratio() {
         let data = generate(Corpus::Wiki, 7, 600_000);
-        let whole = compress_parallel(&data, &cfg(1 << 20, 0, 1));
-        let chopped = compress_parallel(&data, &cfg(16 * 1024, 0, 1));
+        let whole = compress_parallel(&data, &cfg(1 << 20, 0, 1)).unwrap();
+        let chopped = compress_parallel(&data, &cfg(16 * 1024, 0, 1)).unwrap();
         assert!(chopped.compressed.len() >= whole.compressed.len());
         // ... but only a little: the dictionary warms up in a few KB.
         assert!(
@@ -276,29 +393,36 @@ mod tests {
     #[test]
     fn multi_engine_speedup_is_near_linear() {
         let data = generate(Corpus::Wiki, 2, 1_200_000);
-        let rep4 = compress_parallel(&data, &cfg(64 * 1024, 0, 4));
+        let rep4 = compress_parallel(&data, &cfg(64 * 1024, 0, 4)).unwrap();
         assert!(rep4.speedup() > 3.0, "speedup {}", rep4.speedup());
         assert!(rep4.mb_per_s() > 120.0, "{} MB/s", rep4.mb_per_s());
-        let rep1 = compress_parallel(&data, &cfg(64 * 1024, 0, 1));
+        let rep1 = compress_parallel(&data, &cfg(64 * 1024, 0, 1)).unwrap();
         assert_eq!(rep1.makespan_cycles, rep1.total_cycles);
     }
 
     #[test]
     fn empty_input_yields_a_valid_empty_stream() {
-        let rep = compress_parallel(b"", &cfg(8 * 1024, 2, 2));
+        let rep = compress_parallel(b"", &cfg(8 * 1024, 2, 2)).unwrap();
         assert_eq!(zlib_decompress(&rep.compressed).unwrap(), b"");
     }
 
     #[test]
-    #[should_panic(expected = "chunks below 4 KiB")]
     fn tiny_chunks_rejected() {
-        compress_parallel(b"x", &cfg(1024, 1, 1));
+        let err = compress_parallel(b"x", &cfg(1024, 1, 1)).unwrap_err();
+        assert_eq!(err, ParallelConfigError::ChunkTooSmall { chunk_bytes: 1024 });
+        assert!(err.to_string().contains("below 4 KiB"));
+    }
+
+    #[test]
+    fn zero_instances_rejected() {
+        let err = compress_parallel(b"x", &cfg(8 * 1024, 1, 0)).unwrap_err();
+        assert_eq!(err, ParallelConfigError::NoInstances);
     }
 
     #[test]
     fn cycle_accounting_sums() {
         let data = generate(Corpus::SensorFrames, 4, 300_000);
-        let rep = compress_parallel(&data, &cfg(64 * 1024, 0, 3));
+        let rep = compress_parallel(&data, &cfg(64 * 1024, 0, 3)).unwrap();
         let sum: u64 = rep.chunks.iter().map(|c| c.cycles).sum();
         assert_eq!(sum, rep.total_cycles);
         assert!(rep.makespan_cycles <= rep.total_cycles);

@@ -8,8 +8,7 @@
 //! timestamps whose low bytes look random. This generator reproduces each of
 //! those mechanisms with a deterministic bus schedule.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lzfpga_sim::rng::XorShift64;
 
 /// One simulated periodic CAN message definition.
 struct MessageDef {
@@ -40,31 +39,29 @@ pub const RECORD_BYTES: usize = 16;
 /// payload zero-padded past `dlc` — mirroring common logger formats (and,
 /// like them, highly but not trivially redundant).
 pub fn generate(seed: u64, len: usize) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x58_32_45); // "X2E"
-    // A realistic bus: ~25 periodic messages, 10 ms to 1 s periods.
+    let mut rng = XorShift64::new(seed ^ 0x58_32_45); // "X2E"
+                                                      // A realistic bus: ~25 periodic messages, 10 ms to 1 s periods.
     let mut defs: Vec<MessageDef> = (0..25)
         .map(|i| {
-            let period_us = *[10_000u32, 20_000, 50_000, 100_000, 200_000, 500_000, 1_000_000]
-                [..]
-                .get(rng.gen_range(0..7))
-                .unwrap();
+            let period_us = [10_000u32, 20_000, 50_000, 100_000, 200_000, 500_000, 1_000_000]
+                [rng.below_usize(7)];
             let mut volatility = [0u8; 8];
             for v in &mut volatility {
                 // Most bytes are steady signals; a few churn fast.
-                *v = match rng.gen_range(0..10) {
-                    0..=4 => 0,                      // constant (config/state bytes)
-                    5..=7 => rng.gen_range(1..=8),   // slow drift (temperatures, rpm)
-                    8 => rng.gen_range(32..=96),     // fast signal
-                    _ => 255,                        // checksum-like churn
+                *v = match rng.range_u32(0, 9) {
+                    0..=4 => 0,                         // constant (config/state bytes)
+                    5..=7 => rng.range_u32(1, 8) as u8, // slow drift (temperatures, rpm)
+                    8 => rng.range_u32(32, 96) as u8,   // fast signal
+                    _ => 255,                           // checksum-like churn
                 };
             }
             MessageDef {
-                id: 0x18FE_0000 | (i as u32) << 8 | rng.gen_range(0..=255),
+                id: 0x18FE_0000 | (i as u32) << 8 | rng.range_u32(0, 255),
                 period_us,
                 dlc: 8,
                 volatility,
-                state: std::array::from_fn(|_| rng.gen()),
-                next_tx_us: u64::from(rng.gen_range(0..period_us)),
+                state: std::array::from_fn(|_| rng.next_u8()),
+                next_tx_us: rng.next_below(u64::from(period_us)),
                 counter: 0,
             }
         })
@@ -73,11 +70,8 @@ pub fn generate(seed: u64, len: usize) -> Vec<u8> {
     let mut out = Vec::with_capacity(len + RECORD_BYTES);
     while out.len() < len {
         // Pick the next message due on the bus.
-        let (idx, _) = defs
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, d)| d.next_tx_us)
-            .expect("bus has messages");
+        let (idx, _) =
+            defs.iter().enumerate().min_by_key(|(_, d)| d.next_tx_us).expect("bus has messages");
         let now = defs[idx].next_tx_us;
         let d = &mut defs[idx];
 
@@ -85,10 +79,10 @@ pub fn generate(seed: u64, len: usize) -> Vec<u8> {
         for (byte, &vol) in d.state.iter_mut().zip(&d.volatility) {
             match vol {
                 0 => {}
-                255 => *byte = rng.gen(),
+                255 => *byte = rng.next_u8(),
                 v => {
-                    let step = rng.gen_range(0..=u32::from(v)) as i16
-                        * if rng.gen_bool(0.5) { 1 } else { -1 };
+                    let step = rng.range_u32(0, u32::from(v)) as i16
+                        * if rng.chance(1, 2) { 1 } else { -1 };
                     *byte = (i16::from(*byte) + step).rem_euclid(256) as u8;
                 }
             }
@@ -108,8 +102,7 @@ pub fn generate(seed: u64, len: usize) -> Vec<u8> {
         let mut payload = [0u8; 8];
         payload[..d.dlc as usize].copy_from_slice(&d.state[..d.dlc as usize]);
         out.extend_from_slice(&payload[..6]);
-        let jitter =
-            i64::from(rng.gen_range(-(d.period_us as i32) / 50..=(d.period_us as i32) / 50));
+        let jitter = rng.range_i64(-i64::from(d.period_us / 50), i64::from(d.period_us / 50));
         d.next_tx_us = now + (i64::from(d.period_us) + jitter).max(1) as u64;
     }
     out.truncate(len);

@@ -86,7 +86,9 @@ pub fn generate(corpus: Corpus, seed: u64, len: usize) -> Vec<u8> {
         Corpus::JsonTelemetry => telemetry::generate(seed, len),
         Corpus::SensorFrames => sensor::generate(seed, len),
         Corpus::WikiXml => markup::generate(seed, len),
-        Corpus::Mixed => crate::mixed::generate_mixed(&crate::mixed::logger_mix(), seed, len, 16_384),
+        Corpus::Mixed => {
+            crate::mixed::generate_mixed(&crate::mixed::logger_mix(), seed, len, 16_384)
+        }
     }
 }
 

@@ -24,9 +24,9 @@
 #![warn(missing_docs)]
 
 pub mod canlog;
+pub mod corpus;
 pub mod markup;
 pub mod mixed;
-pub mod corpus;
 pub mod patterns;
 pub mod sensor;
 pub mod telemetry;

@@ -5,22 +5,21 @@
 //! Markov prose from [`crate::wiki`] (short matches and literals).
 
 use crate::wiki;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lzfpga_sim::rng::XorShift64;
 
 /// Generate `len` bytes of MediaWiki-dump-like XML.
 pub fn generate(seed: u64, len: usize) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xE0_17_AB);
+    let mut rng = XorShift64::new(seed ^ 0xE0_17_AB);
     let mut out = Vec::with_capacity(len + 1_024);
     out.extend_from_slice(
         b"<mediawiki xmlns=\"http://www.mediawiki.org/xml/export-0.3/\" xml:lang=\"en\">\n",
     );
-    let mut page_id = 10_000 + rng.gen_range(0..10_000);
+    let mut page_id = 10_000 + rng.below_usize(10_000);
     let mut body_seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     while out.len() < len {
-        page_id += rng.gen_range(1..9);
+        page_id += 1 + rng.below_usize(8);
         body_seed = body_seed.wrapping_add(0xD1B5_4A32_D192_ED03);
-        let body = wiki::generate(body_seed, rng.gen_range(400..2_400));
+        let body = wiki::generate(body_seed, 400 + rng.below_usize(2_000));
         out.extend_from_slice(b"  <page>\n    <title>Article ");
         out.extend_from_slice(page_id.to_string().as_bytes());
         out.extend_from_slice(b"</title>\n    <id>");
@@ -28,7 +27,7 @@ pub fn generate(seed: u64, len: usize) -> Vec<u8> {
         out.extend_from_slice(b"</id>\n    <revision>\n      <id>");
         out.extend_from_slice((page_id * 7 + 13).to_string().as_bytes());
         out.extend_from_slice(b"</id>\n      <timestamp>2011-09-0");
-        out.extend_from_slice([b'1' + rng.gen_range(0..9u8) % 9].as_slice());
+        out.extend_from_slice([b'1' + rng.range_u32(0, 8) as u8].as_slice());
         out.extend_from_slice(b"T12:00:00Z</timestamp>\n      <contributor><username>Editor");
         out.extend_from_slice((page_id % 97).to_string().as_bytes());
         out.extend_from_slice(b"</username></contributor>\n      <text xml:space=\"preserve\">");

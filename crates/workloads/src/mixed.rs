@@ -6,8 +6,7 @@
 //! suggest.
 
 use crate::corpus::{generate, Corpus};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lzfpga_sim::rng::XorShift64;
 
 /// A segment recipe: corpus plus relative weight.
 #[derive(Debug, Clone, Copy)]
@@ -43,12 +42,12 @@ pub fn generate_mixed(
     assert!(ingredients.iter().all(|i| i.weight > 0.0), "weights must be positive");
     assert!(segment_len > 0, "segment length must be positive");
     let total_weight: f64 = ingredients.iter().map(|i| i.weight).sum();
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x4D49_5845);
+    let mut rng = XorShift64::new(seed ^ 0x4D49_5845);
     let mut out = Vec::with_capacity(len);
     let mut segment_seed = seed;
     while out.len() < len {
         // Weighted pick.
-        let mut roll = rng.gen::<f64>() * total_weight;
+        let mut roll = rng.next_f64() * total_weight;
         let mut chosen = ingredients[0].corpus;
         for ing in ingredients {
             if roll < ing.weight {
@@ -83,10 +82,7 @@ mod tests {
         let text = String::from_utf8_lossy(&data);
         // JSON telemetry keys and sensor magic both appear somewhere.
         assert!(text.contains("\"seq\":"), "telemetry segment missing");
-        assert!(
-            data.windows(2).any(|w| w == 0xA55Au16.to_le_bytes()),
-            "sensor segment missing"
-        );
+        assert!(data.windows(2).any(|w| w == 0xA55Au16.to_le_bytes()), "sensor segment missing");
     }
 
     #[test]

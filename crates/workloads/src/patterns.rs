@@ -1,14 +1,15 @@
 //! Corner-case synthetic inputs for tests and ablation benches.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lzfpga_sim::rng::XorShift64;
 
 /// Uniform random bytes — incompressible; the LZSS worst case where almost
 /// every position becomes a literal (the paper's "30–85 % of matching
 /// operations unsuccessful" upper end).
 pub fn random(seed: u64, len: usize) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
-    (0..len).map(|_| rng.gen()).collect()
+    let mut rng = XorShift64::new(seed ^ 0xDEAD);
+    let mut out = vec![0u8; len];
+    rng.fill_bytes(&mut out);
+    out
 }
 
 /// A single repeated byte — maximal compressibility, exercises back-to-back
@@ -29,22 +30,22 @@ pub fn periodic(seed: u64, period: usize, len: usize) -> Vec<u8> {
 /// Text-like structured records with a numeric field — mildly compressible,
 /// the classic log-file shape.
 pub fn log_lines(seed: u64, len: usize) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x106);
+    let mut rng = XorShift64::new(seed ^ 0x106);
     let levels = ["INFO", "WARN", "DEBUG", "ERROR"];
     let subsystems = ["net.eth0", "disk.sda", "sched", "mm", "fs.ext4", "usb.hub"];
     let mut out = Vec::with_capacity(len + 80);
     let mut t_ms = 0u64;
     while out.len() < len {
-        t_ms += u64::from(rng.gen_range(1..250u32));
+        t_ms += u64::from(rng.range_u32(1, 249));
         let line = format!(
             "[{:>10}.{:03}] {} {}: op={} latency={}us status=0x{:04x}\n",
             t_ms / 1000,
             t_ms % 1000,
-            levels[rng.gen_range(0..levels.len())],
-            subsystems[rng.gen_range(0..subsystems.len())],
-            rng.gen_range(0..32u32),
-            rng.gen_range(10..50_000u32),
-            rng.gen_range(0..65_536u32),
+            levels[rng.below_usize(levels.len())],
+            subsystems[rng.below_usize(subsystems.len())],
+            rng.range_u32(0, 31),
+            rng.range_u32(10, 49_999),
+            rng.range_u32(0, 65_535),
         );
         out.extend_from_slice(line.as_bytes());
     }
@@ -57,10 +58,10 @@ pub fn log_lines(seed: u64, len: usize) -> Vec<u8> {
 /// collisions and match-iteration work — the stress case for Fig. 3's
 /// hash-size argument.
 pub fn collision_stress(seed: u64, len: usize) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xC011);
+    let mut rng = XorShift64::new(seed ^ 0xC011);
     // Alphabet of 4 symbols: 64 possible trigrams, tiny hash image.
     const ALPHABET: [u8; 4] = [0x00, 0x01, 0x02, 0x03];
-    (0..len).map(|_| ALPHABET[rng.gen_range(0..4)]).collect()
+    (0..len).map(|_| ALPHABET[rng.below_usize(4)]).collect()
 }
 
 #[cfg(test)]

@@ -8,17 +8,16 @@
 //! stride; with a smaller window it degrades gracefully to literals — a good
 //! probe of the Figure 2 window-size sensitivity on non-text data.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lzfpga_sim::rng::XorShift64;
 
 /// Frame layout: magic (2) + seq (2) + 12 channels x i16 + crc (2).
 pub const FRAME_BYTES: usize = 2 + 2 + 12 * 2 + 2;
 
 /// Generate `len` bytes of packed sensor frames.
 pub fn generate(seed: u64, len: usize) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5E_50_12);
+    let mut rng = XorShift64::new(seed ^ 0x5E_50_12);
     let mut out = Vec::with_capacity(len + FRAME_BYTES);
-    let mut seq: u16 = rng.gen();
+    let mut seq: u16 = rng.next_u16();
     // Channel states: sine-ish oscillators with different rates + noise.
     let mut phase: [f64; 12] = core::array::from_fn(|i| i as f64 * 0.7);
     let rates: [f64; 12] = core::array::from_fn(|i| 0.002 + i as f64 * 0.0013);
@@ -34,11 +33,8 @@ pub fn generate(seed: u64, len: usize) -> Vec<u8> {
             // dither); the rest are quantised process values whose low bits
             // sit still between frames — the vertical redundancy real
             // acquisition front-ends exhibit.
-            let sample = if ch % 3 == 0 {
-                clean + rng.gen_range(-6..=6)
-            } else {
-                clean >> 7 << 7
-            };
+            let sample =
+                if ch % 3 == 0 { clean + rng.range_i64(-6, 6) as i32 } else { clean >> 7 << 7 };
             out.extend_from_slice(&(sample.clamp(-32_768, 32_767) as i16).to_le_bytes());
         }
         // CRC-16-ish (xor-fold; a real CRC's exact polynomial is irrelevant
@@ -76,9 +72,8 @@ mod tests {
     #[test]
     fn sequence_numbers_increment() {
         let data = generate(4, FRAME_BYTES * 10);
-        let seq_at = |f: usize| {
-            u16::from_le_bytes([data[f * FRAME_BYTES + 2], data[f * FRAME_BYTES + 3]])
-        };
+        let seq_at =
+            |f: usize| u16::from_le_bytes([data[f * FRAME_BYTES + 2], data[f * FRAME_BYTES + 3]]);
         for f in 1..10 {
             assert_eq!(seq_at(f), seq_at(f - 1).wrapping_add(1));
         }

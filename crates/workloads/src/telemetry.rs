@@ -8,8 +8,7 @@
 //! repeated key text matches at short distances) punctuated by incompressible
 //! digits, which exercises the hash-update path on long matches.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lzfpga_sim::rng::XorShift64;
 
 /// Field definitions of the simulated device: name, mean, jitter.
 const FIELDS: &[(&str, f64, f64)] = &[
@@ -24,14 +23,14 @@ const FIELDS: &[(&str, f64, f64)] = &[
 
 /// Generate `len` bytes of newline-delimited JSON telemetry records.
 pub fn generate(seed: u64, len: usize) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x7E1E_4E7E);
+    let mut rng = XorShift64::new(seed ^ 0x7E1E_4E7E);
     let mut out = Vec::with_capacity(len + 256);
-    let mut ts_us: u64 = 1_600_000_000_000_000 + rng.gen_range(0..1_000_000_000);
+    let mut ts_us: u64 = 1_600_000_000_000_000 + rng.next_below(1_000_000_000);
     let mut seq: u64 = 0;
     // Slowly drifting state per field.
     let mut state: Vec<f64> = FIELDS.iter().map(|&(_, mean, _)| mean).collect();
     while out.len() < len {
-        ts_us += rng.gen_range(9_000..11_000);
+        ts_us += rng.range_u64(9_000, 10_999);
         seq += 1;
         out.extend_from_slice(b"{\"ts\":");
         out.extend_from_slice(ts_us.to_string().as_bytes());
@@ -40,7 +39,7 @@ pub fn generate(seed: u64, len: usize) -> Vec<u8> {
         out.extend_from_slice(b",\"src\":\"ecu0\"");
         for (i, &(name, mean, jitter)) in FIELDS.iter().enumerate() {
             // First-order low-pass drift toward the mean plus jitter.
-            state[i] += (mean - state[i]) * 0.05 + (rng.gen::<f64>() - 0.5) * jitter;
+            state[i] += (mean - state[i]) * 0.05 + (rng.next_f64() - 0.5) * jitter;
             out.extend_from_slice(b",\"");
             out.extend_from_slice(name.as_bytes());
             out.extend_from_slice(b"\":");

@@ -10,8 +10,7 @@
 //! (only larger dictionaries catch them), exactly the gradient Figures 2–3
 //! show.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lzfpga_sim::rng::XorShift64;
 
 /// Number of distinct word stems in the vocabulary.
 const VOCAB_SIZE: usize = 4_096;
@@ -20,7 +19,7 @@ const ZIPF_S: f64 = 1.05;
 
 /// Deterministically build the vocabulary: word lengths follow the natural
 /// 2–12 letter distribution, letters drawn with English-like frequencies.
-fn build_vocab(rng: &mut StdRng) -> Vec<Vec<u8>> {
+fn build_vocab(rng: &mut XorShift64) -> Vec<Vec<u8>> {
     // Letter pool weighted roughly by English letter frequency.
     const POOL: &[u8] = b"eeeeeeeeeeeetttttttttaaaaaaaaoooooooiiiiiiinnnnnnnsssssshhhhhhrrrrrr\
                           ddddllllccccuuuummmwwwfffggyyppbbvkjxqz";
@@ -28,15 +27,15 @@ fn build_vocab(rng: &mut StdRng) -> Vec<Vec<u8>> {
     for i in 0..VOCAB_SIZE {
         // Common (low-rank) words skew short, rare words long.
         let base_len = if i < 64 {
-            rng.gen_range(2..=4)
+            rng.range_u32(2, 4)
         } else if i < 512 {
-            rng.gen_range(3..=7)
+            rng.range_u32(3, 7)
         } else {
-            rng.gen_range(4..=12)
+            rng.range_u32(4, 12)
         };
-        let mut w: Vec<u8> = (0..base_len).map(|_| POOL[rng.gen_range(0..POOL.len())]).collect();
+        let mut w: Vec<u8> = (0..base_len).map(|_| POOL[rng.below_usize(POOL.len())]).collect();
         // A few proper nouns (capitalised), as in encyclopedic text.
-        if i >= 512 && rng.gen_ratio(1, 8) {
+        if i >= 512 && rng.chance(1, 8) {
             w[0] = w[0].to_ascii_uppercase();
         }
         vocab.push(w);
@@ -59,14 +58,14 @@ fn zipf_cdf() -> Vec<f64> {
     cdf
 }
 
-fn sample_zipf(rng: &mut StdRng, cdf: &[f64]) -> usize {
-    let x: f64 = rng.gen();
+fn sample_zipf(rng: &mut XorShift64, cdf: &[f64]) -> usize {
+    let x = rng.next_f64();
     cdf.partition_point(|&c| c < x).min(cdf.len() - 1)
 }
 
 /// Generate `len` bytes of wiki-like text, deterministic in `seed`.
 pub fn generate(seed: u64, len: usize) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x57_49_4B_49); // "WIKI"
+    let mut rng = XorShift64::new(seed ^ 0x57_49_4B_49); // "WIKI"
     let vocab = build_vocab(&mut rng);
     let cdf = zipf_cdf();
 
@@ -85,7 +84,7 @@ pub fn generate(seed: u64, len: usize) -> Vec<u8> {
 
     while out.len() < len {
         // Occasional wiki markup structures.
-        if paragraph_sentences == 0 && rng.gen_ratio(1, 12) {
+        if paragraph_sentences == 0 && rng.chance(1, 12) {
             out.extend_from_slice(b"\n== ");
             let w = &vocab[sample_zipf(&mut rng, &cdf)];
             let mut h = w.clone();
@@ -96,10 +95,10 @@ pub fn generate(seed: u64, len: usize) -> Vec<u8> {
 
         let rank = if let Some(r) = replay.pop() {
             r
-        } else if recent.len() >= 8 && rng.gen_ratio(3, 20) {
+        } else if recent.len() >= 8 && rng.chance(3, 20) {
             // Replay a 2-5 word phrase from the recent window.
-            let n = rng.gen_range(2..=5usize).min(recent.len());
-            let start = rng.gen_range(0..=recent.len() - n);
+            let n = (rng.range_u32(2, 5) as usize).min(recent.len());
+            let start = rng.below_usize(recent.len() - n + 1);
             replay.extend(recent[start..start + n].iter().rev());
             replay.pop().expect("phrase is non-empty")
         } else {
@@ -116,7 +115,7 @@ pub fn generate(seed: u64, len: usize) -> Vec<u8> {
             w[0] = w[0].to_ascii_uppercase();
             out.extend_from_slice(&w);
             capitalize_next = false;
-        } else if rank > 1_024 && rng.gen_ratio(1, 10) {
+        } else if rank > 1_024 && rng.chance(1, 10) {
             // Rare terms sometimes appear as [[links]].
             out.extend_from_slice(b"[[");
             out.extend_from_slice(word);
@@ -126,17 +125,17 @@ pub fn generate(seed: u64, len: usize) -> Vec<u8> {
         }
 
         sentence_words += 1;
-        if sentence_words >= rng.gen_range(6..=18) {
+        if sentence_words >= rng.range_u32(6, 18) as usize {
             sentence_words = 0;
             paragraph_sentences += 1;
             capitalize_next = true;
-            if paragraph_sentences >= rng.gen_range(3..=7) {
+            if paragraph_sentences >= rng.range_u32(3, 7) as usize {
                 paragraph_sentences = 0;
                 out.extend_from_slice(b".\n\n");
             } else {
                 out.extend_from_slice(b". ");
             }
-        } else if rng.gen_ratio(1, 14) {
+        } else if rng.chance(1, 14) {
             out.extend_from_slice(b", ");
         } else {
             out.push(b' ');
@@ -166,10 +165,8 @@ mod tests {
     #[test]
     fn looks_like_text() {
         let data = generate(42, 50_000);
-        let printable = data
-            .iter()
-            .filter(|&&b| b.is_ascii_graphic() || b == b' ' || b == b'\n')
-            .count();
+        let printable =
+            data.iter().filter(|&&b| b.is_ascii_graphic() || b == b' ' || b == b'\n').count();
         assert!(printable as f64 / data.len() as f64 > 0.99);
         let spaces = data.iter().filter(|&&b| b == b' ').count();
         // Word lengths average ~5 chars: space frequency in a sane band.

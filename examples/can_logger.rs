@@ -38,15 +38,24 @@ fn main() {
         compress_to_zlib_with_sink(&data, &cfg, BackPressure::Duty { ready: 1, period: 4 });
     assert_eq!(free.compressed, pressed.compressed);
 
-    println!("CAN logging session: {} bytes ({} s of bus traffic)", data.len(),
-        data.len() as f64 / (LOGGER_INPUT_RATE_MBS * 1e6));
+    println!(
+        "CAN logging session: {} bytes ({} s of bus traffic)",
+        data.len(),
+        data.len() as f64 / (LOGGER_INPUT_RATE_MBS * 1e6)
+    );
     println!("compressed size    : {} bytes (ratio {:.2})", free.compressed.len(), free.ratio());
     println!();
     println!("hardware compressor @ 100 MHz:");
-    println!("  free-running sink : {:>6.1} MB/s ({:.2} cycles/byte)",
-        free.mb_per_s(), free.run.cycles_per_byte());
-    println!("  25%-duty sink     : {:>6.1} MB/s ({} stall cycles)",
-        pressed.mb_per_s(), pressed.run.counters.sink_stall_cycles);
+    println!(
+        "  free-running sink : {:>6.1} MB/s ({:.2} cycles/byte)",
+        free.mb_per_s(),
+        free.run.cycles_per_byte()
+    );
+    println!(
+        "  25%-duty sink     : {:>6.1} MB/s ({} stall cycles)",
+        pressed.mb_per_s(),
+        pressed.run.counters.sink_stall_cycles
+    );
 
     // Both comfortably exceed the logger's input rate; the CPU-based
     // alternative (zlib on the on-chip PowerPC 440) does too, but leaves no

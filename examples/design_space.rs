@@ -35,8 +35,10 @@ fn main() {
         .max_by(|a, b| a.ratio.total_cmp(&b.ratio))
         .expect("at least one config fits");
     println!("best ratio within a {budget} RAMB36 budget: {}", best.label);
-    println!("  ratio {:.3}, {:.1} MB/s, {:.1} RAMB36, {} LUTs",
-        best.ratio, best.mb_per_s, best.bram36_equiv, best.luts);
+    println!(
+        "  ratio {:.3}, {:.1} MB/s, {:.1} RAMB36, {} LUTs",
+        best.ratio, best.mb_per_s, best.bram36_equiv, best.luts
+    );
 
     // And the fastest one, for throughput-bound loggers.
     let fastest = results
@@ -45,6 +47,8 @@ fn main() {
         .max_by(|a, b| a.mb_per_s.total_cmp(&b.mb_per_s))
         .expect("at least one config fits");
     println!("fastest within the same budget: {}", fastest.label);
-    println!("  ratio {:.3}, {:.1} MB/s, {:.1} RAMB36, {} LUTs",
-        fastest.ratio, fastest.mb_per_s, fastest.bram36_equiv, fastest.luts);
+    println!(
+        "  ratio {:.3}, {:.1} MB/s, {:.1} RAMB36, {} LUTs",
+        fastest.ratio, fastest.mb_per_s, fastest.bram36_equiv, fastest.luts
+    );
 }

@@ -32,12 +32,21 @@ fn main() {
         part.bram_utilization(per_engine.bram) * 100.0
     );
     println!();
-    println!("{:<8} {:>10} {:>9} {:>8} {:>12} {:>10}", "engines", "MB/s", "speedup", "ratio", "LUT %", "BRAM %");
+    println!(
+        "{:<8} {:>10} {:>9} {:>8} {:>12} {:>10}",
+        "engines", "MB/s", "speedup", "ratio", "LUT %", "BRAM %"
+    );
 
     let mut reference: Option<Vec<u8>> = None;
     for instances in [1usize, 2, 4, 6] {
-        let cfg = ParallelConfig { chunk_bytes: 128 * 1024, workers: 0, instances, hw };
-        let rep = compress_parallel(&data, &cfg);
+        let cfg = ParallelConfig {
+            chunk_bytes: 128 * 1024,
+            workers: 0,
+            instances,
+            hw,
+            ..Default::default()
+        };
+        let rep = compress_parallel(&data, &cfg).expect("valid scale-out config");
         println!(
             "{:<8} {:>10.1} {:>8.2}x {:>8.3} {:>11.1}% {:>9.1}%",
             instances,

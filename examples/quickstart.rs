@@ -41,11 +41,7 @@ fn main() {
         HwState::Fetch,
         HwState::Match,
     ] {
-        println!(
-            "  {:<22} {:>5.1}%",
-            format!("{state:?}"),
-            report.run.stats.share(state) * 100.0
-        );
+        println!("  {:<22} {:>5.1}%", format!("{state:?}"), report.run.stats.share(state) * 100.0);
     }
 
     // The stream is ordinary zlib: any RFC 1950/1951 decoder accepts it.

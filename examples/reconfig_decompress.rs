@@ -35,8 +35,11 @@ fn main() {
     let rep = dec.decompress_zlib(&comp.compressed).expect("own stream decodes");
     assert_eq!(rep.bytes, bitstream, "reconfiguration data must be bit-exact");
 
-    println!("decompressor        : {:.1} MB/s at 100 MHz ({:.2} cycles/byte)",
-        rep.mb_per_s(), rep.cycles_per_byte());
+    println!(
+        "decompressor        : {:.1} MB/s at 100 MHz ({:.2} cycles/byte)",
+        rep.mb_per_s(),
+        rep.cycles_per_byte()
+    );
     println!();
 
     // Reconfiguration latency: flash read dominates; compression shrinks

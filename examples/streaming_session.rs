@@ -33,12 +33,20 @@ fn main() {
     stored.extend(tail);
 
     println!("input               : {} bytes in 16 KB chunks", data.len());
-    println!("compressed          : {} bytes (ratio {:.2})",
-        stored.len(), data.len() as f64 / stored.len() as f64);
-    println!("sync flushes        : {flushes} ({synced_bytes} bytes were crash-safe before finish)");
+    println!(
+        "compressed          : {} bytes (ratio {:.2})",
+        stored.len(),
+        data.len() as f64 / stored.len() as f64
+    );
+    println!(
+        "sync flushes        : {flushes} ({synced_bytes} bytes were crash-safe before finish)"
+    );
     println!("deflate blocks      : {}", report.blocks);
-    println!("engine cycles       : {} ({:.2} cycles/byte)",
-        report.cycles, report.cycles as f64 / data.len() as f64);
+    println!(
+        "engine cycles       : {} ({:.2} cycles/byte)",
+        report.cycles,
+        report.cycles as f64 / data.len() as f64
+    );
 
     assert_eq!(zlib_decompress(&stored).unwrap(), data);
 
@@ -51,9 +59,13 @@ fn main() {
     let (unflushed, _) = plain.finish();
     let one_shot = compress_to_zlib(&data, &cfg);
     assert_eq!(unflushed, one_shot.compressed);
-    println!("\nunflushed session is byte-identical to the one-shot pipeline ({} bytes)",
-        one_shot.compressed.len());
-    println!("flush overhead      : {} bytes total ({} per flush)",
+    println!(
+        "\nunflushed session is byte-identical to the one-shot pipeline ({} bytes)",
+        one_shot.compressed.len()
+    );
+    println!(
+        "flush overhead      : {} bytes total ({} per flush)",
         stored.len() - one_shot.compressed.len(),
-        (stored.len() - one_shot.compressed.len()) / flushes.max(1) as usize);
+        (stored.len() - one_shot.compressed.len()) / flushes.max(1) as usize
+    );
 }

@@ -37,8 +37,12 @@ fn main() {
     let report = compress_to_zlib(&text, &HwConfig::paper_fast());
     let stream = &report.compressed;
     println!();
-    println!("hardware pipeline: {} bytes -> {} bytes (ratio {:.2})",
-        text.len(), stream.len(), report.ratio());
+    println!(
+        "hardware pipeline: {} bytes -> {} bytes (ratio {:.2})",
+        text.len(),
+        stream.len(),
+        report.ratio()
+    );
 
     // Dissect the container so the compatibility claim is visible.
     let cmf = stream[0];

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo verification gate: tier-1 build+test plus lint and format checks.
+# Everything runs offline — the workspace has no external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "== clippy (workspace, all targets, -D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustfmt check =="
+cargo fmt --check
+
+echo "verify: all checks passed"

@@ -100,8 +100,8 @@ fn distance_overreach_is_rejected_not_read_out_of_bounds() {
     // the stream start: BFINAL=1 BTYPE=01, then length code 257 (len 3),
     // distance code 0 (dist 1) — but with no prior output.
     use lzfpga::deflate::bitio::BitWriter;
-    use lzfpga::deflate::huffman::Codebook;
     use lzfpga::deflate::fixed::{fixed_dist_lengths, fixed_litlen_lengths};
+    use lzfpga::deflate::huffman::Codebook;
     let mut w = BitWriter::new();
     w.write_bits(1, 1);
     w.write_bits(0b01, 2);

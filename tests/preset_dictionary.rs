@@ -5,8 +5,8 @@
 use std::io::Write;
 use std::process::{Command, Stdio};
 
-use lzfpga::deflate::zlib::{zlib_compress_tokens_with_dict, zlib_decompress_with_dict};
 use lzfpga::deflate::encoder::BlockKind;
+use lzfpga::deflate::zlib::{zlib_compress_tokens_with_dict, zlib_decompress_with_dict};
 use lzfpga::deflate::Token;
 use lzfpga::hw::{HwCompressor, HwConfig};
 use lzfpga::lzss::decoder::decode_tokens_with_dict;

@@ -33,8 +33,12 @@ fn embedded_real_zlib_streams_inflate() {
 /// vacuously but prints a notice).
 fn system_decompress(stream: &[u8], mode: &str) -> Option<Vec<u8>> {
     let script = match mode {
-        "zlib" => "import sys,zlib;sys.stdout.buffer.write(zlib.decompress(sys.stdin.buffer.read()))",
-        "gzip" => "import sys,gzip;sys.stdout.buffer.write(gzip.decompress(sys.stdin.buffer.read()))",
+        "zlib" => {
+            "import sys,zlib;sys.stdout.buffer.write(zlib.decompress(sys.stdin.buffer.read()))"
+        }
+        "gzip" => {
+            "import sys,gzip;sys.stdout.buffer.write(gzip.decompress(sys.stdin.buffer.read()))"
+        }
         _ => unreachable!(),
     };
     let child = Command::new("python3")
@@ -50,12 +54,7 @@ fn system_decompress(stream: &[u8], mode: &str) -> Option<Vec<u8>> {
             return None;
         }
     };
-    child
-        .stdin
-        .take()
-        .expect("piped stdin")
-        .write_all(stream)
-        .expect("writing to python");
+    child.stdin.take().expect("piped stdin").write_all(stream).expect("writing to python");
     let out = child.wait_with_output().expect("python exit");
     assert!(
         out.status.success(),
@@ -142,9 +141,7 @@ fn window_declarations_match_reality() {
 #[test]
 fn system_gzip_accepts_multi_member_concatenation() {
     use lzfpga::deflate::gzip::gzip_decompress_multi;
-    let parts: Vec<Vec<u8>> = (0..3)
-        .map(|i| generate(Corpus::LogLines, 40 + i, 30_000))
-        .collect();
+    let parts: Vec<Vec<u8>> = (0..3).map(|i| generate(Corpus::LogLines, 40 + i, 30_000)).collect();
     let mut stream = Vec::new();
     let mut joined = Vec::new();
     for part in &parts {
@@ -180,12 +177,8 @@ fn our_compressor_tracks_real_zlib_level1_sizes() {
     let out = child.wait_with_output().unwrap();
     assert!(out.status.success());
     let zlib_len = u64::from_le_bytes(out.stdout[..8].try_into().unwrap()) as f64;
-    let tokens = compress(
-        &data,
-        &LzssParams { window_size: 32_768, ..LzssParams::paper_fast() },
-    );
-    let ours =
-        zlib_compress_tokens(&tokens, &data, BlockKind::DynamicHuffman, 32_768).len() as f64;
+    let tokens = compress(&data, &LzssParams { window_size: 32_768, ..LzssParams::paper_fast() });
+    let ours = zlib_compress_tokens(&tokens, &data, BlockKind::DynamicHuffman, 32_768).len() as f64;
     let delta = (ours - zlib_len).abs() / zlib_len;
     assert!(delta < 0.12, "ours {ours} vs real zlib -1 {zlib_len} ({delta:.2})");
 }
