@@ -22,14 +22,24 @@
 //! token production against `TurboEngine` token production;
 //! `speedup_end_to_end` additionally folds in the shared encode stage.
 //!
+//! Every measurement is min-of-N, and the *value* reported alongside a wall
+//! time is the value produced by that fastest repetition — so attached
+//! telemetry describes the run that set the headline number, not whichever
+//! run happened to come last.
+//!
 //! Results land in `BENCH_throughput.json` (schema documented in
-//! `DESIGN.md`). Usage:
+//! `DESIGN.md`). With `--metrics PATH` the harness additionally collects
+//! per-path telemetry (hardware-model state/counter breakdown, probed turbo
+//! counters, parallel-pipeline worker stats), embeds it as a `telemetry`
+//! section per workload, and writes the same data as JSONL events to PATH.
+//! Usage:
 //!
 //! ```text
-//! throughput [--size BYTES] [--seed N] [--out PATH]
+//! throughput [--size BYTES] [--seed N] [--out PATH] [--metrics PATH]
 //! ```
 
 use std::fmt::Write as _;
+use std::process::ExitCode;
 use std::time::Instant;
 
 use lzfpga_core::compressor::HwCompressor;
@@ -39,6 +49,8 @@ use lzfpga_deflate::encoder::BlockKind;
 use lzfpga_deflate::zlib::zlib_compress_tokens;
 use lzfpga_lzss::TurboEngine;
 use lzfpga_parallel::{compress_parallel, EngineKind, ParallelConfig};
+use lzfpga_telemetry::json::obj;
+use lzfpga_telemetry::{JsonValue, JsonlWriter, TurboCounters};
 use lzfpga_workloads::{generate, Corpus};
 
 /// Chunk size for the parallel section.
@@ -52,16 +64,24 @@ const TURBO_REPS: usize = 3;
 /// measurement.
 const MODEL_REPS: usize = 3;
 
+/// Min-of-N timing. Returns the best wall time *and the value that best
+/// repetition produced*, so any telemetry attached to the value describes
+/// the reported measurement rather than the last run.
 fn measure<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
-    let mut best = f64::INFINITY;
-    let mut last = None;
+    let mut best: Option<(f64, T)> = None;
     for _ in 0..reps.max(1) {
         let t0 = Instant::now();
         let v = f();
-        best = best.min(t0.elapsed().as_secs_f64());
-        last = Some(v);
+        let wall = t0.elapsed().as_secs_f64();
+        let improves = match &best {
+            None => true,
+            Some((b, _)) => wall < *b,
+        };
+        if improves {
+            best = Some((wall, v));
+        }
     }
-    (best, last.expect("at least one rep"))
+    best.expect("at least one rep")
 }
 
 fn mb_per_s(bytes: usize, secs: f64) -> f64 {
@@ -82,25 +102,35 @@ fn json_f(x: f64) -> String {
     }
 }
 
-fn main() {
+fn run() -> Result<(), String> {
     let mut size = 1 << 20;
     let mut seed = 1u64;
     let mut out_path = String::from("BENCH_throughput.json");
+    let mut metrics_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut val = |name: &str| args.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        let mut val = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
         match arg.as_str() {
-            "--size" => size = val("--size").parse().expect("--size takes bytes"),
-            "--seed" => seed = val("--seed").parse().expect("--seed takes a number"),
-            "--out" => out_path = val("--out"),
-            other => panic!("unknown argument {other} (try --size/--seed/--out)"),
+            "--size" => {
+                size = val("--size")?.parse().map_err(|_| "--size takes bytes".to_string())?;
+            }
+            "--seed" => {
+                seed = val("--seed")?.parse().map_err(|_| "--seed takes a number".to_string())?;
+            }
+            "--out" => out_path = val("--out")?,
+            "--metrics" => metrics_path = Some(val("--metrics")?),
+            other => {
+                return Err(format!("unknown argument {other} (try --size/--seed/--out/--metrics)"))
+            }
         }
     }
+    let telemetry = metrics_path.is_some();
 
     let workloads = [Corpus::Mixed, Corpus::Wiki, Corpus::X2e, Corpus::JsonTelemetry];
     let hw = HwConfig::paper_fast();
     let mut engine = TurboEngine::new();
     let mut entries = Vec::new();
+    let mut metric_events: Vec<(String, JsonValue)> = Vec::new();
 
     println!(
         "throughput harness: {} workloads x {} bytes, seed {seed} (host cores: {})",
@@ -136,6 +166,17 @@ fn main() {
         let engine_speedup = model_engine_wall / turbo_tokens_wall.max(1e-12);
         let turbo_speedup = model_wall / turbo_wall.max(1e-12);
 
+        // Probed turbo pass, outside the timed loop: the counters describe
+        // the same token stream (the probed run is token-identical), and the
+        // timed numbers stay free of instrumentation overhead.
+        let turbo_counters = telemetry.then(|| {
+            let mut counters = TurboCounters::default();
+            let mut tokens = Vec::new();
+            engine.compress_into_probed(&data, &hw.as_lzss_params(), &mut tokens, &mut counters);
+            assert_eq!(tokens, run.tokens, "{name}: probed turbo tokens diverge");
+            counters
+        });
+
         // 4. Chunk-parallel turbo at several worker counts. One modelled
         //    run provides both the byte-identity baseline and the per-chunk
         //    cycle counts for the multi-engine makespan model.
@@ -147,12 +188,14 @@ fn main() {
                 instances: 1,
                 hw,
                 engine: EngineKind::Modelled,
+                telemetry: false,
             },
         )
-        .expect("valid modelled config");
+        .map_err(|e| format!("modelled parallel config: {e}"))?;
         let chunk_cycles: Vec<u64> = modelled_par.chunks.iter().map(|c| c.cycles).collect();
 
         let mut parallel_entries = Vec::new();
+        let mut pipeline_telemetry: Option<JsonValue> = None;
         for workers in WORKER_COUNTS {
             let cfg = ParallelConfig {
                 chunk_bytes: CHUNK_BYTES,
@@ -160,6 +203,7 @@ fn main() {
                 instances: 1,
                 hw,
                 engine: EngineKind::Turbo,
+                telemetry,
             };
             let (wall, rep) =
                 measure(TURBO_REPS, || compress_parallel(&data, &cfg).expect("valid turbo config"));
@@ -176,9 +220,19 @@ fn main() {
             let total: u64 = chunk_cycles.iter().sum();
             let makespan = load.into_iter().max().unwrap_or(0);
             let modelled_speedup = if makespan == 0 { 1.0 } else { total as f64 / makespan as f64 };
+            // Telemetry of the *best* repetition — `measure` already keeps
+            // the value paired with the minimum wall time.
+            let pipeline_json = rep.telemetry.as_ref().map(|t| t.to_json());
+            let pipeline_field = pipeline_json
+                .as_ref()
+                .map(|j| format!(",\"pipeline\":{}", j.render()))
+                .unwrap_or_default();
+            if workers == *WORKER_COUNTS.last().expect("non-empty") {
+                pipeline_telemetry = pipeline_json;
+            }
             parallel_entries.push(format!(
                 "{{\"workers\":{workers},\"wall_s\":{},\"mb_per_s\":{},\"identical\":true,\
-                 \"modelled_engine_speedup\":{}}}",
+                 \"modelled_engine_speedup\":{}{pipeline_field}}}",
                 json_f(wall),
                 json_f(mb_per_s(data.len(), wall)),
                 json_f(modelled_speedup)
@@ -192,6 +246,28 @@ fn main() {
             mb_per_s(data.len(), turbo_tokens_wall),
         );
 
+        // One object holding all three execution paths' telemetry; embedded
+        // in the report and mirrored to the JSONL event stream.
+        let telemetry_field = if telemetry {
+            let counters = turbo_counters.as_ref().expect("probed when telemetry on");
+            let section = obj([
+                ("hw", run.telemetry_json()),
+                ("turbo", counters.to_json()),
+                ("parallel", pipeline_telemetry.take().unwrap_or(JsonValue::Null)),
+            ]);
+            metric_events.push((
+                name.to_string(),
+                obj([
+                    ("workload", name.clone().into()),
+                    ("bytes", (data.len() as u64).into()),
+                    ("telemetry", section.clone()),
+                ]),
+            ));
+            format!(",\"telemetry\":{}", section.render())
+        } else {
+            String::new()
+        };
+
         let mut e = String::new();
         let _ = write!(
             e,
@@ -199,7 +275,7 @@ fn main() {
              \"model\":{{\"engine_wall_s\":{},\"wall_s\":{},\"mb_per_s_wall\":{},\"mb_per_s_modelled\":{},\"cycles\":{}}},\
              \"turbo\":{{\"tokens_wall_s\":{},\"wall_s\":{},\"mb_per_s\":{},\"speedup_engine\":{},\
              \"speedup_end_to_end\":{},\"identical_to_model\":true}},\
-             \"parallel\":{{\"chunk_bytes\":{CHUNK_BYTES},\"runs\":[{}]}}}}",
+             \"parallel\":{{\"chunk_bytes\":{CHUNK_BYTES},\"runs\":[{}]}}{telemetry_field}}}",
             data.len(),
             json_f(ratio),
             json_f(encode_wall),
@@ -223,6 +299,27 @@ fn main() {
          \"workloads\":[{}]}}\n",
         entries.join(",")
     );
-    std::fs::write(&out_path, &json).expect("write throughput report");
+    std::fs::write(&out_path, &json).map_err(|e| format!("writing {out_path}: {e}"))?;
     println!("wrote {out_path}");
+
+    if let Some(path) = metrics_path {
+        let file = std::fs::File::create(&path).map_err(|e| format!("creating {path}: {e}"))?;
+        let mut sink = JsonlWriter::new(std::io::BufWriter::new(file));
+        for (_, body) in metric_events {
+            sink.emit("workload", body).map_err(|e| format!("writing {path}: {e}"))?;
+        }
+        sink.finish().map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -31,6 +31,8 @@ use lzfpga_deflate::zlib::{zlib_compress_tokens, zlib_decompress};
 use lzfpga_lzss::params::CompressionLevel;
 use lzfpga_lzss::LzssParams;
 use lzfpga_parallel::{compress_parallel, EngineKind, ParallelConfig};
+use lzfpga_telemetry::json::obj;
+use lzfpga_telemetry::{trace_events_json, JsonValue, JsonlWriter, TurboCounters};
 use lzfpga_workloads::Corpus;
 
 const USAGE: &str = "\
@@ -38,14 +40,18 @@ lzfpga <compress|decompress|stats|gen|trace|rtl> [options]
 
   compress   [--engine hw|sw|turbo] [--format zlib|gzip] [--window N] [--hash N]
              [--level min|medium|max] [--dict FILE] [--stats]
-             [--parallel] [--chunk N] [--workers N] [-o OUT] [FILE]
+             [--parallel] [--chunk N] [--workers N]
+             [--metrics OUT.jsonl] [--trace-events OUT.json] [-o OUT] [FILE]
   decompress [--engine hw|sw] [--dict FILE] [-o OUT] [FILE]
-  stats      [--window N] [--hash N] [--level L] [FILE]
+  stats      [--window N] [--hash N] [--level L] [--metrics OUT.jsonl] [FILE]
   gen        CORPUS SIZE [--seed N] [-o OUT]
-  trace      [--window N] [--hash N] [-o OUT.vcd] [FILE]   (VCD waveform)
+  trace      [--window N] [--hash N] [--format vcd|trace-events]
+             [-o OUT] [FILE]                                (waveform export)
   rtl        [--window N] [--hash N] -o OUT_DIR             (VHDL bundle)
 
 FILE defaults to stdin; OUT defaults to stdout.
+--metrics writes per-run telemetry as JSON Lines; --trace-events (with
+--parallel) writes a chrome://tracing / Perfetto trace of the pipeline.
 Corpora: wiki, x2e-can, log-lines, json-telemetry, sensor-frames, wiki-xml,
          random, constant, collision-stress, periodic-<N>.";
 
@@ -62,10 +68,18 @@ enum Format {
     Gzip,
 }
 
+/// Output format for the `trace` subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Vcd,
+    TraceEvents,
+}
+
 #[derive(Debug)]
 struct CommonOpts {
     engine: Engine,
     format: Format,
+    trace_format: TraceFormat,
     window: u32,
     hash: u32,
     level: CompressionLevel,
@@ -77,6 +91,8 @@ struct CommonOpts {
     parallel: bool,
     chunk_bytes: usize,
     workers: usize,
+    metrics: Option<String>,
+    trace_events: Option<String>,
     positional: Vec<String>,
 }
 
@@ -85,6 +101,7 @@ impl Default for CommonOpts {
         Self {
             engine: Engine::Hw,
             format: Format::Zlib,
+            trace_format: TraceFormat::Vcd,
             window: 4_096,
             hash: 15,
             level: CompressionLevel::Min,
@@ -96,6 +113,8 @@ impl Default for CommonOpts {
             parallel: false,
             chunk_bytes: 256 * 1024,
             workers: 0,
+            metrics: None,
+            trace_events: None,
             positional: Vec::new(),
         }
     }
@@ -116,13 +135,13 @@ fn parse_opts(args: &[String]) -> Result<CommonOpts, String> {
                     other => return Err(format!("unknown engine '{other}'")),
                 }
             }
-            "--format" => {
-                o.format = match value("--format")?.as_str() {
-                    "zlib" => Format::Zlib,
-                    "gzip" | "gz" => Format::Gzip,
-                    other => return Err(format!("unknown format '{other}'")),
-                }
-            }
+            "--format" => match value("--format")?.as_str() {
+                "zlib" => o.format = Format::Zlib,
+                "gzip" | "gz" => o.format = Format::Gzip,
+                "vcd" => o.trace_format = TraceFormat::Vcd,
+                "trace-events" | "chrome" => o.trace_format = TraceFormat::TraceEvents,
+                other => return Err(format!("unknown format '{other}'")),
+            },
             "--window" => {
                 o.window =
                     value("--window")?.parse().map_err(|_| "bad --window value".to_string())?;
@@ -152,6 +171,8 @@ fn parse_opts(args: &[String]) -> Result<CommonOpts, String> {
                     value("--workers")?.parse().map_err(|_| "bad --workers value".to_string())?;
             }
             "--dict" => o.dict = Some(value("--dict")?),
+            "--metrics" => o.metrics = Some(value("--metrics")?),
+            "--trace-events" => o.trace_events = Some(value("--trace-events")?),
             "-o" | "--output" => o.output = Some(value("-o")?),
             flag if flag.starts_with('-') && flag != "-" => {
                 return Err(format!("unknown option '{flag}'"));
@@ -197,7 +218,45 @@ fn load_dict(o: &CommonOpts) -> Result<Option<Vec<u8>>, String> {
         .transpose()
 }
 
+/// Write telemetry events to `path` as JSON Lines.
+fn write_metrics(path: &str, events: Vec<(&'static str, JsonValue)>) -> Result<(), String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+    let mut sink = JsonlWriter::new(std::io::BufWriter::new(file));
+    for (kind, body) in events {
+        sink.emit(kind, body).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    sink.finish().map_err(|e| format!("writing {path}: {e}"))?;
+    Ok(())
+}
+
+/// The `run` summary event every `--metrics` file starts with.
+fn run_event(o: &CommonOpts, input_bytes: usize, output_bytes: usize) -> JsonValue {
+    obj([
+        ("command", "compress".into()),
+        (
+            "engine",
+            match o.engine {
+                Engine::Hw => "hw",
+                Engine::Sw => "sw",
+                Engine::Turbo => "turbo",
+            }
+            .into(),
+        ),
+        ("parallel", o.parallel.into()),
+        ("input_bytes", (input_bytes as u64).into()),
+        ("output_bytes", (output_bytes as u64).into()),
+        ("ratio", (input_bytes as f64 / output_bytes.max(1) as f64).into()),
+    ])
+}
+
 fn cmd_compress(o: &CommonOpts) -> Result<(), String> {
+    if o.trace_events.is_some() && !o.parallel {
+        return Err(
+            "--trace-events requires --parallel (use `trace --format trace-events` for the \
+             hardware model)"
+                .into(),
+        );
+    }
     let data = read_input(o.input.as_deref())?;
     if let Some(dict) = load_dict(o)? {
         if o.format == Format::Gzip {
@@ -221,6 +280,12 @@ fn cmd_compress(o: &CommonOpts) -> Result<(), String> {
                 data.len() as f64 / out.len().max(1) as f64
             );
         }
+        if let Some(path) = &o.metrics {
+            write_metrics(
+                path,
+                vec![("run", run_event(o, data.len(), out.len())), ("hw", rep.telemetry_json())],
+            )?;
+        }
         return write_output(o.output.as_deref(), &out);
     }
     if o.parallel {
@@ -236,6 +301,7 @@ fn cmd_compress(o: &CommonOpts) -> Result<(), String> {
                 Engine::Hw => EngineKind::Modelled,
                 Engine::Sw | Engine::Turbo => EngineKind::Turbo,
             },
+            telemetry: o.metrics.is_some() || o.trace_events.is_some(),
         };
         let rep = compress_parallel(&data, &cfg).map_err(|e| format!("parallel config: {e}"))?;
         if o.stats {
@@ -248,9 +314,24 @@ fn cmd_compress(o: &CommonOpts) -> Result<(), String> {
                 o.chunk_bytes
             );
         }
+        if let Some(tel) = &rep.telemetry {
+            if let Some(path) = &o.trace_events {
+                std::fs::write(path, trace_events_json(&tel.trace_events))
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+            }
+            if let Some(path) = &o.metrics {
+                write_metrics(
+                    path,
+                    vec![
+                        ("run", run_event(o, data.len(), rep.compressed.len())),
+                        ("parallel", tel.to_json()),
+                    ],
+                )?;
+            }
+        }
         return write_output(o.output.as_deref(), &rep.compressed);
     }
-    let (out, hw_report) = match o.engine {
+    let (out, hw_report, turbo_counters) = match o.engine {
         Engine::Hw => {
             let cfg = hw_config(o);
             let rep = compress_to_zlib(&data, &cfg);
@@ -260,7 +341,7 @@ fn cmd_compress(o: &CommonOpts) -> Result<(), String> {
                     gzip_compress_tokens(&rep.run.tokens, &data, BlockKind::FixedHuffman)
                 }
             };
-            (out, Some(rep))
+            (out, Some(rep), None)
         }
         Engine::Sw => {
             let params = LzssParams {
@@ -277,19 +358,42 @@ fn cmd_compress(o: &CommonOpts) -> Result<(), String> {
                 }
                 Format::Gzip => gzip_compress_tokens(&tokens, &data, BlockKind::FixedHuffman),
             };
-            (out, None)
+            (out, None, None)
         }
         Engine::Turbo => {
             let cfg = hw_config(o);
-            let out = match o.format {
-                Format::Zlib => turbo_compress_to_zlib(&data, &cfg),
-                Format::Gzip => {
-                    let tokens =
-                        lzfpga_lzss::TurboEngine::new().compress(&data, &cfg.as_lzss_params());
-                    gzip_compress_tokens(&tokens, &data, BlockKind::FixedHuffman)
-                }
-            };
-            (out, None)
+            if o.metrics.is_some() {
+                // The probed run is token-identical to the plain one, so the
+                // stream bytes cannot depend on whether metrics are on.
+                let mut counters = TurboCounters::default();
+                let mut tokens = Vec::new();
+                lzfpga_lzss::TurboEngine::new().compress_into_probed(
+                    &data,
+                    &cfg.as_lzss_params(),
+                    &mut tokens,
+                    &mut counters,
+                );
+                let out = match o.format {
+                    Format::Zlib => zlib_compress_tokens(
+                        &tokens,
+                        &data,
+                        BlockKind::FixedHuffman,
+                        cfg.window_size.max(256),
+                    ),
+                    Format::Gzip => gzip_compress_tokens(&tokens, &data, BlockKind::FixedHuffman),
+                };
+                (out, None, Some(counters))
+            } else {
+                let out = match o.format {
+                    Format::Zlib => turbo_compress_to_zlib(&data, &cfg),
+                    Format::Gzip => {
+                        let tokens =
+                            lzfpga_lzss::TurboEngine::new().compress(&data, &cfg.as_lzss_params());
+                        gzip_compress_tokens(&tokens, &data, BlockKind::FixedHuffman)
+                    }
+                };
+                (out, None, None)
+            }
         }
     };
     if o.stats {
@@ -303,6 +407,16 @@ fn cmd_compress(o: &CommonOpts) -> Result<(), String> {
                 rep.mb_per_s()
             );
         }
+    }
+    if let Some(path) = &o.metrics {
+        let mut events = vec![("run", run_event(o, data.len(), out.len()))];
+        if let Some(rep) = &hw_report {
+            events.push(("hw", rep.run.telemetry_json()));
+        }
+        if let Some(counters) = &turbo_counters {
+            events.push(("turbo", counters.to_json()));
+        }
+        write_metrics(path, events)?;
     }
     write_output(o.output.as_deref(), &out)
 }
@@ -345,19 +459,32 @@ fn cmd_decompress(o: &CommonOpts) -> Result<(), String> {
 }
 
 fn cmd_stats(o: &CommonOpts) -> Result<(), String> {
+    use std::fmt::Write as _;
     let data = read_input(o.input.as_deref())?;
     let cfg = hw_config(o);
     let rep = compress_to_zlib(&data, &cfg);
-    println!("input              {:>12} bytes", data.len());
-    println!("compressed         {:>12} bytes", rep.compressed.len());
-    println!("ratio              {:>12.3}", rep.ratio());
-    println!("cycles             {:>12}", rep.run.cycles);
-    println!("cycles/byte        {:>12.3}", rep.run.cycles_per_byte());
-    println!("throughput         {:>9.1} MB/s @ 100 MHz", rep.mb_per_s());
-    println!("LUTs (est.)        {:>12}", rep.resources.luts);
-    println!("RAMB36 (exact)     {:>12.1}", rep.resources.bram.ramb36_equiv());
-    println!();
-    println!("cycle breakdown:");
+    if let Some(path) = &o.metrics {
+        write_metrics(
+            path,
+            vec![
+                ("run", run_event(o, data.len(), rep.compressed.len())),
+                ("hw", rep.run.telemetry_json()),
+            ],
+        )?;
+    }
+    // Render into a buffer and write once: a closed pipe (e.g. `| head`)
+    // must surface as an error and a nonzero exit, not a panic.
+    let mut text = String::new();
+    let _ = writeln!(text, "input              {:>12} bytes", data.len());
+    let _ = writeln!(text, "compressed         {:>12} bytes", rep.compressed.len());
+    let _ = writeln!(text, "ratio              {:>12.3}", rep.ratio());
+    let _ = writeln!(text, "cycles             {:>12}", rep.run.cycles);
+    let _ = writeln!(text, "cycles/byte        {:>12.3}", rep.run.cycles_per_byte());
+    let _ = writeln!(text, "throughput         {:>9.1} MB/s @ 100 MHz", rep.mb_per_s());
+    let _ = writeln!(text, "LUTs (est.)        {:>12}", rep.resources.luts);
+    let _ = writeln!(text, "RAMB36 (exact)     {:>12.1}", rep.resources.bram.ramb36_equiv());
+    let _ = writeln!(text);
+    let _ = writeln!(text, "cycle breakdown:");
     for state in [
         HwState::Match,
         HwState::Output,
@@ -366,30 +493,38 @@ fn cmd_stats(o: &CommonOpts) -> Result<(), String> {
         HwState::Rotate,
         HwState::Fetch,
     ] {
-        println!(
+        let _ = writeln!(
+            text,
             "  {:<12} {:>6.1}%  ({} cycles)",
             format!("{state:?}"),
             rep.run.stats.share(state) * 100.0,
             rep.run.stats.get(state)
         );
     }
-    Ok(())
+    std::io::stdout().write_all(text.as_bytes()).map_err(|e| format!("writing stdout: {e}"))
 }
 
 fn cmd_trace(o: &CommonOpts) -> Result<(), String> {
-    use lzfpga_core::trace::{spans_to_vcd, trace_compress};
+    use lzfpga_core::trace::{spans_to_trace_events, spans_to_vcd, trace_compress};
     let data = read_input(o.input.as_deref())?;
     let cfg = hw_config(o);
     let (report, spans) = trace_compress(&data, &cfg);
-    let vcd = spans_to_vcd(&spans, cfg.dma_setup_cycles, report.cycles);
+    let (doc, kind) = match o.trace_format {
+        TraceFormat::Vcd => (spans_to_vcd(&spans, cfg.dma_setup_cycles, report.cycles), "VCD"),
+        TraceFormat::TraceEvents => {
+            let events =
+                spans_to_trace_events(&spans, cfg.dma_setup_cycles, lzfpga_core::config::CLOCK_HZ);
+            (trace_events_json(&events), "trace-event JSON")
+        }
+    };
     eprintln!(
-        "{} bytes -> {} cycles, {} state spans, VCD {} bytes",
+        "{} bytes -> {} cycles, {} state spans, {kind} {} bytes",
         data.len(),
         report.cycles,
         spans.len(),
-        vcd.len()
+        doc.len()
     );
-    write_output(o.output.as_deref(), vcd.as_bytes())
+    write_output(o.output.as_deref(), doc.as_bytes())
 }
 
 fn cmd_rtl(o: &CommonOpts) -> Result<(), String> {
@@ -731,6 +866,127 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("single-stream"), "unexpected error: {err}");
+    }
+}
+
+#[cfg(test)]
+mod metrics_tests {
+    use super::*;
+    use lzfpga_telemetry::parse_jsonl;
+
+    fn strs(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn metrics_never_change_the_stream_bytes() {
+        let dir = TestDir::new();
+        let input = dir.path().join("in.bin");
+        std::fs::write(&input, lzfpga_workloads::generate(Corpus::Wiki, 7, 50_000)).unwrap();
+        for engine in ["hw", "sw", "turbo"] {
+            let plain = dir.path().join(format!("{engine}-plain.z"));
+            let probed = dir.path().join(format!("{engine}-probed.z"));
+            let jsonl = dir.path().join(format!("{engine}.jsonl"));
+            run(strs(&[
+                "compress",
+                "--engine",
+                engine,
+                "-o",
+                plain.to_str().unwrap(),
+                input.to_str().unwrap(),
+            ]))
+            .unwrap();
+            run(strs(&[
+                "compress",
+                "--engine",
+                engine,
+                "--metrics",
+                jsonl.to_str().unwrap(),
+                "-o",
+                probed.to_str().unwrap(),
+                input.to_str().unwrap(),
+            ]))
+            .unwrap();
+            assert_eq!(
+                std::fs::read(&plain).unwrap(),
+                std::fs::read(&probed).unwrap(),
+                "--metrics changed the {engine} stream"
+            );
+            let text = std::fs::read_to_string(&jsonl).unwrap();
+            let events = parse_jsonl(&text).unwrap();
+            assert!(!events.is_empty());
+            assert_eq!(events[0].get("event").unwrap().as_str(), Some("run"));
+            assert_eq!(events[0].get("engine").unwrap().as_str(), Some(engine));
+        }
+    }
+
+    #[test]
+    fn turbo_metrics_cover_every_input_byte() {
+        let dir = TestDir::new();
+        let input = dir.path().join("in.bin");
+        let data = lzfpga_workloads::generate(Corpus::LogLines, 13, 120_000);
+        std::fs::write(&input, &data).unwrap();
+        let jsonl = dir.path().join("m.jsonl");
+        run(strs(&[
+            "compress",
+            "--engine",
+            "turbo",
+            "--metrics",
+            jsonl.to_str().unwrap(),
+            "-o",
+            dir.path().join("out.z").to_str().unwrap(),
+            input.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let events = parse_jsonl(&std::fs::read_to_string(&jsonl).unwrap()).unwrap();
+        let turbo = events
+            .iter()
+            .find(|e| e.get("event").unwrap().as_str() == Some("turbo"))
+            .expect("turbo event missing");
+        let literals = turbo.get("literals").unwrap().as_i64().unwrap();
+        let match_bytes = turbo.get("match_bytes").unwrap().as_i64().unwrap();
+        assert_eq!(literals + match_bytes, data.len() as i64);
+    }
+
+    #[test]
+    fn parallel_metrics_and_trace_events_export() {
+        let dir = TestDir::new();
+        let input = dir.path().join("in.bin");
+        std::fs::write(&input, lzfpga_workloads::generate(Corpus::Mixed, 3, 200_000)).unwrap();
+        let jsonl = dir.path().join("p.jsonl");
+        let trace = dir.path().join("p.trace.json");
+        run(strs(&[
+            "compress",
+            "--engine",
+            "turbo",
+            "--parallel",
+            "--chunk",
+            "32768",
+            "--workers",
+            "3",
+            "--metrics",
+            jsonl.to_str().unwrap(),
+            "--trace-events",
+            trace.to_str().unwrap(),
+            "-o",
+            dir.path().join("out.z").to_str().unwrap(),
+            input.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let events = parse_jsonl(&std::fs::read_to_string(&jsonl).unwrap()).unwrap();
+        assert!(events.iter().any(|e| e.get("event").unwrap().as_str() == Some("parallel")));
+        let doc = lzfpga_telemetry::json::parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        let list = doc.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+        assert!(!list.is_empty());
+        assert!(list.iter().all(|e| e.get("ph").unwrap().as_str() == Some("X")));
+        // --trace-events without --parallel is rejected up front.
+        assert!(run(strs(&[
+            "compress",
+            "--trace-events",
+            trace.to_str().unwrap(),
+            input.to_str().unwrap(),
+        ]))
+        .is_err());
     }
 }
 

@@ -58,6 +58,22 @@ pub struct HwCounters {
     pub sink_stall_cycles: u64,
 }
 
+impl HwCounters {
+    /// JSON form for the unified telemetry report.
+    pub fn to_json(&self) -> lzfpga_telemetry::JsonValue {
+        lzfpga_telemetry::json::obj([
+            ("literals", self.literals.into()),
+            ("matches", self.matches.into()),
+            ("match_bytes", self.match_bytes.into()),
+            ("chain_steps", self.chain_steps.into()),
+            ("compared_bytes", self.compared_bytes.into()),
+            ("prefetch_hits", self.prefetch_hits.into()),
+            ("rotations", self.rotations.into()),
+            ("sink_stall_cycles", self.sink_stall_cycles.into()),
+        ])
+    }
+}
+
 /// Result of one hardware compression run.
 #[derive(Debug, Clone)]
 pub struct HwRunReport {
@@ -92,6 +108,21 @@ impl HwRunReport {
         } else {
             self.input_bytes as f64 / 1e6 * clock_hz / self.cycles as f64
         }
+    }
+
+    /// The run as a telemetry report section: totals, the Figure-5 state
+    /// breakdown, and the dynamic counters — the hardware-model face of the
+    /// same report the software paths emit through `lzfpga-telemetry`.
+    pub fn telemetry_json(&self) -> lzfpga_telemetry::JsonValue {
+        lzfpga_telemetry::json::obj([
+            ("input_bytes", self.input_bytes.into()),
+            ("cycles", self.cycles.into()),
+            ("cycles_per_byte", self.cycles_per_byte().into()),
+            ("mb_per_s_modelled", self.mb_per_s(crate::config::CLOCK_HZ).into()),
+            ("tokens", (self.tokens.len() as u64).into()),
+            ("states", self.stats.to_json()),
+            ("counters", self.counters.to_json()),
+        ])
     }
 }
 

@@ -81,6 +81,30 @@ impl StateStats {
         let total = self.total().max(1) as f64;
         self.inner.iter().map(|(label, cycles)| (label, cycles, cycles as f64 / total)).collect()
     }
+
+    /// JSON form for the unified telemetry report:
+    /// `{total, states: [{state, cycles, share}, ...]}` in Figure 5 order.
+    pub fn to_json(&self) -> lzfpga_telemetry::JsonValue {
+        use lzfpga_telemetry::json::{obj, JsonValue};
+        obj([
+            ("total", self.total().into()),
+            (
+                "states",
+                JsonValue::Array(
+                    self.rows()
+                        .into_iter()
+                        .map(|(label, cycles, share)| {
+                            obj([
+                                ("state", label.into()),
+                                ("cycles", cycles.into()),
+                                ("share", share.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
 }
 
 #[cfg(test)]

@@ -36,6 +36,42 @@ pub fn trace_compress(data: &[u8], cfg: &HwConfig) -> (HwRunReport, Vec<TraceSpa
     (report, spans)
 }
 
+/// Convert state spans to chrome://tracing *complete events* on timeline
+/// row `tid = 1`, one slice per FSM span, labelled with the Figure-5 state
+/// name. Cycles become microseconds at `clock_hz` (10 ns per cycle at the
+/// design's 100 MHz), so a hardware run and a software-pipeline run open
+/// side by side in the same viewer with a common time unit. The DMA-setup
+/// preamble appears as an explicit `dma setup` slice starting at 0.
+pub fn spans_to_trace_events(
+    spans: &[TraceSpan],
+    dma_setup_cycles: u64,
+    clock_hz: f64,
+) -> Vec<lzfpga_telemetry::TraceEvent> {
+    let us_per_cycle = 1e6 / clock_hz;
+    let mut events = Vec::with_capacity(spans.len() + 1);
+    if dma_setup_cycles > 0 {
+        events.push(lzfpga_telemetry::TraceEvent {
+            name: "dma setup".to_string(),
+            cat: "hw",
+            tid: 1,
+            ts_us: 0.0,
+            dur_us: dma_setup_cycles as f64 * us_per_cycle,
+            args: vec![("cycles", dma_setup_cycles.into())],
+        });
+    }
+    for span in spans {
+        events.push(lzfpga_telemetry::TraceEvent {
+            name: crate::stats::STATE_LABELS[span.state as usize].to_string(),
+            cat: "hw",
+            tid: 1,
+            ts_us: span.start as f64 * us_per_cycle,
+            dur_us: span.cycles as f64 * us_per_cycle,
+            args: vec![("cycles", span.cycles.into())],
+        });
+    }
+    events
+}
+
 /// Render state spans as a VCD dump covering `[0, end_cycle]`.
 pub fn spans_to_vcd(spans: &[TraceSpan], dma_setup_cycles: u64, end_cycle: u64) -> String {
     let mut w = VcdWriter::new("lzss_compressor", "10 ns");
@@ -119,6 +155,34 @@ mod tests {
         assert_eq!(*times.last().unwrap(), report.cycles);
         // The busy edge lands exactly at the end of DMA setup.
         assert!(vcd.contains(&format!("#{}\n1\"", cfg.dma_setup_cycles)));
+    }
+
+    #[test]
+    fn trace_events_cover_the_run_and_parse_as_json() {
+        let data = lzfpga_workloads::wiki::generate(11, 50_000);
+        let cfg = HwConfig::paper_fast();
+        let (report, spans) = trace_compress(&data, &cfg);
+        let clock_hz = crate::config::CLOCK_HZ;
+        let events = spans_to_trace_events(&spans, cfg.dma_setup_cycles, clock_hz);
+        assert_eq!(events.len(), spans.len() + 1, "dma preamble slice missing");
+
+        // Durations in microseconds must add back up to the full run.
+        let us_per_cycle = 1e6 / clock_hz;
+        let total_us: f64 = events.iter().map(|e| e.dur_us).sum();
+        assert!((total_us - report.cycles as f64 * us_per_cycle).abs() < 1e-6);
+
+        // The JSON document round-trips through the telemetry parser.
+        let doc = lzfpga_telemetry::trace_events_json(&events);
+        let parsed = lzfpga_telemetry::json::parse(&doc).unwrap();
+        let list = parsed.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(list.len(), events.len());
+        assert_eq!(list[0].get("name").and_then(|v| v.as_str()), Some("dma setup"));
+        assert!(list.iter().all(|e| e.get("ph").and_then(|v| v.as_str()) == Some("X")));
+        // Every span is labelled with a Figure-5 state name.
+        for ev in &list[1..] {
+            let name = ev.get("name").and_then(|v| v.as_str()).unwrap();
+            assert!(crate::stats::STATE_LABELS.contains(&name), "unknown label {name}");
+        }
     }
 
     #[test]

@@ -24,6 +24,16 @@
 //! every parameter set — greedy and lazy — which transitively makes it
 //! identical to the cycle-accurate hardware model. The tests here and the
 //! workspace-level `turbo_equivalence` suite enforce that.
+//!
+//! **Observability.** Every hot loop is generic over
+//! [`MatchProbe`](lzfpga_telemetry::MatchProbe): the plain entry points use
+//! [`NoProbe`](lzfpga_telemetry::NoProbe) (whose callbacks monomorphize
+//! away — zero cost, byte-identical output), while
+//! [`TurboEngine::compress_into_probed`] records hash-chain inserts, probe
+//! counts, kernel runs, chain-walk-length histograms and the match/literal
+//! mix into any probe — [`lzfpga_telemetry::TurboCounters`] being the one
+//! the `--metrics` report uses. Probes observe; they never influence a
+//! decision.
 
 use crate::hash::HASH_BYTES;
 use crate::params::LzssParams;
@@ -31,6 +41,7 @@ use crate::reference::max_distance;
 use lzfpga_deflate::fixed::{MAX_MATCH, MIN_MATCH};
 use lzfpga_deflate::sink::TokenSink;
 use lzfpga_deflate::token::Token;
+use lzfpga_telemetry::{MatchProbe, NoProbe};
 
 /// Same threshold as the reference lazy path (zlib's `TOO_FAR`).
 const TOO_FAR: u32 = 4_096;
@@ -100,13 +111,14 @@ fn insert(head: &mut [u32], prev: &mut [u32], h: u32, pos: u32) -> u32 {
 /// identical decisions to the reference `longest_match`. `prev` is the live
 /// `window_size`-entry ring (its length is the index mask + 1).
 #[inline]
-fn longest_match(
+fn longest_match<P: MatchProbe>(
     data: &[u8],
     pos: usize,
     mut cand: u32,
     prev: &[u32],
     search: Search,
     mut chain_budget: u32,
+    probe: &mut P,
 ) -> (u32, u32) {
     let Search { max_dist, nice } = search;
     let wmask = prev.len() - 1;
@@ -114,6 +126,7 @@ fn longest_match(
     let nice = nice.min(limit);
     let mut best_len = 0u32;
     let mut best_dist = 0u32;
+    let mut steps = 0u32;
     // zlib's `scan_end` register: the byte a candidate must reproduce at
     // offset `best_len` to have any chance of beating the current best.
     let mut scan_end = data[pos];
@@ -125,6 +138,8 @@ fn longest_match(
         if dist > max_dist {
             break;
         }
+        steps += 1;
+        probe.probe();
         // Quick reject (zlib's probe): a candidate can only beat `best_len`
         // if it also matches at offset `best_len`, so one byte compare skips
         // most full kernel runs without changing which matches are found.
@@ -132,6 +147,7 @@ fn longest_match(
         // have exited at its update below — so both probes are in bounds.
         if data[cand as usize + best_len as usize] == scan_end {
             let len = match_length_fast(data, cand as usize, pos, limit);
+            probe.kernel_run(len);
             if len > best_len {
                 best_len = len;
                 best_dist = dist;
@@ -149,6 +165,7 @@ fn longest_match(
         }
         chain_budget -= 1;
     }
+    probe.chain_done(steps);
     (best_len, best_dist)
 }
 
@@ -189,13 +206,27 @@ impl TurboEngine {
     /// Compress `data`, streaming tokens into `sink`. Token-for-token
     /// identical to [`crate::compress`] with the same `params`.
     pub fn compress_into<S: TokenSink>(&mut self, data: &[u8], params: &LzssParams, sink: &mut S) {
+        self.compress_into_probed(data, params, sink, &mut NoProbe);
+    }
+
+    /// [`Self::compress_into`] with telemetry: dynamic match-loop events are
+    /// reported to `probe` (e.g. [`lzfpga_telemetry::TurboCounters`]).
+    /// The token stream is identical to the unprobed call — probes observe,
+    /// never steer.
+    pub fn compress_into_probed<S: TokenSink, P: MatchProbe>(
+        &mut self,
+        data: &[u8],
+        params: &LzssParams,
+        sink: &mut S,
+        probe: &mut P,
+    ) {
         params.validate();
         assert!(data.len() <= u32::MAX as usize, "turbo inputs are limited to 4 GiB - 1");
         self.reset(params);
         if params.effective_tuning().lazy {
-            self.run_lazy(data, params, sink);
+            self.run_lazy(data, params, sink, probe);
         } else {
-            self.run_greedy(data, params, sink);
+            self.run_greedy(data, params, sink, probe);
         }
     }
 
@@ -206,7 +237,13 @@ impl TurboEngine {
         out
     }
 
-    fn run_greedy<S: TokenSink>(&mut self, data: &[u8], params: &LzssParams, sink: &mut S) {
+    fn run_greedy<S: TokenSink, P: MatchProbe>(
+        &mut self,
+        data: &[u8],
+        params: &LzssParams,
+        sink: &mut S,
+        probe: &mut P,
+    ) {
         let tuning = params.effective_tuning();
         let search =
             Search { max_dist: max_distance(params.window_size), nice: tuning.nice_length };
@@ -220,34 +257,45 @@ impl TurboEngine {
         while pos < n {
             if n - pos < HASH_BYTES {
                 sink.literal(data[pos]);
+                probe.literal();
                 pos += 1;
                 continue;
             }
             let h = hash.hash_at(data, pos);
             let cand = insert(head, prev, h, pos as u32);
+            probe.inserted();
 
             let (best_len, best_dist) =
-                longest_match(data, pos, cand, prev, search, tuning.max_chain);
+                longest_match(data, pos, cand, prev, search, tuning.max_chain, probe);
 
             if best_len >= MIN_MATCH {
                 sink.matched(best_dist, best_len);
+                probe.matched(best_len);
                 if best_len <= tuning.max_lazy {
                     for k in pos + 1..pos + best_len as usize {
                         if k + HASH_BYTES <= n {
                             let hk = hash.hash_at(data, k);
                             insert(head, prev, hk, k as u32);
+                            probe.inserted();
                         }
                     }
                 }
                 pos += best_len as usize;
             } else {
                 sink.literal(data[pos]);
+                probe.literal();
                 pos += 1;
             }
         }
     }
 
-    fn run_lazy<S: TokenSink>(&mut self, data: &[u8], params: &LzssParams, sink: &mut S) {
+    fn run_lazy<S: TokenSink, P: MatchProbe>(
+        &mut self,
+        data: &[u8],
+        params: &LzssParams,
+        sink: &mut S,
+        probe: &mut P,
+    ) {
         let tuning = params.effective_tuning();
         let search =
             Search { max_dist: max_distance(params.window_size), nice: tuning.nice_length };
@@ -266,6 +314,7 @@ impl TurboEngine {
             if n - pos < HASH_BYTES {
                 if prev_len >= MIN_MATCH {
                     sink.matched(prev_dist, prev_len);
+                    probe.matched(prev_len);
                     let skip = prev_len as usize - 1;
                     prev_len = 0;
                     have_prev_literal = false;
@@ -274,15 +323,18 @@ impl TurboEngine {
                 }
                 if have_prev_literal {
                     sink.literal(data[pos - 1]);
+                    probe.literal();
                     have_prev_literal = false;
                 }
                 sink.literal(data[pos]);
+                probe.literal();
                 pos += 1;
                 continue;
             }
 
             let h = hash.hash_at(data, pos);
             let cand = insert(head, prev, h, pos as u32);
+            probe.inserted();
 
             let budget = if prev_len >= tuning.good_length {
                 tuning.max_chain >> 2
@@ -290,7 +342,7 @@ impl TurboEngine {
                 tuning.max_chain
             };
             let (mut cur_len, cur_dist) = if prev_len < tuning.max_lazy {
-                longest_match(data, pos, cand, prev, search, budget.max(1))
+                longest_match(data, pos, cand, prev, search, budget.max(1), probe)
             } else {
                 (0, 0)
             };
@@ -300,10 +352,12 @@ impl TurboEngine {
 
             if prev_len >= MIN_MATCH && cur_len <= prev_len {
                 sink.matched(prev_dist, prev_len);
+                probe.matched(prev_len);
                 for k in pos + 1..pos - 1 + prev_len as usize {
                     if k + HASH_BYTES <= n {
                         let hk = hash.hash_at(data, k);
                         insert(head, prev, hk, k as u32);
+                        probe.inserted();
                     }
                 }
                 pos += prev_len as usize - 1;
@@ -312,6 +366,7 @@ impl TurboEngine {
             } else {
                 if have_prev_literal {
                     sink.literal(data[pos - 1]);
+                    probe.literal();
                 }
                 prev_len = cur_len;
                 prev_dist = cur_dist;
@@ -321,6 +376,7 @@ impl TurboEngine {
         }
         if have_prev_literal {
             sink.literal(data[n - 1]);
+            probe.literal();
         }
     }
 }
@@ -424,6 +480,30 @@ mod tests {
         let b = engine.compress(b"snowy snow", &params);
         assert_eq!(a, b);
         assert_eq!(a, TurboEngine::new().compress(b"snowy snow", &params));
+    }
+
+    #[test]
+    fn probed_run_is_token_identical_and_counts_consistently() {
+        let mut engine = TurboEngine::new();
+        for data in sample_corpora() {
+            for level in [CompressionLevel::Min, CompressionLevel::Medium, CompressionLevel::Max] {
+                let params = LzssParams::new(4_096, 15, level);
+                let plain = engine.compress(&data, &params);
+                let mut probed = Vec::new();
+                let mut counters = lzfpga_telemetry::TurboCounters::default();
+                engine.compress_into_probed(&data, &params, &mut probed, &mut counters);
+                assert_eq!(probed, plain, "len={} {level:?}", data.len());
+                // Every input byte is covered by exactly one token.
+                assert_eq!(counters.covered_bytes(), data.len() as u64, "{level:?}");
+                assert_eq!(counters.literals + counters.matches, plain.len() as u64);
+                assert_eq!(counters.match_len_hist.count(), counters.matches);
+                assert_eq!(counters.match_len_hist.sum(), counters.match_bytes);
+                // A kernel run needs a probe first; a probe needs a search.
+                assert!(counters.probes >= counters.kernel_runs);
+                assert!(counters.probes >= counters.chain_hist.sum());
+                assert_eq!(counters.chain_hist.sum(), counters.probes);
+            }
+        }
     }
 
     #[test]

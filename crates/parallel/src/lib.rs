@@ -33,12 +33,21 @@
 //!   ([`lzfpga_lzss::turbo`]); each worker keeps one reusable
 //!   [`TurboEngine`] and recycles token buffers through a freelist, so the
 //!   steady state allocates nothing per chunk.
+//!
+//! **Observability.** With [`ParallelConfig::telemetry`] set, the run
+//! additionally reports a [`PipelineTelemetry`]: per-worker busy/idle time
+//! and freelist traffic, stitcher stall vs encode time, how long finished
+//! chunks waited in the reorder queue, the aggregated turbo-engine match
+//! counters, and a chrome://tracing span stream (one timeline row per
+//! worker plus the stitcher). Telemetry never changes the output bytes —
+//! it only watches the clock around the existing stages.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 use lzfpga_core::config::CLOCK_HZ;
 use lzfpga_core::{HwCompressor, HwConfig};
@@ -47,6 +56,9 @@ use lzfpga_deflate::encoder::{BlockKind, DeflateEncoder};
 use lzfpga_deflate::token::Token;
 use lzfpga_deflate::zlib::zlib_header;
 use lzfpga_lzss::TurboEngine;
+use lzfpga_telemetry::{
+    PipelineTelemetry, SpanTimer, StitcherStats, TraceEvent, TurboCounters, WorkerStats,
+};
 
 /// Which compressor front-end produces the per-chunk token streams.
 ///
@@ -76,6 +88,10 @@ pub struct ParallelConfig {
     pub hw: HwConfig,
     /// Token-stream front-end.
     pub engine: EngineKind,
+    /// Collect pipeline telemetry (worker utilization, stitcher stalls,
+    /// turbo counters, trace events) into [`ParallelReport::telemetry`].
+    /// Never affects the output bytes.
+    pub telemetry: bool,
 }
 
 impl Default for ParallelConfig {
@@ -86,6 +102,7 @@ impl Default for ParallelConfig {
             instances: 4,
             hw: HwConfig::paper_fast(),
             engine: EngineKind::Modelled,
+            telemetry: false,
         }
     }
 }
@@ -163,6 +180,9 @@ pub struct ParallelReport {
     pub total_cycles: u64,
     /// Input size.
     pub input_bytes: u64,
+    /// Pipeline telemetry, present when [`ParallelConfig::telemetry`] was
+    /// set.
+    pub telemetry: Option<PipelineTelemetry>,
 }
 
 impl ParallelReport {
@@ -195,7 +215,18 @@ impl ParallelReport {
 }
 
 /// One finished chunk waiting for the stitcher.
-type Slot = Option<(Vec<Token>, u64)>;
+struct ChunkDone {
+    tokens: Vec<Token>,
+    cycles: u64,
+    /// Completion time in µs since the run epoch (0 when telemetry is off);
+    /// lets the stitcher measure how long the chunk sat in the queue.
+    done_us: f64,
+}
+
+type Slot = Option<ChunkDone>;
+
+/// What one worker hands back for the telemetry report.
+type WorkerYield = (WorkerStats, TurboCounters, Vec<TraceEvent>);
 
 /// Compress `data` chunk-parallel into one standard zlib stream.
 ///
@@ -229,40 +260,92 @@ pub fn compress_parallel(
     let ready = Condvar::new();
     let freelist: Mutex<Vec<Vec<Token>>> = Mutex::new(Vec::new());
     let params = cfg.hw.as_lzss_params();
+    let epoch = Instant::now();
+    let worker_yields: Mutex<Vec<WorkerYield>> = Mutex::new(Vec::new());
 
     let mut enc = DeflateEncoder::new();
     let mut reports = Vec::with_capacity(n_chunks);
+    let mut stitch_timer = cfg.telemetry.then(|| SpanTimer::new(epoch, 0));
+    let mut stitcher = StitcherStats::default();
     std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| {
+        for w in 0..workers {
+            let (next, slots, ready, freelist, params, chunks, worker_yields) =
+                (&next, &slots, &ready, &freelist, &params, &chunks, &worker_yields);
+            s.spawn(move || {
                 let mut turbo = TurboEngine::new();
+                let mut counters = TurboCounters::default();
+                let mut stats = WorkerStats { worker: w, ..WorkerStats::default() };
+                let mut timer = cfg.telemetry.then(|| SpanTimer::new(epoch, w as u32 + 1));
+                let spawned_us = timer.as_ref().map_or(0.0, SpanTimer::now_us);
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n_chunks {
                         break;
                     }
-                    let result = match cfg.engine {
+                    let start_us = timer.as_ref().map_or(0.0, SpanTimer::now_us);
+                    let (tokens, cycles) = match cfg.engine {
                         EngineKind::Modelled => {
                             let rep = HwCompressor::new(cfg.hw).compress(chunks[i]);
                             (rep.tokens, rep.cycles)
                         }
                         EngineKind::Turbo => {
-                            let mut buf =
-                                freelist.lock().expect("freelist lock").pop().unwrap_or_default();
+                            let popped = freelist.lock().expect("freelist lock").pop();
+                            if popped.is_some() {
+                                stats.freelist_hits += 1;
+                            } else {
+                                stats.freelist_misses += 1;
+                            }
+                            let mut buf = popped.unwrap_or_default();
                             buf.clear();
-                            turbo.compress_into(chunks[i], &params, &mut buf);
+                            if cfg.telemetry {
+                                turbo.compress_into_probed(
+                                    chunks[i],
+                                    params,
+                                    &mut buf,
+                                    &mut counters,
+                                );
+                            } else {
+                                turbo.compress_into(chunks[i], params, &mut buf);
+                            }
                             (buf, 0)
                         }
                     };
-                    slots.lock().expect("slot lock")[i] = Some(result);
+                    let done_us = if let Some(t) = timer.as_mut() {
+                        stats.busy_s += t.complete(
+                            format!("compress chunk {i}"),
+                            "compress",
+                            start_us,
+                            vec![
+                                ("bytes", chunks[i].len().into()),
+                                ("tokens", tokens.len().into()),
+                            ],
+                        );
+                        stats.chunks += 1;
+                        stats.input_bytes += chunks[i].len() as u64;
+                        t.now_us()
+                    } else {
+                        0.0
+                    };
+                    slots.lock().expect("slot lock")[i] =
+                        Some(ChunkDone { tokens, cycles, done_us });
                     ready.notify_all();
+                }
+                if let Some(mut t) = timer {
+                    let lifetime_s = (t.now_us() - spawned_us) / 1e6;
+                    stats.idle_s = (lifetime_s - stats.busy_s).max(0.0);
+                    worker_yields.lock().expect("telemetry lock").push((
+                        stats,
+                        counters,
+                        t.drain(),
+                    ));
                 }
             });
         }
 
         // Stitch: per-chunk block runs, in order, overlapping the workers.
         for (i, chunk) in chunks.iter().enumerate() {
-            let (tokens, cycles) = {
+            let wait_start_us = stitch_timer.as_ref().map_or(0.0, SpanTimer::now_us);
+            let done = {
                 let mut guard = slots.lock().expect("slot lock");
                 loop {
                     if let Some(done) = guard[i].take() {
@@ -271,18 +354,50 @@ pub fn compress_parallel(
                     guard = ready.wait(guard).expect("slot lock");
                 }
             };
-            enc.write_block(&tokens, BlockKind::FixedHuffman, i + 1 == n_chunks);
+            if let Some(t) = stitch_timer.as_mut() {
+                stitcher.stall_s +=
+                    t.complete(format!("wait chunk {i}"), "stall", wait_start_us, Vec::new());
+                stitcher.queue_wait_s += ((t.now_us() - done.done_us) / 1e6).max(0.0);
+                let enc_start_us = t.now_us();
+                enc.write_block(&done.tokens, BlockKind::FixedHuffman, i + 1 == n_chunks);
+                stitcher.encode_s +=
+                    t.complete(format!("encode chunk {i}"), "encode", enc_start_us, Vec::new());
+            } else {
+                enc.write_block(&done.tokens, BlockKind::FixedHuffman, i + 1 == n_chunks);
+            }
             reports.push(ChunkReport {
                 index: i,
                 input_bytes: chunk.len() as u64,
-                cycles,
-                tokens: tokens.len() as u64,
+                cycles: done.cycles,
+                tokens: done.tokens.len() as u64,
             });
             if cfg.engine == EngineKind::Turbo {
-                let mut buf = tokens;
+                let mut buf = done.tokens;
                 buf.clear();
-                freelist.lock().expect("freelist lock").push(buf);
+                let mut list = freelist.lock().expect("freelist lock");
+                list.push(buf);
+                stitcher.freelist_peak = stitcher.freelist_peak.max(list.len() as u64);
             }
+        }
+    });
+
+    let telemetry = stitch_timer.map(|mut t| {
+        let mut yields = worker_yields.into_inner().expect("telemetry lock");
+        yields.sort_by_key(|(stats, _, _)| stats.worker);
+        let mut turbo = TurboCounters::default();
+        let mut trace_events = t.drain();
+        let mut worker_stats = Vec::with_capacity(yields.len());
+        for (stats, counters, events) in yields {
+            turbo.merge(&counters);
+            trace_events.extend(events);
+            worker_stats.push(stats);
+        }
+        PipelineTelemetry {
+            wall_s: epoch.elapsed().as_secs_f64(),
+            workers: worker_stats,
+            stitcher,
+            turbo,
+            trace_events,
         }
     });
 
@@ -305,6 +420,7 @@ pub fn compress_parallel(
         makespan_cycles: makespan,
         total_cycles: total,
         input_bytes: data.len() as u64,
+        telemetry,
     })
 }
 
@@ -322,6 +438,7 @@ mod tests {
             instances,
             hw: HwConfig::paper_fast(),
             engine: EngineKind::Modelled,
+            telemetry: false,
         }
     }
 
@@ -417,6 +534,69 @@ mod tests {
     fn zero_instances_rejected() {
         let err = compress_parallel(b"x", &cfg(8 * 1024, 1, 0)).unwrap_err();
         assert_eq!(err, ParallelConfigError::NoInstances);
+    }
+
+    #[test]
+    fn telemetry_is_opt_in_and_never_changes_the_bytes() {
+        let data = generate(Corpus::Mixed, 13, 300_000);
+        let plain = compress_parallel(&data, &turbo_cfg(32 * 1024, 3)).unwrap();
+        assert!(plain.telemetry.is_none());
+        let observed = compress_parallel(
+            &data,
+            &ParallelConfig { telemetry: true, ..turbo_cfg(32 * 1024, 3) },
+        )
+        .unwrap();
+        assert_eq!(observed.compressed, plain.compressed);
+        assert!(observed.telemetry.is_some());
+    }
+
+    #[test]
+    fn telemetry_accounts_for_every_chunk_and_byte() {
+        let data = generate(Corpus::Wiki, 8, 400_000);
+        let rep = compress_parallel(
+            &data,
+            &ParallelConfig { telemetry: true, ..turbo_cfg(64 * 1024, 2) },
+        )
+        .unwrap();
+        let t = rep.telemetry.as_ref().unwrap();
+
+        // Workers: every chunk and input byte shows up exactly once.
+        assert_eq!(t.workers.len(), 2);
+        assert_eq!(t.workers.iter().map(|w| w.chunks).sum::<u64>(), rep.chunks.len() as u64);
+        assert_eq!(t.workers.iter().map(|w| w.input_bytes).sum::<u64>(), data.len() as u64);
+        let allocs: u64 = t.workers.iter().map(|w| w.freelist_misses).sum();
+        let reuses: u64 = t.workers.iter().map(|w| w.freelist_hits).sum();
+        assert_eq!(allocs + reuses, rep.chunks.len() as u64);
+        assert!(allocs >= 1, "first chunk per worker must allocate");
+
+        // Turbo counters cover the whole input (chunk dictionaries are
+        // independent, so coverage still sums to the input size).
+        assert_eq!(t.turbo.covered_bytes(), data.len() as u64);
+        let tokens: u64 = rep.chunks.iter().map(|c| c.tokens).sum();
+        assert_eq!(t.turbo.literals + t.turbo.matches, tokens);
+
+        // The stitcher encoded every chunk; spans exist for each stage.
+        let encode_spans =
+            t.trace_events.iter().filter(|e| e.cat == "encode" && e.tid == 0).count();
+        assert_eq!(encode_spans, rep.chunks.len());
+        let compress_spans = t.trace_events.iter().filter(|e| e.cat == "compress").count();
+        assert_eq!(compress_spans, rep.chunks.len());
+        assert!(t.trace_events.iter().all(|e| e.dur_us >= 0.0 && e.ts_us >= 0.0));
+        assert!(t.wall_s > 0.0);
+        assert!(t.stitcher.encode_s > 0.0);
+        assert!(t.stitcher.freelist_peak >= 1);
+    }
+
+    #[test]
+    fn modelled_engine_telemetry_reports_worker_time_without_turbo_counters() {
+        let data = generate(Corpus::X2e, 5, 150_000);
+        let rep =
+            compress_parallel(&data, &ParallelConfig { telemetry: true, ..cfg(32 * 1024, 2, 2) })
+                .unwrap();
+        let t = rep.telemetry.as_ref().unwrap();
+        assert!(t.workers.iter().map(|w| w.busy_s).sum::<f64>() > 0.0);
+        assert_eq!(t.turbo.covered_bytes(), 0, "modelled path has no turbo probes");
+        assert_eq!(t.workers.iter().map(|w| w.freelist_hits + w.freelist_misses).sum::<u64>(), 0);
     }
 
     #[test]

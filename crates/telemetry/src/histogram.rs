@@ -1,0 +1,169 @@
+//! Power-of-two-bucket histograms for hot-loop distributions.
+//!
+//! Chain-walk lengths and match lengths span several orders of magnitude;
+//! a log2 bucketing keeps recording to a `leading_zeros` plus one add — no
+//! allocation, no floating point on the hot path.
+
+use crate::json::JsonValue;
+
+/// Number of log2 buckets: values `>= 2^(BUCKETS-2)` share the last one.
+const BUCKETS: usize = 32;
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Bucket `i` counts samples in `[2^(i-1), 2^i)` for `i >= 1`; bucket 0
+/// counts zeros. Also tracks exact count, sum, and max so means stay exact.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Self { buckets: [0; BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        let idx = (64 - value.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (exact).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty `(bucket_upper_bound_exclusive, count)` rows, low to high.
+    /// The bound for bucket `i` is `2^i` (bucket 0 holds exactly the zeros).
+    pub fn rows(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i }, c))
+            .collect()
+    }
+
+    /// JSON form: `{count, sum, max, mean, buckets: [{le, n}, ...]}`.
+    pub fn to_json(&self) -> JsonValue {
+        crate::json::obj([
+            ("count", self.count.into()),
+            ("sum", self.sum.into()),
+            ("max", self.max.into()),
+            ("mean", self.mean().into()),
+            (
+                "buckets",
+                JsonValue::Array(
+                    self.rows()
+                        .into_iter()
+                        .map(|(le, n)| crate::json::obj([("lt", le.into()), ("n", n.into())]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_buckets() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 1, 2, 3, 7, 8, 1_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 1_022);
+        assert_eq!(h.max(), 1_000);
+        let rows = h.rows();
+        // zeros | [1,2) | [2,4) | [4,8) | [8,16) | [512,1024)
+        assert_eq!(rows, vec![(0, 1), (2, 2), (4, 2), (8, 1), (16, 1), (1024, 1)]);
+        let total: u64 = rows.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, h.count());
+    }
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers() {
+        let mut h = Histogram::new();
+        h.record(1);
+        h.record(2);
+        h.record(4);
+        h.record(8);
+        // Each power of two starts a new bucket.
+        assert_eq!(h.rows().len(), 4);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(3);
+        b.record(300);
+        b.record(0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 303);
+        assert_eq!(a.max(), 300);
+        assert!((a.mean() - 101.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut h = Histogram::new();
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        let parsed = crate::json::parse(&h.to_json().render()).unwrap();
+        assert_eq!(parsed.get("count").unwrap().as_i64(), Some(100));
+        assert_eq!(parsed.get("sum").unwrap().as_i64(), Some(4_950));
+        let buckets = parsed.get("buckets").unwrap().as_array().unwrap();
+        let n: i64 = buckets.iter().map(|b| b.get("n").unwrap().as_i64().unwrap()).sum();
+        assert_eq!(n, 100);
+    }
+}

@@ -1,0 +1,100 @@
+//! The structured JSONL event sink.
+//!
+//! A telemetry run is a sequence of self-describing events, one JSON object
+//! per line: `{"event":"<kind>","seq":N, ...}`. JSONL is append-only and
+//! stream-friendly (a crashed run keeps every line it got to), greps
+//! cleanly, and loads into any analysis stack one line at a time — the
+//! software counterpart of the hardware model's VCD change stream.
+
+use std::io::{self, Write};
+
+use crate::json::JsonValue;
+
+/// Writes telemetry events as JSON Lines to any `io::Write`.
+#[derive(Debug)]
+pub struct JsonlWriter<W: Write> {
+    out: W,
+    seq: u64,
+}
+
+impl<W: Write> JsonlWriter<W> {
+    /// A sink writing to `out`.
+    pub fn new(out: W) -> Self {
+        Self { out, seq: 0 }
+    }
+
+    /// Emit one event: `kind` plus the fields of `body` (an object),
+    /// stamped with a monotonically increasing `seq`.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the underlying writer.
+    ///
+    /// # Panics
+    /// Panics if `body` is not a [`JsonValue::Object`].
+    pub fn emit(&mut self, kind: &str, body: JsonValue) -> io::Result<()> {
+        let JsonValue::Object(fields) = body else { panic!("JSONL event body must be an object") };
+        let mut line = JsonValue::Object(Vec::with_capacity(fields.len() + 2));
+        line.push("event", kind);
+        line.push("seq", self.seq);
+        if let JsonValue::Object(dst) = &mut line {
+            dst.extend(fields);
+        }
+        self.seq += 1;
+        writeln!(self.out, "{}", line.render())
+    }
+
+    /// Events emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.seq
+    }
+
+    /// Flush and return the underlying writer.
+    ///
+    /// # Errors
+    /// Propagates the flush failure.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Parse a JSONL document back into per-line values (for tests and tools).
+///
+/// # Errors
+/// Returns the first line that fails to parse, with its 0-based index.
+pub fn parse_jsonl(text: &str) -> Result<Vec<JsonValue>, (usize, crate::json::ParseError)> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .enumerate()
+        .map(|(i, l)| crate::json::parse(l).map_err(|e| (i, e)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::obj;
+
+    #[test]
+    fn events_are_sequenced_lines() {
+        let mut sink = JsonlWriter::new(Vec::new());
+        sink.emit("run_start", obj([("input_bytes", 1_024u64.into())])).unwrap();
+        sink.emit("summary", obj([("ratio", 2.5.into()), ("ok", true.into())])).unwrap();
+        assert_eq!(sink.emitted(), 2);
+        let bytes = sink.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), 2);
+
+        let lines = parse_jsonl(&text).unwrap();
+        assert_eq!(lines[0].get("event").unwrap().as_str(), Some("run_start"));
+        assert_eq!(lines[0].get("seq").unwrap().as_i64(), Some(0));
+        assert_eq!(lines[1].get("seq").unwrap().as_i64(), Some(1));
+        assert_eq!(lines[1].get("ratio").unwrap().as_f64(), Some(2.5));
+    }
+
+    #[test]
+    fn parse_jsonl_reports_the_bad_line() {
+        let err = parse_jsonl("{\"ok\":1}\nnot json\n").unwrap_err();
+        assert_eq!(err.0, 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! Wall-clock span timing with a chrome://tracing-compatible export.
+//!
+//! The hardware model already exports its FSM occupancy as a VCD waveform;
+//! this module is the same idea for host threads. Spans are recorded as
+//! Trace Event Format *complete events* (`"ph":"X"`, microsecond
+//! timestamps) and serialized by [`trace_events_json`] into a file that
+//! `chrome://tracing` and <https://ui.perfetto.dev> open directly: one row
+//! per `tid` (worker), one slice per span.
+
+use std::time::Instant;
+
+use crate::json::{obj, JsonValue};
+
+/// One completed span on some thread's timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Slice label (e.g. `"compress chunk 3"`).
+    pub name: String,
+    /// Category, used by viewers for filtering (e.g. `"compress"`).
+    pub cat: &'static str,
+    /// Timeline row; 0 is the stitcher/caller, workers are 1-based.
+    pub tid: u32,
+    /// Start, microseconds since the run epoch.
+    pub ts_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+    /// Free-form arguments shown in the viewer's detail pane.
+    pub args: Vec<(&'static str, JsonValue)>,
+}
+
+impl TraceEvent {
+    /// The event as a Trace Event Format JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        let mut v = obj([
+            ("name", self.name.as_str().into()),
+            ("cat", self.cat.into()),
+            ("ph", "X".into()),
+            ("ts", self.ts_us.into()),
+            ("dur", self.dur_us.into()),
+            ("pid", 1u32.into()),
+            ("tid", self.tid.into()),
+        ]);
+        if !self.args.is_empty() {
+            v.push(
+                "args",
+                JsonValue::Object(
+                    self.args.iter().map(|(k, a)| ((*k).to_string(), a.clone())).collect(),
+                ),
+            );
+        }
+        v
+    }
+}
+
+/// Serialize events as a Trace Event Format document
+/// (`{"traceEvents":[...],"displayTimeUnit":"ms"}`).
+pub fn trace_events_json(events: &[TraceEvent]) -> String {
+    let doc = obj([
+        ("traceEvents", JsonValue::Array(events.iter().map(TraceEvent::to_json).collect())),
+        ("displayTimeUnit", "ms".into()),
+    ]);
+    let mut text = doc.render();
+    text.push('\n');
+    text
+}
+
+/// A per-thread span recorder sharing one epoch across threads.
+///
+/// Each thread owns its own `SpanTimer` (no locking on the hot path);
+/// the buffers are merged after the parallel section with [`SpanTimer::drain`].
+#[derive(Debug)]
+pub struct SpanTimer {
+    epoch: Instant,
+    tid: u32,
+    events: Vec<TraceEvent>,
+}
+
+impl SpanTimer {
+    /// A recorder for timeline row `tid` measuring from `epoch`.
+    pub fn new(epoch: Instant, tid: u32) -> Self {
+        Self { epoch, tid, events: Vec::new() }
+    }
+
+    /// Microseconds elapsed since the epoch.
+    pub fn now_us(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// Record a span that started at `start_us` (from [`SpanTimer::now_us`])
+    /// and ends now; returns its duration in seconds.
+    pub fn complete(
+        &mut self,
+        name: String,
+        cat: &'static str,
+        start_us: f64,
+        args: Vec<(&'static str, JsonValue)>,
+    ) -> f64 {
+        let end = self.now_us();
+        let dur_us = (end - start_us).max(0.0);
+        self.events.push(TraceEvent { name, cat, tid: self.tid, ts_us: start_us, dur_us, args });
+        dur_us / 1e6
+    }
+
+    /// Time `f`, recording it as a span; returns its value and duration (s).
+    pub fn measure<T>(
+        &mut self,
+        name: String,
+        cat: &'static str,
+        f: impl FnOnce() -> T,
+    ) -> (T, f64) {
+        let start = self.now_us();
+        let value = f();
+        let secs = self.complete(name, cat, start, Vec::new());
+        (value, secs)
+    }
+
+    /// Take the recorded events.
+    pub fn drain(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_on_the_right_row() {
+        let epoch = Instant::now();
+        let mut t = SpanTimer::new(epoch, 3);
+        let ((), secs) = t.measure("work".into(), "test", || {
+            std::thread::sleep(std::time::Duration::from_millis(2))
+        });
+        assert!(secs >= 0.002);
+        let events = t.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].tid, 3);
+        assert!(events[0].dur_us >= 2_000.0);
+        assert!(t.drain().is_empty());
+    }
+
+    #[test]
+    fn trace_document_parses_and_round_trips() {
+        let events = vec![
+            TraceEvent {
+                name: "compress chunk 0".into(),
+                cat: "compress",
+                tid: 1,
+                ts_us: 10.0,
+                dur_us: 250.5,
+                args: vec![("bytes", 65_536u64.into())],
+            },
+            TraceEvent {
+                name: "encode chunk 0".into(),
+                cat: "encode",
+                tid: 0,
+                ts_us: 260.5,
+                dur_us: 40.0,
+                args: Vec::new(),
+            },
+        ];
+        let text = trace_events_json(&events);
+        let doc = crate::json::parse(text.trim()).unwrap();
+        let list = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(list.len(), 2);
+        assert_eq!(list[0].get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(list[0].get("tid").unwrap().as_i64(), Some(1));
+        assert_eq!(list[0].get("args").unwrap().get("bytes").unwrap().as_i64(), Some(65_536));
+        assert_eq!(list[1].get("name").unwrap().as_str(), Some("encode chunk 0"));
+    }
+}

@@ -12,6 +12,7 @@
 //! | [`estimator`] | `lzfpga-estimator` | Design-space exploration sweeps, Pareto/budget selection, interactive shell |
 //! | [`cam`] | `lzfpga-cam` | Related-work CAM and systolic matcher models |
 //! | [`parallel`] | `lzfpga-parallel` | Chunk-parallel multi-engine compression |
+//! | [`telemetry`] | `lzfpga-telemetry` | Counters, span timing, JSONL sink, chrome://tracing export |
 //!
 //! ## Quickstart
 //!
@@ -53,3 +54,6 @@ pub use lzfpga_parallel as parallel;
 
 /// VHDL-93 generation from a hardware configuration (the THDL++ flow role).
 pub use lzfpga_rtlgen as rtlgen;
+
+/// Unified telemetry: counters, spans, JSONL sink, trace-event export.
+pub use lzfpga_telemetry as telemetry;

@@ -96,6 +96,7 @@ fn parallel_turbo_is_identical_to_the_model_for_every_worker_count() {
             instances: 1,
             hw,
             engine: EngineKind::Modelled,
+            telemetry: false,
         },
     )
     .expect("valid modelled config");
@@ -108,6 +109,7 @@ fn parallel_turbo_is_identical_to_the_model_for_every_worker_count() {
                 instances: 1,
                 hw,
                 engine: EngineKind::Turbo,
+                telemetry: false,
             },
         )
         .expect("valid turbo config");
