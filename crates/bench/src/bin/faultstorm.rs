@@ -1,0 +1,278 @@
+//! `faultstorm` — deterministic hostile-input storm over the decoders.
+//!
+//! Builds a small corpus of well-formed streams (hardware-model zlib, gzip,
+//! and multi-block parallel-turbo zlib), then feeds thousands of
+//! structure-aware mutants of them (bit flips, truncations, duplicated and
+//! deleted slices, length-field corruption) to every decode path and holds
+//! each one to the robustness contract:
+//!
+//! 1. **never panic** — every decode runs under `catch_unwind`, and a caught
+//!    panic is a hard failure;
+//! 2. **never exceed the output cap** — decodes run through the limited
+//!    inflate path with a per-stream [`Limits`] cap, and an `Ok` whose
+//!    output is larger than the cap is a hard failure;
+//! 3. otherwise: a typed error or a decoded payload, both acceptable
+//!    (mutants that still decode are counted, not failed — a CRC-protected
+//!    container catches most, raw zlib has weaker integrity).
+//!
+//! Before the storm, a fault-injection drill runs an 8-chunk / 4-worker
+//! parallel compression with one injected worker panic and asserts the
+//! output is byte-identical to the clean run and that the
+//! [`FailureReport`] records exactly the injected fault.
+//!
+//! ```text
+//! faultstorm [--mutants N] [--seed S]      # S takes 0x... hex or decimal
+//! ```
+//!
+//! Fully deterministic for a given seed; exits non-zero on any violation.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use lzfpga_core::pipeline::compress_to_zlib;
+use lzfpga_core::{DecompConfig, HwConfig, HwDecompressor};
+use lzfpga_deflate::encoder::BlockKind;
+use lzfpga_deflate::gzip::{gzip_compress_tokens, gzip_decompress_limited};
+use lzfpga_deflate::zlib::zlib_decompress_limited;
+use lzfpga_deflate::Limits;
+use lzfpga_faults::{FailPlan, FailRule, StreamMutator};
+use lzfpga_lzss::compress;
+use lzfpga_parallel::{compress_parallel, compress_parallel_with, EngineKind, ParallelConfig};
+use lzfpga_workloads::{generate, Corpus};
+
+/// One well-formed base stream plus the decode paths it exercises.
+struct BaseStream {
+    name: &'static str,
+    bytes: Vec<u8>,
+    original: Vec<u8>,
+    container: Container,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Container {
+    /// Single fixed-Huffman-block zlib (also fed to the hw decompressor).
+    HwZlib,
+    /// Gzip member with CRC-32 + ISIZE trailer.
+    Gzip,
+    /// Multi-block zlib from the parallel pipeline (software inflate only).
+    ParallelZlib,
+}
+
+struct Tally {
+    decodes: u64,
+    rejected: u64,
+    roundtripped: u64,
+    corrupted: u64,
+    violations: u64,
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn main() {
+    let mut mutants: u64 = 2_000;
+    let mut seed: u64 = 0xC0FFEE;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--mutants" => mutants = it.next().and_then(|v| v.parse().ok()).unwrap_or(mutants),
+            "--seed" => seed = it.next().and_then(|v| parse_seed(&v)).unwrap_or(seed),
+            "--help" | "-h" => {
+                println!("faultstorm [--mutants N] [--seed S]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Panics are part of the contract under test: silence the default hook
+    // so a caught panic does not spam stderr, and count it instead.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let drill_ok = run_drill();
+    let tally = run_storm(mutants, seed);
+    std::panic::set_hook(default_hook);
+
+    println!(
+        "faultstorm: {} decodes over {} mutants (seed {seed:#x}): \
+         {} rejected, {} round-tripped, {} decoded-but-different, {} violations",
+        tally.decodes,
+        mutants,
+        tally.rejected,
+        tally.roundtripped,
+        tally.corrupted,
+        tally.violations
+    );
+    if !drill_ok || tally.violations > 0 {
+        eprintln!("faultstorm: FAILED");
+        std::process::exit(1);
+    }
+}
+
+/// The fault-injection acceptance drill: an injected worker panic in an
+/// 8-chunk / 4-worker job must not change a byte of output, and the failure
+/// report must record exactly the injected fault.
+fn run_drill() -> bool {
+    let data = generate(Corpus::Mixed, 21, 256_000);
+    let cfg = ParallelConfig {
+        chunk_bytes: 32 * 1024,
+        workers: 4,
+        instances: 1,
+        hw: HwConfig::paper_fast(),
+        engine: EngineKind::Turbo,
+        telemetry: false,
+    };
+    let clean = match compress_parallel(&data, &cfg) {
+        Ok(rep) => rep,
+        Err(e) => {
+            eprintln!("drill: clean run failed: {e}");
+            return false;
+        }
+    };
+    let plan = FailPlan::new(7).rule(FailRule::new("parallel.worker.chunk").on_hit(3).panics());
+    let faulty = match compress_parallel_with(&data, &cfg, &plan) {
+        Ok(rep) => rep,
+        Err(e) => {
+            eprintln!("drill: faulty run failed: {e}");
+            return false;
+        }
+    };
+    let f = &faulty.failures;
+    let ok = faulty.compressed == clean.compressed
+        && f.attempts == 9
+        && f.retries == 1
+        && f.worker_restarts == 1
+        && f.injected_errors == 0
+        && f.degraded_chunks.is_empty()
+        && f.failed_chunks.is_empty()
+        && f.injected.len() == 1;
+    if ok {
+        println!(
+            "drill: injected worker panic recovered, output byte-identical \
+             ({} attempts, {} retry, {} restart)",
+            f.attempts, f.retries, f.worker_restarts
+        );
+    } else {
+        eprintln!("drill: report or bytes diverged: {:?}", f);
+    }
+    ok
+}
+
+fn build_corpus() -> Vec<BaseStream> {
+    let cfg = HwConfig::paper_fast();
+    let params = cfg.as_lzss_params();
+    let mut streams = Vec::new();
+    for (name, corpus, size) in [
+        ("wiki", Corpus::Wiki, 60_000usize),
+        ("json", Corpus::JsonTelemetry, 60_000),
+        ("x2e", Corpus::X2e, 60_000),
+    ] {
+        let data = generate(corpus, 5, size);
+        streams.push(BaseStream {
+            name,
+            bytes: compress_to_zlib(&data, &cfg).compressed,
+            original: data.clone(),
+            container: Container::HwZlib,
+        });
+        let tokens = compress(&data, &params);
+        streams.push(BaseStream {
+            name,
+            bytes: gzip_compress_tokens(&tokens, &data, BlockKind::FixedHuffman),
+            original: data.clone(),
+            container: Container::Gzip,
+        });
+        let par_cfg = ParallelConfig {
+            chunk_bytes: 16 * 1024,
+            workers: 2,
+            instances: 1,
+            hw: cfg,
+            engine: EngineKind::Turbo,
+            telemetry: false,
+        };
+        let rep = compress_parallel(&data, &par_cfg).expect("parallel base stream");
+        streams.push(BaseStream {
+            name,
+            bytes: rep.compressed,
+            original: data,
+            container: Container::ParallelZlib,
+        });
+    }
+    streams
+}
+
+fn run_storm(mutants: u64, seed: u64) -> Tally {
+    let corpus = build_corpus();
+    let mut tally = Tally { decodes: 0, rejected: 0, roundtripped: 0, corrupted: 0, violations: 0 };
+    let mut mutator = StreamMutator::new(seed);
+    for i in 0..mutants {
+        let base = &corpus[(i % corpus.len() as u64) as usize];
+        let mutant = mutator.mutate(&base.bytes);
+        // Cap well above the true payload so valid round-trips pass, but
+        // low enough that a runaway expansion is caught long before OOM.
+        let cap = (base.original.len() as u64).saturating_mul(4).max(1 << 20);
+        let limits = Limits::none().with_max_output_bytes(cap);
+
+        check_decode(
+            &mut tally,
+            base,
+            &mutant.kind.to_string(),
+            cap,
+            catch_unwind(AssertUnwindSafe(|| match base.container {
+                Container::Gzip => {
+                    gzip_decompress_limited(&mutant.bytes, &limits).map_err(|e| e.to_string())
+                }
+                _ => zlib_decompress_limited(&mutant.bytes, &limits).map_err(|e| e.to_string()),
+            })),
+        );
+        if base.container == Container::HwZlib {
+            let hw_out = catch_unwind(AssertUnwindSafe(|| {
+                let mut d =
+                    HwDecompressor::try_new(DecompConfig { window_size: 4_096, bus_bytes: 4 })
+                        .expect("static decomp config");
+                d.decompress_zlib(&mutant.bytes).map(|rep| rep.bytes).map_err(|e| e.to_string())
+            }));
+            check_decode(&mut tally, base, &mutant.kind.to_string(), u64::MAX, hw_out);
+        }
+    }
+    tally
+}
+
+/// Fold one decode attempt into the tally, flagging contract violations.
+fn check_decode(
+    tally: &mut Tally,
+    base: &BaseStream,
+    kind: &str,
+    cap: u64,
+    result: std::thread::Result<Result<Vec<u8>, String>>,
+) {
+    tally.decodes += 1;
+    match result {
+        Err(_) => {
+            tally.violations += 1;
+            eprintln!("VIOLATION: panic decoding {} mutant ({kind})", base.name);
+        }
+        Ok(Ok(out)) if out.len() as u64 > cap => {
+            tally.violations += 1;
+            eprintln!(
+                "VIOLATION: {} mutant ({kind}) decoded {} bytes past the {cap}-byte cap",
+                base.name,
+                out.len()
+            );
+        }
+        Ok(Ok(out)) => {
+            if out == base.original {
+                tally.roundtripped += 1;
+            } else {
+                tally.corrupted += 1;
+            }
+        }
+        Ok(Err(_)) => tally.rejected += 1,
+    }
+}

@@ -5,7 +5,8 @@
 //!                   [--hash N] [--level min|medium|max] [--stats]
 //!                   [--parallel] [--chunk N] [--workers N]
 //!                   [-o OUT] [FILE]        (stdin when FILE is omitted)
-//! lzfpga decompress [-o OUT] [FILE]        (zlib or gzip, auto-detected)
+//! lzfpga decompress [--max-output-bytes N] [-o OUT] [FILE]
+//!                                          (zlib or gzip, auto-detected)
 //! lzfpga stats      [--window N] [--hash N] [--level L] [FILE]
 //! lzfpga gen        CORPUS SIZE [--seed N] [-o OUT]
 //! ```
@@ -26,8 +27,9 @@ use std::process::ExitCode;
 use lzfpga_core::pipeline::{compress_to_zlib, turbo_compress_to_zlib};
 use lzfpga_core::{DecompConfig, HwConfig, HwDecompressor, HwState};
 use lzfpga_deflate::encoder::BlockKind;
-use lzfpga_deflate::gzip::{gzip_compress_tokens, gzip_decompress};
-use lzfpga_deflate::zlib::{zlib_compress_tokens, zlib_decompress};
+use lzfpga_deflate::gzip::{gzip_compress_tokens, gzip_decompress_limited};
+use lzfpga_deflate::zlib::{zlib_compress_tokens, zlib_decompress, zlib_decompress_limited};
+use lzfpga_deflate::Limits;
 use lzfpga_lzss::params::CompressionLevel;
 use lzfpga_lzss::LzssParams;
 use lzfpga_parallel::{compress_parallel, EngineKind, ParallelConfig};
@@ -42,7 +44,7 @@ lzfpga <compress|decompress|stats|gen|trace|rtl> [options]
              [--level min|medium|max] [--dict FILE] [--stats]
              [--parallel] [--chunk N] [--workers N]
              [--metrics OUT.jsonl] [--trace-events OUT.json] [-o OUT] [FILE]
-  decompress [--engine hw|sw] [--dict FILE] [-o OUT] [FILE]
+  decompress [--engine hw|sw] [--dict FILE] [--max-output-bytes N] [-o OUT] [FILE]
   stats      [--window N] [--hash N] [--level L] [--metrics OUT.jsonl] [FILE]
   gen        CORPUS SIZE [--seed N] [-o OUT]
   trace      [--window N] [--hash N] [--format vcd|trace-events]
@@ -93,6 +95,7 @@ struct CommonOpts {
     workers: usize,
     metrics: Option<String>,
     trace_events: Option<String>,
+    max_output_bytes: Option<u64>,
     positional: Vec<String>,
 }
 
@@ -115,6 +118,7 @@ impl Default for CommonOpts {
             workers: 0,
             metrics: None,
             trace_events: None,
+            max_output_bytes: None,
             positional: Vec::new(),
         }
     }
@@ -171,6 +175,13 @@ fn parse_opts(args: &[String]) -> Result<CommonOpts, String> {
                     value("--workers")?.parse().map_err(|_| "bad --workers value".to_string())?;
             }
             "--dict" => o.dict = Some(value("--dict")?),
+            "--max-output-bytes" => {
+                o.max_output_bytes = Some(
+                    value("--max-output-bytes")?
+                        .parse()
+                        .map_err(|_| "bad --max-output-bytes value".to_string())?,
+                );
+            }
             "--metrics" => o.metrics = Some(value("--metrics")?),
             "--trace-events" => o.trace_events = Some(value("--trace-events")?),
             "-o" | "--output" => o.output = Some(value("-o")?),
@@ -303,7 +314,7 @@ fn cmd_compress(o: &CommonOpts) -> Result<(), String> {
             },
             telemetry: o.metrics.is_some() || o.trace_events.is_some(),
         };
-        let rep = compress_parallel(&data, &cfg).map_err(|e| format!("parallel config: {e}"))?;
+        let rep = compress_parallel(&data, &cfg).map_err(|e| e.to_string())?;
         if o.stats {
             eprintln!(
                 "in: {} bytes, out: {} bytes, ratio {:.3} ({} chunks of {} bytes)",
@@ -325,6 +336,7 @@ fn cmd_compress(o: &CommonOpts) -> Result<(), String> {
                     vec![
                         ("run", run_event(o, data.len(), rep.compressed.len())),
                         ("parallel", tel.to_json()),
+                        ("faults", rep.failures.to_json()),
                     ],
                 )?;
             }
@@ -423,21 +435,24 @@ fn cmd_compress(o: &CommonOpts) -> Result<(), String> {
 
 fn cmd_decompress(o: &CommonOpts) -> Result<(), String> {
     let data = read_input(o.input.as_deref())?;
+    let limits = match o.max_output_bytes {
+        Some(n) => Limits::none().with_max_output_bytes(n),
+        None => Limits::none(),
+    };
     if let Some(dict) = load_dict(o)? {
         let out = lzfpga_deflate::zlib::zlib_decompress_with_dict(&data, &dict)
-            .map_err(|e| format!("zlib (with dictionary): {e:?}"))?;
+            .map_err(|e| format!("zlib (with dictionary): {e}"))?;
         return write_output(o.output.as_deref(), &out);
     }
     let out = if data.len() >= 2 && data[0] == 0x1F && data[1] == 0x8B {
-        gzip_decompress(&data).map_err(|e| format!("gzip: {e:?}"))?
-    } else if o.engine == Engine::Hw {
+        gzip_decompress_limited(&data, &limits).map_err(|e| format!("gzip: {e}"))?
+    } else if o.engine == Engine::Hw && o.max_output_bytes.is_none() {
         // Drive the cycle-accurate decompressor (only handles the single
         // fixed-block streams the hardware writes; fall back to the full
-        // software inflate for anything else).
-        let mut d = HwDecompressor::new(DecompConfig {
-            window_size: o.window.clamp(256, 65_536),
-            bus_bytes: 4,
-        });
+        // software inflate for anything else). `--max-output-bytes` forces
+        // the limited software path, which enforces the cap as it inflates.
+        let mut d = HwDecompressor::try_new(DecompConfig { window_size: o.window, bus_bytes: 4 })
+            .map_err(|e| format!("decompressor config: {e}"))?;
         match d.decompress_zlib(&data) {
             Ok(rep) => {
                 if o.stats {
@@ -450,10 +465,10 @@ fn cmd_decompress(o: &CommonOpts) -> Result<(), String> {
                 }
                 rep.bytes
             }
-            Err(_) => zlib_decompress(&data).map_err(|e| format!("zlib: {e:?}"))?,
+            Err(_) => zlib_decompress(&data).map_err(|e| format!("zlib: {e}"))?,
         }
     } else {
-        zlib_decompress(&data).map_err(|e| format!("zlib: {e:?}"))?
+        zlib_decompress_limited(&data, &limits).map_err(|e| format!("zlib: {e}"))?
     };
     write_output(o.output.as_deref(), &out)
 }
@@ -867,6 +882,65 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("single-stream"), "unexpected error: {err}");
     }
+
+    #[test]
+    fn max_output_bytes_caps_decompression() {
+        let dir = TestDir::new();
+        let input = dir.path().join("in.bin");
+        let comp = dir.path().join("out.z");
+        let restored = dir.path().join("back.bin");
+        let data = lzfpga_workloads::generate(Corpus::Constant, 1, 200_000);
+        std::fs::write(&input, &data).unwrap();
+        run(strs(&["compress", "-o", comp.to_str().unwrap(), input.to_str().unwrap()])).unwrap();
+
+        let err = run(strs(&[
+            "decompress",
+            "--max-output-bytes",
+            "1000",
+            "-o",
+            restored.to_str().unwrap(),
+            comp.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("exceeds configured limit"), "unexpected error: {err}");
+
+        run(strs(&[
+            "decompress",
+            "--max-output-bytes",
+            "1000000",
+            "-o",
+            restored.to_str().unwrap(),
+            comp.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(std::fs::read(&restored).unwrap(), data);
+    }
+
+    #[test]
+    fn bad_decompressor_window_is_a_typed_error() {
+        let dir = TestDir::new();
+        let input = dir.path().join("in.bin");
+        let comp = dir.path().join("out.z");
+        std::fs::write(&input, b"window check").unwrap();
+        run(strs(&["compress", "-o", comp.to_str().unwrap(), input.to_str().unwrap()])).unwrap();
+        let err = run(strs(&["decompress", "--window", "1000", "-o", "-", comp.to_str().unwrap()]))
+            .unwrap_err();
+        assert!(err.contains("decompressor config"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn truncated_streams_are_typed_errors_not_panics() {
+        let dir = TestDir::new();
+        for (name, bytes) in [("a.gz", &[0x1F, 0x8B, 0x08][..]), ("b.z", &[0x78, 0x9C, 0x01][..])] {
+            let p = dir.path().join(name);
+            std::fs::write(&p, bytes).unwrap();
+            let err = run(strs(&["decompress", "-o", "-", p.to_str().unwrap()])).unwrap_err();
+            assert!(
+                err.starts_with("gzip:") || err.starts_with("zlib:"),
+                "unexpected error: {err}"
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -975,6 +1049,11 @@ mod metrics_tests {
         .unwrap();
         let events = parse_jsonl(&std::fs::read_to_string(&jsonl).unwrap()).unwrap();
         assert!(events.iter().any(|e| e.get("event").unwrap().as_str() == Some("parallel")));
+        let faults = events
+            .iter()
+            .find(|e| e.get("event").unwrap().as_str() == Some("faults"))
+            .expect("faults ledger event");
+        assert_eq!(faults.get("retries").unwrap().as_i64(), Some(0));
         let doc = lzfpga_telemetry::json::parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
         let list = doc.get("traceEvents").and_then(|v| v.as_array()).unwrap();
         assert!(!list.is_empty());

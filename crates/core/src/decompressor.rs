@@ -33,6 +33,7 @@ use lzfpga_deflate::fixed::{distance_base, length_base, END_OF_BLOCK};
 use lzfpga_deflate::fixed::{fixed_dist_lengths, fixed_litlen_lengths};
 use lzfpga_deflate::huffman::{DecodeError, Decoder as HuffDecoder};
 use lzfpga_deflate::token::Token;
+use lzfpga_faults::{Failpoints, NoFaults};
 use lzfpga_sim::bram::{DualPortBram, Port};
 use lzfpga_sim::clock::Clocked;
 use lzfpga_sim::stream::{BackPressure, HandshakeStream};
@@ -53,19 +54,49 @@ impl DecompConfig {
         Self { window_size: 4_096, bus_bytes: 4 }
     }
 
-    /// Validate geometry.
-    ///
-    /// # Panics
-    /// Panics on invalid geometry.
-    pub fn validate(&self) {
-        assert!(
-            self.window_size.is_power_of_two() && (256..=65_536).contains(&self.window_size),
-            "window size {} must be a power of two in 256..=64K",
-            self.window_size
-        );
-        assert!(self.bus_bytes == 1 || self.bus_bytes == 4, "bus width must be 1 or 4");
+    /// Validate geometry, reporting *which* field is wrong — hostile or
+    /// user-supplied configurations must produce a typed error, never a
+    /// panic.
+    pub fn validate(&self) -> Result<(), DecompConfigError> {
+        if !self.window_size.is_power_of_two() || !(256..=65_536).contains(&self.window_size) {
+            return Err(DecompConfigError::BadWindow { window_size: self.window_size });
+        }
+        if self.bus_bytes != 1 && self.bus_bytes != 4 {
+            return Err(DecompConfigError::BadBus { bus_bytes: self.bus_bytes });
+        }
+        Ok(())
     }
 }
+
+/// Invalid [`DecompConfig`] geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecompConfigError {
+    /// Window size is not a power of two in 256..=64K.
+    BadWindow {
+        /// The offending window size.
+        window_size: u32,
+    },
+    /// Bus width is neither 1 nor 4 bytes.
+    BadBus {
+        /// The offending bus width.
+        bus_bytes: u32,
+    },
+}
+
+impl std::fmt::Display for DecompConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecompConfigError::BadWindow { window_size } => {
+                write!(f, "window size {window_size} must be a power of two in 256..=65536")
+            }
+            DecompConfigError::BadBus { bus_bytes } => {
+                write!(f, "bus width {bus_bytes} must be 1 or 4 bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecompConfigError {}
 
 /// Errors the decompressor FSM can raise (mirrors what the RTL would flag in
 /// a status register).
@@ -87,6 +118,12 @@ pub enum DecompError {
         /// The offending distance.
         dist: u32,
     },
+    /// A failpoint injected this error (test-only; never produced by real
+    /// streams).
+    Injected {
+        /// The failpoint site that fired.
+        site: &'static str,
+    },
 }
 
 impl From<DecodeError> for DecompError {
@@ -97,6 +134,26 @@ impl From<DecodeError> for DecompError {
         }
     }
 }
+
+impl std::fmt::Display for DecompError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecompError::Truncated => write!(f, "compressed stream truncated"),
+            DecompError::BadSymbol => write!(f, "invalid symbol or framing in stream"),
+            DecompError::DistanceTooFar { dist, produced } => {
+                write!(f, "copy distance {dist} reaches before stream start at offset {produced}")
+            }
+            DecompError::WindowExceeded { dist } => {
+                write!(f, "copy distance {dist} exceeds the configured window")
+            }
+            DecompError::Injected { site } => {
+                write!(f, "injected fault at failpoint '{site}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecompError {}
 
 /// Result of one decompression run.
 #[derive(Debug, Clone)]
@@ -144,16 +201,26 @@ impl HwDecompressor {
     /// Instantiate for a configuration.
     ///
     /// # Panics
-    /// Panics if the configuration is invalid.
+    /// Panics if the configuration is invalid; [`HwDecompressor::try_new`]
+    /// is the non-panicking form for user-supplied geometry.
     pub fn new(cfg: DecompConfig) -> Self {
-        cfg.validate();
-        Self {
+        match Self::try_new(cfg) {
+            Ok(d) => d,
+            Err(e) => panic!("invalid decompressor config: {e}"),
+        }
+    }
+
+    /// Instantiate for a configuration, reporting invalid geometry as a
+    /// typed error.
+    pub fn try_new(cfg: DecompConfig) -> Result<Self, DecompConfigError> {
+        cfg.validate()?;
+        Ok(Self {
             cfg,
             litlen: HuffDecoder::from_lengths(&fixed_litlen_lengths())
                 .expect("fixed litlen table is canonical"),
             dist: HuffDecoder::from_lengths(&fixed_dist_lengths())
                 .expect("fixed dist table is canonical"),
-        }
+        })
     }
 
     /// The configuration in use.
@@ -174,6 +241,30 @@ impl HwDecompressor {
         deflate: &[u8],
         sink: BackPressure,
     ) -> Result<DecompReport, DecompError> {
+        self.decompress_block_inner(deflate, sink, &NoFaults)
+    }
+
+    /// [`decompress_block`] with failpoints active (sites
+    /// `hw.decode.block` at block entry, `hw.decode.symbol` per decoded
+    /// litlen symbol). Production callers use the plain entry points, which
+    /// monomorphize the checks away via [`NoFaults`].
+    pub fn decompress_block_faulty<F: Failpoints>(
+        &mut self,
+        deflate: &[u8],
+        faults: &F,
+    ) -> Result<DecompReport, DecompError> {
+        self.decompress_block_inner(deflate, BackPressure::None, faults)
+    }
+
+    fn decompress_block_inner<F: Failpoints>(
+        &mut self,
+        deflate: &[u8],
+        sink: BackPressure,
+        faults: &F,
+    ) -> Result<DecompReport, DecompError> {
+        if faults.check("hw.decode.block") {
+            return Err(DecompError::Injected { site: "hw.decode.block" });
+        }
         let mut r = BitReader::new(deflate);
         let bfinal = r.read_bits(1).map_err(|_| DecompError::Truncated)?;
         let btype = r.read_bits(2).map_err(|_| DecompError::Truncated)?;
@@ -214,6 +305,9 @@ impl HwDecompressor {
 
         loop {
             // One cycle per litlen symbol (fixed-table priority decode).
+            if faults.check("hw.decode.symbol") {
+                return Err(DecompError::Injected { site: "hw.decode.symbol" });
+            }
             let sym = self.litlen.decode(&mut r).map_err(DecompError::from)?;
             stats.charge(HwState::Match, 1);
             if sym == END_OF_BLOCK as u16 {
@@ -273,7 +367,22 @@ impl HwDecompressor {
     /// the logger writes is handled by the hardware path; metadata-bearing
     /// headers belong to the software tool chain.
     pub fn decompress_gzip(&mut self, gz: &[u8]) -> Result<DecompReport, DecompError> {
-        if gz.len() < 18 || gz[0] != 0x1F || gz[1] != 0x8B || gz[2] != 8 {
+        self.decompress_gzip_faulty(gz, &NoFaults)
+    }
+
+    /// [`decompress_gzip`] with failpoints active.
+    pub fn decompress_gzip_faulty<F: Failpoints>(
+        &mut self,
+        gz: &[u8],
+        faults: &F,
+    ) -> Result<DecompReport, DecompError> {
+        // A member too short to hold header (10) + empty body + trailer (8)
+        // is a truncation, not a symbol error — the distinction matters to
+        // retry logic upstream.
+        if gz.len() < 18 {
+            return Err(DecompError::Truncated);
+        }
+        if gz[0] != 0x1F || gz[1] != 0x8B || gz[2] != 8 {
             return Err(DecompError::BadSymbol);
         }
         if gz[3] != 0 {
@@ -281,10 +390,10 @@ impl HwDecompressor {
             return Err(DecompError::BadSymbol);
         }
         let body = &gz[10..gz.len() - 8];
-        let report = self.decompress_block(body)?;
+        let report = self.decompress_block_inner(body, BackPressure::None, faults)?;
         let trailer = &gz[gz.len() - 8..];
-        let crc = u32::from_le_bytes(trailer[..4].try_into().expect("4 bytes"));
-        let isize = u32::from_le_bytes(trailer[4..].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+        let isize = u32::from_le_bytes([trailer[4], trailer[5], trailer[6], trailer[7]]);
         if lzfpga_deflate::crc32::crc32(&report.bytes) != crc || report.bytes.len() as u32 != isize
         {
             return Err(DecompError::BadSymbol);
@@ -295,6 +404,17 @@ impl HwDecompressor {
     /// Expand a zlib container produced by the compressor pipeline (strips
     /// the RFC 1950 framing, checks Adler-32 in the stream tail).
     pub fn decompress_zlib(&mut self, zlib: &[u8]) -> Result<DecompReport, DecompError> {
+        self.decompress_zlib_faulty(zlib, &NoFaults)
+    }
+
+    /// [`decompress_zlib`] with failpoints active.
+    pub fn decompress_zlib_faulty<F: Failpoints>(
+        &mut self,
+        zlib: &[u8],
+        faults: &F,
+    ) -> Result<DecompReport, DecompError> {
+        // 2-byte header + empty deflate body + 4-byte Adler-32 is the
+        // minimum; anything shorter is a truncated stream.
         if zlib.len() < 6 {
             return Err(DecompError::Truncated);
         }
@@ -308,8 +428,9 @@ impl HwDecompressor {
             return Err(DecompError::BadSymbol);
         }
         let body = &zlib[2..zlib.len() - 4];
-        let report = self.decompress_block(body)?;
-        let expect = u32::from_be_bytes(zlib[zlib.len() - 4..].try_into().expect("4 bytes"));
+        let report = self.decompress_block_inner(body, BackPressure::None, faults)?;
+        let n = zlib.len();
+        let expect = u32::from_be_bytes([zlib[n - 4], zlib[n - 3], zlib[n - 2], zlib[n - 1]]);
         if lzfpga_deflate::adler32::adler32(&report.bytes) != expect {
             return Err(DecompError::BadSymbol);
         }
@@ -449,6 +570,74 @@ mod tests {
         let mut d = HwDecompressor::new(DecompConfig::paper_fast());
         assert!(d.decompress_zlib(&[0u8; 8]).is_err());
         assert!(d.decompress_zlib(&[0x78]).is_err());
+    }
+
+    #[test]
+    fn short_container_inputs_report_truncated() {
+        // Every 0–7-byte prefix used to be able to reach the `.expect("4
+        // bytes")` trailer parse; now it must come back as `Truncated`.
+        let mut d = HwDecompressor::new(DecompConfig::paper_fast());
+        let gz_prefix = [0x1F, 0x8B, 8, 0, 0, 0, 0];
+        let zlib_prefix = [0x78, 0x9C, 0x03, 0x00, 0x00, 0x00, 0x01];
+        for n in 0..=7usize {
+            assert_eq!(
+                d.decompress_gzip(&gz_prefix[..n.min(gz_prefix.len())]).unwrap_err(),
+                DecompError::Truncated,
+                "gzip prefix of {n} bytes"
+            );
+            if n < 6 {
+                assert_eq!(
+                    d.decompress_zlib(&zlib_prefix[..n]).unwrap_err(),
+                    DecompError::Truncated,
+                    "zlib prefix of {n} bytes"
+                );
+            } else {
+                // 6–7 bytes clear the length gate but die in the body or
+                // checksum — as a typed error, never a panic.
+                assert!(d.decompress_zlib(&zlib_prefix[..n]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn config_validation_is_typed() {
+        assert_eq!(
+            DecompConfig { window_size: 3_000, bus_bytes: 4 }.validate(),
+            Err(DecompConfigError::BadWindow { window_size: 3_000 })
+        );
+        assert_eq!(
+            DecompConfig { window_size: 4_096, bus_bytes: 2 }.validate(),
+            Err(DecompConfigError::BadBus { bus_bytes: 2 })
+        );
+        assert!(DecompConfig::paper_fast().validate().is_ok());
+        let err =
+            HwDecompressor::try_new(DecompConfig { window_size: 100, bus_bytes: 1 }).err().unwrap();
+        assert_eq!(err.to_string(), "window size 100 must be a power of two in 256..=65536");
+    }
+
+    #[test]
+    fn failpoints_inject_typed_decode_errors() {
+        use lzfpga_faults::{FailPlan, FailRule};
+        let data = b"fault me".repeat(100);
+        let rep = compress_to_zlib(&data, &HwConfig::paper_fast());
+        let mut d = HwDecompressor::new(DecompConfig::paper_fast());
+
+        let plan = FailPlan::new(1).rule(FailRule::new("hw.decode.block"));
+        assert_eq!(
+            d.decompress_zlib_faulty(&rep.compressed, &plan).unwrap_err(),
+            DecompError::Injected { site: "hw.decode.block" }
+        );
+
+        // Mid-stream symbol fault: the 5th symbol decode errors out.
+        let plan = FailPlan::new(1).rule(FailRule::new("hw.decode.symbol").on_hit(5));
+        assert_eq!(
+            d.decompress_zlib_faulty(&rep.compressed, &plan).unwrap_err(),
+            DecompError::Injected { site: "hw.decode.symbol" }
+        );
+        assert_eq!(plan.fired_count(), 1);
+
+        // With the plan exhausted, the same call succeeds.
+        assert_eq!(d.decompress_zlib_faulty(&rep.compressed, &plan).unwrap().bytes, data);
     }
 
     #[test]

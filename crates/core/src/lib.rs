@@ -54,7 +54,9 @@ pub mod trace;
 
 pub use compressor::{HwCompressor, HwRunReport};
 pub use config::HwConfig;
-pub use decompressor::{DecompConfig, DecompError, DecompReport, HwDecompressor};
+pub use decompressor::{
+    DecompConfig, DecompConfigError, DecompError, DecompReport, HwDecompressor,
+};
 pub use engine::{HwEngine, StepOutcome};
 pub use huffman_stage::HuffmanStage;
 pub use pipeline::{

@@ -6,7 +6,7 @@
 use crate::bitio::BitReader;
 use crate::crc32::crc32;
 use crate::encoder::{BlockKind, DeflateEncoder};
-use crate::inflate::{inflate_into, InflateError};
+use crate::inflate::{inflate_into_limited, InflateError, Limits};
 use crate::token::Token;
 
 /// Errors produced while decoding a gzip stream.
@@ -122,7 +122,12 @@ pub fn gzip_compress_tokens_with(
 /// bytes after the member are rejected as [`GzipError::BadHeader`] — use
 /// [`gzip_decompress_multi`] for concatenated members.
 pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, GzipError> {
-    let (out, consumed) = gzip_decompress_member(data)?;
+    gzip_decompress_limited(data, &Limits::none())
+}
+
+/// [`gzip_decompress`] with [`Limits`] enforced during the Deflate body.
+pub fn gzip_decompress_limited(data: &[u8], limits: &Limits) -> Result<Vec<u8>, GzipError> {
+    let (out, consumed) = gzip_decompress_member_limited(data, limits)?;
     if consumed != data.len() {
         return Err(GzipError::BadHeader);
     }
@@ -149,6 +154,15 @@ pub fn gzip_decompress_multi(data: &[u8]) -> Result<Vec<u8>, GzipError> {
 /// Decode one member from the front of `data`; returns the payload and the
 /// number of input bytes the member occupied.
 pub fn gzip_decompress_member(data: &[u8]) -> Result<(Vec<u8>, usize), GzipError> {
+    gzip_decompress_member_limited(data, &Limits::none())
+}
+
+/// [`gzip_decompress_member`] with [`Limits`] enforced during the Deflate
+/// body.
+pub fn gzip_decompress_member_limited(
+    data: &[u8],
+    limits: &Limits,
+) -> Result<(Vec<u8>, usize), GzipError> {
     if data.len() < 18 || data[0] != 0x1F || data[1] != 0x8B {
         return Err(GzipError::BadHeader);
     }
@@ -192,7 +206,7 @@ pub fn gzip_decompress_member(data: &[u8]) -> Result<(Vec<u8>, usize), GzipError
     let body = &data[pos..];
     let mut r = BitReader::new(body);
     let mut out = Vec::new();
-    inflate_into(&mut r, &mut out)?;
+    inflate_into_limited(&mut r, &mut out, limits, body.len())?;
     r.align_to_byte();
     let body_used = body.len() - (r.remaining_bits() / 8) as usize;
     let trailer_at = pos + body_used;
@@ -269,6 +283,24 @@ mod tests {
     #[test]
     fn non_gzip_rejected() {
         assert_eq!(gzip_decompress(&[0u8; 20]), Err(GzipError::BadHeader));
+    }
+
+    #[test]
+    fn limited_decode_caps_output() {
+        let original = vec![0x55u8; 150_000];
+        let mut tokens = vec![T::Literal(0x55)];
+        let mut produced = 1usize;
+        while produced < original.len() {
+            let len = (original.len() - produced).clamp(3, 258) as u32;
+            tokens.push(T::new_match(1, len));
+            produced += len as usize;
+        }
+        let stream = gzip_compress_tokens(&tokens, &original, BlockKind::FixedHuffman);
+        assert_eq!(
+            gzip_decompress_limited(&stream, &Limits::none().with_max_output_bytes(1_000)),
+            Err(GzipError::Inflate(InflateError::OutputLimitExceeded))
+        );
+        assert_eq!(gzip_decompress_limited(&stream, &Limits::none()).unwrap(), original);
     }
 }
 

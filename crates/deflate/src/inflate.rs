@@ -28,6 +28,10 @@ pub enum InflateError {
     DistanceTooFar,
     /// The code-length RLE (symbol 16) repeated with no previous length.
     RepeatWithoutPrevious,
+    /// Decoded output exceeded the configured [`Limits`] output cap.
+    OutputLimitExceeded,
+    /// The stream carried more blocks than the configured [`Limits`] allow.
+    BlockLimitExceeded,
 }
 
 impl From<OutOfBits> for InflateError {
@@ -55,6 +59,8 @@ impl std::fmt::Display for InflateError {
             InflateError::BadSymbol => "invalid symbol in stream",
             InflateError::DistanceTooFar => "match distance exceeds output",
             InflateError::RepeatWithoutPrevious => "length repeat with no previous code",
+            InflateError::OutputLimitExceeded => "decoded output exceeds configured limit",
+            InflateError::BlockLimitExceeded => "block count exceeds configured limit",
         };
         f.write_str(msg)
     }
@@ -62,11 +68,75 @@ impl std::fmt::Display for InflateError {
 
 impl std::error::Error for InflateError {}
 
+/// Resource ceilings enforced *during* decode — the defense against
+/// decompression bombs and hostile length fields.
+///
+/// All fields default to `None` (no limit), so `Limits::default()` decodes
+/// exactly like the unlimited entry points. The ratio cap is computed
+/// against the compressed length with a 4 KiB floor, so tiny-but-legitimate
+/// inputs (an empty gzip member is 20 bytes and "expands" infinitely) are
+/// not rejected spuriously.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Limits {
+    /// Hard cap on total decoded bytes.
+    pub max_output_bytes: Option<u64>,
+    /// Cap on `decoded / max(compressed, 4096)`.
+    pub max_expansion_ratio: Option<u32>,
+    /// Cap on the number of Deflate blocks in the stream.
+    pub max_blocks: Option<u64>,
+}
+
+impl Limits {
+    /// No limits at all (same as `Default`).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Set the hard output-byte cap.
+    #[must_use]
+    pub fn with_max_output_bytes(mut self, bytes: u64) -> Self {
+        self.max_output_bytes = Some(bytes);
+        self
+    }
+
+    /// Set the expansion-ratio cap (decoded vs. compressed bytes).
+    #[must_use]
+    pub fn with_max_expansion_ratio(mut self, ratio: u32) -> Self {
+        self.max_expansion_ratio = Some(ratio);
+        self
+    }
+
+    /// Set the block-count cap.
+    #[must_use]
+    pub fn with_max_blocks(mut self, blocks: u64) -> Self {
+        self.max_blocks = Some(blocks);
+        self
+    }
+
+    /// The effective output cap in bytes for a stream of `compressed_len`
+    /// input bytes (`u64::MAX` when unlimited).
+    pub fn output_cap(&self, compressed_len: usize) -> u64 {
+        let mut cap = self.max_output_bytes.unwrap_or(u64::MAX);
+        if let Some(ratio) = self.max_expansion_ratio {
+            let floor = (compressed_len as u64).max(4096);
+            cap = cap.min(floor.saturating_mul(u64::from(ratio)));
+        }
+        cap
+    }
+}
+
 /// Decode a complete Deflate stream into its uncompressed bytes.
 pub fn inflate(data: &[u8]) -> Result<Vec<u8>, InflateError> {
+    inflate_limited(data, &Limits::none())
+}
+
+/// Decode a complete Deflate stream, enforcing [`Limits`] while decoding
+/// (a bomb fails fast with [`InflateError::OutputLimitExceeded`] instead of
+/// allocating its full expansion).
+pub fn inflate_limited(data: &[u8], limits: &Limits) -> Result<Vec<u8>, InflateError> {
     let mut r = BitReader::new(data);
     let mut out = Vec::new();
-    inflate_into(&mut r, &mut out)?;
+    inflate_into_limited(&mut r, &mut out, limits, data.len())?;
     Ok(out)
 }
 
@@ -78,23 +148,52 @@ pub fn inflate_into(r: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<(), Infl
     Ok(())
 }
 
+/// [`inflate_into`] with [`Limits`] enforcement; `compressed_len` is the
+/// container's compressed payload size, used for the ratio cap.
+pub fn inflate_into_limited(
+    r: &mut BitReader<'_>,
+    out: &mut Vec<u8>,
+    limits: &Limits,
+    compressed_len: usize,
+) -> Result<(), InflateError> {
+    let cap = limits.output_cap(compressed_len);
+    let mut blocks: u64 = 0;
+    loop {
+        blocks += 1;
+        if limits.max_blocks.is_some_and(|max| blocks > max) {
+            return Err(InflateError::BlockLimitExceeded);
+        }
+        if inflate_one_block_capped(r, out, cap)? {
+            return Ok(());
+        }
+    }
+}
+
 /// Decode exactly one Deflate block, appending to `out`. Returns `true`
 /// when the block carried the BFINAL bit.
 pub fn inflate_one_block(r: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<bool, InflateError> {
+    inflate_one_block_capped(r, out, u64::MAX)
+}
+
+fn inflate_one_block_capped(
+    r: &mut BitReader<'_>,
+    out: &mut Vec<u8>,
+    cap: u64,
+) -> Result<bool, InflateError> {
     let bfinal = r.read_bit()?;
     let btype = r.read_bits(2)?;
     match btype {
-        0b00 => inflate_stored(r, out)?,
+        0b00 => inflate_stored(r, out, cap)?,
         0b01 => {
             let lit = Decoder::from_lengths(&fixed_litlen_lengths())
                 .expect("fixed litlen table is valid");
             let dist =
                 Decoder::from_lengths(&fixed_dist_lengths()).expect("fixed dist table is valid");
-            inflate_compressed(r, out, &lit, &dist)?;
+            inflate_compressed(r, out, &lit, &dist, cap)?;
         }
         0b10 => {
             let (lit, dist) = read_dynamic_tables(r)?;
-            inflate_compressed(r, out, &lit, &dist)?;
+            inflate_compressed(r, out, &lit, &dist, cap)?;
         }
         _ => return Err(InflateError::ReservedBlockType),
     }
@@ -180,12 +279,15 @@ impl InflateStream {
     }
 }
 
-fn inflate_stored(r: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<(), InflateError> {
+fn inflate_stored(r: &mut BitReader<'_>, out: &mut Vec<u8>, cap: u64) -> Result<(), InflateError> {
     r.align_to_byte();
     let len = u16::from_le_bytes([r.read_aligned_byte()?, r.read_aligned_byte()?]);
     let nlen = u16::from_le_bytes([r.read_aligned_byte()?, r.read_aligned_byte()?]);
     if len != !nlen {
         return Err(InflateError::StoredLengthMismatch);
+    }
+    if out.len() as u64 + u64::from(len) > cap {
+        return Err(InflateError::OutputLimitExceeded);
     }
     out.reserve(len as usize);
     for _ in 0..len {
@@ -262,11 +364,17 @@ fn inflate_compressed(
     out: &mut Vec<u8>,
     lit: &Decoder,
     dist: &Decoder,
+    cap: u64,
 ) -> Result<(), InflateError> {
     loop {
         let sym = lit.decode(r)?;
         match sym {
-            0..=255 => out.push(sym as u8),
+            0..=255 => {
+                if out.len() as u64 >= cap {
+                    return Err(InflateError::OutputLimitExceeded);
+                }
+                out.push(sym as u8);
+            }
             256 => return Ok(()),
             257..=285 => {
                 let (base, extra) = length_base(sym).ok_or(InflateError::BadSymbol)?;
@@ -277,6 +385,9 @@ fn inflate_compressed(
                 let d = d as usize;
                 if d > out.len() {
                     return Err(InflateError::DistanceTooFar);
+                }
+                if out.len() as u64 + u64::from(len) > cap {
+                    return Err(InflateError::OutputLimitExceeded);
                 }
                 // Byte-by-byte copy handles self-overlap (dist < len).
                 let start = out.len() - d;
@@ -344,6 +455,92 @@ mod tests {
     #[test]
     fn error_display_messages() {
         assert_eq!(InflateError::DistanceTooFar.to_string(), "match distance exceeds output");
+        assert_eq!(
+            InflateError::OutputLimitExceeded.to_string(),
+            "decoded output exceeds configured limit"
+        );
+    }
+}
+
+#[cfg(test)]
+mod limit_tests {
+    use super::*;
+    use crate::encoder::{BlockKind, DeflateEncoder};
+    use crate::token::Token;
+
+    /// A small stream that expands to `n` identical bytes via one literal
+    /// plus maximal matches — a miniature decompression bomb.
+    fn bomb(n: usize) -> Vec<u8> {
+        let mut tokens = vec![Token::Literal(b'x')];
+        let mut produced = 1;
+        while produced < n {
+            let len = (n - produced).clamp(3, 258) as u32;
+            tokens.push(Token::new_match(1, len));
+            produced += len as usize;
+        }
+        let mut enc = DeflateEncoder::new();
+        enc.write_block(&tokens, BlockKind::FixedHuffman, true);
+        enc.finish()
+    }
+
+    #[test]
+    fn unlimited_default_matches_plain_inflate() {
+        let stream = bomb(100_000);
+        assert_eq!(inflate_limited(&stream, &Limits::default()), inflate(&stream));
+    }
+
+    #[test]
+    fn output_byte_cap_stops_a_bomb_early() {
+        let stream = bomb(1_000_000);
+        let limits = Limits::none().with_max_output_bytes(10_000);
+        assert_eq!(inflate_limited(&stream, &limits), Err(InflateError::OutputLimitExceeded));
+    }
+
+    #[test]
+    fn expansion_ratio_cap_stops_a_bomb() {
+        let stream = bomb(10_000_000);
+        assert!(stream.len() < 100_000, "bomb must be small on the wire");
+        let limits = Limits::none().with_max_expansion_ratio(4);
+        assert_eq!(inflate_limited(&stream, &limits), Err(InflateError::OutputLimitExceeded));
+    }
+
+    #[test]
+    fn ratio_floor_spares_tiny_legitimate_streams() {
+        // An 11-byte stream decoding to ~300 bytes has ratio ≈ 27, but the
+        // 4096-byte floor keeps it under `4096 * 4`.
+        let stream = bomb(300);
+        let limits = Limits::none().with_max_expansion_ratio(4);
+        assert_eq!(inflate_limited(&stream, &limits).unwrap().len(), 300);
+    }
+
+    #[test]
+    fn block_count_cap_enforced() {
+        let mut enc = DeflateEncoder::new();
+        for i in 0..5 {
+            let tokens = [Token::Literal(b'a' + i as u8)];
+            enc.write_block(&tokens, BlockKind::FixedHuffman, i == 4);
+        }
+        let stream = enc.finish();
+        assert_eq!(
+            inflate_limited(&stream, &Limits::none().with_max_blocks(4)),
+            Err(InflateError::BlockLimitExceeded)
+        );
+        assert_eq!(inflate_limited(&stream, &Limits::none().with_max_blocks(5)).unwrap(), b"abcde");
+    }
+
+    #[test]
+    fn stored_blocks_respect_the_cap() {
+        // BFINAL=1 BTYPE=00, LEN=100, NLEN=!100, then 100 payload bytes.
+        let mut data = vec![0b0000_0001, 100, 0, !100u8, 0xFF];
+        data.extend(std::iter::repeat_n(0xAB, 100));
+        assert_eq!(
+            inflate_limited(&data, &Limits::none().with_max_output_bytes(99)),
+            Err(InflateError::OutputLimitExceeded)
+        );
+        assert_eq!(
+            inflate_limited(&data, &Limits::none().with_max_output_bytes(100)).unwrap().len(),
+            100
+        );
     }
 }
 

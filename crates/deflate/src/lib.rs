@@ -38,7 +38,8 @@ pub mod vectors;
 pub mod zlib;
 
 pub use encoder::{pick_block_kind, BlockKind, DeflateEncoder};
-pub use inflate::{inflate, InflateError, InflateStream};
+pub use gzip::{gzip_decompress_limited, GzipError};
+pub use inflate::{inflate, inflate_limited, InflateError, InflateStream, Limits};
 pub use sink::{CountingSink, TokenSink};
 pub use token::Token;
-pub use zlib::{zlib_compress_tokens, zlib_decompress, ZlibError};
+pub use zlib::{zlib_compress_tokens, zlib_decompress, zlib_decompress_limited, ZlibError};

@@ -7,7 +7,7 @@
 use crate::adler32::adler32;
 use crate::bitio::BitReader;
 use crate::encoder::{BlockKind, DeflateEncoder};
-use crate::inflate::{inflate_into, InflateError};
+use crate::inflate::{inflate_into, inflate_into_limited, InflateError, Limits};
 use crate::token::Token;
 
 /// Errors produced while decoding a zlib stream.
@@ -122,7 +122,7 @@ pub fn zlib_decompress_with_dict(data: &[u8], dict: &[u8]) -> Result<Vec<u8>, Zl
         // A dictionary was supplied for a stream that does not want one.
         return Err(ZlibError::BadHeader);
     }
-    let dictid = u32::from_be_bytes(data[2..6].try_into().expect("4 bytes"));
+    let dictid = u32::from_be_bytes([data[2], data[3], data[4], data[5]]);
     if dictid != adler32(dict) {
         return Err(ZlibError::ChecksumMismatch { expected: dictid, actual: adler32(dict) });
     }
@@ -168,6 +168,13 @@ pub fn zlib_compress_tokens(
 
 /// Decompress a complete zlib stream, verifying header and Adler-32 trailer.
 pub fn zlib_decompress(data: &[u8]) -> Result<Vec<u8>, ZlibError> {
+    zlib_decompress_limited(data, &Limits::none())
+}
+
+/// [`zlib_decompress`] with [`Limits`] enforced during the Deflate body —
+/// a decompression bomb fails with `Inflate(OutputLimitExceeded)` before
+/// its expansion is allocated.
+pub fn zlib_decompress_limited(data: &[u8], limits: &Limits) -> Result<Vec<u8>, ZlibError> {
     if data.len() < 6 {
         return Err(ZlibError::TooShort);
     }
@@ -183,7 +190,7 @@ pub fn zlib_decompress(data: &[u8]) -> Result<Vec<u8>, ZlibError> {
     }
     let mut r = BitReader::new(&data[2..]);
     let mut out = Vec::new();
-    inflate_into(&mut r, &mut out)?;
+    inflate_into_limited(&mut r, &mut out, limits, data.len())?;
     r.align_to_byte();
     let mut trailer = [0u8; 4];
     for b in &mut trailer {
@@ -267,6 +274,28 @@ mod tests {
     #[test]
     fn too_short_rejected() {
         assert_eq!(zlib_decompress(&[0x78, 0x9C]), Err(ZlibError::TooShort));
+    }
+
+    #[test]
+    fn limited_decode_caps_output() {
+        let original = vec![b'z'; 200_000];
+        let mut tokens = vec![T::Literal(b'z')];
+        let mut produced = 1usize;
+        while produced < original.len() {
+            let len = (original.len() - produced).clamp(3, 258) as u32;
+            tokens.push(T::new_match(1, len));
+            produced += len as usize;
+        }
+        let stream = zlib_compress_tokens(&tokens, &original, BlockKind::FixedHuffman, 32_768);
+        assert_eq!(
+            zlib_decompress_limited(&stream, &Limits::none().with_max_output_bytes(100_000)),
+            Err(ZlibError::Inflate(InflateError::OutputLimitExceeded))
+        );
+        assert_eq!(
+            zlib_decompress_limited(&stream, &Limits::none().with_max_output_bytes(200_000))
+                .unwrap(),
+            original
+        );
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! Deterministic structure-aware stream mutation.
+//!
+//! `faultstorm` and the shared robustness suite need *thousands* of
+//! corrupted inputs whose generation is exactly reproducible from a seed —
+//! no time-seeded fuzzing, so a CI failure replays locally from the printed
+//! seed alone. The operations are chosen for compressed-container formats:
+//! single bit flips (bit-rot), truncations (power loss mid-write), slice
+//! duplication/deletion (bad DMA scatter-gather), 16-bit length-field
+//! overwrites (corrupted stored-block LEN/NLEN, gzip XLEN), and slice swaps
+//! (reordered flash pages).
+
+/// Which operation produced a [`Mutant`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationKind {
+    /// One bit flipped in place.
+    BitFlip,
+    /// One byte overwritten with a random value.
+    ByteSet,
+    /// Stream cut to a shorter prefix.
+    Truncate,
+    /// A short slice copied and inserted elsewhere.
+    DuplicateSlice,
+    /// A short slice removed.
+    DeleteSlice,
+    /// A random 16-bit little-endian value written over two bytes
+    /// (length-field corruption).
+    LengthField,
+    /// Two equal-length slices exchanged.
+    SwapSlices,
+}
+
+impl std::fmt::Display for MutationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            MutationKind::BitFlip => "bit-flip",
+            MutationKind::ByteSet => "byte-set",
+            MutationKind::Truncate => "truncate",
+            MutationKind::DuplicateSlice => "dup-slice",
+            MutationKind::DeleteSlice => "del-slice",
+            MutationKind::LengthField => "len-field",
+            MutationKind::SwapSlices => "swap-slices",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One corrupted stream plus the operation that made it.
+#[derive(Debug, Clone)]
+pub struct Mutant {
+    /// The corrupted bytes.
+    pub bytes: Vec<u8>,
+    /// The operation applied.
+    pub kind: MutationKind,
+}
+
+/// Seeded (xorshift64) mutator; every call advances the PRNG, so a fixed
+/// seed yields a fixed mutant sequence over a fixed corpus.
+#[derive(Debug, Clone)]
+pub struct StreamMutator {
+    state: u64,
+}
+
+impl StreamMutator {
+    /// A mutator from `seed` (0 remapped — xorshift has no zero state).
+    pub fn new(seed: u64) -> Self {
+        Self { state: if seed == 0 { 0xD1B5_4A32_D192_ED03 } else { seed } }
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// A uniform-ish draw in `0..n` (`n` must be non-zero).
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    /// Corrupt `base` with one randomly chosen operation.
+    ///
+    /// Always returns a stream (possibly empty after truncation); for very
+    /// short inputs the slice operations degrade to byte-level ones.
+    pub fn mutate(&mut self, base: &[u8]) -> Mutant {
+        if base.is_empty() {
+            return Mutant { bytes: vec![self.next() as u8], kind: MutationKind::ByteSet };
+        }
+        let n = base.len();
+        let op = self.below(7);
+        match op {
+            0 => {
+                let mut bytes = base.to_vec();
+                let pos = self.below(n);
+                bytes[pos] ^= 1 << self.below(8);
+                Mutant { bytes, kind: MutationKind::BitFlip }
+            }
+            1 => {
+                let mut bytes = base.to_vec();
+                let pos = self.below(n);
+                bytes[pos] = self.next() as u8;
+                Mutant { bytes, kind: MutationKind::ByteSet }
+            }
+            2 => {
+                let keep = self.below(n);
+                Mutant { bytes: base[..keep].to_vec(), kind: MutationKind::Truncate }
+            }
+            3 => {
+                let start = self.below(n);
+                let len = 1 + self.below((n - start).min(64));
+                let insert_at = self.below(n);
+                let mut bytes = Vec::with_capacity(n + len);
+                bytes.extend_from_slice(&base[..insert_at]);
+                bytes.extend_from_slice(&base[start..start + len]);
+                bytes.extend_from_slice(&base[insert_at..]);
+                Mutant { bytes, kind: MutationKind::DuplicateSlice }
+            }
+            4 => {
+                let start = self.below(n);
+                let len = 1 + self.below((n - start).min(64));
+                let mut bytes = base[..start].to_vec();
+                bytes.extend_from_slice(&base[start + len..]);
+                Mutant { bytes, kind: MutationKind::DeleteSlice }
+            }
+            5 if n >= 2 => {
+                let mut bytes = base.to_vec();
+                let pos = self.below(n - 1);
+                let field = (self.next() as u16).to_le_bytes();
+                bytes[pos] = field[0];
+                bytes[pos + 1] = field[1];
+                Mutant { bytes, kind: MutationKind::LengthField }
+            }
+            6 if n >= 2 => {
+                let len = 1 + self.below(n.min(32) / 2);
+                let a = self.below(n - len + 1);
+                let b = self.below(n - len + 1);
+                let mut bytes = base.to_vec();
+                for k in 0..len {
+                    bytes.swap(a + k, b + k);
+                }
+                Mutant { bytes, kind: MutationKind::SwapSlices }
+            }
+            _ => {
+                // Fallback for inputs too short for the structured ops.
+                let mut bytes = base.to_vec();
+                let pos = self.below(n);
+                bytes[pos] = bytes[pos].wrapping_add(1);
+                Mutant { bytes, kind: MutationKind::ByteSet }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_mutants() {
+        let base: Vec<u8> = (0..200u8).collect();
+        let mut a = StreamMutator::new(0xC0FFEE);
+        let mut b = StreamMutator::new(0xC0FFEE);
+        for _ in 0..500 {
+            let ma = a.mutate(&base);
+            let mb = b.mutate(&base);
+            assert_eq!(ma.bytes, mb.bytes);
+            assert_eq!(ma.kind, mb.kind);
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let base: Vec<u8> = (0..200u8).collect();
+        let a: Vec<Vec<u8>> = {
+            let mut m = StreamMutator::new(1);
+            (0..50).map(|_| m.mutate(&base).bytes).collect()
+        };
+        let b: Vec<Vec<u8>> = {
+            let mut m = StreamMutator::new(2);
+            (0..50).map(|_| m.mutate(&base).bytes).collect()
+        };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn every_operation_kind_appears() {
+        let base: Vec<u8> = (0..100u8).cycle().take(1_000).collect();
+        let mut m = StreamMutator::new(99);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..500 {
+            seen.insert(format!("{}", m.mutate(&base).kind));
+        }
+        for kind in [
+            "bit-flip",
+            "byte-set",
+            "truncate",
+            "dup-slice",
+            "del-slice",
+            "len-field",
+            "swap-slices",
+        ] {
+            assert!(seen.contains(kind), "operation {kind} never chosen");
+        }
+    }
+
+    #[test]
+    fn tiny_and_empty_inputs_survive() {
+        let mut m = StreamMutator::new(3);
+        for base in [&[][..], &[0x42][..], &[1, 2][..]] {
+            for _ in 0..200 {
+                let mutant = m.mutate(base);
+                assert!(mutant.bytes.len() <= base.len().max(1) + 64);
+            }
+        }
+    }
+
+    #[test]
+    fn mutants_usually_differ_from_the_base() {
+        let base: Vec<u8> = (0..=255u8).collect();
+        let mut m = StreamMutator::new(1234);
+        let changed = (0..1_000).filter(|_| m.mutate(&base).bytes != base).count();
+        // Swap of identical slices or a full-length truncate can no-op;
+        // that must stay rare.
+        assert!(changed > 950, "only {changed}/1000 mutants changed the stream");
+    }
+}

@@ -41,6 +41,7 @@ use crate::reference::max_distance;
 use lzfpga_deflate::fixed::{MAX_MATCH, MIN_MATCH};
 use lzfpga_deflate::sink::TokenSink;
 use lzfpga_deflate::token::Token;
+use lzfpga_faults::{Failpoints, InjectedFault};
 use lzfpga_telemetry::{MatchProbe, NoProbe};
 
 /// Same threshold as the reference lazy path (zlib's `TOO_FAR`).
@@ -235,6 +236,31 @@ impl TurboEngine {
         let mut out = Vec::new();
         self.compress_into(data, params, &mut out);
         out
+    }
+
+    /// [`Self::compress_into`] with failpoints active: site
+    /// `turbo.compress.enter` fires before any token is emitted, site
+    /// `turbo.compress.exit` after the full stream was produced. On an
+    /// injected error the sink may hold a partial (enter) or complete
+    /// (exit) token stream — callers discard it. Panic-action failpoints
+    /// unwind from here, exercising the caller's isolation; the engine
+    /// itself stays reusable because every compress call re-zeroes its
+    /// arenas.
+    pub fn compress_into_faulty<S: TokenSink, F: Failpoints>(
+        &mut self,
+        data: &[u8],
+        params: &LzssParams,
+        sink: &mut S,
+        faults: &F,
+    ) -> Result<(), InjectedFault> {
+        if faults.check("turbo.compress.enter") {
+            return Err(InjectedFault { site: "turbo.compress.enter" });
+        }
+        self.compress_into(data, params, sink);
+        if faults.check("turbo.compress.exit") {
+            return Err(InjectedFault { site: "turbo.compress.exit" });
+        }
+        Ok(())
     }
 
     fn run_greedy<S: TokenSink, P: MatchProbe>(
@@ -514,5 +540,44 @@ mod tests {
         engine.compress_into(&data, &LzssParams::paper_fast(), &mut counts);
         assert_eq!(counts.expanded_bytes, data.len() as u64);
         assert!(counts.matches > 0);
+    }
+
+    #[test]
+    fn faulty_path_injects_and_then_recovers() {
+        use lzfpga_faults::{FailPlan, FailRule, NoFaults};
+        let data = b"inject into the turbo engine ".repeat(50);
+        let params = LzssParams::paper_fast();
+        let mut engine = TurboEngine::new();
+
+        let plan = FailPlan::new(1).rule(FailRule::new("turbo.compress.enter"));
+        let mut sink: Vec<Token> = Vec::new();
+        let err = engine.compress_into_faulty(&data, &params, &mut sink, &plan).unwrap_err();
+        assert_eq!(err.site, "turbo.compress.enter");
+        assert!(sink.is_empty(), "enter fault fires before any token");
+
+        // Same engine, exhausted plan: output matches the plain path.
+        let mut faulty: Vec<Token> = Vec::new();
+        engine.compress_into_faulty(&data, &params, &mut faulty, &plan).unwrap();
+        let mut plain: Vec<Token> = Vec::new();
+        engine.compress_into(&data, &params, &mut plain);
+        assert_eq!(faulty, plain);
+
+        // Exit faults leave a complete stream behind (which callers drop).
+        let plan = FailPlan::new(1).rule(FailRule::new("turbo.compress.exit"));
+        let mut sink: Vec<Token> = Vec::new();
+        let err = engine.compress_into_faulty(&data, &params, &mut sink, &plan).unwrap_err();
+        assert_eq!(err.site, "turbo.compress.exit");
+        assert_eq!(sink, plain);
+
+        // Panic-action plans unwind; the engine stays usable afterwards.
+        let plan = FailPlan::new(1).rule(FailRule::new("turbo.compress.enter").panics());
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut sink: Vec<Token> = Vec::new();
+            let _ = engine.compress_into_faulty(&data, &params, &mut sink, &plan);
+        }));
+        assert!(caught.is_err());
+        let mut after: Vec<Token> = Vec::new();
+        engine.compress_into_faulty(&data, &params, &mut after, &NoFaults).unwrap();
+        assert_eq!(after, plain);
     }
 }

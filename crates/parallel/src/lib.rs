@@ -41,10 +41,23 @@
 //! counters, and a chrome://tracing span stream (one timeline row per
 //! worker plus the stitcher). Telemetry never changes the output bytes —
 //! it only watches the clock around the existing stages.
+//!
+//! **Fault tolerance.** Every per-chunk compression attempt runs under
+//! [`std::panic::catch_unwind`], so a crashing engine (or an injected
+//! failpoint panic) never takes the job down. A failed chunk climbs a
+//! degradation ladder: retry once on the same engine, then fall back to
+//! the single-threaded reference compressor — which is token-identical to
+//! both front-ends, so the output bytes stay bit-exact even for degraded
+//! chunks. Only a chunk that fails all three attempts fails the job, with
+//! a typed [`ParallelError::ChunkFailed`]. Every recovery action lands in
+//! the job's [`FailureReport`] (`ParallelReport::failures`). Failpoints
+//! ([`compress_parallel_with`]) use the same zero-cost-generic pattern as
+//! the telemetry probes: production callers pay nothing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
@@ -55,6 +68,7 @@ use lzfpga_deflate::adler32::adler32;
 use lzfpga_deflate::encoder::{BlockKind, DeflateEncoder};
 use lzfpga_deflate::token::Token;
 use lzfpga_deflate::zlib::zlib_header;
+use lzfpga_faults::{Failpoints, FailureReport, InjectedFault, NoFaults};
 use lzfpga_lzss::TurboEngine;
 use lzfpga_telemetry::{
     PipelineTelemetry, SpanTimer, StitcherStats, TraceEvent, TurboCounters, WorkerStats,
@@ -132,6 +146,47 @@ impl std::fmt::Display for ParallelConfigError {
 
 impl std::error::Error for ParallelConfigError {}
 
+/// Why a parallel compression job failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParallelError {
+    /// The configuration failed validation (nothing ran).
+    Config(ParallelConfigError),
+    /// A chunk failed the whole degradation ladder (engine, retry,
+    /// reference fallback).
+    ChunkFailed {
+        /// The chunk that could not be compressed.
+        index: usize,
+        /// How many attempts it consumed.
+        attempts: u64,
+    },
+}
+
+impl From<ParallelConfigError> for ParallelError {
+    fn from(e: ParallelConfigError) -> Self {
+        ParallelError::Config(e)
+    }
+}
+
+impl std::fmt::Display for ParallelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ParallelError::Config(e) => write!(f, "parallel config: {e}"),
+            ParallelError::ChunkFailed { index, attempts } => {
+                write!(f, "chunk {index} failed after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParallelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParallelError::Config(e) => Some(e),
+            ParallelError::ChunkFailed { .. } => None,
+        }
+    }
+}
+
 impl ParallelConfig {
     /// Validate the configuration.
     ///
@@ -183,6 +238,10 @@ pub struct ParallelReport {
     /// Pipeline telemetry, present when [`ParallelConfig::telemetry`] was
     /// set.
     pub telemetry: Option<PipelineTelemetry>,
+    /// Fault-tolerance ledger for this job: attempts, retries, degraded
+    /// chunks, caught panics, fired failpoints. `is_clean()` on healthy
+    /// runs.
+    pub failures: FailureReport,
 }
 
 impl ParallelReport {
@@ -223,7 +282,18 @@ struct ChunkDone {
     done_us: f64,
 }
 
-type Slot = Option<ChunkDone>;
+/// What a worker files into a chunk's slot.
+enum SlotState {
+    /// The chunk compressed (possibly after retries/degradation).
+    Done(ChunkDone),
+    /// All three ladder attempts failed.
+    Failed {
+        /// Attempts consumed on this chunk.
+        attempts: u64,
+    },
+}
+
+type Slot = Option<SlotState>;
 
 /// What one worker hands back for the telemetry report.
 type WorkerYield = (WorkerStats, TurboCounters, Vec<TraceEvent>);
@@ -234,11 +304,31 @@ type WorkerYield = (WorkerStats, TurboCounters, Vec<TraceEvent>);
 /// on `cfg.workers`, `cfg.instances`, or `cfg.engine`.
 ///
 /// # Errors
-/// Returns [`ParallelConfigError`] when `cfg` fails validation.
+/// Returns [`ParallelError::Config`] when `cfg` fails validation, and
+/// [`ParallelError::ChunkFailed`] when a chunk exhausts the degradation
+/// ladder (engine → retry → reference fallback).
 pub fn compress_parallel(
     data: &[u8],
     cfg: &ParallelConfig,
-) -> Result<ParallelReport, ParallelConfigError> {
+) -> Result<ParallelReport, ParallelError> {
+    compress_parallel_with(data, cfg, &NoFaults)
+}
+
+/// [`compress_parallel`] with failpoints active.
+///
+/// Sites: `parallel.worker.chunk` fires once per per-chunk attempt (so hit
+/// counts walk the ladder: retry, then reference fallback); the turbo
+/// front-end additionally routes through `turbo.compress.enter` /
+/// `turbo.compress.exit` (except when telemetry is on, where the probed
+/// compress path is used instead). Injected panics are caught by the
+/// worker's unwind isolation and count as `worker_restarts`; injected
+/// errors count as `injected_errors`. All fired faults are drained into
+/// [`ParallelReport::failures`].
+pub fn compress_parallel_with<F: Failpoints>(
+    data: &[u8],
+    cfg: &ParallelConfig,
+    faults: &F,
+) -> Result<ParallelReport, ParallelError> {
     cfg.validate()?;
     let chunks: Vec<&[u8]> =
         if data.is_empty() { vec![&[]] } else { data.chunks(cfg.chunk_bytes).collect() };
@@ -262,54 +352,113 @@ pub fn compress_parallel(
     let params = cfg.hw.as_lzss_params();
     let epoch = Instant::now();
     let worker_yields: Mutex<Vec<WorkerYield>> = Mutex::new(Vec::new());
+    let failure_acc: Mutex<FailureReport> = Mutex::new(FailureReport::default());
 
     let mut enc = DeflateEncoder::new();
     let mut reports = Vec::with_capacity(n_chunks);
     let mut stitch_timer = cfg.telemetry.then(|| SpanTimer::new(epoch, 0));
     let mut stitcher = StitcherStats::default();
+    let mut stitch_error: Option<ParallelError> = None;
     std::thread::scope(|s| {
         for w in 0..workers {
-            let (next, slots, ready, freelist, params, chunks, worker_yields) =
-                (&next, &slots, &ready, &freelist, &params, &chunks, &worker_yields);
+            let (next, slots, ready, freelist, params, chunks, worker_yields, failure_acc) =
+                (&next, &slots, &ready, &freelist, &params, &chunks, &worker_yields, &failure_acc);
             s.spawn(move || {
                 let mut turbo = TurboEngine::new();
                 let mut counters = TurboCounters::default();
                 let mut stats = WorkerStats { worker: w, ..WorkerStats::default() };
                 let mut timer = cfg.telemetry.then(|| SpanTimer::new(epoch, w as u32 + 1));
                 let spawned_us = timer.as_ref().map_or(0.0, SpanTimer::now_us);
+                let mut local = FailureReport::default();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n_chunks {
                         break;
                     }
                     let start_us = timer.as_ref().map_or(0.0, SpanTimer::now_us);
-                    let (tokens, cycles) = match cfg.engine {
-                        EngineKind::Modelled => {
-                            let rep = HwCompressor::new(cfg.hw).compress(chunks[i]);
-                            (rep.tokens, rep.cycles)
+                    let popped = if cfg.engine == EngineKind::Turbo {
+                        let popped = freelist.lock().expect("freelist lock").pop();
+                        if popped.is_some() {
+                            stats.freelist_hits += 1;
+                        } else {
+                            stats.freelist_misses += 1;
                         }
-                        EngineKind::Turbo => {
-                            let popped = freelist.lock().expect("freelist lock").pop();
-                            if popped.is_some() {
-                                stats.freelist_hits += 1;
-                            } else {
-                                stats.freelist_misses += 1;
-                            }
-                            let mut buf = popped.unwrap_or_default();
-                            buf.clear();
-                            if cfg.telemetry {
-                                turbo.compress_into_probed(
-                                    chunks[i],
-                                    params,
-                                    &mut buf,
-                                    &mut counters,
-                                );
-                            } else {
-                                turbo.compress_into(chunks[i], params, &mut buf);
-                            }
-                            (buf, 0)
-                        }
+                        popped
+                    } else {
+                        None
                     };
+                    let mut buf = popped.unwrap_or_default();
+
+                    // Degradation ladder: attempt 0 on the configured
+                    // engine, attempt 1 retries it, attempt 2 falls back
+                    // to the reference compressor (token-identical, so
+                    // the output bytes do not change; cycle counts for a
+                    // degraded Modelled chunk read 0).
+                    let mut outcome: Option<u64> = None;
+                    let mut chunk_attempts = 0u64;
+                    for attempt in 0..3u32 {
+                        chunk_attempts += 1;
+                        local.attempts += 1;
+                        match attempt {
+                            1 => local.retries += 1,
+                            2 => local.degraded_chunks.push(i),
+                            _ => {}
+                        }
+                        // The buffer and engine cross the unwind boundary,
+                        // which is sound here: `buf` is cleared on entry and
+                        // the turbo engine re-zeroes its arenas per call, so
+                        // a mid-compress panic leaves no poisoned state.
+                        let result =
+                            catch_unwind(AssertUnwindSafe(|| -> Result<u64, InjectedFault> {
+                                if faults.check("parallel.worker.chunk") {
+                                    return Err(InjectedFault { site: "parallel.worker.chunk" });
+                                }
+                                buf.clear();
+                                if attempt == 2 {
+                                    buf = lzfpga_lzss::compress(chunks[i], params);
+                                    return Ok(0);
+                                }
+                                match cfg.engine {
+                                    EngineKind::Modelled => {
+                                        let rep = HwCompressor::new(cfg.hw).compress(chunks[i]);
+                                        buf = rep.tokens;
+                                        Ok(rep.cycles)
+                                    }
+                                    EngineKind::Turbo => {
+                                        if cfg.telemetry {
+                                            turbo.compress_into_probed(
+                                                chunks[i],
+                                                params,
+                                                &mut buf,
+                                                &mut counters,
+                                            );
+                                        } else {
+                                            turbo.compress_into_faulty(
+                                                chunks[i], params, &mut buf, faults,
+                                            )?;
+                                        }
+                                        Ok(0)
+                                    }
+                                }
+                            }));
+                        match result {
+                            Ok(Ok(cycles)) => {
+                                outcome = Some(cycles);
+                                break;
+                            }
+                            Ok(Err(_injected)) => local.injected_errors += 1,
+                            Err(_panic) => local.worker_restarts += 1,
+                        }
+                    }
+
+                    let Some(cycles) = outcome else {
+                        local.failed_chunks.push(i);
+                        slots.lock().expect("slot lock")[i] =
+                            Some(SlotState::Failed { attempts: chunk_attempts });
+                        ready.notify_all();
+                        continue;
+                    };
+                    let tokens = buf;
                     let done_us = if let Some(t) = timer.as_mut() {
                         stats.busy_s += t.complete(
                             format!("compress chunk {i}"),
@@ -327,9 +476,10 @@ pub fn compress_parallel(
                         0.0
                     };
                     slots.lock().expect("slot lock")[i] =
-                        Some(ChunkDone { tokens, cycles, done_us });
+                        Some(SlotState::Done(ChunkDone { tokens, cycles, done_us }));
                     ready.notify_all();
                 }
+                failure_acc.lock().expect("failure lock").merge(&local);
                 if let Some(mut t) = timer {
                     let lifetime_s = (t.now_us() - spawned_us) / 1e6;
                     stats.idle_s = (lifetime_s - stats.busy_s).max(0.0);
@@ -345,13 +495,23 @@ pub fn compress_parallel(
         // Stitch: per-chunk block runs, in order, overlapping the workers.
         for (i, chunk) in chunks.iter().enumerate() {
             let wait_start_us = stitch_timer.as_ref().map_or(0.0, SpanTimer::now_us);
-            let done = {
+            let state = {
                 let mut guard = slots.lock().expect("slot lock");
                 loop {
-                    if let Some(done) = guard[i].take() {
-                        break done;
+                    if let Some(state) = guard[i].take() {
+                        break state;
                     }
                     guard = ready.wait(guard).expect("slot lock");
+                }
+            };
+            let done = match state {
+                SlotState::Done(done) => done,
+                SlotState::Failed { attempts } => {
+                    // Workers keep draining the remaining chunk indices so
+                    // the scope joins promptly; the job reports the first
+                    // failed chunk.
+                    stitch_error = Some(ParallelError::ChunkFailed { index: i, attempts });
+                    break;
                 }
             };
             if let Some(t) = stitch_timer.as_mut() {
@@ -380,6 +540,12 @@ pub fn compress_parallel(
             }
         }
     });
+
+    let mut failures = failure_acc.into_inner().expect("failure lock");
+    failures.injected = faults.drain_events();
+    if let Some(err) = stitch_error {
+        return Err(err);
+    }
 
     let telemetry = stitch_timer.map(|mut t| {
         let mut yields = worker_yields.into_inner().expect("telemetry lock");
@@ -421,6 +587,7 @@ pub fn compress_parallel(
         total_cycles: total,
         input_bytes: data.len() as u64,
         telemetry,
+        failures,
     })
 }
 
@@ -526,14 +693,17 @@ mod tests {
     #[test]
     fn tiny_chunks_rejected() {
         let err = compress_parallel(b"x", &cfg(1024, 1, 1)).unwrap_err();
-        assert_eq!(err, ParallelConfigError::ChunkTooSmall { chunk_bytes: 1024 });
+        assert!(matches!(
+            err,
+            ParallelError::Config(ParallelConfigError::ChunkTooSmall { chunk_bytes: 1024 })
+        ));
         assert!(err.to_string().contains("below 4 KiB"));
     }
 
     #[test]
     fn zero_instances_rejected() {
         let err = compress_parallel(b"x", &cfg(8 * 1024, 1, 0)).unwrap_err();
-        assert_eq!(err, ParallelConfigError::NoInstances);
+        assert!(matches!(err, ParallelError::Config(ParallelConfigError::NoInstances)));
     }
 
     #[test]
@@ -585,6 +755,83 @@ mod tests {
         assert!(t.wall_s > 0.0);
         assert!(t.stitcher.encode_s > 0.0);
         assert!(t.stitcher.freelist_peak >= 1);
+    }
+
+    #[test]
+    fn clean_runs_report_no_failures() {
+        let data = generate(Corpus::Wiki, 4, 120_000);
+        let rep = compress_parallel(&data, &turbo_cfg(32 * 1024, 2)).unwrap();
+        assert!(rep.failures.is_clean());
+        assert_eq!(rep.failures.attempts, rep.chunks.len() as u64);
+    }
+
+    #[test]
+    fn injected_worker_panic_still_yields_correct_bytes() {
+        use lzfpga_faults::{FailPlan, FailRule};
+        // The acceptance drill: 8 chunks on 4 workers, one injected panic.
+        let data = generate(Corpus::Mixed, 21, 256_000);
+        let clean = compress_parallel(&data, &turbo_cfg(32 * 1024, 4)).unwrap();
+        assert_eq!(clean.chunks.len(), 8);
+
+        let plan = FailPlan::new(7).rule(FailRule::new("parallel.worker.chunk").on_hit(3).panics());
+        let rep = compress_parallel_with(&data, &turbo_cfg(32 * 1024, 4), &plan).unwrap();
+        assert_eq!(rep.compressed, clean.compressed);
+        assert_eq!(zlib_decompress(&rep.compressed).unwrap(), data);
+
+        // Exactly the injected fault shows up, nothing else: one panic,
+        // one retry that succeeds, no degradation to the reference engine.
+        assert_eq!(rep.failures.attempts, 9);
+        assert_eq!(rep.failures.retries, 1);
+        assert_eq!(rep.failures.worker_restarts, 1);
+        assert_eq!(rep.failures.injected_errors, 0);
+        assert!(rep.failures.degraded_chunks.is_empty());
+        assert!(rep.failures.failed_chunks.is_empty());
+        assert_eq!(rep.failures.injected.len(), 1);
+        assert_eq!(rep.failures.injected[0].site, "parallel.worker.chunk");
+    }
+
+    #[test]
+    fn repeated_faults_degrade_a_chunk_to_the_reference_engine() {
+        use lzfpga_faults::{FailPlan, FailRule};
+        let data = generate(Corpus::Wiki, 6, 256_000);
+        let clean = compress_parallel(&data, &turbo_cfg(32 * 1024, 1)).unwrap();
+        assert_eq!(clean.chunks.len(), 8);
+
+        // Workers = 1 makes the global hit order deterministic: hit 3 is
+        // chunk 2's first attempt, hit 4 its retry, so chunk 2 degrades.
+        let plan = FailPlan::new(11)
+            .rule(FailRule::new("parallel.worker.chunk").on_hit(3).times(2).errors());
+        let rep = compress_parallel_with(&data, &turbo_cfg(32 * 1024, 1), &plan).unwrap();
+        assert_eq!(rep.compressed, clean.compressed, "reference fallback is token-identical");
+        assert_eq!(rep.failures.attempts, 10);
+        assert_eq!(rep.failures.retries, 1);
+        assert_eq!(rep.failures.injected_errors, 2);
+        assert_eq!(rep.failures.degraded_chunks, vec![2]);
+        assert!(rep.failures.failed_chunks.is_empty());
+        assert_eq!(rep.failures.worker_restarts, 0);
+    }
+
+    #[test]
+    fn a_chunk_that_fails_every_attempt_fails_the_job() {
+        use lzfpga_faults::{FailPlan, FailRule};
+        let data = generate(Corpus::LogLines, 2, 40_000);
+        let plan = FailPlan::new(3)
+            .rule(FailRule::new("parallel.worker.chunk").on_hit(1).times(3).errors());
+        let err = compress_parallel_with(&data, &turbo_cfg(8 * 1024, 1), &plan).unwrap_err();
+        assert!(matches!(err, ParallelError::ChunkFailed { index: 0, attempts: 3 }));
+        assert_eq!(err.to_string(), "chunk 0 failed after 3 attempts");
+    }
+
+    #[test]
+    fn modelled_engine_survives_injected_faults_too() {
+        use lzfpga_faults::{FailPlan, FailRule};
+        let data = generate(Corpus::X2e, 8, 100_000);
+        let clean = compress_parallel(&data, &cfg(32 * 1024, 1, 1)).unwrap();
+        let plan = FailPlan::new(5).rule(FailRule::new("parallel.worker.chunk").on_hit(2).panics());
+        let rep = compress_parallel_with(&data, &cfg(32 * 1024, 1, 1), &plan).unwrap();
+        assert_eq!(rep.compressed, clean.compressed);
+        assert_eq!(rep.failures.worker_restarts, 1);
+        assert_eq!(rep.failures.retries, 1);
     }
 
     #[test]

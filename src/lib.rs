@@ -13,6 +13,7 @@
 //! | [`cam`] | `lzfpga-cam` | Related-work CAM and systolic matcher models |
 //! | [`parallel`] | `lzfpga-parallel` | Chunk-parallel multi-engine compression |
 //! | [`telemetry`] | `lzfpga-telemetry` | Counters, span timing, JSONL sink, chrome://tracing export |
+//! | [`faults`] | `lzfpga-faults` | Failpoints, failure reports, deterministic stream mutation |
 //!
 //! ## Quickstart
 //!
@@ -57,3 +58,6 @@ pub use lzfpga_rtlgen as rtlgen;
 
 /// Unified telemetry: counters, spans, JSONL sink, trace-event export.
 pub use lzfpga_telemetry as telemetry;
+
+/// Fault injection: failpoints, failure reports, stream mutation.
+pub use lzfpga_faults as faults;

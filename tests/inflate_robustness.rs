@@ -8,7 +8,8 @@
 
 use lzfpga::deflate::gzip::gzip_decompress;
 use lzfpga::deflate::inflate::inflate;
-use lzfpga::deflate::zlib_decompress;
+use lzfpga::deflate::{zlib_decompress, zlib_decompress_limited, Limits};
+use lzfpga::faults::StreamMutator;
 use lzfpga::hw::{compress_to_zlib, DecompConfig, HwConfig, HwDecompressor};
 use lzfpga::workloads::{generate, Corpus};
 
@@ -130,6 +131,47 @@ fn declared_window_too_small_for_distance_is_flagged() {
     assert!(has_far_match, "workload must produce far matches");
     let mut d = HwDecompressor::new(DecompConfig { window_size: 256, bus_bytes: 4 });
     assert!(d.decompress_zlib(&rep.compressed).is_err());
+}
+
+#[test]
+fn hw_and_software_inflate_agree_on_a_shared_mutation_corpus() {
+    // Differential check over structure-aware mutants: the hardware
+    // decompressor model only handles the single fixed-block subset, so it
+    // may reject streams the software inflate accepts — but it must never
+    // accept a stream the software inflate rejects, and when both accept,
+    // the bytes must be identical.
+    let (_, stream) = reference_stream();
+    let mut mutator = StreamMutator::new(0xFEED_FACE);
+    let mut both_accepted = 0u32;
+    for i in 0..600 {
+        let mutant = mutator.mutate(&stream);
+        let sw = zlib_decompress(&mutant.bytes);
+        let mut d = HwDecompressor::new(DecompConfig::paper_fast());
+        let hw = d.decompress_zlib(&mutant.bytes);
+        if let Ok(rep) = hw {
+            let sw_out = sw.unwrap_or_else(|e| {
+                panic!("mutant {i} ({}): hw accepted, software rejected ({e})", mutant.kind)
+            });
+            assert_eq!(rep.bytes, sw_out, "mutant {i} ({}): decoders disagree", mutant.kind);
+            both_accepted += 1;
+        }
+    }
+    // The unmutated stream itself round-trips, so acceptance is possible;
+    // a handful of mutants (e.g. trailing truncations past the end-of-block
+    // symbol) may still decode. Just require the sweep saw real rejections.
+    assert!(both_accepted < 600, "every mutant accepted — mutator is broken");
+}
+
+#[test]
+fn output_limits_stop_decompression_bombs() {
+    // A highly repetitive input inflates to 64x its wire size; a cap below
+    // the true size must produce a typed error, not a huge allocation.
+    let data = generate(Corpus::Constant, 1, 2_000_000);
+    let rep = compress_to_zlib(&data, &HwConfig::paper_fast());
+    let limits = Limits::none().with_max_output_bytes(100_000);
+    assert!(zlib_decompress_limited(&rep.compressed, &limits).is_err());
+    let roomy = Limits::none().with_max_output_bytes(4_000_000);
+    assert_eq!(zlib_decompress_limited(&rep.compressed, &roomy).unwrap(), data);
 }
 
 #[test]
