@@ -20,23 +20,36 @@
 //! output is byte-identical to the clean run and that the
 //! [`FailureReport`] records exactly the injected fault.
 //!
+//! A second storm targets the LZFC framed container: `--lzfc N` (default
+//! 500) frame-aware mutants (sync smashes, header/payload corruption,
+//! mid-frame truncation) each run through `salvage`, which must never
+//! panic and must recover exactly the frames the damage model predicts.
+//! A resume drill cuts a framed stream at several points and proves the
+//! checkpointed writer reproduces the uninterrupted bytes, and an
+//! overhead check holds the container tax under 2% of the plain zlib
+//! stream on a 2 MiB mixed corpus.
+//!
 //! ```text
-//! faultstorm [--mutants N] [--seed S]      # S takes 0x... hex or decimal
+//! faultstorm [--mutants N] [--lzfc N] [--seed S]   # S takes 0x... or decimal
 //! ```
 //!
 //! Fully deterministic for a given seed; exits non-zero on any violation.
 
+use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use lzfpga_container::{frame_spans, salvage, scan_partial, Codec, FrameConfig, FrameWriter};
 use lzfpga_core::pipeline::compress_to_zlib;
 use lzfpga_core::{DecompConfig, HwConfig, HwDecompressor};
 use lzfpga_deflate::encoder::BlockKind;
 use lzfpga_deflate::gzip::{gzip_compress_tokens, gzip_decompress_limited};
 use lzfpga_deflate::zlib::zlib_decompress_limited;
 use lzfpga_deflate::Limits;
-use lzfpga_faults::{FailPlan, FailRule, StreamMutator};
+use lzfpga_faults::{FailPlan, FailRule, FrameSite, MutationKind, StreamMutator};
 use lzfpga_lzss::compress;
-use lzfpga_parallel::{compress_parallel, compress_parallel_with, EngineKind, ParallelConfig};
+use lzfpga_parallel::{
+    compress_frames_parallel, compress_parallel, compress_parallel_with, EngineKind, ParallelConfig,
+};
 use lzfpga_workloads::{generate, Corpus};
 
 /// One well-formed base stream plus the decode paths it exercises.
@@ -75,14 +88,18 @@ fn parse_seed(s: &str) -> Option<u64> {
 
 fn main() {
     let mut mutants: u64 = 2_000;
+    let mut lzfc_mutants: u64 = 500;
     let mut seed: u64 = 0xC0FFEE;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--mutants" => mutants = it.next().and_then(|v| v.parse().ok()).unwrap_or(mutants),
+            "--lzfc" => {
+                lzfc_mutants = it.next().and_then(|v| v.parse().ok()).unwrap_or(lzfc_mutants)
+            }
             "--seed" => seed = it.next().and_then(|v| parse_seed(&v)).unwrap_or(seed),
             "--help" | "-h" => {
-                println!("faultstorm [--mutants N] [--seed S]");
+                println!("faultstorm [--mutants N] [--lzfc N] [--seed S]");
                 return;
             }
             other => {
@@ -98,6 +115,9 @@ fn main() {
     std::panic::set_hook(Box::new(|_| {}));
     let drill_ok = run_drill();
     let tally = run_storm(mutants, seed);
+    let lzfc_violations = run_lzfc_storm(lzfc_mutants, seed);
+    let resume_ok = run_resume_drill();
+    let overhead_ok = run_overhead_check();
     std::panic::set_hook(default_hook);
 
     println!(
@@ -110,10 +130,179 @@ fn main() {
         tally.corrupted,
         tally.violations
     );
-    if !drill_ok || tally.violations > 0 {
+    if !drill_ok || !resume_ok || !overhead_ok || tally.violations > 0 || lzfc_violations > 0 {
         eprintln!("faultstorm: FAILED");
         std::process::exit(1);
     }
+}
+
+/// Frame a corpus with the streaming writer at `frame_bytes`.
+fn frame_up(data: &[u8], frame_bytes: usize) -> Vec<u8> {
+    let cfg = FrameConfig { frame_bytes, collect_events: false };
+    let mut w = FrameWriter::new(Vec::new(), cfg, HwConfig::paper_fast().as_lzss_params())
+        .expect("frame config");
+    w.write_all(data).expect("frame write");
+    w.finish().expect("frame finish").0
+}
+
+/// The LZFC salvage storm: every frame-targeted mutant must salvage
+/// without panicking, and the recovered bytes must match the exact
+/// per-damage-kind prediction — byte-identical surviving frames.
+fn run_lzfc_storm(mutants: u64, seed: u64) -> u64 {
+    let fb = 16 * 1024;
+    let data = generate(Corpus::Mixed, 45, 256 * 1024);
+    let framed = frame_up(&data, fb);
+    let spans = frame_spans(&framed).expect("fresh stream structure");
+    let sites: Vec<FrameSite> = spans
+        .iter()
+        .map(|s| FrameSite {
+            header_start: s.header_start,
+            payload_start: s.payload_start,
+            end: s.end,
+        })
+        .collect();
+    let data_frames = sites.len() - 1; // the last site is the trailer
+    let codecs: Vec<Option<Codec>> = spans.iter().map(|s| s.record.codec()).collect();
+    // Uncompressed byte range each data frame carries.
+    let extent = |i: usize| (i * fb, ((i + 1) * fb).min(data.len()));
+
+    let mut mutator = StreamMutator::new(seed ^ 0x1F2C);
+    let mut violations = 0u64;
+    for _ in 0..mutants {
+        let m = mutator.mutate_framed(&framed, &sites);
+        let outcome = catch_unwind(AssertUnwindSafe(|| salvage(&m.bytes)));
+        let Ok(s) = outcome else {
+            violations += 1;
+            eprintln!("VIOLATION: salvage panicked on {} (frame {:?})", m.kind, m.frame);
+            continue;
+        };
+        let frame = m.frame.expect("framed mutants always target a site");
+        let expected: Vec<u8> = match m.kind {
+            // A dead sync or payload loses exactly the targeted frame;
+            // aimed at the trailer, the data all survives.
+            MutationKind::SyncSmash | MutationKind::PayloadCorrupt => {
+                if frame == data_frames {
+                    data.clone()
+                } else {
+                    let (lo, hi) = extent(frame);
+                    [&data[..lo], &data[hi..]].concat()
+                }
+            }
+            // A dead header over an intact zlib payload deep-recovers in
+            // full; a raw payload is not self-delimiting, so its frame is
+            // lost. Trailer headers carry no data.
+            MutationKind::HeaderCorrupt => {
+                if frame == data_frames || codecs[frame] == Some(Codec::FixedZlib) {
+                    data.clone()
+                } else {
+                    let (lo, hi) = extent(frame);
+                    [&data[..lo], &data[hi..]].concat()
+                }
+            }
+            // Truncation keeps every frame before the cut.
+            MutationKind::TruncateMidFrame => {
+                if frame == data_frames {
+                    data.clone()
+                } else {
+                    data[..extent(frame).0].to_vec()
+                }
+            }
+            other => {
+                violations += 1;
+                eprintln!("VIOLATION: unexpected mutation kind {other} from mutate_framed");
+                continue;
+            }
+        };
+        if s.data != expected {
+            violations += 1;
+            eprintln!(
+                "VIOLATION: {} on frame {frame}: recovered {} bytes, predicted {}",
+                m.kind,
+                s.data.len(),
+                expected.len()
+            );
+        }
+    }
+    println!(
+        "lzfc storm: {mutants} frame-targeted mutants over {data_frames} frames, \
+         {violations} violations"
+    );
+    violations
+}
+
+/// Cut a framed stream at several points, resume from the durable prefix,
+/// and require the finished bytes to match the uninterrupted run.
+fn run_resume_drill() -> bool {
+    let fb = 64 * 1024;
+    let data = generate(Corpus::Mixed, 33, 1_000_000);
+    let fresh = frame_up(&data, fb);
+    let mut ok = true;
+    for cut in [1, fresh.len() / 4, fresh.len() / 2, fresh.len() - 5] {
+        let scan = scan_partial(&fresh[..cut]);
+        let mut out = fresh[..scan.valid_bytes as usize].to_vec();
+        let cfg = FrameConfig { frame_bytes: fb, collect_events: false };
+        let resumed = match FrameWriter::resume(
+            &mut out,
+            cfg,
+            HwConfig::paper_fast().as_lzss_params(),
+            &scan,
+        ) {
+            Ok(mut w) => w
+                .write_all(&data[scan.uncompressed_bytes as usize..])
+                .and_then(|()| w.finish().map(|_| ())),
+            Err(e) => {
+                eprintln!("resume drill: cut at {cut}: {e}");
+                Err(std::io::Error::other("resume rejected"))
+            }
+        };
+        if resumed.is_err() || out != fresh {
+            eprintln!("resume drill: cut at {cut} bytes diverged from the fresh stream");
+            ok = false;
+        }
+    }
+    if ok {
+        println!("resume drill: {} byte stream resumed byte-identically from 4 cuts", fresh.len());
+    }
+    ok
+}
+
+/// The container tax: framed output over a 2 MiB mixed corpus must stay
+/// within 2% of the plain parallel zlib stream.
+fn run_overhead_check() -> bool {
+    let data = generate(Corpus::Mixed, 55, 2 * 1024 * 1024);
+    let cfg = ParallelConfig {
+        chunk_bytes: 256 * 1024,
+        workers: 4,
+        instances: 1,
+        hw: HwConfig::paper_fast(),
+        engine: EngineKind::Turbo,
+        telemetry: false,
+    };
+    let plain = match compress_parallel(&data, &cfg) {
+        Ok(rep) => rep.compressed.len(),
+        Err(e) => {
+            eprintln!("overhead check: plain run failed: {e}");
+            return false;
+        }
+    };
+    let frame_cfg = FrameConfig { frame_bytes: 256 * 1024, collect_events: false };
+    let framed = match compress_frames_parallel(&data, &cfg, &frame_cfg) {
+        Ok(rep) => rep.framed.len(),
+        Err(e) => {
+            eprintln!("overhead check: framed run failed: {e}");
+            return false;
+        }
+    };
+    let overhead = framed as f64 / plain as f64 - 1.0;
+    println!(
+        "lzfc overhead: {framed} framed vs {plain} plain zlib bytes ({:+.3}%)",
+        overhead * 100.0
+    );
+    if overhead > 0.02 {
+        eprintln!("overhead check: container tax {:.3}% exceeds the 2% budget", overhead * 100.0);
+        return false;
+    }
+    true
 }
 
 /// The fault-injection acceptance drill: an injected worker panic in an

@@ -21,30 +21,43 @@
 //! fixed-size chunks on a thread pool — the zlib stream stays byte-for-byte
 //! independent of the worker count.
 
-use std::io::{Read, Write};
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::process::ExitCode;
 
+use lzfpga_container::{salvage, scan_partial, unframe, FrameConfig, FrameWriter, FramedSummary};
 use lzfpga_core::pipeline::{compress_to_zlib, turbo_compress_to_zlib};
 use lzfpga_core::{DecompConfig, HwConfig, HwDecompressor, HwState};
+use lzfpga_deflate::crc32::Crc32;
 use lzfpga_deflate::encoder::BlockKind;
 use lzfpga_deflate::gzip::{gzip_compress_tokens, gzip_decompress_limited};
 use lzfpga_deflate::zlib::{zlib_compress_tokens, zlib_decompress, zlib_decompress_limited};
 use lzfpga_deflate::Limits;
 use lzfpga_lzss::params::CompressionLevel;
 use lzfpga_lzss::LzssParams;
-use lzfpga_parallel::{compress_parallel, EngineKind, ParallelConfig};
+use lzfpga_parallel::{
+    compress_frames_parallel, compress_parallel, decompress_frames_parallel, EngineKind,
+    ParallelConfig,
+};
 use lzfpga_telemetry::json::obj;
-use lzfpga_telemetry::{trace_events_json, JsonValue, JsonlWriter, TurboCounters};
+use lzfpga_telemetry::{trace_events_json, FrameEvent, JsonValue, JsonlWriter, TurboCounters};
 use lzfpga_workloads::Corpus;
 
 const USAGE: &str = "\
-lzfpga <compress|decompress|stats|gen|trace|rtl> [options]
+lzfpga <compress|decompress|frame|unframe|salvage|resume|stats|gen|trace|rtl> [options]
 
   compress   [--engine hw|sw|turbo] [--format zlib|gzip] [--window N] [--hash N]
              [--level min|medium|max] [--dict FILE] [--stats]
              [--parallel] [--chunk N] [--workers N]
              [--metrics OUT.jsonl] [--trace-events OUT.json] [-o OUT] [FILE]
   decompress [--engine hw|sw] [--dict FILE] [--max-output-bytes N] [-o OUT] [FILE]
+  frame      [--engine hw|sw|turbo] [--window N] [--hash N] [--level L]
+             [--frame-size N] [--parallel] [--workers N] [--stats]
+             [--metrics OUT.jsonl] [-o OUT] [FILE]    (LZFC framed container)
+  unframe    [--parallel] [--workers N] [-o OUT] [FILE]
+  salvage    [--stats] [--metrics OUT.jsonl] [-o OUT] [FILE]
+                           (recover what survives of a damaged LZFC stream)
+  resume     [--frame-size N] -o OUT FILE
+                           (finish an interrupted `frame` from OUT.part)
   stats      [--window N] [--hash N] [--level L] [--metrics OUT.jsonl] [FILE]
   gen        CORPUS SIZE [--seed N] [-o OUT]
   trace      [--window N] [--hash N] [--format vcd|trace-events]
@@ -52,6 +65,9 @@ lzfpga <compress|decompress|stats|gen|trace|rtl> [options]
   rtl        [--window N] [--hash N] -o OUT_DIR             (VHDL bundle)
 
 FILE defaults to stdin; OUT defaults to stdout.
+File outputs are atomic (staged then renamed); `frame -o OUT` streams durable
+frames into OUT.part and renames on completion, so a crash leaves a resumable
+prefix. `resume` must use the same --frame-size as the interrupted run.
 --metrics writes per-run telemetry as JSON Lines; --trace-events (with
 --parallel) writes a chrome://tracing / Perfetto trace of the pipeline.
 Corpora: wiki, x2e-can, log-lines, json-telemetry, sensor-frames, wiki-xml,
@@ -92,6 +108,7 @@ struct CommonOpts {
     seed: u64,
     parallel: bool,
     chunk_bytes: usize,
+    frame_bytes: usize,
     workers: usize,
     metrics: Option<String>,
     trace_events: Option<String>,
@@ -115,6 +132,7 @@ impl Default for CommonOpts {
             seed: 1,
             parallel: false,
             chunk_bytes: 256 * 1024,
+            frame_bytes: 256 * 1024,
             workers: 0,
             metrics: None,
             trace_events: None,
@@ -170,6 +188,11 @@ fn parse_opts(args: &[String]) -> Result<CommonOpts, String> {
                 o.chunk_bytes =
                     value("--chunk")?.parse().map_err(|_| "bad --chunk value".to_string())?;
             }
+            "--frame-size" => {
+                o.frame_bytes = value("--frame-size")?
+                    .parse()
+                    .map_err(|_| "bad --frame-size value".to_string())?;
+            }
             "--workers" => {
                 o.workers =
                     value("--workers")?.parse().map_err(|_| "bad --workers value".to_string())?;
@@ -207,13 +230,53 @@ fn read_input(path: Option<&str>) -> Result<Vec<u8>, String> {
     }
 }
 
+/// Write `data` to `path` atomically: stage into `<path>.tmp` in the same
+/// directory, force the bytes to disk, then rename over the destination.
+/// Readers observe either the old file or the complete new one — never a
+/// torn write — and a crash leaves at worst a `.tmp` file behind.
+fn atomic_write(path: &str, data: &[u8]) -> Result<(), String> {
+    let tmp = format!("{path}.tmp");
+    let staged = (|| -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(data)?;
+        f.sync_data()?;
+        std::fs::rename(&tmp, path)
+    })();
+    staged.map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        format!("writing {path}: {e}")
+    })
+}
+
 fn write_output(path: Option<&str>, data: &[u8]) -> Result<(), String> {
     match path {
         None | Some("-") => {
             std::io::stdout().write_all(data).map_err(|e| format!("writing stdout: {e}"))
         }
-        Some(p) => std::fs::write(p, data).map_err(|e| format!("writing {p}: {e}")),
+        Some(p) => atomic_write(p, data),
     }
+}
+
+/// File wrapper whose `flush` is a durability point. [`FrameWriter`] flushes
+/// its sink once per emitted frame, so wrapping the staging file in this
+/// makes every completed frame reach the disk before the next one starts —
+/// the invariant `resume` depends on.
+struct SyncingFile(std::fs::File);
+
+impl Write for SyncingFile {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.0.flush()?;
+        self.0.sync_data()
+    }
+}
+
+/// Promote a finished `.part` staging file to its final name.
+fn promote_part(part: &str, dest: &str) -> Result<(), String> {
+    std::fs::rename(part, dest).map_err(|e| format!("renaming {part} -> {dest}: {e}"))
 }
 
 fn hw_config(o: &CommonOpts) -> HwConfig {
@@ -229,21 +292,21 @@ fn load_dict(o: &CommonOpts) -> Result<Option<Vec<u8>>, String> {
         .transpose()
 }
 
-/// Write telemetry events to `path` as JSON Lines.
+/// Write telemetry events to `path` as JSON Lines (atomically, like every
+/// other file output).
 fn write_metrics(path: &str, events: Vec<(&'static str, JsonValue)>) -> Result<(), String> {
-    let file = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
-    let mut sink = JsonlWriter::new(std::io::BufWriter::new(file));
+    let mut sink = JsonlWriter::new(Vec::new());
     for (kind, body) in events {
         sink.emit(kind, body).map_err(|e| format!("writing {path}: {e}"))?;
     }
-    sink.finish().map_err(|e| format!("writing {path}: {e}"))?;
-    Ok(())
+    let buf = sink.finish().map_err(|e| format!("writing {path}: {e}"))?;
+    atomic_write(path, &buf)
 }
 
 /// The `run` summary event every `--metrics` file starts with.
-fn run_event(o: &CommonOpts, input_bytes: usize, output_bytes: usize) -> JsonValue {
+fn run_event(o: &CommonOpts, command: &str, input_bytes: usize, output_bytes: usize) -> JsonValue {
     obj([
-        ("command", "compress".into()),
+        ("command", command.into()),
         (
             "engine",
             match o.engine {
@@ -294,7 +357,10 @@ fn cmd_compress(o: &CommonOpts) -> Result<(), String> {
         if let Some(path) = &o.metrics {
             write_metrics(
                 path,
-                vec![("run", run_event(o, data.len(), out.len())), ("hw", rep.telemetry_json())],
+                vec![
+                    ("run", run_event(o, "compress", data.len(), out.len())),
+                    ("hw", rep.telemetry_json()),
+                ],
             )?;
         }
         return write_output(o.output.as_deref(), &out);
@@ -327,14 +393,13 @@ fn cmd_compress(o: &CommonOpts) -> Result<(), String> {
         }
         if let Some(tel) = &rep.telemetry {
             if let Some(path) = &o.trace_events {
-                std::fs::write(path, trace_events_json(&tel.trace_events))
-                    .map_err(|e| format!("writing {path}: {e}"))?;
+                atomic_write(path, trace_events_json(&tel.trace_events).as_bytes())?;
             }
             if let Some(path) = &o.metrics {
                 write_metrics(
                     path,
                     vec![
-                        ("run", run_event(o, data.len(), rep.compressed.len())),
+                        ("run", run_event(o, "compress", data.len(), rep.compressed.len())),
                         ("parallel", tel.to_json()),
                         ("faults", rep.failures.to_json()),
                     ],
@@ -421,7 +486,7 @@ fn cmd_compress(o: &CommonOpts) -> Result<(), String> {
         }
     }
     if let Some(path) = &o.metrics {
-        let mut events = vec![("run", run_event(o, data.len(), out.len()))];
+        let mut events = vec![("run", run_event(o, "compress", data.len(), out.len()))];
         if let Some(rep) = &hw_report {
             events.push(("hw", rep.run.telemetry_json()));
         }
@@ -473,6 +538,203 @@ fn cmd_decompress(o: &CommonOpts) -> Result<(), String> {
     write_output(o.output.as_deref(), &out)
 }
 
+/// Copy all of `src` through a [`FrameWriter`] and seal the stream.
+fn pump_frames<W: Write>(
+    mut src: impl Read,
+    mut w: FrameWriter<W>,
+) -> Result<(W, FramedSummary), String> {
+    std::io::copy(&mut src, &mut w).map_err(|e| format!("framing: {e}"))?;
+    w.finish().map_err(|e| format!("framing: {e}"))
+}
+
+/// Per-frame telemetry for `--metrics`: the `run` summary followed by one
+/// `frame` event per emitted frame.
+fn frame_metrics(
+    o: &CommonOpts,
+    command: &str,
+    input_bytes: u64,
+    output_bytes: u64,
+    events: &[FrameEvent],
+) -> Result<(), String> {
+    let Some(path) = &o.metrics else { return Ok(()) };
+    let mut out = vec![("run", run_event(o, command, input_bytes as usize, output_bytes as usize))];
+    for e in events {
+        out.push(("frame", e.to_json()));
+    }
+    write_metrics(path, out)
+}
+
+fn cmd_frame(o: &CommonOpts) -> Result<(), String> {
+    let frame_cfg = FrameConfig { frame_bytes: o.frame_bytes, collect_events: o.metrics.is_some() };
+    let params = hw_config(o).as_lzss_params();
+    if o.parallel {
+        let data = read_input(o.input.as_deref())?;
+        let cfg = ParallelConfig {
+            chunk_bytes: o.frame_bytes,
+            workers: o.workers,
+            instances: 1,
+            hw: hw_config(o),
+            engine: match o.engine {
+                Engine::Hw => EngineKind::Modelled,
+                Engine::Sw | Engine::Turbo => EngineKind::Turbo,
+            },
+            telemetry: false,
+        };
+        let rep = compress_frames_parallel(&data, &cfg, &frame_cfg).map_err(|e| e.to_string())?;
+        if o.stats {
+            eprintln!(
+                "framed: {} bytes -> {} bytes, {} frames of <= {} bytes, container ratio {:.3}",
+                rep.input_bytes,
+                rep.framed.len(),
+                rep.frames,
+                o.frame_bytes,
+                rep.input_bytes as f64 / rep.framed.len().max(1) as f64
+            );
+        }
+        frame_metrics(o, "frame", rep.input_bytes, rep.framed.len() as u64, &rep.events)?;
+        return write_output(o.output.as_deref(), &rep.framed);
+    }
+    // Streaming single pass: the writer holds one frame of input at a time,
+    // so arbitrarily large inputs frame in O(frame) memory.
+    let src: Box<dyn Read> = match o.input.as_deref() {
+        None | Some("-") => Box::new(std::io::stdin()),
+        Some(p) => Box::new(std::fs::File::open(p).map_err(|e| format!("reading {p}: {e}"))?),
+    };
+    let summary = match o.output.as_deref() {
+        None | Some("-") => {
+            let w = FrameWriter::new(std::io::stdout().lock(), frame_cfg, params)
+                .map_err(|e| format!("frame config: {e}"))?;
+            pump_frames(src, w)?.1
+        }
+        Some(dest) => {
+            // Stage into `<dest>.part`, one durable frame at a time, and
+            // rename only once the trailer is down: a crash at any point
+            // leaves a prefix `resume` can pick up.
+            let part = format!("{dest}.part");
+            let file = std::fs::File::create(&part).map_err(|e| format!("creating {part}: {e}"))?;
+            let w = FrameWriter::new(SyncingFile(file), frame_cfg, params)
+                .map_err(|e| format!("frame config: {e}"))?;
+            let (sink, summary) = pump_frames(src, w)?;
+            sink.0.sync_all().map_err(|e| format!("syncing {part}: {e}"))?;
+            promote_part(&part, dest)?;
+            summary
+        }
+    };
+    if o.stats {
+        eprintln!(
+            "framed: {} bytes -> {} bytes, {} frames of <= {} bytes ({} stored raw), container \
+             ratio {:.3}",
+            summary.input_bytes,
+            summary.output_bytes,
+            summary.frames,
+            o.frame_bytes,
+            summary.raw_frames,
+            summary.input_bytes as f64 / summary.output_bytes.max(1) as f64
+        );
+    }
+    frame_metrics(o, "frame", summary.input_bytes, summary.output_bytes, &summary.events)
+}
+
+fn cmd_unframe(o: &CommonOpts) -> Result<(), String> {
+    let data = read_input(o.input.as_deref())?;
+    let out = if o.parallel {
+        decompress_frames_parallel(&data, o.workers).map_err(|e| format!("lzfc: {e}"))?
+    } else {
+        unframe(&data).map_err(|e| format!("lzfc: {e}"))?
+    };
+    if o.stats {
+        eprintln!("unframed: {} bytes -> {} bytes", data.len(), out.len());
+    }
+    if let Some(path) = &o.metrics {
+        write_metrics(path, vec![("run", run_event(o, "unframe", data.len(), out.len()))])?;
+    }
+    write_output(o.output.as_deref(), &out)
+}
+
+fn cmd_salvage(o: &CommonOpts) -> Result<(), String> {
+    let data = read_input(o.input.as_deref())?;
+    let result = salvage(&data);
+    let r = &result.report;
+    eprintln!(
+        "salvage: {} frames recovered ({} deep), {} skipped, {} lost ranges, {} bytes out{}",
+        r.frames_recovered,
+        r.frames_deep_recovered,
+        r.frames_skipped,
+        r.lost.len(),
+        result.data.len(),
+        if r.is_intact() { " — stream intact" } else { "" }
+    );
+    if let Some(path) = &o.metrics {
+        write_metrics(
+            path,
+            vec![
+                ("run", run_event(o, "salvage", data.len(), result.data.len())),
+                ("salvage", r.to_json()),
+            ],
+        )?;
+    }
+    write_output(o.output.as_deref(), &result.data)
+}
+
+fn cmd_resume(o: &CommonOpts) -> Result<(), String> {
+    let dest = o.output.as_deref().ok_or("resume requires -o OUT (the final archive path)")?;
+    let input = o.input.as_deref().ok_or("resume requires the original input FILE")?;
+    if dest == "-" || input == "-" {
+        return Err("resume needs real files: it re-reads the input and appends to OUT.part".into());
+    }
+    let part = format!("{dest}.part");
+    let partial = std::fs::read(&part).map_err(|e| format!("reading {part}: {e}"))?;
+    let scan = scan_partial(&partial);
+    if scan.complete {
+        // Killed after the trailer but before the rename: just promote.
+        if o.stats {
+            eprintln!("resume: {part} is already complete ({} frames); renaming", scan.frames);
+        }
+        return promote_part(&part, dest);
+    }
+    let mut src = std::fs::File::open(input).map_err(|e| format!("reading {input}: {e}"))?;
+    // The durable prefix must be a prefix of *this* input: stream the bytes
+    // the partial archive already covers through a CRC and compare.
+    let mut crc = Crc32::new();
+    let mut left = scan.uncompressed_bytes;
+    let mut chunk = vec![0u8; 64 * 1024];
+    while left > 0 {
+        let want = chunk.len().min(left as usize);
+        let n = src.read(&mut chunk[..want]).map_err(|e| format!("reading {input}: {e}"))?;
+        if n == 0 {
+            return Err(format!(
+                "{input} is shorter than the {} bytes already framed in {part}",
+                scan.uncompressed_bytes
+            ));
+        }
+        crc.update(&chunk[..n]);
+        left -= n as u64;
+    }
+    if crc.finish() != scan.prefix_crc() {
+        return Err(format!("{input} does not match the data already framed in {part}"));
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(&part)
+        .map_err(|e| format!("opening {part}: {e}"))?;
+    file.set_len(scan.valid_bytes).map_err(|e| format!("truncating {part}: {e}"))?;
+    file.seek(SeekFrom::End(0)).map_err(|e| format!("seeking {part}: {e}"))?;
+    let frame_cfg = FrameConfig { frame_bytes: o.frame_bytes, collect_events: o.metrics.is_some() };
+    let w = FrameWriter::resume(SyncingFile(file), frame_cfg, hw_config(o).as_lzss_params(), &scan)
+        .map_err(|e| format!("resume: {e}"))?;
+    let (sink, summary) = pump_frames(src, w)?;
+    sink.0.sync_all().map_err(|e| format!("syncing {part}: {e}"))?;
+    if o.stats {
+        eprintln!(
+            "resumed: kept {} frames ({} bytes), finished at {} frames / {} input bytes",
+            scan.frames, scan.valid_bytes, summary.frames, summary.input_bytes
+        );
+    }
+    frame_metrics(o, "resume", summary.input_bytes, summary.output_bytes, &summary.events)?;
+    promote_part(&part, dest)
+}
+
 fn cmd_stats(o: &CommonOpts) -> Result<(), String> {
     use std::fmt::Write as _;
     let data = read_input(o.input.as_deref())?;
@@ -482,7 +744,7 @@ fn cmd_stats(o: &CommonOpts) -> Result<(), String> {
         write_metrics(
             path,
             vec![
-                ("run", run_event(o, data.len(), rep.compressed.len())),
+                ("run", run_event(o, "stats", data.len(), rep.compressed.len())),
                 ("hw", rep.run.telemetry_json()),
             ],
         )?;
@@ -549,8 +811,7 @@ fn cmd_rtl(o: &CommonOpts) -> Result<(), String> {
     std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
     for f in &bundle.files {
         let path = std::path::Path::new(dir).join(&f.name);
-        std::fs::write(&path, &f.contents)
-            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        atomic_write(&path.display().to_string(), f.contents.as_bytes())?;
     }
     eprintln!("wrote {} VHDL files ({} bytes) to {dir}", bundle.files.len(), bundle.total_len());
     Ok(())
@@ -584,6 +845,22 @@ fn run(args: Vec<String>) -> Result<(), String> {
         "decompress" | "d" => {
             opts.input = opts.positional.first().cloned();
             cmd_decompress(&opts)
+        }
+        "frame" => {
+            opts.input = opts.positional.first().cloned();
+            cmd_frame(&opts)
+        }
+        "unframe" => {
+            opts.input = opts.positional.first().cloned();
+            cmd_unframe(&opts)
+        }
+        "salvage" => {
+            opts.input = opts.positional.first().cloned();
+            cmd_salvage(&opts)
+        }
+        "resume" => {
+            opts.input = opts.positional.first().cloned();
+            cmd_resume(&opts)
         }
         "stats" => {
             opts.input = opts.positional.first().cloned();
@@ -1108,6 +1385,197 @@ mod trace_tests {
         let text = std::fs::read_to_string(&vcd).unwrap();
         assert!(text.starts_with("$date"));
         assert!(text.contains("$var wire 3 ! state $end"));
+    }
+}
+
+#[cfg(test)]
+mod frame_tests {
+    use super::*;
+    use lzfpga_telemetry::parse_jsonl;
+
+    fn strs(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// The staging suffixes no successful run may leave behind.
+    fn assert_no_staging_leftovers(dir: &std::path::Path) {
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+            assert!(
+                !name.ends_with(".tmp") && !name.ends_with(".part"),
+                "staging file left behind: {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_unframe_round_trip_serial_and_parallel() {
+        let dir = TestDir::new();
+        let input = dir.path().join("in.bin");
+        let data = lzfpga_workloads::generate(Corpus::Mixed, 17, 150_000);
+        std::fs::write(&input, &data).unwrap();
+        let serial = dir.path().join("serial.lzfc");
+        let par = dir.path().join("par.lzfc");
+        run(strs(&[
+            "frame",
+            "--frame-size",
+            "16384",
+            "-o",
+            serial.to_str().unwrap(),
+            input.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(strs(&[
+            "frame",
+            "--frame-size",
+            "16384",
+            "--parallel",
+            "--workers",
+            "3",
+            "-o",
+            par.to_str().unwrap(),
+            input.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // The parallel path is byte-identical to the streaming writer.
+        assert_eq!(std::fs::read(&serial).unwrap(), std::fs::read(&par).unwrap());
+        for flags in [&["unframe"][..], &["unframe", "--parallel", "--workers", "2"][..]] {
+            let restored = dir.path().join("back.bin");
+            let mut args = flags.to_vec();
+            let out = restored.to_str().unwrap().to_string();
+            let inp = serial.to_str().unwrap().to_string();
+            args.extend(["-o", &out, &inp]);
+            run(strs(&args)).unwrap();
+            assert_eq!(std::fs::read(&restored).unwrap(), data);
+        }
+        assert_no_staging_leftovers(dir.path());
+    }
+
+    #[test]
+    fn salvage_loses_only_the_corrupted_frame() {
+        let dir = TestDir::new();
+        let input = dir.path().join("in.bin");
+        let fb = 8_192usize;
+        let data = lzfpga_workloads::generate(Corpus::LogLines, 29, 40_000);
+        std::fs::write(&input, &data).unwrap();
+        let archive = dir.path().join("a.lzfc");
+        run(strs(&[
+            "frame",
+            "--frame-size",
+            "8192",
+            "-o",
+            archive.to_str().unwrap(),
+            input.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Intact stream: salvage is a faithful unframe.
+        let whole = dir.path().join("whole.bin");
+        run(strs(&["salvage", "-o", whole.to_str().unwrap(), archive.to_str().unwrap()])).unwrap();
+        assert_eq!(std::fs::read(&whole).unwrap(), data);
+        // Corrupt one payload byte of frame 1: every other frame survives.
+        let mut framed = std::fs::read(&archive).unwrap();
+        let spans = lzfpga_container::frame_spans(&framed).unwrap();
+        framed[spans[1].payload_start] ^= 0xFF;
+        let hurt = dir.path().join("hurt.lzfc");
+        std::fs::write(&hurt, &framed).unwrap();
+        let rescued = dir.path().join("rescued.bin");
+        let report = dir.path().join("salvage.jsonl");
+        run(strs(&[
+            "salvage",
+            "--metrics",
+            report.to_str().unwrap(),
+            "-o",
+            rescued.to_str().unwrap(),
+            hurt.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let mut expected = data[..fb].to_vec();
+        expected.extend_from_slice(&data[2 * fb..]);
+        assert_eq!(std::fs::read(&rescued).unwrap(), expected);
+        let events = parse_jsonl(&std::fs::read_to_string(&report).unwrap()).unwrap();
+        let s = events
+            .iter()
+            .find(|e| e.get("event").unwrap().as_str() == Some("salvage"))
+            .expect("salvage event");
+        assert_eq!(s.get("frames_skipped").unwrap().as_i64(), Some(1));
+        assert_no_staging_leftovers(dir.path());
+    }
+
+    #[test]
+    fn resume_reproduces_the_uninterrupted_archive() {
+        let dir = TestDir::new();
+        let input = dir.path().join("in.bin");
+        let data = lzfpga_workloads::generate(Corpus::JsonTelemetry, 41, 100_000);
+        std::fs::write(&input, &data).unwrap();
+        let fresh = dir.path().join("fresh.lzfc");
+        run(strs(&[
+            "frame",
+            "--frame-size",
+            "16384",
+            "-o",
+            fresh.to_str().unwrap(),
+            input.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let fresh_bytes = std::fs::read(&fresh).unwrap();
+        // Simulate a kill mid-stream: only a truncated .part survives.
+        let out = dir.path().join("resumed.lzfc");
+        let part = dir.path().join("resumed.lzfc.part");
+        std::fs::write(&part, &fresh_bytes[..fresh_bytes.len() * 2 / 3]).unwrap();
+        run(strs(&[
+            "resume",
+            "--frame-size",
+            "16384",
+            "-o",
+            out.to_str().unwrap(),
+            input.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(std::fs::read(&out).unwrap(), fresh_bytes);
+        assert!(!part.exists(), ".part must be renamed away on completion");
+        // Resuming against the wrong input is refused before any write.
+        std::fs::write(&part, &fresh_bytes[..fresh_bytes.len() / 2]).unwrap();
+        let other = dir.path().join("other.bin");
+        std::fs::write(&other, lzfpga_workloads::generate(Corpus::Wiki, 1, 100_000)).unwrap();
+        let err = run(strs(&[
+            "resume",
+            "--frame-size",
+            "16384",
+            "-o",
+            out.to_str().unwrap(),
+            other.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("does not match"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn frame_metrics_report_every_frame() {
+        let dir = TestDir::new();
+        let input = dir.path().join("in.bin");
+        let data = lzfpga_workloads::generate(Corpus::SensorFrames, 5, 60_000);
+        std::fs::write(&input, &data).unwrap();
+        let jsonl = dir.path().join("m.jsonl");
+        run(strs(&[
+            "frame",
+            "--frame-size",
+            "8192",
+            "--metrics",
+            jsonl.to_str().unwrap(),
+            "-o",
+            dir.path().join("out.lzfc").to_str().unwrap(),
+            input.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let events = parse_jsonl(&std::fs::read_to_string(&jsonl).unwrap()).unwrap();
+        assert_eq!(events[0].get("command").unwrap().as_str(), Some("frame"));
+        let frames: Vec<_> =
+            events.iter().filter(|e| e.get("event").unwrap().as_str() == Some("frame")).collect();
+        assert_eq!(frames.len(), 60_000usize.div_ceil(8_192));
+        let covered: i64 =
+            frames.iter().map(|e| e.get("uncompressed_bytes").unwrap().as_i64().unwrap()).sum();
+        assert_eq!(covered, 60_000);
+        assert_no_staging_leftovers(dir.path());
     }
 }
 

@@ -1,0 +1,298 @@
+//! The LZFC wire format: byte-exact record layout and the strict scanner.
+//!
+//! A stream is a sequence of **records**, each opening with the same
+//! 26-byte layout (all integers little-endian):
+//!
+//! ```text
+//! offset size field
+//! 0      4    sync magic        F7 4C 5A C1  ("\xF7LZ\xC1")
+//! 4      1    version           currently 1
+//! 5      1    flags             bits 0-1: codec; bit 7: trailer record
+//! 6      4    seq               frame number   (trailer: frame count)
+//! 10     4    ulen              uncompressed   (trailer: total bytes, low 32)
+//! 14     4    clen              payload bytes  (trailer: total bytes, high 32)
+//! 18     4    payload CRC-32    over the stored payload bytes
+//!                               (trailer: CRC-32 of ALL uncompressed data)
+//! 22     4    header CRC-32     over bytes 0..22 of this record
+//! ```
+//!
+//! A data record is followed by exactly `clen` payload bytes; the trailer
+//! has no payload and ends the stream. The header CRC makes every field
+//! trustworthy before a single payload byte is read; the payload CRC makes
+//! corruption detectable without decoding; the sync magic makes a damaged
+//! stream *re-enterable* — a scanner that loses its place hunts for the
+//! next magic and validates the header CRC to reject look-alikes.
+
+use lzfpga_deflate::crc32::crc32;
+
+/// Four-byte record sync marker (`0xF7 'L' 'Z' 0xC1`).
+pub const SYNC: [u8; 4] = [0xF7, b'L', b'Z', 0xC1];
+
+/// Container format version this crate reads and writes.
+///
+/// Compatibility policy: readers reject versions they do not know (strict
+/// decode) or skip those records (salvage); the version only changes when
+/// the record layout itself changes, never for new codecs.
+pub const VERSION: u8 = 1;
+
+/// Fixed size of every record header (and of the trailer record).
+pub const HEADER_LEN: usize = 26;
+
+/// Flag bit marking the stream trailer record.
+pub const FLAG_TRAILER: u8 = 0x80;
+
+/// Flag bits carrying the payload codec.
+const CODEC_MASK: u8 = 0x03;
+
+/// Hard ceiling on a single frame's uncompressed size (1 GiB). The `ulen`
+/// field is 32-bit; this keeps a hostile-but-checksummed header from
+/// demanding an absurd allocation.
+pub const MAX_FRAME_BYTES: usize = 1 << 30;
+
+/// Payload encoding of a data frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Codec {
+    /// Payload is the frame's bytes verbatim (chosen when compression
+    /// would expand the frame).
+    Raw = 0,
+    /// Payload is a complete fixed-Huffman zlib stream produced by this
+    /// workspace's engines.
+    FixedZlib = 1,
+    /// Payload is a complete zlib stream from any deflate implementation
+    /// (accepted on decode, never produced by the writer).
+    ZlibChunk = 2,
+}
+
+impl Codec {
+    /// Decode the flag bits; `None` for the reserved value 3.
+    pub fn from_bits(bits: u8) -> Option<Codec> {
+        match bits & CODEC_MASK {
+            0 => Some(Codec::Raw),
+            1 => Some(Codec::FixedZlib),
+            2 => Some(Codec::ZlibChunk),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name for reports and telemetry.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Codec::Raw => "raw",
+            Codec::FixedZlib => "fixed-zlib",
+            Codec::ZlibChunk => "zlib-chunk",
+        }
+    }
+}
+
+/// A parsed record header (data frame or trailer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Record {
+    /// Trailer record (no payload, ends the stream).
+    pub trailer: bool,
+    /// Raw codec bits (meaningful for data frames only).
+    pub codec_bits: u8,
+    /// Frame sequence number; for the trailer, the total data-frame count.
+    pub seq: u32,
+    /// Uncompressed length; for the trailer, total uncompressed bytes
+    /// (low 32 bits).
+    pub ulen: u32,
+    /// Stored payload length; for the trailer, total uncompressed bytes
+    /// (high 32 bits).
+    pub clen: u32,
+    /// CRC-32 of the stored payload; for the trailer, CRC-32 of the whole
+    /// uncompressed stream.
+    pub payload_crc: u32,
+}
+
+impl Record {
+    /// The payload codec, if the bits name one this version knows.
+    pub fn codec(&self) -> Option<Codec> {
+        Codec::from_bits(self.codec_bits)
+    }
+
+    /// Trailer view: total uncompressed bytes across the stream.
+    pub fn total_uncompressed(&self) -> u64 {
+        u64::from(self.ulen) | (u64::from(self.clen) << 32)
+    }
+}
+
+/// Why a 26-byte slice failed to parse as a record header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeaderError {
+    /// Fewer than [`HEADER_LEN`] bytes available.
+    Truncated,
+    /// The sync magic is absent.
+    BadSync,
+    /// The version byte names a layout this reader does not know.
+    BadVersion {
+        /// The version byte found.
+        found: u8,
+    },
+    /// The header CRC does not match.
+    BadCrc,
+}
+
+/// Parse one record header from the front of `bytes`.
+///
+/// # Errors
+/// [`HeaderError`] pinpointing the first check that failed, in the order
+/// length → sync → version → CRC. Codec validity is *not* checked here —
+/// a checksummed header with an unknown codec still yields trustworthy
+/// lengths, which lets a scanner skip the frame precisely.
+pub fn parse_record(bytes: &[u8]) -> Result<Record, HeaderError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(HeaderError::Truncated);
+    }
+    if bytes[..4] != SYNC {
+        return Err(HeaderError::BadSync);
+    }
+    if bytes[4] != VERSION {
+        return Err(HeaderError::BadVersion { found: bytes[4] });
+    }
+    let stored_crc = u32::from_le_bytes([bytes[22], bytes[23], bytes[24], bytes[25]]);
+    if crc32(&bytes[..22]) != stored_crc {
+        return Err(HeaderError::BadCrc);
+    }
+    let flags = bytes[5];
+    Ok(Record {
+        trailer: flags & FLAG_TRAILER != 0,
+        codec_bits: flags & CODEC_MASK,
+        seq: u32::from_le_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]),
+        ulen: u32::from_le_bytes([bytes[10], bytes[11], bytes[12], bytes[13]]),
+        clen: u32::from_le_bytes([bytes[14], bytes[15], bytes[16], bytes[17]]),
+        payload_crc: u32::from_le_bytes([bytes[18], bytes[19], bytes[20], bytes[21]]),
+    })
+}
+
+fn encode_record(flags: u8, seq: u32, ulen: u32, clen: u32, payload_crc: u32) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[..4].copy_from_slice(&SYNC);
+    h[4] = VERSION;
+    h[5] = flags;
+    h[6..10].copy_from_slice(&seq.to_le_bytes());
+    h[10..14].copy_from_slice(&ulen.to_le_bytes());
+    h[14..18].copy_from_slice(&clen.to_le_bytes());
+    h[18..22].copy_from_slice(&payload_crc.to_le_bytes());
+    let crc = crc32(&h[..22]);
+    h[22..26].copy_from_slice(&crc.to_le_bytes());
+    h
+}
+
+/// Encode a data-frame header for a payload whose CRC-32 is already known.
+///
+/// # Panics
+/// Panics if `payload.len()` exceeds `u32` — the writer's frame-size
+/// validation makes that unreachable.
+pub fn encode_data_header(seq: u32, codec: Codec, ulen: u32, payload: &[u8]) -> [u8; HEADER_LEN] {
+    let clen = u32::try_from(payload.len()).expect("payload exceeds u32");
+    encode_record(codec as u8, seq, ulen, clen, crc32(payload))
+}
+
+/// Encode the stream trailer.
+pub fn encode_trailer(frame_count: u32, total_ulen: u64, stream_crc: u32) -> [u8; HEADER_LEN] {
+    encode_record(
+        FLAG_TRAILER,
+        frame_count,
+        (total_ulen & 0xFFFF_FFFF) as u32,
+        (total_ulen >> 32) as u32,
+        stream_crc,
+    )
+}
+
+/// Find the next occurrence of [`SYNC`] at or after `from`.
+pub fn find_sync(bytes: &[u8], from: usize) -> Option<usize> {
+    if from >= bytes.len() {
+        return None;
+    }
+    bytes[from..].windows(SYNC.len()).position(|w| w == SYNC).map(|p| from + p)
+}
+
+/// Byte extent of one record within a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameSpan {
+    /// Offset of the record's first header byte.
+    pub header_start: usize,
+    /// Offset of the first payload byte (`header_start + HEADER_LEN`).
+    pub payload_start: usize,
+    /// Offset one past the last payload byte.
+    pub end: usize,
+    /// The parsed header.
+    pub record: Record,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_header_round_trips() {
+        let payload = b"some stored payload";
+        let h = encode_data_header(42, Codec::FixedZlib, 1_000, payload);
+        let rec = parse_record(&h).unwrap();
+        assert!(!rec.trailer);
+        assert_eq!(rec.codec(), Some(Codec::FixedZlib));
+        assert_eq!(rec.seq, 42);
+        assert_eq!(rec.ulen, 1_000);
+        assert_eq!(rec.clen, payload.len() as u32);
+        assert_eq!(rec.payload_crc, crc32(payload));
+    }
+
+    #[test]
+    fn trailer_round_trips_a_64_bit_total() {
+        let total = 5_000_000_000u64; // past u32
+        let h = encode_trailer(19, total, 0xDEAD_BEEF);
+        let rec = parse_record(&h).unwrap();
+        assert!(rec.trailer);
+        assert_eq!(rec.seq, 19);
+        assert_eq!(rec.total_uncompressed(), total);
+        assert_eq!(rec.payload_crc, 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn every_header_byte_is_covered_by_the_crc() {
+        let base = encode_data_header(3, Codec::Raw, 64, b"x");
+        for pos in 0..22 {
+            let mut h = base;
+            h[pos] ^= 0x01;
+            let err = parse_record(&h).unwrap_err();
+            match pos {
+                0..=3 => assert_eq!(err, HeaderError::BadSync, "byte {pos}"),
+                4 => assert!(matches!(err, HeaderError::BadVersion { .. }), "byte {pos}"),
+                _ => assert_eq!(err, HeaderError::BadCrc, "byte {pos}"),
+            }
+        }
+        // Corrupting the stored CRC itself also fails.
+        for pos in 22..26 {
+            let mut h = base;
+            h[pos] ^= 0x01;
+            assert_eq!(parse_record(&h).unwrap_err(), HeaderError::BadCrc, "byte {pos}");
+        }
+    }
+
+    #[test]
+    fn short_input_is_truncated() {
+        assert_eq!(parse_record(&[0xF7]), Err(HeaderError::Truncated));
+        let h = encode_trailer(0, 0, 0);
+        assert_eq!(parse_record(&h[..HEADER_LEN - 1]), Err(HeaderError::Truncated));
+    }
+
+    #[test]
+    fn find_sync_scans_forward() {
+        let mut bytes = vec![0u8; 10];
+        bytes.extend_from_slice(&SYNC);
+        bytes.extend_from_slice(&[0, 0]);
+        bytes.extend_from_slice(&SYNC);
+        assert_eq!(find_sync(&bytes, 0), Some(10));
+        assert_eq!(find_sync(&bytes, 11), Some(16));
+        assert_eq!(find_sync(&bytes, 17), None);
+        assert_eq!(find_sync(&[], 0), None);
+    }
+
+    #[test]
+    fn reserved_codec_bits_are_reported_not_rejected() {
+        let h = encode_record(3, 0, 10, 5, 0);
+        let rec = parse_record(&h).unwrap();
+        assert_eq!(rec.codec(), None);
+        assert_eq!(rec.codec_bits, 3);
+    }
+}

@@ -1,0 +1,467 @@
+//! LZFC — the crash-safe framed container around the LZSS/Deflate engines.
+//!
+//! The paper's compressor is a streaming engine, but a monolithic
+//! zlib/gzip blob is an all-or-nothing artifact: one flipped bit or a
+//! truncated tail loses everything after it. GPULZ-style designs get both
+//! robustness and parallelism from independently decodable blocks; LZFC is
+//! that shape for this workspace:
+//!
+//! * **[`format`]** — the wire format: every frame opens with a 4-byte
+//!   sync magic, version, codec flags, sequence number, both lengths, a
+//!   payload CRC-32 and a header CRC-32; the trailer records the frame
+//!   count and a whole-stream checksum. Headers are trustworthy before a
+//!   payload byte is read; payloads are verifiable without decoding.
+//! * **[`unframe`]** / [`check_structure`] — the strict decoder: any
+//!   deviation is a typed [`ContainerError`] with the offset.
+//! * **[`salvage`]** — the recovery decoder: a bad header, bad payload or
+//!   truncation skips forward to the next sync marker and keeps decoding,
+//!   returning everything recoverable plus a [`SalvageReport`] of what was
+//!   lost (including *deep recovery* of zlib payloads whose headers died).
+//! * **[`FrameWriter`]** — checkpointed streaming compression: wraps any
+//!   `io::Write`, emits a flushed frame every N bytes in O(frame) memory,
+//!   and [`scan_partial`] + [`FrameWriter::resume`] continue an
+//!   interrupted stream from its last durable frame.
+//!
+//! Frames are compressed independently (fresh dictionary per frame), so a
+//! chunk-parallel compressor can produce frames concurrently and a
+//! decompressor can decode them concurrently — `lzfpga-parallel` wires
+//! both directions up.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod format;
+pub mod salvage;
+pub mod writer;
+
+pub use format::{
+    encode_data_header, encode_trailer, find_sync, parse_record, Codec, FrameSpan, HeaderError,
+    Record, FLAG_TRAILER, HEADER_LEN, MAX_FRAME_BYTES, SYNC, VERSION,
+};
+pub use salvage::{salvage, salvage_with, LostRange, Salvage, SalvageOptions, SalvageReport};
+pub use writer::{
+    encode_frame_payload, payload_from_tokens, scan_partial, FrameConfig, FrameWriter,
+    FramedSummary, ResumeScan,
+};
+
+use lzfpga_deflate::crc32::Crc32;
+use lzfpga_deflate::zlib::zlib_decompress_limited;
+use lzfpga_deflate::Limits;
+
+/// Why an LZFC stream failed the strict decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContainerError {
+    /// The stream ended inside a record header or payload.
+    Truncated {
+        /// Offset of the incomplete record.
+        offset: u64,
+    },
+    /// No sync magic where a record must start.
+    BadSync {
+        /// Offset of the bad record.
+        offset: u64,
+    },
+    /// Unknown format version.
+    BadVersion {
+        /// Offset of the record.
+        offset: u64,
+        /// The version byte found.
+        found: u8,
+    },
+    /// A record header failed its CRC.
+    HeaderCrc {
+        /// Offset of the record.
+        offset: u64,
+    },
+    /// A data frame names a codec this version does not know.
+    UnknownCodec {
+        /// Offset of the record.
+        offset: u64,
+        /// The codec bits found.
+        bits: u8,
+    },
+    /// Frame sequence numbers are not 0,1,2,…
+    SeqMismatch {
+        /// Offset of the record.
+        offset: u64,
+        /// The expected sequence number.
+        expected: u32,
+        /// The sequence number found.
+        found: u32,
+    },
+    /// A stored payload failed its CRC.
+    PayloadCrc {
+        /// The frame's sequence number.
+        seq: u32,
+        /// Offset of the frame header.
+        offset: u64,
+    },
+    /// A payload failed to decode under its codec.
+    PayloadDecode {
+        /// The frame's sequence number.
+        seq: u32,
+        /// Offset of the frame header.
+        offset: u64,
+    },
+    /// A payload decoded to a different length than the header claims.
+    FrameLength {
+        /// The frame's sequence number.
+        seq: u32,
+        /// Length the header claims.
+        expected: u64,
+        /// Length the payload decoded to.
+        actual: u64,
+    },
+    /// The stream ended without a trailer record.
+    MissingTrailer {
+        /// Offset where the trailer was expected.
+        offset: u64,
+    },
+    /// Bytes follow the trailer record.
+    TrailingBytes {
+        /// Offset of the first surplus byte.
+        offset: u64,
+    },
+    /// The trailer's totals disagree with the decoded frames.
+    TrailerTotals {
+        /// Frame count the trailer claims.
+        expected_frames: u32,
+        /// Frames actually present.
+        found_frames: u32,
+        /// Total bytes the trailer claims.
+        expected_bytes: u64,
+        /// Bytes actually decoded.
+        actual_bytes: u64,
+    },
+    /// The whole-stream checksum does not match the decoded data.
+    StreamCrc {
+        /// Checksum stored in the trailer.
+        expected: u32,
+        /// Checksum computed over the decoded data.
+        actual: u32,
+    },
+    /// A configuration value was rejected before anything ran.
+    Config {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for ContainerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ContainerError::Truncated { offset } => {
+                write!(f, "stream truncated inside the record at byte {offset}")
+            }
+            ContainerError::BadSync { offset } => {
+                write!(f, "no sync magic at byte {offset}")
+            }
+            ContainerError::BadVersion { offset, found } => {
+                write!(f, "unknown container version {found} at byte {offset}")
+            }
+            ContainerError::HeaderCrc { offset } => {
+                write!(f, "header CRC mismatch at byte {offset}")
+            }
+            ContainerError::UnknownCodec { offset, bits } => {
+                write!(f, "unknown codec {bits} at byte {offset}")
+            }
+            ContainerError::SeqMismatch { offset, expected, found } => {
+                write!(f, "frame {found} where frame {expected} expected at byte {offset}")
+            }
+            ContainerError::PayloadCrc { seq, offset } => {
+                write!(f, "payload CRC mismatch in frame {seq} at byte {offset}")
+            }
+            ContainerError::PayloadDecode { seq, offset } => {
+                write!(f, "payload of frame {seq} at byte {offset} failed to decode")
+            }
+            ContainerError::FrameLength { seq, expected, actual } => {
+                write!(f, "frame {seq} decoded to {actual} bytes, header claims {expected}")
+            }
+            ContainerError::MissingTrailer { offset } => {
+                write!(f, "stream ended at byte {offset} without a trailer")
+            }
+            ContainerError::TrailingBytes { offset } => {
+                write!(f, "unexpected bytes after the trailer at byte {offset}")
+            }
+            ContainerError::TrailerTotals {
+                expected_frames,
+                found_frames,
+                expected_bytes,
+                actual_bytes,
+            } => write!(
+                f,
+                "trailer claims {expected_frames} frames / {expected_bytes} bytes, \
+                 stream holds {found_frames} frames / {actual_bytes} bytes"
+            ),
+            ContainerError::StreamCrc { expected, actual } => {
+                write!(f, "stream CRC mismatch: stored {expected:08x}, computed {actual:08x}")
+            }
+            ContainerError::Config { reason } => write!(f, "container config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ContainerError {}
+
+fn header_error_at(e: HeaderError, offset: usize) -> ContainerError {
+    let offset = offset as u64;
+    match e {
+        HeaderError::Truncated => ContainerError::Truncated { offset },
+        HeaderError::BadSync => ContainerError::BadSync { offset },
+        HeaderError::BadVersion { found } => ContainerError::BadVersion { offset, found },
+        HeaderError::BadCrc => ContainerError::HeaderCrc { offset },
+    }
+}
+
+/// The strict structural view of a complete stream: every data frame's
+/// extent plus the validated trailer. Payloads are *not* decoded or
+/// CRC-checked here — [`decode_frame`] does that per frame, which is what
+/// lets a parallel decoder fan the payload work out.
+#[derive(Debug, Clone)]
+pub struct StreamStructure {
+    /// Data-frame extents, in stream order (`seq` verified to be 0,1,2,…).
+    pub frames: Vec<FrameSpan>,
+    /// The parsed trailer record.
+    pub trailer: Record,
+}
+
+/// Strictly scan a complete LZFC stream's record chain.
+///
+/// # Errors
+/// The first structural deviation: bad sync/version/CRC, out-of-order
+/// sequence numbers, unknown codec, a record past the end of the buffer,
+/// a missing trailer, or bytes after it.
+pub fn check_structure(bytes: &[u8]) -> Result<StreamStructure, ContainerError> {
+    let mut frames: Vec<FrameSpan> = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let rec = parse_record(&bytes[pos..]).map_err(|e| header_error_at(e, pos))?;
+        if rec.trailer {
+            let after = pos + HEADER_LEN;
+            if after != bytes.len() {
+                return Err(ContainerError::TrailingBytes { offset: after as u64 });
+            }
+            if rec.seq as usize != frames.len() {
+                return Err(ContainerError::TrailerTotals {
+                    expected_frames: rec.seq,
+                    found_frames: frames.len() as u32,
+                    expected_bytes: rec.total_uncompressed(),
+                    actual_bytes: frames.iter().map(|s| u64::from(s.record.ulen)).sum(),
+                });
+            }
+            return Ok(StreamStructure { frames, trailer: rec });
+        }
+        if rec.codec().is_none() {
+            return Err(ContainerError::UnknownCodec { offset: pos as u64, bits: rec.codec_bits });
+        }
+        let expected = frames.len() as u32;
+        if rec.seq != expected {
+            return Err(ContainerError::SeqMismatch {
+                offset: pos as u64,
+                expected,
+                found: rec.seq,
+            });
+        }
+        let payload_start = pos + HEADER_LEN;
+        let end = payload_start + rec.clen as usize;
+        if end > bytes.len() {
+            return Err(ContainerError::Truncated { offset: pos as u64 });
+        }
+        frames.push(FrameSpan { header_start: pos, payload_start, end, record: rec });
+        pos = end;
+    }
+}
+
+/// Record extents of a stream (data frames + trailer as the last span) —
+/// the map the frame-targeted fault mutator corrupts against.
+///
+/// # Errors
+/// Propagates [`check_structure`] failures.
+pub fn frame_spans(bytes: &[u8]) -> Result<Vec<FrameSpan>, ContainerError> {
+    let s = check_structure(bytes)?;
+    let mut spans = s.frames;
+    let trailer_start = bytes.len() - HEADER_LEN;
+    spans.push(FrameSpan {
+        header_start: trailer_start,
+        payload_start: bytes.len(),
+        end: bytes.len(),
+        record: s.trailer,
+    });
+    Ok(spans)
+}
+
+/// Verify and decode one data frame's payload.
+///
+/// # Errors
+/// [`ContainerError::PayloadCrc`] when the stored bytes fail their CRC,
+/// [`ContainerError::PayloadDecode`] when the codec fails, and
+/// [`ContainerError::FrameLength`] when the decoded size disagrees with
+/// the header.
+pub fn decode_frame(bytes: &[u8], span: &FrameSpan) -> Result<Vec<u8>, ContainerError> {
+    let rec = &span.record;
+    let payload = &bytes[span.payload_start..span.end];
+    if lzfpga_deflate::crc32::crc32(payload) != rec.payload_crc {
+        return Err(ContainerError::PayloadCrc { seq: rec.seq, offset: span.header_start as u64 });
+    }
+    let data = match rec.codec() {
+        Some(Codec::Raw) => payload.to_vec(),
+        Some(Codec::FixedZlib | Codec::ZlibChunk) => {
+            let limits = Limits::none().with_max_output_bytes(u64::from(rec.ulen));
+            zlib_decompress_limited(payload, &limits).map_err(|_| {
+                ContainerError::PayloadDecode { seq: rec.seq, offset: span.header_start as u64 }
+            })?
+        }
+        None => {
+            return Err(ContainerError::UnknownCodec {
+                offset: span.header_start as u64,
+                bits: rec.codec_bits,
+            })
+        }
+    };
+    if data.len() as u64 != u64::from(rec.ulen) {
+        return Err(ContainerError::FrameLength {
+            seq: rec.seq,
+            expected: u64::from(rec.ulen),
+            actual: data.len() as u64,
+        });
+    }
+    Ok(data)
+}
+
+/// Strictly decode a complete LZFC stream back to the original bytes.
+///
+/// # Errors
+/// Any structural deviation, per-frame failure, or trailer mismatch —
+/// see [`ContainerError`]. For damaged streams, use [`salvage`] instead.
+pub fn unframe(bytes: &[u8]) -> Result<Vec<u8>, ContainerError> {
+    let structure = check_structure(bytes)?;
+    let mut out = Vec::new();
+    let mut crc = Crc32::new();
+    for span in &structure.frames {
+        let data = decode_frame(bytes, span)?;
+        crc.update(&data);
+        out.extend_from_slice(&data);
+    }
+    finish_stream_checks(&structure, out.len() as u64, crc.finish())?;
+    Ok(out)
+}
+
+/// The trailer-vs-decoded cross-checks shared by the serial and parallel
+/// strict decoders.
+///
+/// # Errors
+/// [`ContainerError::TrailerTotals`] or [`ContainerError::StreamCrc`].
+pub fn finish_stream_checks(
+    structure: &StreamStructure,
+    decoded_bytes: u64,
+    stream_crc: u32,
+) -> Result<(), ContainerError> {
+    let t = &structure.trailer;
+    if t.total_uncompressed() != decoded_bytes {
+        return Err(ContainerError::TrailerTotals {
+            expected_frames: t.seq,
+            found_frames: structure.frames.len() as u32,
+            expected_bytes: t.total_uncompressed(),
+            actual_bytes: decoded_bytes,
+        });
+    }
+    if t.payload_crc != stream_crc {
+        return Err(ContainerError::StreamCrc { expected: t.payload_crc, actual: stream_crc });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lzfpga_lzss::LzssParams;
+    use lzfpga_workloads::{generate, Corpus};
+
+    fn frame_up(data: &[u8], frame_bytes: usize) -> Vec<u8> {
+        let cfg = FrameConfig { frame_bytes, ..FrameConfig::default() };
+        let mut w = FrameWriter::new(Vec::new(), cfg, LzssParams::paper_fast()).unwrap();
+        std::io::Write::write_all(&mut w, data).unwrap();
+        let (out, _) = w.finish().unwrap();
+        out
+    }
+
+    #[test]
+    fn strict_roundtrip_multi_frame() {
+        let data = generate(Corpus::Wiki, 3, 100_000);
+        let stream = frame_up(&data, 16 * 1024);
+        assert_eq!(unframe(&stream).unwrap(), data);
+        let spans = frame_spans(&stream).unwrap();
+        assert_eq!(spans.len(), 8); // 7 frames + trailer
+        assert!(spans.last().unwrap().record.trailer);
+    }
+
+    #[test]
+    fn empty_stream_is_a_bare_trailer() {
+        let stream = frame_up(b"", 4 * 1024);
+        assert_eq!(stream.len(), HEADER_LEN);
+        assert_eq!(unframe(&stream).unwrap(), b"");
+        let s = check_structure(&stream).unwrap();
+        assert!(s.frames.is_empty());
+        assert_eq!(s.trailer.seq, 0);
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_a_typed_error() {
+        let data = generate(Corpus::LogLines, 5, 20_000);
+        let stream = frame_up(&data, 8 * 1024);
+        for pos in 0..stream.len() {
+            let mut bad = stream.clone();
+            bad[pos] ^= 0x10;
+            let err = unframe(&bad).expect_err(&format!("byte {pos} accepted"));
+            // Any variant is fine; Display must not panic either.
+            let _ = err.to_string();
+        }
+    }
+
+    #[test]
+    fn truncation_is_truncated_or_missing_trailer() {
+        let data = generate(Corpus::JsonTelemetry, 2, 30_000);
+        let stream = frame_up(&data, 8 * 1024);
+        for keep in [0, 1, HEADER_LEN, HEADER_LEN + 10, stream.len() - 1] {
+            let err = unframe(&stream[..keep]).unwrap_err();
+            assert!(
+                matches!(err, ContainerError::Truncated { .. } | ContainerError::BadSync { .. }),
+                "keep {keep}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut stream = frame_up(b"hello framed world", 4 * 1024);
+        stream.push(0);
+        assert!(matches!(unframe(&stream), Err(ContainerError::TrailingBytes { .. })));
+    }
+
+    #[test]
+    fn reordered_frames_rejected_by_seq() {
+        let data = generate(Corpus::Wiki, 9, 40_000);
+        let stream = frame_up(&data, 8 * 1024);
+        let spans = frame_spans(&stream).unwrap();
+        assert!(spans.len() >= 4);
+        // Swap the first two frames wholesale: headers stay intact, so the
+        // sequence check (not a CRC) must catch it.
+        let (a, b) = (spans[0], spans[1]);
+        let mut swapped = Vec::new();
+        swapped.extend_from_slice(&stream[b.header_start..b.end]);
+        swapped.extend_from_slice(&stream[a.header_start..a.end]);
+        swapped.extend_from_slice(&stream[b.end..]);
+        assert!(matches!(
+            unframe(&swapped),
+            Err(ContainerError::SeqMismatch { expected: 0, found: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ContainerError::StreamCrc { expected: 0xAABBCCDD, actual: 0x11223344 };
+        assert!(e.to_string().contains("aabbccdd"));
+        let e = ContainerError::SeqMismatch { offset: 26, expected: 1, found: 3 };
+        assert!(e.to_string().contains("frame 3"));
+    }
+}

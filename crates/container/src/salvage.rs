@@ -1,0 +1,482 @@
+//! The recovery decoder: extract everything recoverable from a damaged
+//! LZFC stream.
+//!
+//! Strategy, in order of preference at each position:
+//!
+//! 1. **Trusted header** (sync + version + header CRC all good): the
+//!    lengths are authoritative, so a frame with a bad payload is skipped
+//!    *precisely* — the scanner lands exactly on the next record.
+//! 2. **Deep recovery** (sync intact, header destroyed): a fixed-zlib
+//!    payload is self-delimiting and self-checking (Adler-32), so
+//!    [`zlib_decompress_prefix`] can pull the frame's bytes out from under
+//!    a dead header. Raw payloads have no such structure and stay lost.
+//! 3. **Resync** (sync gone): hunt forward for the next [`SYNC`] magic and
+//!    try again. Look-alike magics in payload bytes are rejected by the
+//!    header CRC and the scan moves on — a false sync costs time, never
+//!    correctness.
+//!
+//! Everything skipped is accounted: per-range in [`SalvageReport::lost`]
+//! (with output offsets, so a caller can splice recovered pieces around
+//! the holes) and in aggregate via the frame counters, cross-checked
+//! against the trailer when one survives.
+
+use lzfpga_deflate::crc32::crc32;
+use lzfpga_deflate::zlib::zlib_decompress_prefix;
+use lzfpga_deflate::Limits;
+use lzfpga_telemetry::json::{obj, JsonValue};
+
+use crate::format::{find_sync, parse_record, HeaderError, HEADER_LEN, MAX_FRAME_BYTES};
+use crate::{decode_frame, FrameSpan};
+
+/// Knobs for [`salvage_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct SalvageOptions {
+    /// Ceiling on a single frame's uncompressed size; a checksummed-but-
+    /// hostile header demanding more is treated as damage, and deep
+    /// recovery will not inflate past it.
+    pub max_frame_bytes: usize,
+    /// Attempt deep recovery of zlib payloads under destroyed headers.
+    pub deep: bool,
+}
+
+impl Default for SalvageOptions {
+    fn default() -> Self {
+        SalvageOptions { max_frame_bytes: MAX_FRAME_BYTES, deep: true }
+    }
+}
+
+/// A contiguous region of the damaged stream that produced no output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LostRange {
+    /// First damaged container byte.
+    pub stream_start: u64,
+    /// One past the last damaged container byte.
+    pub stream_end: u64,
+    /// The lost frame's sequence number, when its header survived.
+    pub seq: Option<u32>,
+    /// Uncompressed bytes the range carried, when the header survived.
+    pub uncompressed_bytes: Option<u64>,
+    /// Offset in the *recovered* output where the missing bytes belong.
+    pub output_offset: u64,
+}
+
+/// What the trailer (when one survived) claims versus what was recovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrailerSummary {
+    /// Data-frame count the trailer records.
+    pub frame_count: u32,
+    /// Total uncompressed bytes the trailer records.
+    pub total_uncompressed: u64,
+    /// The trailer's whole-stream CRC matches the recovered bytes — true
+    /// only when nothing at all was lost.
+    pub stream_crc_ok: bool,
+    /// Recovered byte count matches the trailer's total.
+    pub totals_ok: bool,
+}
+
+/// Accounting for one salvage pass.
+#[derive(Debug, Clone, Default)]
+pub struct SalvageReport {
+    /// Frames recovered through their own intact header + payload.
+    pub frames_recovered: u32,
+    /// Frames pulled out from under destroyed headers via the zlib
+    /// payload's own structure.
+    pub frames_deep_recovered: u32,
+    /// Frames known to be lost (header said they existed, or the trailer's
+    /// count exceeds what was seen).
+    pub frames_skipped: u64,
+    /// Uncompressed bytes recovered.
+    pub bytes_recovered: u64,
+    /// Damaged regions, in stream order.
+    pub lost: Vec<LostRange>,
+    /// Trailer cross-check, when a valid trailer was found.
+    pub trailer: Option<TrailerSummary>,
+}
+
+impl SalvageReport {
+    /// Nothing was lost and the trailer (if present) fully validates.
+    pub fn is_intact(&self) -> bool {
+        self.frames_skipped == 0
+            && self.frames_deep_recovered == 0
+            && self.lost.is_empty()
+            && self.trailer.is_none_or(|t| t.stream_crc_ok && t.totals_ok)
+    }
+
+    /// Machine-readable report for the CLI and the JSONL metrics sink.
+    pub fn to_json(&self) -> JsonValue {
+        let lost: Vec<JsonValue> = self
+            .lost
+            .iter()
+            .map(|r| {
+                obj([
+                    ("stream_start", r.stream_start.into()),
+                    ("stream_end", r.stream_end.into()),
+                    ("seq", r.seq.map_or(JsonValue::Null, Into::into)),
+                    (
+                        "uncompressed_bytes",
+                        r.uncompressed_bytes.map_or(JsonValue::Null, Into::into),
+                    ),
+                    ("output_offset", r.output_offset.into()),
+                ])
+            })
+            .collect();
+        let trailer = self.trailer.map_or(JsonValue::Null, |t| {
+            obj([
+                ("frame_count", t.frame_count.into()),
+                ("total_uncompressed", t.total_uncompressed.into()),
+                ("stream_crc_ok", t.stream_crc_ok.into()),
+                ("totals_ok", t.totals_ok.into()),
+            ])
+        });
+        obj([
+            ("frames_recovered", self.frames_recovered.into()),
+            ("frames_deep_recovered", self.frames_deep_recovered.into()),
+            ("frames_skipped", self.frames_skipped.into()),
+            ("bytes_recovered", self.bytes_recovered.into()),
+            ("intact", self.is_intact().into()),
+            ("lost", JsonValue::Array(lost)),
+            ("trailer", trailer),
+        ])
+    }
+}
+
+/// Recovered data plus the accounting of what could not be.
+#[derive(Debug, Clone)]
+pub struct Salvage {
+    /// Concatenated bytes of every recovered frame, in scan order.
+    pub data: Vec<u8>,
+    /// What happened.
+    pub report: SalvageReport,
+}
+
+/// [`salvage_with`] under [`SalvageOptions::default`].
+pub fn salvage(bytes: &[u8]) -> Salvage {
+    salvage_with(bytes, &SalvageOptions::default())
+}
+
+/// Scan a damaged LZFC stream, recovering every frame that can still be
+/// validated and accounting for every byte that cannot. Never panics on
+/// any input; an arbitrary byte string yields an empty recovery with one
+/// lost range.
+pub fn salvage_with(bytes: &[u8], opts: &SalvageOptions) -> Salvage {
+    let mut out = Vec::new();
+    let mut report = SalvageReport::default();
+    // Sequence number the next accepted frame "should" carry; gaps count
+    // as skipped frames even when the damage region hid how many died.
+    let mut expected_seq: u64 = 0;
+    // Start of the damage region currently being scanned over, if any.
+    let mut damage_start: Option<usize> = None;
+    let mut pos = 0usize;
+
+    // Close the open damage region (if any) at `end`, attributing it to
+    // the current output position.
+    fn close_damage(
+        damage_start: &mut Option<usize>,
+        end: usize,
+        out_len: usize,
+        report: &mut SalvageReport,
+    ) {
+        if let Some(start) = damage_start.take() {
+            if end > start {
+                report.lost.push(LostRange {
+                    stream_start: start as u64,
+                    stream_end: end as u64,
+                    seq: None,
+                    uncompressed_bytes: None,
+                    output_offset: out_len as u64,
+                });
+            }
+        }
+    }
+
+    while pos < bytes.len() {
+        match parse_record(&bytes[pos..]) {
+            Ok(rec) if rec.trailer => {
+                close_damage(&mut damage_start, pos, out.len(), &mut report);
+                let claimed = u64::from(rec.seq);
+                report.frames_skipped += claimed.saturating_sub(expected_seq);
+                report.trailer = Some(TrailerSummary {
+                    frame_count: rec.seq,
+                    total_uncompressed: rec.total_uncompressed(),
+                    stream_crc_ok: rec.payload_crc == crc32(&out),
+                    totals_ok: rec.total_uncompressed() == out.len() as u64,
+                });
+                // The first valid trailer ends the stream; anything after
+                // it is not ours to interpret.
+                return Salvage { data: out, report };
+            }
+            Ok(rec) => {
+                let payload_start = pos + HEADER_LEN;
+                let end = payload_start.saturating_add(rec.clen as usize);
+                let oversized = rec.ulen as usize > opts.max_frame_bytes
+                    || rec.clen as usize > opts.max_frame_bytes;
+                if end > bytes.len() {
+                    // Trusted header, truncated payload: the tail is gone.
+                    if damage_start.is_none() {
+                        damage_start = Some(pos);
+                    }
+                    close_damage(&mut damage_start, bytes.len(), out.len(), &mut report);
+                    let last = report.lost.last_mut().expect("damage region just closed");
+                    last.seq = Some(rec.seq);
+                    report.frames_skipped += 1 + u64::from(rec.seq).saturating_sub(expected_seq);
+                    return Salvage { data: out, report };
+                }
+                let decoded = if oversized {
+                    None
+                } else {
+                    let span = FrameSpan { header_start: pos, payload_start, end, record: rec };
+                    decode_frame(bytes, &span).ok()
+                };
+                match decoded {
+                    Some(data) => {
+                        close_damage(&mut damage_start, pos, out.len(), &mut report);
+                        report.frames_skipped += u64::from(rec.seq).saturating_sub(expected_seq);
+                        expected_seq = expected_seq.max(u64::from(rec.seq) + 1);
+                        report.frames_recovered += 1;
+                        report.bytes_recovered += data.len() as u64;
+                        out.extend_from_slice(&data);
+                    }
+                    None => {
+                        // Trusted header, damaged/unknown/oversized payload:
+                        // skip exactly this frame's extent.
+                        close_damage(&mut damage_start, pos, out.len(), &mut report);
+                        report.lost.push(LostRange {
+                            stream_start: pos as u64,
+                            stream_end: end as u64,
+                            seq: Some(rec.seq),
+                            uncompressed_bytes: Some(u64::from(rec.ulen)),
+                            output_offset: out.len() as u64,
+                        });
+                        report.frames_skipped +=
+                            1 + u64::from(rec.seq).saturating_sub(expected_seq);
+                        expected_seq = expected_seq.max(u64::from(rec.seq) + 1);
+                    }
+                }
+                pos = end;
+            }
+            Err(HeaderError::Truncated) => {
+                if damage_start.is_none() {
+                    damage_start = Some(pos);
+                }
+                break;
+            }
+            Err(HeaderError::BadSync) => {
+                if damage_start.is_none() {
+                    damage_start = Some(pos);
+                }
+                match find_sync(bytes, pos + 1) {
+                    Some(next) => pos = next,
+                    None => break,
+                }
+            }
+            Err(HeaderError::BadVersion { .. } | HeaderError::BadCrc) => {
+                // Sync intact, header dead. A fixed-zlib payload is still
+                // self-delimiting — try to pull it out whole.
+                let deep = if opts.deep {
+                    let limits = Limits::none().with_max_output_bytes(opts.max_frame_bytes as u64);
+                    zlib_decompress_prefix(&bytes[pos + HEADER_LEN..], &limits).ok()
+                } else {
+                    None
+                };
+                match deep {
+                    Some((data, consumed)) => {
+                        close_damage(&mut damage_start, pos, out.len(), &mut report);
+                        report.frames_deep_recovered += 1;
+                        report.bytes_recovered += data.len() as u64;
+                        // The header is unreadable, so the frame inherits
+                        // the next expected sequence number.
+                        expected_seq += 1;
+                        out.extend_from_slice(&data);
+                        pos += HEADER_LEN + consumed;
+                    }
+                    None => {
+                        if damage_start.is_none() {
+                            damage_start = Some(pos);
+                        }
+                        match find_sync(bytes, pos + 1) {
+                            Some(next) => pos = next,
+                            None => break,
+                        }
+                    }
+                }
+            }
+        }
+    }
+    close_damage(&mut damage_start, bytes.len(), out.len(), &mut report);
+    Salvage { data: out, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{FrameConfig, FrameWriter};
+    use crate::{frame_spans, unframe};
+    use lzfpga_lzss::LzssParams;
+    use lzfpga_workloads::{generate, Corpus};
+    use std::io::Write as _;
+
+    fn frame_up(data: &[u8], frame_bytes: usize) -> Vec<u8> {
+        let cfg = FrameConfig { frame_bytes, ..FrameConfig::default() };
+        let mut w = FrameWriter::new(Vec::new(), cfg, LzssParams::paper_fast()).unwrap();
+        w.write_all(data).unwrap();
+        w.finish().unwrap().0
+    }
+
+    #[test]
+    fn intact_stream_salvages_completely() {
+        let data = generate(Corpus::Wiki, 7, 60_000);
+        let stream = frame_up(&data, 8 * 1024);
+        let s = salvage(&stream);
+        assert_eq!(s.data, data);
+        assert!(s.report.is_intact(), "{:?}", s.report);
+        assert_eq!(s.report.frames_recovered, 8);
+        let t = s.report.trailer.unwrap();
+        assert!(t.stream_crc_ok && t.totals_ok);
+    }
+
+    #[test]
+    fn garbage_input_never_panics_and_recovers_nothing() {
+        let noise = generate(Corpus::SensorFrames, 13, 5_000);
+        let s = salvage(&noise);
+        assert!(s.data.is_empty());
+        assert!(!s.report.is_intact());
+        assert!(s.report.trailer.is_none());
+        assert_eq!(s.report.lost.len(), 1);
+        assert_eq!(s.report.lost[0].stream_end, noise.len() as u64);
+        // Empty input is trivially fine too.
+        let s = salvage(&[]);
+        assert!(s.data.is_empty() && s.report.lost.is_empty());
+    }
+
+    #[test]
+    fn payload_corruption_loses_exactly_one_frame() {
+        let data = generate(Corpus::LogLines, 17, 60_000);
+        let stream = frame_up(&data, 8 * 1024);
+        let spans = frame_spans(&stream).unwrap();
+        let victim = &spans[3];
+        let mut bad = stream.clone();
+        bad[victim.payload_start + 5] ^= 0xFF;
+        let s = salvage(&bad);
+        assert_eq!(s.report.frames_skipped, 1);
+        assert_eq!(s.report.lost.len(), 1);
+        let lost = s.report.lost[0];
+        assert_eq!(lost.seq, Some(3));
+        assert_eq!(lost.uncompressed_bytes, Some(8 * 1024));
+        assert_eq!(lost.output_offset, 3 * 8 * 1024);
+        // All other frames are byte-identical around the hole.
+        assert_eq!(&s.data[..3 * 8192], &data[..3 * 8192]);
+        assert_eq!(&s.data[3 * 8192..], &data[4 * 8192..]);
+        let t = s.report.trailer.unwrap();
+        assert!(!t.stream_crc_ok && !t.totals_ok);
+    }
+
+    #[test]
+    fn destroyed_header_is_deep_recovered_from_the_zlib_payload() {
+        let data = generate(Corpus::Wiki, 23, 40_000);
+        let stream = frame_up(&data, 8 * 1024);
+        let spans = frame_spans(&stream).unwrap();
+        let victim = &spans[2];
+        // Smash the whole header except the sync magic.
+        let mut bad = stream.clone();
+        for b in &mut bad[victim.header_start + 4..victim.payload_start] {
+            *b = 0xAA;
+        }
+        let s = salvage(&bad);
+        assert_eq!(s.data, data, "deep recovery must restore the full stream");
+        assert_eq!(s.report.frames_deep_recovered, 1);
+        assert_eq!(s.report.frames_skipped, 0);
+        // The stream CRC proves it end-to-end.
+        assert!(s.report.trailer.unwrap().stream_crc_ok);
+        // …and with deep recovery off, the frame is simply lost.
+        let shallow =
+            salvage_with(&bad, &SalvageOptions { deep: false, ..SalvageOptions::default() });
+        assert_eq!(shallow.report.frames_deep_recovered, 0);
+        assert_eq!(shallow.report.frames_skipped, 1);
+        assert_eq!(shallow.data.len(), data.len() - 8192);
+    }
+
+    #[test]
+    fn sync_smash_resyncs_at_the_next_frame() {
+        let data = generate(Corpus::JsonTelemetry, 29, 50_000);
+        let stream = frame_up(&data, 8 * 1024);
+        let spans = frame_spans(&stream).unwrap();
+        let victim = &spans[1];
+        let mut bad = stream.clone();
+        bad[victim.header_start] ^= 0xFF; // first sync byte
+        let s = salvage(&bad);
+        assert_eq!(s.report.frames_skipped, 1);
+        assert_eq!(&s.data[..8192], &data[..8192]);
+        assert_eq!(&s.data[8192..], &data[2 * 8192..]);
+        // The damage range spans from the dead header to the next frame.
+        let lost = s.report.lost[0];
+        assert_eq!(lost.stream_start, victim.header_start as u64);
+        assert_eq!(lost.stream_end, victim.end as u64);
+    }
+
+    #[test]
+    fn truncation_keeps_the_durable_prefix() {
+        let data = generate(Corpus::Mixed, 37, 50_000);
+        let stream = frame_up(&data, 8 * 1024);
+        let spans = frame_spans(&stream).unwrap();
+        // Cut in the middle of frame 4's payload.
+        let cut = spans[4].payload_start + (spans[4].end - spans[4].payload_start) / 2;
+        let s = salvage(&stream[..cut]);
+        assert_eq!(s.data, &data[..4 * 8192]);
+        assert_eq!(s.report.frames_recovered, 4);
+        assert!(s.report.trailer.is_none());
+        let lost = s.report.lost.last().unwrap();
+        assert_eq!(lost.seq, Some(4));
+        assert_eq!(lost.stream_end, cut as u64);
+    }
+
+    #[test]
+    fn bytes_after_the_trailer_are_ignored() {
+        let data = generate(Corpus::Wiki, 43, 20_000);
+        let mut stream = frame_up(&data, 8 * 1024);
+        stream.extend_from_slice(b"journal junk appended by a crashed tool");
+        assert!(unframe(&stream).is_err());
+        let s = salvage(&stream);
+        assert_eq!(s.data, data);
+        assert!(s.report.is_intact());
+    }
+
+    #[test]
+    fn hostile_oversized_header_is_skipped_not_allocated() {
+        let data = generate(Corpus::Wiki, 47, 30_000);
+        let stream = frame_up(&data, 8 * 1024);
+        let spans = frame_spans(&stream).unwrap();
+        let victim = spans[1];
+        // Re-encode frame 1's header claiming a 512 MiB expansion, with a
+        // VALID header CRC — only the max_frame_bytes guard stands.
+        let huge = crate::format::encode_data_header(
+            1,
+            crate::format::Codec::FixedZlib,
+            512 << 20,
+            &stream[victim.payload_start..victim.end],
+        );
+        let mut bad = stream.clone();
+        bad[victim.header_start..victim.payload_start].copy_from_slice(&huge);
+        let opts = SalvageOptions { max_frame_bytes: 1 << 20, ..SalvageOptions::default() };
+        let s = salvage_with(&bad, &opts);
+        assert_eq!(s.report.frames_skipped, 1);
+        assert_eq!(s.report.lost[0].seq, Some(1));
+        assert_eq!(s.data.len(), data.len() - 8192);
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let data = generate(Corpus::LogLines, 53, 30_000);
+        let stream = frame_up(&data, 8 * 1024);
+        let mut bad = stream.clone();
+        bad[HEADER_LEN + 40] ^= 0x01; // payload byte of frame 0
+        let s = salvage(&bad);
+        let text = s.report.to_json().render();
+        let parsed = lzfpga_telemetry::json::parse(&text).unwrap();
+        assert_eq!(
+            parsed.get("frames_skipped").unwrap().as_i64(),
+            Some(s.report.frames_skipped as i64)
+        );
+        assert_eq!(parsed.get("intact").unwrap().as_bool(), Some(false));
+        assert_eq!(parsed.get("lost").unwrap().as_array().unwrap().len(), s.report.lost.len());
+    }
+}

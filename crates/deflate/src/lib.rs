@@ -37,9 +37,14 @@ pub mod token;
 pub mod vectors;
 pub mod zlib;
 
+pub use adler32::adler32;
+pub use crc32::{crc32, Crc32};
 pub use encoder::{pick_block_kind, BlockKind, DeflateEncoder};
 pub use gzip::{gzip_decompress_limited, GzipError};
 pub use inflate::{inflate, inflate_limited, InflateError, InflateStream, Limits};
 pub use sink::{CountingSink, TokenSink};
 pub use token::Token;
-pub use zlib::{zlib_compress_tokens, zlib_decompress, zlib_decompress_limited, ZlibError};
+pub use zlib::{
+    zlib_compress_tokens, zlib_decompress, zlib_decompress_limited, zlib_decompress_prefix,
+    ZlibError,
+};

@@ -171,6 +171,52 @@ pub fn zlib_decompress(data: &[u8]) -> Result<Vec<u8>, ZlibError> {
     zlib_decompress_limited(data, &Limits::none())
 }
 
+/// Decode **one** zlib stream from the front of `data`, returning the
+/// payload and the number of bytes the stream occupied.
+///
+/// Unlike [`zlib_decompress`], trailing bytes after the Adler-32 trailer are
+/// not an error — they simply are not consumed. A zlib stream is
+/// self-delimiting (the final-block bit ends the Deflate body), which is
+/// what lets a framed-container salvage pass recover a payload whose length
+/// field was lost with the damaged frame header.
+///
+/// # Errors
+/// The same failures as [`zlib_decompress_limited`]; `limits` is enforced
+/// while the body inflates.
+pub fn zlib_decompress_prefix(data: &[u8], limits: &Limits) -> Result<(Vec<u8>, usize), ZlibError> {
+    if data.len() < 6 {
+        return Err(ZlibError::TooShort);
+    }
+    let (cmf, flg) = (data[0], data[1]);
+    if cmf & 0x0F != 8 || (cmf >> 4) > 7 {
+        return Err(ZlibError::BadHeader);
+    }
+    if (u16::from(cmf) * 256 + u16::from(flg)) % 31 != 0 {
+        return Err(ZlibError::HeaderChecksum);
+    }
+    if flg & 0x20 != 0 {
+        return Err(ZlibError::PresetDictUnsupported);
+    }
+    let body = &data[2..];
+    let mut r = BitReader::new(body);
+    let mut out = Vec::new();
+    inflate_into_limited(&mut r, &mut out, limits, data.len())?;
+    r.align_to_byte();
+    let mut trailer = [0u8; 4];
+    for b in &mut trailer {
+        *b = r.read_aligned_byte().map_err(|_| ZlibError::TooShort)?;
+    }
+    let expected = u32::from_be_bytes(trailer);
+    let actual = adler32(&out);
+    if expected != actual {
+        return Err(ZlibError::ChecksumMismatch { expected, actual });
+    }
+    // After align_to_byte the remaining bit count is a whole number of
+    // bytes, so the consumed length is exact.
+    let consumed = 2 + (body.len() - (r.remaining_bits() / 8) as usize);
+    Ok((out, consumed))
+}
+
 /// [`zlib_decompress`] with [`Limits`] enforced during the Deflate body —
 /// a decompression bomb fails with `Inflate(OutputLimitExceeded)` before
 /// its expansion is allocated.
@@ -296,6 +342,25 @@ mod tests {
                 .unwrap(),
             original
         );
+    }
+
+    #[test]
+    fn prefix_decode_reports_exact_consumption() {
+        let data = b"prefix me prefix me prefix me";
+        let stream = zlib_compress_tokens(&literals(data), data, BlockKind::FixedHuffman, 4_096);
+        let n = stream.len();
+        // Trailing garbage after the stream is ignored, not consumed.
+        let mut padded = stream.clone();
+        padded.extend_from_slice(b"GARBAGE GARBAGE");
+        let (out, consumed) = zlib_decompress_prefix(&padded, &Limits::none()).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(consumed, n);
+        // An exact stream consumes itself entirely.
+        let (out, consumed) = zlib_decompress_prefix(&stream, &Limits::none()).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(consumed, n);
+        // A truncated stream is a typed error.
+        assert!(zlib_decompress_prefix(&stream[..n - 3], &Limits::none()).is_err());
     }
 
     #[test]

@@ -31,6 +31,6 @@ pub mod mutate;
 pub mod plan;
 pub mod report;
 
-pub use mutate::{Mutant, MutationKind, StreamMutator};
+pub use mutate::{FrameSite, Mutant, MutationKind, StreamMutator};
 pub use plan::{FailPlan, FailRule, Failpoints, FaultAction, FaultEvent, InjectedFault, NoFaults};
 pub use report::FailureReport;

@@ -27,6 +27,16 @@ pub enum MutationKind {
     LengthField,
     /// Two equal-length slices exchanged.
     SwapSlices,
+    /// A frame's sync magic overwritten (frame-targeted).
+    SyncSmash,
+    /// A non-sync header byte corrupted, invalidating the header CRC
+    /// (frame-targeted).
+    HeaderCorrupt,
+    /// A stored payload byte corrupted, invalidating the payload CRC
+    /// (frame-targeted).
+    PayloadCorrupt,
+    /// Stream cut somewhere inside a frame's extent (frame-targeted).
+    TruncateMidFrame,
 }
 
 impl std::fmt::Display for MutationKind {
@@ -39,6 +49,10 @@ impl std::fmt::Display for MutationKind {
             MutationKind::DeleteSlice => "del-slice",
             MutationKind::LengthField => "len-field",
             MutationKind::SwapSlices => "swap-slices",
+            MutationKind::SyncSmash => "sync-smash",
+            MutationKind::HeaderCorrupt => "header-corrupt",
+            MutationKind::PayloadCorrupt => "payload-corrupt",
+            MutationKind::TruncateMidFrame => "truncate-mid-frame",
         };
         f.write_str(name)
     }
@@ -51,6 +65,25 @@ pub struct Mutant {
     pub bytes: Vec<u8>,
     /// The operation applied.
     pub kind: MutationKind,
+    /// Index (into the caller's site list) of the frame the operation
+    /// targeted; `None` for whole-stream operations.
+    pub frame: Option<usize>,
+}
+
+/// Byte extent of one frame, supplied by the caller of
+/// [`StreamMutator::mutate_framed`]. The faults crate stays
+/// format-agnostic: it never parses the stream, it only aims at the spans
+/// the caller mapped out (e.g. with `lzfpga-container`'s `frame_spans`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameSite {
+    /// Offset of the frame header's first byte.
+    pub header_start: usize,
+    /// Offset of the first payload byte (header end). A payload-less site
+    /// (`payload_start == end`, e.g. a trailer record) degrades payload
+    /// corruption to header corruption.
+    pub payload_start: usize,
+    /// Offset one past the frame's last byte.
+    pub end: usize,
 }
 
 /// Seeded (xorshift64) mutator; every call advances the PRNG, so a fixed
@@ -86,7 +119,11 @@ impl StreamMutator {
     /// short inputs the slice operations degrade to byte-level ones.
     pub fn mutate(&mut self, base: &[u8]) -> Mutant {
         if base.is_empty() {
-            return Mutant { bytes: vec![self.next() as u8], kind: MutationKind::ByteSet };
+            return Mutant {
+                bytes: vec![self.next() as u8],
+                kind: MutationKind::ByteSet,
+                frame: None,
+            };
         }
         let n = base.len();
         let op = self.below(7);
@@ -95,17 +132,17 @@ impl StreamMutator {
                 let mut bytes = base.to_vec();
                 let pos = self.below(n);
                 bytes[pos] ^= 1 << self.below(8);
-                Mutant { bytes, kind: MutationKind::BitFlip }
+                Mutant { bytes, kind: MutationKind::BitFlip, frame: None }
             }
             1 => {
                 let mut bytes = base.to_vec();
                 let pos = self.below(n);
                 bytes[pos] = self.next() as u8;
-                Mutant { bytes, kind: MutationKind::ByteSet }
+                Mutant { bytes, kind: MutationKind::ByteSet, frame: None }
             }
             2 => {
                 let keep = self.below(n);
-                Mutant { bytes: base[..keep].to_vec(), kind: MutationKind::Truncate }
+                Mutant { bytes: base[..keep].to_vec(), kind: MutationKind::Truncate, frame: None }
             }
             3 => {
                 let start = self.below(n);
@@ -115,14 +152,14 @@ impl StreamMutator {
                 bytes.extend_from_slice(&base[..insert_at]);
                 bytes.extend_from_slice(&base[start..start + len]);
                 bytes.extend_from_slice(&base[insert_at..]);
-                Mutant { bytes, kind: MutationKind::DuplicateSlice }
+                Mutant { bytes, kind: MutationKind::DuplicateSlice, frame: None }
             }
             4 => {
                 let start = self.below(n);
                 let len = 1 + self.below((n - start).min(64));
                 let mut bytes = base[..start].to_vec();
                 bytes.extend_from_slice(&base[start + len..]);
-                Mutant { bytes, kind: MutationKind::DeleteSlice }
+                Mutant { bytes, kind: MutationKind::DeleteSlice, frame: None }
             }
             5 if n >= 2 => {
                 let mut bytes = base.to_vec();
@@ -130,7 +167,7 @@ impl StreamMutator {
                 let field = (self.next() as u16).to_le_bytes();
                 bytes[pos] = field[0];
                 bytes[pos + 1] = field[1];
-                Mutant { bytes, kind: MutationKind::LengthField }
+                Mutant { bytes, kind: MutationKind::LengthField, frame: None }
             }
             6 if n >= 2 => {
                 let len = 1 + self.below(n.min(32) / 2);
@@ -140,14 +177,70 @@ impl StreamMutator {
                 for k in 0..len {
                     bytes.swap(a + k, b + k);
                 }
-                Mutant { bytes, kind: MutationKind::SwapSlices }
+                Mutant { bytes, kind: MutationKind::SwapSlices, frame: None }
             }
             _ => {
                 // Fallback for inputs too short for the structured ops.
                 let mut bytes = base.to_vec();
                 let pos = self.below(n);
                 bytes[pos] = bytes[pos].wrapping_add(1);
-                Mutant { bytes, kind: MutationKind::ByteSet }
+                Mutant { bytes, kind: MutationKind::ByteSet, frame: None }
+            }
+        }
+    }
+
+    /// Corrupt `base` with one frame-targeted operation aimed at a random
+    /// site from `sites`: smash its sync magic, corrupt a non-sync header
+    /// byte, corrupt a payload byte, or truncate the stream inside the
+    /// frame. Falls back to [`StreamMutator::mutate`] when `sites` is
+    /// empty or contains out-of-range extents.
+    pub fn mutate_framed(&mut self, base: &[u8], sites: &[FrameSite]) -> Mutant {
+        if sites.is_empty() {
+            return self.mutate(base);
+        }
+        let idx = self.below(sites.len());
+        let site = sites[idx];
+        let sane = site.header_start < site.payload_start
+            && site.payload_start <= site.end
+            && site.end <= base.len();
+        if !sane {
+            return self.mutate(base);
+        }
+        // A corrupting XOR mask must be non-zero or the mutant is a no-op.
+        let mask = 1 + (self.next() % 255) as u8;
+        let mut op = self.below(4);
+        if op == 2 && site.payload_start == site.end {
+            // Payload-less site (trailer record): degrade to a header hit.
+            op = 1;
+        }
+        match op {
+            0 => {
+                let mut bytes = base.to_vec();
+                let sync_end = (site.header_start + 4).min(site.payload_start);
+                let pos = site.header_start + self.below(sync_end - site.header_start);
+                bytes[pos] ^= mask;
+                Mutant { bytes, kind: MutationKind::SyncSmash, frame: Some(idx) }
+            }
+            1 => {
+                let mut bytes = base.to_vec();
+                let body_start = (site.header_start + 4).min(site.payload_start - 1);
+                let pos = body_start + self.below(site.payload_start - body_start);
+                bytes[pos] ^= mask;
+                Mutant { bytes, kind: MutationKind::HeaderCorrupt, frame: Some(idx) }
+            }
+            2 => {
+                let mut bytes = base.to_vec();
+                let pos = site.payload_start + self.below(site.end - site.payload_start);
+                bytes[pos] ^= mask;
+                Mutant { bytes, kind: MutationKind::PayloadCorrupt, frame: Some(idx) }
+            }
+            _ => {
+                let keep = site.header_start + self.below(site.end - site.header_start);
+                Mutant {
+                    bytes: base[..keep].to_vec(),
+                    kind: MutationKind::TruncateMidFrame,
+                    frame: Some(idx),
+                }
             }
         }
     }
@@ -213,6 +306,77 @@ mod tests {
                 let mutant = m.mutate(base);
                 assert!(mutant.bytes.len() <= base.len().max(1) + 64);
             }
+        }
+    }
+
+    #[test]
+    fn framed_mutation_stays_inside_the_chosen_frame() {
+        let base: Vec<u8> = (0..250u8).cycle().take(600).collect();
+        let sites = [
+            FrameSite { header_start: 0, payload_start: 26, end: 200 },
+            FrameSite { header_start: 200, payload_start: 226, end: 574 },
+            FrameSite { header_start: 574, payload_start: 600, end: 600 }, // trailer
+        ];
+        let mut m = StreamMutator::new(0xF00D);
+        let mut kinds = std::collections::BTreeSet::new();
+        for _ in 0..400 {
+            let mutant = m.mutate_framed(&base, &sites);
+            let idx = mutant.frame.expect("framed ops always name their target");
+            let site = sites[idx];
+            kinds.insert(format!("{}", mutant.kind));
+            match mutant.kind {
+                MutationKind::TruncateMidFrame => {
+                    assert!(mutant.bytes.len() >= site.header_start);
+                    assert!(mutant.bytes.len() < site.end);
+                    assert_eq!(mutant.bytes[..], base[..mutant.bytes.len()]);
+                }
+                MutationKind::SyncSmash
+                | MutationKind::HeaderCorrupt
+                | MutationKind::PayloadCorrupt => {
+                    assert_eq!(mutant.bytes.len(), base.len());
+                    let diffs: Vec<usize> =
+                        (0..base.len()).filter(|&i| mutant.bytes[i] != base[i]).collect();
+                    assert_eq!(diffs.len(), 1, "exactly one corrupted byte");
+                    let pos = diffs[0];
+                    let (lo, hi) = match mutant.kind {
+                        MutationKind::SyncSmash => (site.header_start, site.header_start + 4),
+                        MutationKind::HeaderCorrupt => (site.header_start + 4, site.payload_start),
+                        _ => (site.payload_start, site.end),
+                    };
+                    assert!(
+                        (lo..hi).contains(&pos),
+                        "{}: byte {pos} not in {lo}..{hi}",
+                        mutant.kind
+                    );
+                }
+                other => panic!("unexpected framed op {other}"),
+            }
+        }
+        for kind in ["sync-smash", "header-corrupt", "payload-corrupt", "truncate-mid-frame"] {
+            assert!(kinds.contains(kind), "operation {kind} never chosen");
+        }
+        // The trailer site has no payload: payload hits degrade to header
+        // hits, so no PayloadCorrupt mutant may target frame 2 — checked
+        // implicitly by the range assertion above.
+    }
+
+    #[test]
+    fn framed_mutation_without_sites_falls_back() {
+        let base: Vec<u8> = (0..100u8).collect();
+        let mut a = StreamMutator::new(77);
+        let mut b = StreamMutator::new(77);
+        for _ in 0..50 {
+            let ma = a.mutate_framed(&base, &[]);
+            let mb = b.mutate(&base);
+            assert_eq!(ma.bytes, mb.bytes);
+            assert_eq!(ma.kind, mb.kind);
+            assert_eq!(ma.frame, None);
+        }
+        // Out-of-range sites also fall back instead of panicking.
+        let bogus = [FrameSite { header_start: 90, payload_start: 120, end: 500 }];
+        for _ in 0..50 {
+            let mutant = a.mutate_framed(&base, &bogus);
+            assert_eq!(mutant.frame, None);
         }
     }
 

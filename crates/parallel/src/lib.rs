@@ -62,16 +62,22 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
+use lzfpga_container::{
+    check_structure, decode_frame, encode_data_header, encode_trailer, finish_stream_checks,
+    payload_from_tokens, ContainerError, FrameConfig, HEADER_LEN,
+};
 use lzfpga_core::config::CLOCK_HZ;
 use lzfpga_core::{HwCompressor, HwConfig};
 use lzfpga_deflate::adler32::adler32;
+use lzfpga_deflate::crc32::Crc32;
 use lzfpga_deflate::encoder::{BlockKind, DeflateEncoder};
 use lzfpga_deflate::token::Token;
 use lzfpga_deflate::zlib::zlib_header;
 use lzfpga_faults::{Failpoints, FailureReport, InjectedFault, NoFaults};
 use lzfpga_lzss::TurboEngine;
 use lzfpga_telemetry::{
-    PipelineTelemetry, SpanTimer, StitcherStats, TraceEvent, TurboCounters, WorkerStats,
+    FrameEvent, FrameOutcome, PipelineTelemetry, SpanTimer, StitcherStats, TraceEvent,
+    TurboCounters, WorkerStats,
 };
 
 /// Which compressor front-end produces the per-chunk token streams.
@@ -131,6 +137,11 @@ pub enum ParallelConfigError {
     },
     /// At least one modelled engine instance is required.
     NoInstances,
+    /// Framed chunks must fit the container's 32-bit frame fields.
+    FrameTooLarge {
+        /// The offending frame size.
+        frame_bytes: usize,
+    },
 }
 
 impl std::fmt::Display for ParallelConfigError {
@@ -140,6 +151,9 @@ impl std::fmt::Display for ParallelConfigError {
                 write!(f, "chunks below 4 KiB waste all ratio (got {chunk_bytes} bytes)")
             }
             ParallelConfigError::NoInstances => write!(f, "at least one engine instance"),
+            ParallelConfigError::FrameTooLarge { frame_bytes } => {
+                write!(f, "frames above MAX_FRAME_BYTES do not fit LZFC headers (got {frame_bytes} bytes)")
+            }
         }
     }
 }
@@ -591,6 +605,296 @@ pub fn compress_parallel_with<F: Failpoints>(
     })
 }
 
+/// One finished LZFC frame waiting for the framed stitcher.
+struct FrameDone {
+    /// Complete frame bytes: header + stored payload.
+    frame: Vec<u8>,
+    codec: &'static str,
+    cycles: u64,
+    tokens: u64,
+    encode_us: f64,
+}
+
+/// Result of a chunk-parallel framed (LZFC) compression run.
+#[derive(Debug, Clone)]
+pub struct FramedParallelReport {
+    /// The complete LZFC stream (frames + trailer), byte-identical to what
+    /// a single-threaded [`lzfpga_container::FrameWriter`] produces with
+    /// the same frame size and engine parameters.
+    pub framed: Vec<u8>,
+    /// Data frames in the stream.
+    pub frames: u32,
+    /// Input size.
+    pub input_bytes: u64,
+    /// Per-chunk engine metrics, in frame order.
+    pub chunks: Vec<ChunkReport>,
+    /// Fault-tolerance ledger (same ladder as [`compress_parallel`]).
+    pub failures: FailureReport,
+    /// Per-frame telemetry, when [`FrameConfig::collect_events`] was set.
+    pub events: Vec<FrameEvent>,
+}
+
+/// Compress `data` chunk-parallel into one LZFC framed stream: every
+/// chunk becomes exactly one independently decodable frame.
+///
+/// Chunk boundaries *are* frame boundaries — `cfg.chunk_bytes` is ignored
+/// in favor of `frame_cfg.frame_bytes`. The output depends only on the
+/// frame size and engine parameters, never on worker count or engine kind.
+///
+/// # Errors
+/// [`ParallelError::Config`] for a rejected configuration (frames below
+/// 4 KiB or above the container's header range), [`ParallelError::ChunkFailed`]
+/// when a frame exhausts the degradation ladder.
+pub fn compress_frames_parallel(
+    data: &[u8],
+    cfg: &ParallelConfig,
+    frame_cfg: &FrameConfig,
+) -> Result<FramedParallelReport, ParallelError> {
+    compress_frames_parallel_with(data, cfg, frame_cfg, &NoFaults)
+}
+
+/// [`compress_frames_parallel`] with failpoints active.
+///
+/// Site `parallel.frame.chunk` fires once per per-frame attempt, walking
+/// the same ladder as `parallel.worker.chunk`: retry on the configured
+/// engine, then the reference compressor (token-identical, so degraded
+/// frames keep the output bytes exact).
+pub fn compress_frames_parallel_with<F: Failpoints>(
+    data: &[u8],
+    cfg: &ParallelConfig,
+    frame_cfg: &FrameConfig,
+    faults: &F,
+) -> Result<FramedParallelReport, ParallelError> {
+    if frame_cfg.frame_bytes > lzfpga_container::MAX_FRAME_BYTES {
+        return Err(
+            ParallelConfigError::FrameTooLarge { frame_bytes: frame_cfg.frame_bytes }.into()
+        );
+    }
+    let eff = ParallelConfig { chunk_bytes: frame_cfg.frame_bytes, ..*cfg };
+    eff.validate()?;
+    // Unlike the zlib path, an empty input has zero frames (the stream is
+    // a bare trailer), matching FrameWriter exactly.
+    let chunks: Vec<&[u8]> = data.chunks(eff.chunk_bytes).collect();
+    let n_chunks = chunks.len();
+    let workers = if eff.workers == 0 {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    } else {
+        eff.workers
+    }
+    .clamp(1, n_chunks.max(1));
+
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<Result<FrameDone, u64>>>> =
+        Mutex::new((0..n_chunks).map(|_| None).collect());
+    let ready = Condvar::new();
+    let params = eff.hw.as_lzss_params();
+    let failure_acc: Mutex<FailureReport> = Mutex::new(FailureReport::default());
+
+    let mut framed = Vec::new();
+    let mut reports = Vec::with_capacity(n_chunks);
+    let mut events = Vec::new();
+    let mut stitch_error: Option<ParallelError> = None;
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(n_chunks) {
+            let (next, slots, ready, params, chunks, failure_acc) =
+                (&next, &slots, &ready, &params, &chunks, &failure_acc);
+            s.spawn(move || {
+                let mut turbo = TurboEngine::new();
+                let mut local = FailureReport::default();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_chunks {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    let mut buf: Vec<Token> = Vec::new();
+                    let mut outcome: Option<u64> = None;
+                    let mut chunk_attempts = 0u64;
+                    for attempt in 0..3u32 {
+                        chunk_attempts += 1;
+                        local.attempts += 1;
+                        match attempt {
+                            1 => local.retries += 1,
+                            2 => local.degraded_chunks.push(i),
+                            _ => {}
+                        }
+                        // Same unwind-isolation soundness argument as the
+                        // zlib path: buf is cleared on entry and the turbo
+                        // engine re-zeroes its arenas per call.
+                        let result =
+                            catch_unwind(AssertUnwindSafe(|| -> Result<u64, InjectedFault> {
+                                if faults.check("parallel.frame.chunk") {
+                                    return Err(InjectedFault { site: "parallel.frame.chunk" });
+                                }
+                                buf.clear();
+                                if attempt == 2 {
+                                    buf = lzfpga_lzss::compress(chunks[i], params);
+                                    return Ok(0);
+                                }
+                                match eff.engine {
+                                    EngineKind::Modelled => {
+                                        let rep = HwCompressor::new(eff.hw).compress(chunks[i]);
+                                        buf = rep.tokens;
+                                        Ok(rep.cycles)
+                                    }
+                                    EngineKind::Turbo => {
+                                        turbo.compress_into_faulty(
+                                            chunks[i], params, &mut buf, faults,
+                                        )?;
+                                        Ok(0)
+                                    }
+                                }
+                            }));
+                        match result {
+                            Ok(Ok(cycles)) => {
+                                outcome = Some(cycles);
+                                break;
+                            }
+                            Ok(Err(_injected)) => local.injected_errors += 1,
+                            Err(_panic) => local.worker_restarts += 1,
+                        }
+                    }
+                    let state = match outcome {
+                        Some(cycles) => {
+                            let (codec, payload) = payload_from_tokens(&buf, chunks[i], params);
+                            let ulen = u32::try_from(chunks[i].len())
+                                .expect("frame_bytes validated <= MAX_FRAME_BYTES");
+                            let seq = u32::try_from(i).expect("frame count exceeds u32");
+                            let header = encode_data_header(seq, codec, ulen, &payload);
+                            let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+                            frame.extend_from_slice(&header);
+                            frame.extend_from_slice(&payload);
+                            Ok(FrameDone {
+                                frame,
+                                codec: codec.as_str(),
+                                cycles,
+                                tokens: buf.len() as u64,
+                                encode_us: t0.elapsed().as_secs_f64() * 1e6,
+                            })
+                        }
+                        None => {
+                            local.failed_chunks.push(i);
+                            Err(chunk_attempts)
+                        }
+                    };
+                    slots.lock().expect("slot lock")[i] = Some(state);
+                    ready.notify_all();
+                }
+                failure_acc.lock().expect("failure lock").merge(&local);
+            });
+        }
+
+        // Stitch frames in order while later chunks are still compressing.
+        for (i, chunk) in chunks.iter().enumerate() {
+            let state = {
+                let mut guard = slots.lock().expect("slot lock");
+                loop {
+                    if let Some(state) = guard[i].take() {
+                        break state;
+                    }
+                    guard = ready.wait(guard).expect("slot lock");
+                }
+            };
+            let done = match state {
+                Ok(done) => done,
+                Err(attempts) => {
+                    stitch_error = Some(ParallelError::ChunkFailed { index: i, attempts });
+                    break;
+                }
+            };
+            framed.extend_from_slice(&done.frame);
+            if frame_cfg.collect_events {
+                events.push(FrameEvent {
+                    seq: i as u32,
+                    uncompressed_bytes: chunk.len() as u64,
+                    payload_bytes: (done.frame.len() - HEADER_LEN) as u64,
+                    codec: done.codec,
+                    crc_us: 0.0,
+                    encode_us: done.encode_us,
+                    outcome: FrameOutcome::Written,
+                });
+            }
+            reports.push(ChunkReport {
+                index: i,
+                input_bytes: chunk.len() as u64,
+                cycles: done.cycles,
+                tokens: done.tokens,
+            });
+        }
+    });
+
+    let mut failures = failure_acc.into_inner().expect("failure lock");
+    failures.injected = faults.drain_events();
+    if let Some(err) = stitch_error {
+        return Err(err);
+    }
+
+    // Trailer: frame count, total input, whole-stream CRC — identical to
+    // FrameWriter's (which accumulates the CRC incrementally).
+    let mut crc = Crc32::new();
+    crc.update(data);
+    framed.extend_from_slice(&encode_trailer(n_chunks as u32, data.len() as u64, crc.finish()));
+
+    Ok(FramedParallelReport {
+        framed,
+        frames: n_chunks as u32,
+        input_bytes: data.len() as u64,
+        chunks: reports,
+        failures,
+        events,
+    })
+}
+
+/// Strictly decode an LZFC stream with frame payloads verified and
+/// decompressed in parallel (`workers` = 0 uses all cores).
+///
+/// The serial structure scan comes first — headers are cheap — then the
+/// per-frame CRC + decode work (the expensive part) fans out, and the
+/// trailer cross-checks run over the reassembled output. Equivalent to
+/// [`lzfpga_container::unframe`] on every input, valid or not.
+///
+/// # Errors
+/// Exactly the [`ContainerError`] the serial decoder would report; when
+/// several frames are damaged, the lowest-numbered frame's error wins.
+pub fn decompress_frames_parallel(bytes: &[u8], workers: usize) -> Result<Vec<u8>, ContainerError> {
+    let structure = check_structure(bytes)?;
+    let n = structure.frames.len();
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map_or(4, |w| w.get())
+    } else {
+        workers
+    }
+    .clamp(1, n.max(1));
+
+    type DecodeSlot = Option<Result<Vec<u8>, ContainerError>>;
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<DecodeSlot>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(n) {
+            let (next, slots, structure) = (&next, &slots, &structure);
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let decoded = decode_frame(bytes, &structure.frames[i]);
+                slots.lock().expect("slot lock")[i] = Some(decoded);
+            });
+        }
+    });
+
+    let slots = slots.into_inner().expect("slot lock");
+    let mut out = Vec::new();
+    let mut crc = Crc32::new();
+    for slot in slots {
+        let data = slot.expect("every frame index was claimed")?;
+        crc.update(&data);
+        out.extend_from_slice(&data);
+    }
+    finish_stream_checks(&structure, out.len() as u64, crc.finish())?;
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -844,6 +1148,106 @@ mod tests {
         assert!(t.workers.iter().map(|w| w.busy_s).sum::<f64>() > 0.0);
         assert_eq!(t.turbo.covered_bytes(), 0, "modelled path has no turbo probes");
         assert_eq!(t.workers.iter().map(|w| w.freelist_hits + w.freelist_misses).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn framed_parallel_matches_the_single_threaded_frame_writer() {
+        use lzfpga_container::FrameWriter;
+        use std::io::Write as _;
+        let data = generate(Corpus::Mixed, 31, 500_000);
+        let frame_cfg = FrameConfig { frame_bytes: 64 * 1024, collect_events: false };
+        let mut w =
+            FrameWriter::new(Vec::new(), frame_cfg, HwConfig::paper_fast().as_lzss_params())
+                .unwrap();
+        w.write_all(&data).unwrap();
+        let (serial, _) = w.finish().unwrap();
+        for workers in [1usize, 2, 4] {
+            let rep = compress_frames_parallel(&data, &turbo_cfg(64 * 1024, workers), &frame_cfg)
+                .unwrap();
+            assert_eq!(rep.framed, serial, "workers = {workers}");
+        }
+        // The modelled engine is token-identical, so the frames match too.
+        let modelled = compress_frames_parallel(&data, &cfg(64 * 1024, 2, 2), &frame_cfg).unwrap();
+        assert_eq!(modelled.framed, serial);
+        assert!(modelled.chunks.iter().map(|c| c.cycles).sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn framed_parallel_roundtrips_through_both_decoders() {
+        let data = generate(Corpus::Wiki, 33, 700_000);
+        let frame_cfg = FrameConfig { frame_bytes: 128 * 1024, collect_events: true };
+        let rep = compress_frames_parallel(&data, &turbo_cfg(128 * 1024, 0), &frame_cfg).unwrap();
+        assert_eq!(rep.frames, 6);
+        assert_eq!(rep.events.len(), 6);
+        assert_eq!(lzfpga_container::unframe(&rep.framed).unwrap(), data);
+        for workers in [0usize, 1, 3] {
+            assert_eq!(
+                decompress_frames_parallel(&rep.framed, workers).unwrap(),
+                data,
+                "workers = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn framed_parallel_empty_input_is_a_bare_trailer() {
+        let frame_cfg = FrameConfig::default();
+        let rep = compress_frames_parallel(b"", &turbo_cfg(256 * 1024, 2), &frame_cfg).unwrap();
+        assert_eq!(rep.frames, 0);
+        assert_eq!(rep.framed.len(), HEADER_LEN);
+        assert_eq!(decompress_frames_parallel(&rep.framed, 2).unwrap(), b"");
+    }
+
+    #[test]
+    fn framed_parallel_survives_injected_panics_byte_exactly() {
+        use lzfpga_faults::{FailPlan, FailRule};
+        let data = generate(Corpus::LogLines, 35, 256_000);
+        let frame_cfg = FrameConfig { frame_bytes: 32 * 1024, collect_events: false };
+        let clean = compress_frames_parallel(&data, &turbo_cfg(32 * 1024, 4), &frame_cfg).unwrap();
+        let plan = FailPlan::new(9).rule(FailRule::new("parallel.frame.chunk").on_hit(3).panics());
+        let rep = compress_frames_parallel_with(&data, &turbo_cfg(32 * 1024, 4), &frame_cfg, &plan)
+            .unwrap();
+        assert_eq!(rep.framed, clean.framed);
+        assert_eq!(rep.failures.worker_restarts, 1);
+        assert_eq!(rep.failures.retries, 1);
+        assert_eq!(rep.failures.injected[0].site, "parallel.frame.chunk");
+        // A frame that fails every rung fails the job with its index.
+        let plan = FailPlan::new(4)
+            .rule(FailRule::new("parallel.frame.chunk").on_hit(1).times(3).errors());
+        let err = compress_frames_parallel_with(&data, &turbo_cfg(32 * 1024, 1), &frame_cfg, &plan)
+            .unwrap_err();
+        assert!(matches!(err, ParallelError::ChunkFailed { index: 0, attempts: 3 }));
+    }
+
+    #[test]
+    fn framed_parallel_rejects_bad_frame_sizes() {
+        let small = FrameConfig { frame_bytes: 1024, collect_events: false };
+        assert!(matches!(
+            compress_frames_parallel(b"x", &turbo_cfg(32 * 1024, 1), &small),
+            Err(ParallelError::Config(ParallelConfigError::ChunkTooSmall { chunk_bytes: 1024 }))
+        ));
+        let huge = FrameConfig {
+            frame_bytes: lzfpga_container::MAX_FRAME_BYTES + 1,
+            collect_events: false,
+        };
+        let err = compress_frames_parallel(b"x", &turbo_cfg(32 * 1024, 1), &huge).unwrap_err();
+        assert!(err.to_string().contains("MAX_FRAME_BYTES"));
+    }
+
+    #[test]
+    fn parallel_decode_reports_the_lowest_damaged_frame() {
+        let data = generate(Corpus::JsonTelemetry, 37, 300_000);
+        let frame_cfg = FrameConfig { frame_bytes: 32 * 1024, collect_events: false };
+        let rep = compress_frames_parallel(&data, &turbo_cfg(32 * 1024, 2), &frame_cfg).unwrap();
+        let spans = lzfpga_container::frame_spans(&rep.framed).unwrap();
+        let mut bad = rep.framed.clone();
+        bad[spans[2].payload_start] ^= 0x40;
+        bad[spans[5].payload_start] ^= 0x40;
+        let err = decompress_frames_parallel(&bad, 4).unwrap_err();
+        assert!(
+            matches!(err, ContainerError::PayloadCrc { seq: 2, .. }),
+            "expected frame 2 first, got {err}"
+        );
     }
 
     #[test]

@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod frames;
 pub mod histogram;
 pub mod json;
 pub mod pipeline;
@@ -37,6 +38,7 @@ pub mod probe;
 pub mod sink;
 pub mod spans;
 
+pub use frames::{FrameEvent, FrameOutcome};
 pub use histogram::Histogram;
 pub use json::JsonValue;
 pub use pipeline::{PipelineTelemetry, StitcherStats, WorkerStats};

@@ -14,6 +14,7 @@
 //! | [`parallel`] | `lzfpga-parallel` | Chunk-parallel multi-engine compression |
 //! | [`telemetry`] | `lzfpga-telemetry` | Counters, span timing, JSONL sink, chrome://tracing export |
 //! | [`faults`] | `lzfpga-faults` | Failpoints, failure reports, deterministic stream mutation |
+//! | [`container`] | `lzfpga-container` | LZFC crash-safe framed container: salvage decode, checkpointed streaming |
 //!
 //! ## Quickstart
 //!
@@ -61,3 +62,6 @@ pub use lzfpga_telemetry as telemetry;
 
 /// Fault injection: failpoints, failure reports, stream mutation.
 pub use lzfpga_faults as faults;
+
+/// LZFC framed container: crash-safe streaming, resync/salvage, resume.
+pub use lzfpga_container as container;
