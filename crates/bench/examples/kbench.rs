@@ -1,0 +1,45 @@
+//! Microbenchmark of the raw `MatchKernel::match_length` call, per ISA
+//! kernel, across compare limits — the diagnostic that sized the
+//! `#[target_feature]` call-boundary cost and motivated the whole-run
+//! monomorphization described in DESIGN.md §10.2.
+//!
+//! All-equal data makes every compare run to its limit, so the numbers
+//! bound the *best* case for wide kernels and the *worst* case for the
+//! call overhead: at `limit=8` the inlineable scalar kernel beats any
+//! vector kernel reached through an un-inlinable call, which is exactly
+//! why the engine dispatches once per compress call, not per compare.
+//!
+//! Run with: `cargo run --release -p lzfpga-bench --example kbench`
+
+use lzfpga_lzss::MatchKernel;
+use std::time::Instant;
+
+const CALLS: u32 = 200_000;
+const REPS: usize = 5;
+
+fn main() {
+    let data = vec![7u8; 1 << 20];
+    println!("match_length ns/call, min of {REPS} x {CALLS} calls, all-equal data");
+    for &limit in &[8u32, 16, 32, 64, 128, 258] {
+        for k in MatchKernel::supported() {
+            let mut sum = 0u64;
+            let mut best = f64::MAX;
+            for _ in 0..REPS {
+                let t0 = Instant::now();
+                for i in 0..CALLS {
+                    // Stride the cursor so the loop cannot fold into one
+                    // cached compare; keep b - a fixed at 512.
+                    let a = (i as usize * 31) & 0xFFFF;
+                    sum += u64::from(k.match_length(&data, a, a + 512, limit));
+                }
+                best = best.min(t0.elapsed().as_secs_f64());
+            }
+            println!(
+                "{:>8} limit={:<4} {:>8.1} ns/call (checksum {sum})",
+                k.name(),
+                limit,
+                best * 1e9 / f64::from(CALLS)
+            );
+        }
+    }
+}

@@ -35,8 +35,8 @@ use lzfpga_deflate::Limits;
 use lzfpga_lzss::params::CompressionLevel;
 use lzfpga_lzss::LzssParams;
 use lzfpga_parallel::{
-    compress_frames_parallel, compress_parallel, decompress_frames_parallel, EngineKind,
-    ParallelConfig,
+    compress_frames_batched, compress_frames_parallel, compress_parallel,
+    decompress_frames_parallel, EngineKind, ParallelConfig,
 };
 use lzfpga_telemetry::json::obj;
 use lzfpga_telemetry::{trace_events_json, FrameEvent, JsonValue, JsonlWriter, TurboCounters};
@@ -51,7 +51,7 @@ lzfpga <compress|decompress|frame|unframe|salvage|resume|stats|gen|trace|rtl> [o
              [--metrics OUT.jsonl] [--trace-events OUT.json] [-o OUT] [FILE]
   decompress [--engine hw|sw] [--dict FILE] [--max-output-bytes N] [-o OUT] [FILE]
   frame      [--engine hw|sw|turbo] [--window N] [--hash N] [--level L]
-             [--frame-size N] [--parallel] [--workers N] [--stats]
+             [--frame-size N] [--parallel] [--workers N] [--lanes N] [--stats]
              [--metrics OUT.jsonl] [-o OUT] [FILE]    (LZFC framed container)
   unframe    [--parallel] [--workers N] [-o OUT] [FILE]
   salvage    [--stats] [--metrics OUT.jsonl] [-o OUT] [FILE]
@@ -70,6 +70,8 @@ frames into OUT.part and renames on completion, so a crash leaves a resumable
 prefix. `resume` must use the same --frame-size as the interrupted run.
 --metrics writes per-run telemetry as JSON Lines; --trace-events (with
 --parallel) writes a chrome://tracing / Perfetto trace of the pipeline.
+`frame --lanes N` interleaves N frames per batch through one SIMD kernel
+loop (the multi-lane driver); output bytes are identical either way.
 Corpora: wiki, x2e-can, log-lines, json-telemetry, sensor-frames, wiki-xml,
          random, constant, collision-stress, periodic-<N>.";
 
@@ -110,6 +112,7 @@ struct CommonOpts {
     chunk_bytes: usize,
     frame_bytes: usize,
     workers: usize,
+    lanes: usize,
     metrics: Option<String>,
     trace_events: Option<String>,
     max_output_bytes: Option<u64>,
@@ -134,6 +137,7 @@ impl Default for CommonOpts {
             chunk_bytes: 256 * 1024,
             frame_bytes: 256 * 1024,
             workers: 0,
+            lanes: 0,
             metrics: None,
             trace_events: None,
             max_output_bytes: None,
@@ -196,6 +200,9 @@ fn parse_opts(args: &[String]) -> Result<CommonOpts, String> {
             "--workers" => {
                 o.workers =
                     value("--workers")?.parse().map_err(|_| "bad --workers value".to_string())?;
+            }
+            "--lanes" => {
+                o.lanes = value("--lanes")?.parse().map_err(|_| "bad --lanes value".to_string())?;
             }
             "--dict" => o.dict = Some(value("--dict")?),
             "--max-output-bytes" => {
@@ -317,6 +324,11 @@ fn run_event(o: &CommonOpts, command: &str, input_bytes: usize, output_bytes: us
             .into(),
         ),
         ("parallel", o.parallel.into()),
+        ("lanes", (o.lanes as u64).into()),
+        // The ISA path the auto-dispatched match kernel resolves to on this
+        // host (scalar runs force it via LZFPGA_MATCH_KERNEL=scalar, which
+        // this reports faithfully).
+        ("kernel", lzfpga_lzss::MatchKernel::detect().name().into()),
         ("input_bytes", (input_bytes as u64).into()),
         ("output_bytes", (output_bytes as u64).into()),
         ("ratio", (input_bytes as f64 / output_bytes.max(1) as f64).into()),
@@ -567,6 +579,45 @@ fn frame_metrics(
 fn cmd_frame(o: &CommonOpts) -> Result<(), String> {
     let frame_cfg = FrameConfig { frame_bytes: o.frame_bytes, collect_events: o.metrics.is_some() };
     let params = hw_config(o).as_lzss_params();
+    if o.lanes > 0 {
+        // Multi-lane batched driver: groups of --lanes frames interleave
+        // through one kernel loop; byte-identical to the serial writer.
+        let data = read_input(o.input.as_deref())?;
+        let cfg = ParallelConfig {
+            chunk_bytes: o.frame_bytes,
+            workers: o.workers,
+            instances: 1,
+            hw: hw_config(o),
+            engine: EngineKind::Turbo,
+            telemetry: o.metrics.is_some(),
+        };
+        let rep =
+            compress_frames_batched(&data, &cfg, &frame_cfg, o.lanes).map_err(|e| e.to_string())?;
+        if o.stats {
+            eprintln!(
+                "framed: {} bytes -> {} bytes, {} frames of <= {} bytes in lanes of {}, \
+                 container ratio {:.3}",
+                rep.input_bytes,
+                rep.framed.len(),
+                rep.frames,
+                o.frame_bytes,
+                o.lanes,
+                rep.input_bytes as f64 / rep.framed.len().max(1) as f64
+            );
+        }
+        if let Some(path) = &o.metrics {
+            let mut events =
+                vec![("run", run_event(o, "frame", rep.input_bytes as usize, rep.framed.len()))];
+            if let Some(counters) = &rep.counters {
+                events.push(("turbo", counters.to_json()));
+            }
+            for e in &rep.events {
+                events.push(("frame", e.to_json()));
+            }
+            write_metrics(path, events)?;
+        }
+        return write_output(o.output.as_deref(), &rep.framed);
+    }
     if o.parallel {
         let data = read_input(o.input.as_deref())?;
         let cfg = ParallelConfig {

@@ -1,0 +1,546 @@
+//! Multi-lane batched compression: N independent streams interleaved
+//! through one kernel invocation loop.
+//!
+//! A single compress run is a long serial dependency chain — hash, probe
+//! the head table, walk the chain, run the compare kernel, insert — and
+//! most steps stall on a cache or BRAM-analogue table miss before the next
+//! can issue. The LZ4 accelerator of Chen et al. (PAPERS.md) hides that
+//! latency in hardware by interleaving independent streams through one
+//! datapath; this module is the software form of the same trick. A
+//! [`BatchEngine`] owns one set of per-lane head/next arenas and advances
+//! every live lane a fixed stride of token decisions per round, so the
+//! misses of lane *i* overlap the useful work of lanes *i+1..N* instead of
+//! serializing behind it.
+//!
+//! **The contract is strict token identity per lane**: each lane executes
+//! exactly the decision procedure of [`crate::turbo::TurboEngine`] (greedy
+//! and lazy), with its own dictionary state, so `compress_batch(inputs)[i]`
+//! equals `TurboEngine::compress(inputs[i])` token for token at every
+//! level. The in-module tests and `tests/batch_equivalence.rs` enforce it.
+//! Lane count, stride, and scheduling order are therefore pure performance
+//! knobs — they can never change output bytes.
+//!
+//! **Observability.** The probed entry point reports the chosen ISA path
+//! once per batch and the live-lane count once per round
+//! ([`lzfpga_telemetry::MatchProbe::lanes_active`]), which is what the
+//! `--metrics` lane-occupancy histogram is built from.
+
+// The only `unsafe` here is the `#[target_feature]` driver wrappers below
+// `compress_batch_probed`; their CPU-support precondition is carried by the
+// proof-carrying `MatchKernel` value (see `crate::simd`).
+#![allow(unsafe_code)]
+
+use crate::hash::{HashFn, HASH_BYTES};
+use crate::params::{LevelTuning, LzssParams};
+use crate::reference::max_distance;
+use crate::simd::{Compare, Isa, MatchKernel, ScalarCmp};
+use crate::turbo::{insert, insert_run, longest_match, Search, TOO_FAR};
+use lzfpga_deflate::fixed::{MAX_MATCH, MIN_MATCH};
+use lzfpga_deflate::sink::TokenSink;
+use lzfpga_deflate::token::Token;
+use lzfpga_telemetry::{MatchProbe, NoProbe};
+
+/// Token decisions each live lane advances per round-robin turn. Large
+/// enough to amortize the lane switch, small enough that a batch of short
+/// streams still interleaves (rather than degenerating to serial runs).
+const LANE_STRIDE: usize = 32;
+
+/// Per-lane dictionary arenas, reused across batches exactly like
+/// [`crate::turbo::TurboEngine`]'s (reset is a `fill(0)`).
+#[derive(Debug, Default)]
+struct LaneTables {
+    head: Vec<u32>,
+    prev: Vec<u32>,
+}
+
+impl LaneTables {
+    fn reset(&mut self, params: &LzssParams) {
+        let head_len = 1usize << params.hash_bits;
+        let prev_len = params.window_size as usize;
+        if self.head.len() < head_len {
+            self.head.resize(head_len, 0);
+        }
+        if self.prev.len() < prev_len {
+            self.prev.resize(prev_len, 0);
+        }
+        self.head[..head_len].fill(0);
+        self.prev[..prev_len].fill(0);
+    }
+}
+
+/// The resumable per-lane cursor: everything `TurboEngine::run_greedy` /
+/// `run_lazy` keep in locals across one `while` iteration.
+#[derive(Debug, Clone, Copy)]
+struct LaneRun {
+    pos: usize,
+    prev_len: u32,
+    prev_dist: u32,
+    have_prev_literal: bool,
+    done: bool,
+}
+
+/// Geometry shared by every lane of a batch, hoisted out of the step loop.
+/// The compare ISA is not part of it — that is a compile-time parameter of
+/// the monomorphized driver (see [`Compare`]).
+#[derive(Clone, Copy)]
+struct BatchGeometry {
+    hash: HashFn,
+    search: Search,
+    tuning: LevelTuning,
+}
+
+/// A reusable multi-lane compression engine: per-lane arenas plus the lane
+/// scheduler. Construction is cheap; arenas grow lazily to the largest
+/// (lane count × geometry) seen.
+#[derive(Debug, Default)]
+pub struct BatchEngine {
+    lanes: Vec<LaneTables>,
+    kernel: MatchKernel,
+}
+
+impl BatchEngine {
+    /// A fresh engine with no lanes allocated and the auto-detected kernel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fresh engine pinned to `kernel`.
+    pub fn with_kernel(kernel: MatchKernel) -> Self {
+        Self { kernel, ..Self::default() }
+    }
+
+    /// Re-pin the match kernel; takes effect on the next batch.
+    pub fn set_kernel(&mut self, kernel: MatchKernel) {
+        self.kernel = kernel;
+    }
+
+    /// The ISA path this engine's matches run on.
+    pub fn kernel(&self) -> MatchKernel {
+        self.kernel
+    }
+
+    /// Compress every input as an independent stream, interleaved through
+    /// one kernel loop. `out[i]` is token-for-token identical to
+    /// [`crate::turbo::TurboEngine::compress`] of `inputs[i]`.
+    pub fn compress_batch(&mut self, inputs: &[&[u8]], params: &LzssParams) -> Vec<Vec<Token>> {
+        self.compress_batch_probed(inputs, params, &mut NoProbe)
+    }
+
+    /// [`Self::compress_batch`] with telemetry: kernel dispatch, match-loop
+    /// counters and per-round lane occupancy are reported to `probe`. The
+    /// token streams are identical to the unprobed call.
+    pub fn compress_batch_probed<P: MatchProbe>(
+        &mut self,
+        inputs: &[&[u8]],
+        params: &LzssParams,
+        probe: &mut P,
+    ) -> Vec<Vec<Token>> {
+        params.validate();
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        for data in inputs {
+            assert!(data.len() <= u32::MAX as usize, "batch lanes are limited to 4 GiB - 1");
+        }
+        probe.kernel_select(self.kernel.name());
+        while self.lanes.len() < inputs.len() {
+            self.lanes.push(LaneTables::default());
+        }
+        let geom = BatchGeometry {
+            hash: params.hash_fn,
+            search: Search {
+                max_dist: max_distance(params.window_size),
+                nice: params.effective_tuning().nice_length,
+            },
+            tuning: params.effective_tuning(),
+        };
+        let mut runs: Vec<LaneRun> = inputs
+            .iter()
+            .map(|data| LaneRun {
+                pos: 0,
+                prev_len: 0,
+                prev_dist: 0,
+                have_prev_literal: false,
+                done: data.is_empty(),
+            })
+            .collect();
+        let mut outs: Vec<Vec<Token>> = inputs.iter().map(|_| Vec::new()).collect();
+        for tables in self.lanes.iter_mut().take(inputs.len()) {
+            tables.reset(params);
+        }
+
+        // One ISA dispatch per batch: the whole round-robin driver (and the
+        // step loops inside it) is monomorphized over the compare kernel,
+        // exactly like `TurboEngine`'s per-call dispatch.
+        match self.kernel.isa() {
+            Isa::Scalar => drive::<P, ScalarCmp>(
+                inputs,
+                &mut self.lanes,
+                &mut runs,
+                &mut outs,
+                geom,
+                params,
+                probe,
+            ),
+            // SAFETY (all three arms): a `MatchKernel` carrying a vector ISA
+            // is only constructible after the host feature probe confirmed
+            // support — see `crate::simd`.
+            #[cfg(target_arch = "x86_64")]
+            Isa::Sse2 => unsafe {
+                drive_sse2(inputs, &mut self.lanes, &mut runs, &mut outs, geom, params, probe)
+            },
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx2 => unsafe {
+                drive_avx2(inputs, &mut self.lanes, &mut runs, &mut outs, geom, params, probe)
+            },
+            #[cfg(target_arch = "aarch64")]
+            Isa::Neon => unsafe {
+                drive_neon(inputs, &mut self.lanes, &mut runs, &mut outs, geom, params, probe)
+            },
+        }
+        outs
+    }
+}
+
+/// The round-robin lane driver, monomorphized over the compare kernel.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn drive<P: MatchProbe, C: Compare>(
+    inputs: &[&[u8]],
+    lanes: &mut [LaneTables],
+    runs: &mut [LaneRun],
+    outs: &mut [Vec<Token>],
+    geom: BatchGeometry,
+    params: &LzssParams,
+    probe: &mut P,
+) {
+    loop {
+        let live = runs.iter().filter(|r| !r.done).count() as u32;
+        if live == 0 {
+            break;
+        }
+        probe.lanes_active(live);
+        for lane in 0..inputs.len() {
+            if runs[lane].done {
+                continue;
+            }
+            let tables = &mut lanes[lane];
+            let head = &mut tables.head[..1usize << params.hash_bits];
+            let prev = &mut tables.prev[..params.window_size as usize];
+            let (data, run, out) = (inputs[lane], &mut runs[lane], &mut outs[lane]);
+            for _ in 0..LANE_STRIDE {
+                if run.done {
+                    break;
+                }
+                if geom.tuning.lazy {
+                    step_lazy::<P, C>(data, run, head, prev, geom, out, probe);
+                } else {
+                    step_greedy::<P, C>(data, run, head, prev, geom, out, probe);
+                }
+            }
+        }
+    }
+}
+
+/// [`drive`] under an SSE2-enabled compilation context.
+///
+/// # Safety
+/// The host must support SSE2.
+#[allow(clippy::too_many_arguments)]
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn drive_sse2<P: MatchProbe>(
+    inputs: &[&[u8]],
+    lanes: &mut [LaneTables],
+    runs: &mut [LaneRun],
+    outs: &mut [Vec<Token>],
+    geom: BatchGeometry,
+    params: &LzssParams,
+    probe: &mut P,
+) {
+    drive::<P, crate::simd::Sse2Cmp>(inputs, lanes, runs, outs, geom, params, probe)
+}
+
+/// [`drive`] under an AVX2-enabled compilation context.
+///
+/// # Safety
+/// The host must support AVX2.
+#[allow(clippy::too_many_arguments)]
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn drive_avx2<P: MatchProbe>(
+    inputs: &[&[u8]],
+    lanes: &mut [LaneTables],
+    runs: &mut [LaneRun],
+    outs: &mut [Vec<Token>],
+    geom: BatchGeometry,
+    params: &LzssParams,
+    probe: &mut P,
+) {
+    drive::<P, crate::simd::Avx2Cmp>(inputs, lanes, runs, outs, geom, params, probe)
+}
+
+/// [`drive`] under a NEON-enabled compilation context.
+///
+/// # Safety
+/// The host must support NEON (the AArch64 baseline).
+#[allow(clippy::too_many_arguments)]
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn drive_neon<P: MatchProbe>(
+    inputs: &[&[u8]],
+    lanes: &mut [LaneTables],
+    runs: &mut [LaneRun],
+    outs: &mut [Vec<Token>],
+    geom: BatchGeometry,
+    params: &LzssParams,
+    probe: &mut P,
+) {
+    drive::<P, crate::simd::NeonCmp>(inputs, lanes, runs, outs, geom, params, probe)
+}
+
+/// One iteration of the greedy `while pos < n` loop from
+/// `TurboEngine::run_greedy`, with the cursor lifted into [`LaneRun`].
+#[inline(always)]
+fn step_greedy<P: MatchProbe, C: Compare>(
+    data: &[u8],
+    run: &mut LaneRun,
+    head: &mut [u32],
+    prev: &mut [u32],
+    geom: BatchGeometry,
+    out: &mut Vec<Token>,
+    probe: &mut P,
+) {
+    let n = data.len();
+    let pos = run.pos;
+    if pos >= n {
+        run.done = true;
+        return;
+    }
+    if n - pos < HASH_BYTES {
+        out.literal(data[pos]);
+        probe.literal();
+        run.pos = pos + 1;
+        return;
+    }
+    let h = geom.hash.hash_at(data, pos);
+    let cand = insert(head, prev, h, pos as u32);
+    probe.inserted();
+
+    let (best_len, best_dist) =
+        longest_match::<P, C>(data, pos, cand, prev, geom.search, geom.tuning.max_chain, probe);
+
+    if best_len >= MIN_MATCH {
+        out.matched(best_dist, best_len);
+        probe.matched(best_len);
+        if best_len <= geom.tuning.max_lazy {
+            insert_run(data, head, prev, geom.hash, pos + 1, pos + best_len as usize, n, probe);
+        }
+        run.pos = pos + best_len as usize;
+    } else {
+        out.literal(data[pos]);
+        probe.literal();
+        run.pos = pos + 1;
+    }
+}
+
+/// One iteration of the lazy loop from `TurboEngine::run_lazy`, including
+/// the post-loop trailing-literal flush (folded into the `pos >= n` arm).
+#[inline(always)]
+fn step_lazy<P: MatchProbe, C: Compare>(
+    data: &[u8],
+    run: &mut LaneRun,
+    head: &mut [u32],
+    prev: &mut [u32],
+    geom: BatchGeometry,
+    out: &mut Vec<Token>,
+    probe: &mut P,
+) {
+    let n = data.len();
+    let pos = run.pos;
+    if pos >= n {
+        if run.have_prev_literal {
+            out.literal(data[n - 1]);
+            probe.literal();
+            run.have_prev_literal = false;
+        }
+        run.done = true;
+        return;
+    }
+    if n - pos < HASH_BYTES {
+        if run.prev_len >= MIN_MATCH {
+            out.matched(run.prev_dist, run.prev_len);
+            probe.matched(run.prev_len);
+            run.pos = pos + run.prev_len as usize - 1;
+            run.prev_len = 0;
+            run.have_prev_literal = false;
+            return;
+        }
+        if run.have_prev_literal {
+            out.literal(data[pos - 1]);
+            probe.literal();
+            run.have_prev_literal = false;
+        }
+        out.literal(data[pos]);
+        probe.literal();
+        run.pos = pos + 1;
+        return;
+    }
+
+    let h = geom.hash.hash_at(data, pos);
+    let cand = insert(head, prev, h, pos as u32);
+    probe.inserted();
+
+    let budget = if run.prev_len >= geom.tuning.good_length {
+        geom.tuning.max_chain >> 2
+    } else {
+        geom.tuning.max_chain
+    };
+    let (mut cur_len, cur_dist) = if run.prev_len < geom.tuning.max_lazy {
+        longest_match::<P, C>(data, pos, cand, prev, geom.search, budget.max(1), probe)
+    } else {
+        (0, 0)
+    };
+    if cur_len == MIN_MATCH && cur_dist > TOO_FAR {
+        cur_len = 0;
+    }
+
+    if run.prev_len >= MIN_MATCH && cur_len <= run.prev_len {
+        out.matched(run.prev_dist, run.prev_len);
+        probe.matched(run.prev_len);
+        insert_run(data, head, prev, geom.hash, pos + 1, pos - 1 + run.prev_len as usize, n, probe);
+        run.pos = pos + run.prev_len as usize - 1;
+        run.prev_len = 0;
+        run.have_prev_literal = false;
+    } else {
+        if run.have_prev_literal {
+            out.literal(data[pos - 1]);
+            probe.literal();
+        }
+        run.prev_len = cur_len;
+        run.prev_dist = cur_dist;
+        run.have_prev_literal = true;
+        run.pos = pos + 1;
+    }
+}
+
+/// `MAX_MATCH` re-exported for the lane-sizing heuristics in `parallel`
+/// (kept here so the batch API is self-contained).
+pub const LANE_MAX_MATCH: u32 = MAX_MATCH;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CompressionLevel;
+    use crate::turbo::TurboEngine;
+    use lzfpga_sim::rng::XorShift64;
+    use lzfpga_telemetry::TurboCounters;
+
+    fn sample_inputs() -> Vec<Vec<u8>> {
+        let mut rng = XorShift64::new(77);
+        let mut random = vec![0u8; 30_000];
+        rng.fill_bytes(&mut random);
+        let lowent: Vec<u8> = (0..50_000).map(|_| b'a' + rng.next_u8() % 4).collect();
+        vec![
+            Vec::new(),
+            b"a".to_vec(),
+            b"snowy snow".to_vec(),
+            vec![b'z'; 12_000],
+            random,
+            lowent,
+            b"abcabcabcabc xyz abcabc xyz ".repeat(300),
+        ]
+    }
+
+    #[test]
+    fn every_lane_is_token_identical_to_turbo_at_all_levels() {
+        let inputs = sample_inputs();
+        let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+        let mut turbo = TurboEngine::new();
+        let mut batch = BatchEngine::new();
+        for level in [CompressionLevel::Min, CompressionLevel::Medium, CompressionLevel::Max] {
+            for (w, h) in [(1_024u32, 12u32), (4_096, 15), (32_768, 15)] {
+                let params = LzssParams::new(w, h, level);
+                let outs = batch.compress_batch(&refs, &params);
+                assert_eq!(outs.len(), refs.len());
+                for (i, out) in outs.iter().enumerate() {
+                    let expect = turbo.compress(refs[i], &params);
+                    assert_eq!(out, &expect, "lane {i} {params:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_order_and_batch_shape_do_not_change_tokens() {
+        let inputs = sample_inputs();
+        let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+        let params = LzssParams::paper_fast();
+        let mut batch = BatchEngine::new();
+        let together = batch.compress_batch(&refs, &params);
+        // One lane at a time through the same (reused) engine.
+        for (i, input) in refs.iter().enumerate() {
+            let alone = batch.compress_batch(&[input], &params);
+            assert_eq!(alone[0], together[i], "lane {i}");
+        }
+        // Reversed lane order.
+        let reversed: Vec<&[u8]> = refs.iter().rev().copied().collect();
+        let rev_outs = batch.compress_batch(&reversed, &params);
+        for (i, out) in rev_outs.iter().enumerate() {
+            assert_eq!(out, &together[refs.len() - 1 - i], "reversed lane {i}");
+        }
+    }
+
+    #[test]
+    fn arena_reuse_across_batches_does_not_leak_state() {
+        let params = LzssParams::paper_fast();
+        let mut batch = BatchEngine::new();
+        let a = batch.compress_batch(&[b"snowy snow"], &params);
+        let big = vec![7u8; 60_000];
+        let _ = batch
+            .compress_batch(&[&big, &big], &LzssParams::new(32_768, 15, CompressionLevel::Max));
+        let b = batch.compress_batch(&[b"snowy snow"], &params);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn probed_batch_reports_occupancy_and_full_coverage() {
+        let inputs = sample_inputs();
+        let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+        let params = LzssParams::paper_fast();
+        let mut batch = BatchEngine::new();
+        let plain = batch.compress_batch(&refs, &params);
+        let mut counters = TurboCounters::default();
+        let probed = batch.compress_batch_probed(&refs, &params, &mut counters);
+        assert_eq!(probed, plain, "probes must never steer");
+        let total: usize = refs.iter().map(|d| d.len()).sum();
+        assert_eq!(counters.covered_bytes(), total as u64);
+        assert_eq!(counters.dispatches(), 1, "one dispatch per batch");
+        // Occupancy: starts at the number of non-empty lanes, decays to 1.
+        let non_empty = refs.iter().filter(|d| !d.is_empty()).count() as u64;
+        assert_eq!(counters.lane_occupancy.max(), non_empty);
+        assert!(counters.lane_occupancy.count() > 0);
+    }
+
+    #[test]
+    fn empty_batch_and_empty_lanes() {
+        let params = LzssParams::paper_fast();
+        let mut batch = BatchEngine::new();
+        assert!(batch.compress_batch(&[], &params).is_empty());
+        let outs = batch.compress_batch(&[&[][..], &[][..]], &params);
+        assert_eq!(outs, vec![Vec::<Token>::new(), Vec::new()]);
+    }
+
+    #[test]
+    fn forced_kernels_agree_lane_for_lane() {
+        let inputs = sample_inputs();
+        let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+        let params = LzssParams::new(4_096, 15, CompressionLevel::Medium);
+        let mut scalar = BatchEngine::with_kernel(MatchKernel::scalar());
+        let expect = scalar.compress_batch(&refs, &params);
+        for kernel in MatchKernel::supported() {
+            let mut engine = BatchEngine::with_kernel(kernel);
+            assert_eq!(engine.compress_batch(&refs, &params), expect, "{kernel}");
+        }
+    }
+}

@@ -76,6 +76,53 @@ impl HashFn {
     pub fn hash_at(&self, data: &[u8], pos: usize) -> u32 {
         self.hash3(data[pos], data[pos + 1], data[pos + 2])
     }
+
+    /// Hash the 4 consecutive positions `pos..pos + 4` in one call —
+    /// four independent lanes of the same arithmetic, written so the
+    /// compiler can schedule (or vectorize) them together instead of
+    /// serializing one table insert per hash. Each lane equals
+    /// [`Self::hash_at`] at its position exactly; the bulk-insert loops in
+    /// the turbo engine rely on that to stay token-identical.
+    ///
+    /// # Panics
+    /// Panics (via slice indexing) when fewer than 7 bytes remain at `pos`
+    /// (position `pos + 3` still hashes 3 bytes).
+    #[inline]
+    pub fn hash4_at(&self, data: &[u8], pos: usize) -> [u32; 4] {
+        let b: [u32; 7] = {
+            let w = &data[pos..pos + 7];
+            [
+                u32::from(w[0]),
+                u32::from(w[1]),
+                u32::from(w[2]),
+                u32::from(w[3]),
+                u32::from(w[4]),
+                u32::from(w[5]),
+                u32::from(w[6]),
+            ]
+        };
+        match *self {
+            HashFn::ZlibRolling { bits, shift } => {
+                let mask = (1u32 << bits) - 1;
+                let mut h = [b[0], b[1], b[2], b[3]];
+                for i in 0..4 {
+                    h[i] = ((h[i] << shift) ^ b[i + 1]) & mask;
+                }
+                for i in 0..4 {
+                    h[i] = ((h[i] << shift) ^ b[i + 2]) & mask;
+                }
+                h
+            }
+            HashFn::Multiplicative { bits } => {
+                let mut h = [0u32; 4];
+                for i in 0..4 {
+                    let x = b[i] | (b[i + 1] << 8) | (b[i + 2] << 16);
+                    h[i] = x.wrapping_mul(2_654_435_761) >> (32 - bits);
+                }
+                h
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +169,19 @@ mod tests {
         let data = b"hello world";
         for pos in 0..data.len() - 2 {
             assert_eq!(f.hash_at(data, pos), f.hash3(data[pos], data[pos + 1], data[pos + 2]));
+        }
+    }
+
+    #[test]
+    fn hash4_at_equals_four_hash_ats() {
+        let data = b"the quick brown fox jumps over the lazy dog 0123456789";
+        for f in [HashFn::zlib(15), HashFn::zlib(9), HashFn::multiplicative(12)] {
+            for pos in 0..data.len() - 7 {
+                let wide = f.hash4_at(data, pos);
+                for (lane, h) in wide.into_iter().enumerate() {
+                    assert_eq!(h, f.hash_at(data, pos + lane), "{f:?} pos={pos} lane={lane}");
+                }
+            }
         }
     }
 

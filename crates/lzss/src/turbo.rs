@@ -35,9 +35,15 @@
 //! the `--metrics` report uses. Probes observe; they never influence a
 //! decision.
 
+// The only `unsafe` here is the `#[target_feature]` matcher wrappers below
+// `longest_match`; their CPU-support precondition is carried by the
+// proof-carrying `MatchKernel` value (see `crate::simd`).
+#![allow(unsafe_code)]
+
 use crate::hash::HASH_BYTES;
-use crate::params::LzssParams;
+use crate::params::{LevelTuning, LzssParams};
 use crate::reference::max_distance;
+use crate::simd::{Compare, Isa, MatchKernel, ScalarCmp};
 use lzfpga_deflate::fixed::{MAX_MATCH, MIN_MATCH};
 use lzfpga_deflate::sink::TokenSink;
 use lzfpga_deflate::token::Token;
@@ -45,51 +51,28 @@ use lzfpga_faults::{Failpoints, InjectedFault};
 use lzfpga_telemetry::{MatchProbe, NoProbe};
 
 /// Same threshold as the reference lazy path (zlib's `TOO_FAR`).
-const TOO_FAR: u32 = 4_096;
+pub(crate) const TOO_FAR: u32 = 4_096;
 
 /// Length of the common prefix of `data[a..]` and `data[b..]`, capped at
-/// `limit`, compared 8 bytes at a time.
+/// `limit`, compared a register at a time on the widest kernel the host
+/// supports (see [`crate::simd`]); the scalar 8-byte path is the guaranteed
+/// fallback and every path returns identical lengths.
 ///
 /// Caller guarantees `a < b` and `b + limit <= data.len()` (the reference
 /// compressor's `limit = MAX_MATCH.min(len - pos)` invariant), so every
-/// 8-byte load below is in bounds for both cursors.
+/// vector load is in bounds for both cursors.
 #[inline]
 pub fn match_length_fast(data: &[u8], a: usize, b: usize, limit: u32) -> u32 {
-    debug_assert!(a < b);
-    debug_assert!(b + limit as usize <= data.len());
-    let max = limit as usize;
-    // `a + max <= b + max <= data.len()`, so both windows are in bounds; the
-    // exact-length subslices let the compiler drop per-iteration checks and
-    // `chunks_exact(8)` makes each `try_into` a free reinterpretation.
-    let pa = &data[a..a + max];
-    let pb = &data[b..b + max];
-    let mut n = 0usize;
-    for (ca, cb) in pa.chunks_exact(8).zip(pb.chunks_exact(8)) {
-        let wa = u64::from_le_bytes(ca.try_into().expect("8-byte chunk"));
-        let wb = u64::from_le_bytes(cb.try_into().expect("8-byte chunk"));
-        let diff = wa ^ wb;
-        if diff != 0 {
-            // First differing byte: in little-endian order the low byte of
-            // the word is the first byte of the slice, so the mismatch
-            // offset is trailing-zero-bits / 8 — the software form of the
-            // hardware's priority encoder over the bus comparator lanes.
-            return (n + (diff.trailing_zeros() / 8) as usize) as u32;
-        }
-        n += 8;
-    }
-    while n < max && pa[n] == pb[n] {
-        n += 1;
-    }
-    n as u32
+    MatchKernel::detect().match_length(data, a, b, limit)
 }
 
 /// Per-run search geometry, hoisted out of the hot loop.
 #[derive(Clone, Copy)]
-struct Search {
+pub(crate) struct Search {
     /// Largest emittable distance (`max_distance(window_size)`).
-    max_dist: u32,
+    pub(crate) max_dist: u32,
     /// Stop searching once a match of this length is found.
-    nice: u32,
+    pub(crate) nice: u32,
 }
 
 /// zlib `INSERT_STRING`: file `pos` under `h`, return the old head.
@@ -100,7 +83,7 @@ struct Search {
 /// footprint of the reference's `usize` entries, which matters because the
 /// head table is hit at a random slot for every input position.
 #[inline]
-fn insert(head: &mut [u32], prev: &mut [u32], h: u32, pos: u32) -> u32 {
+pub(crate) fn insert(head: &mut [u32], prev: &mut [u32], h: u32, pos: u32) -> u32 {
     let slot = h as usize & (head.len() - 1);
     let old = head[slot];
     prev[pos as usize & (prev.len() - 1)] = old;
@@ -110,9 +93,20 @@ fn insert(head: &mut [u32], prev: &mut [u32], h: u32, pos: u32) -> u32 {
 
 /// Walk the chain from `cand` for the longest match against `data[pos..]`;
 /// identical decisions to the reference `longest_match`. `prev` is the live
-/// `window_size`-entry ring (its length is the index mask + 1).
-#[inline]
-fn longest_match<P: MatchProbe>(
+/// `window_size`-entry ring (its length is the index mask + 1). `C` selects
+/// the compare ISA at compile time; every kernel returns identical lengths,
+/// so the decisions here do not depend on it.
+///
+/// `#[inline(always)]`, monomorphized per [`Compare`] impl: the engines
+/// dispatch on the ISA **once per compress call** (see
+/// [`TurboEngine::compress_into_probed`]) and run a whole match loop
+/// compiled inside the matching `#[target_feature]` context, so the vector
+/// compare fuses into this walk. Any finer-grained boundary measurably
+/// loses: an un-inlinable call per probe (dynamic
+/// [`MatchKernel::match_length`]) or even per position rivals the cost of
+/// the short compares that dominate real corpora.
+#[inline(always)]
+pub(crate) fn longest_match<P: MatchProbe, C: Compare>(
     data: &[u8],
     pos: usize,
     mut cand: u32,
@@ -147,7 +141,11 @@ fn longest_match<P: MatchProbe>(
         // `best_len < limit` holds here — a best of `limit >= nice` would
         // have exited at its update below — so both probes are in bounds.
         if data[cand as usize + best_len as usize] == scan_end {
-            let len = match_length_fast(data, cand as usize, pos, limit);
+            // SAFETY: `C`'s ISA support is the enclosing wrapper's
+            // precondition, discharged by `longest_match`'s dispatch; the
+            // compare contract (`cand < pos`, `pos + limit <= data.len()`)
+            // is the reference compressor's invariant restated above.
+            let len = unsafe { C::len(data, cand as usize, pos, limit) };
             probe.kernel_run(len);
             if len > best_len {
                 best_len = len;
@@ -170,6 +168,45 @@ fn longest_match<P: MatchProbe>(
     (best_len, best_dist)
 }
 
+/// zlib's bulk `INSERT_STRING` run for the covered positions `from..to`
+/// of a match: hashes are computed four lanes at a time ([`crate::hash::HashFn::hash4_at`])
+/// so the serial hash→insert dependency of one position overlaps the next
+/// three. Insert order and values are identical to the one-at-a-time loop,
+/// which keeps the token stream identical. Positions past `n - HASH_BYTES`
+/// are skipped exactly as before.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn insert_run<P: MatchProbe>(
+    data: &[u8],
+    head: &mut [u32],
+    prev: &mut [u32],
+    hash: crate::hash::HashFn,
+    from: usize,
+    to: usize,
+    n: usize,
+    probe: &mut P,
+) {
+    let mut k = from;
+    // 4-wide while the group fits the run and `hash4_at`'s 7-byte window
+    // fits the input (`k + 7 <= n` also guarantees every lane has its 3
+    // hash bytes).
+    while k + 4 <= to && k + 7 <= n {
+        let hs = hash.hash4_at(data, k);
+        for (j, hk) in hs.into_iter().enumerate() {
+            insert(head, prev, hk, (k + j) as u32);
+            probe.inserted();
+        }
+        k += 4;
+    }
+    while k < to {
+        if k + HASH_BYTES <= n {
+            insert(head, prev, hash.hash_at(data, k), k as u32);
+            probe.inserted();
+        }
+        k += 1;
+    }
+}
+
 /// A reusable LZSS compression engine: the reference algorithm with
 /// persistent head/next arenas and the word-at-a-time kernel.
 ///
@@ -181,12 +218,30 @@ pub struct TurboEngine {
     head: Vec<u32>,
     /// Next (chained previous-position) arena; live region is `window_size`.
     prev: Vec<u32>,
+    /// Match-compare ISA path; defaults to the widest the host supports.
+    kernel: MatchKernel,
 }
 
 impl TurboEngine {
-    /// A fresh engine with empty arenas.
+    /// A fresh engine with empty arenas and the auto-detected match kernel.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A fresh engine pinned to `kernel` (the differential tests and the
+    /// benchmark's pre-SIMD baseline use this to force the scalar path).
+    pub fn with_kernel(kernel: MatchKernel) -> Self {
+        Self { kernel, ..Self::default() }
+    }
+
+    /// Re-pin the match kernel; takes effect on the next compress call.
+    pub fn set_kernel(&mut self, kernel: MatchKernel) {
+        self.kernel = kernel;
+    }
+
+    /// The ISA path this engine's matches run on.
+    pub fn kernel(&self) -> MatchKernel {
+        self.kernel
     }
 
     /// Zero the live table regions for `params`, growing the arenas if this
@@ -224,10 +279,30 @@ impl TurboEngine {
         params.validate();
         assert!(data.len() <= u32::MAX as usize, "turbo inputs are limited to 4 GiB - 1");
         self.reset(params);
-        if params.effective_tuning().lazy {
-            self.run_lazy(data, params, sink, probe);
-        } else {
-            self.run_greedy(data, params, sink, probe);
+        probe.kernel_select(self.kernel.name());
+        let tuning = params.effective_tuning();
+        let search =
+            Search { max_dist: max_distance(params.window_size), nice: tuning.nice_length };
+        let hash = params.hash_fn;
+        let kernel = self.kernel;
+        let head = &mut self.head[..1usize << params.hash_bits];
+        let prev = &mut self.prev[..params.window_size as usize];
+        // One ISA dispatch per compress call: everything below it is
+        // monomorphized over the compare kernel, so the per-probe compare
+        // inlines into the match loop (see `crate::simd::Compare`).
+        match kernel.isa() {
+            Isa::Scalar => {
+                run::<S, P, ScalarCmp>(data, head, prev, hash, search, tuning, sink, probe)
+            }
+            // SAFETY (all three arms): a `MatchKernel` carrying a vector ISA
+            // is only constructible after the host feature probe confirmed
+            // support — see `crate::simd`.
+            #[cfg(target_arch = "x86_64")]
+            Isa::Sse2 => unsafe { run_sse2(data, head, prev, hash, search, tuning, sink, probe) },
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx2 => unsafe { run_avx2(data, head, prev, hash, search, tuning, sink, probe) },
+            #[cfg(target_arch = "aarch64")]
+            Isa::Neon => unsafe { run_neon(data, head, prev, hash, search, tuning, sink, probe) },
         }
     }
 
@@ -262,148 +337,212 @@ impl TurboEngine {
         }
         Ok(())
     }
+}
 
-    fn run_greedy<S: TokenSink, P: MatchProbe>(
-        &mut self,
-        data: &[u8],
-        params: &LzssParams,
-        sink: &mut S,
-        probe: &mut P,
-    ) {
-        let tuning = params.effective_tuning();
-        let search =
-            Search { max_dist: max_distance(params.window_size), nice: tuning.nice_length };
-        let hash = params.hash_fn;
-        let Self { head, prev } = self;
-        let head = &mut head[..1usize << params.hash_bits];
-        let prev = &mut prev[..params.window_size as usize];
-        let n = data.len();
-        let mut pos = 0usize;
+/// Greedy-or-lazy switch, monomorphized over the compare kernel. The
+/// `#[target_feature]` wrappers below give each vector ISA a compilation
+/// context this whole loop nest inlines into; the engines and the batch
+/// driver dispatch to one of them exactly once per compress call.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn run<S: TokenSink, P: MatchProbe, C: Compare>(
+    data: &[u8],
+    head: &mut [u32],
+    prev: &mut [u32],
+    hash: crate::hash::HashFn,
+    search: Search,
+    tuning: LevelTuning,
+    sink: &mut S,
+    probe: &mut P,
+) {
+    if tuning.lazy {
+        run_lazy::<S, P, C>(data, head, prev, hash, search, tuning, sink, probe)
+    } else {
+        run_greedy::<S, P, C>(data, head, prev, hash, search, tuning, sink, probe)
+    }
+}
 
-        while pos < n {
-            if n - pos < HASH_BYTES {
-                sink.literal(data[pos]);
-                probe.literal();
-                pos += 1;
-                continue;
+/// [`run`] under an SSE2-enabled compilation context.
+///
+/// # Safety
+/// The host must support SSE2.
+#[allow(clippy::too_many_arguments)]
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn run_sse2<S: TokenSink, P: MatchProbe>(
+    data: &[u8],
+    head: &mut [u32],
+    prev: &mut [u32],
+    hash: crate::hash::HashFn,
+    search: Search,
+    tuning: LevelTuning,
+    sink: &mut S,
+    probe: &mut P,
+) {
+    run::<S, P, crate::simd::Sse2Cmp>(data, head, prev, hash, search, tuning, sink, probe)
+}
+
+/// [`run`] under an AVX2-enabled compilation context.
+///
+/// # Safety
+/// The host must support AVX2.
+#[allow(clippy::too_many_arguments)]
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn run_avx2<S: TokenSink, P: MatchProbe>(
+    data: &[u8],
+    head: &mut [u32],
+    prev: &mut [u32],
+    hash: crate::hash::HashFn,
+    search: Search,
+    tuning: LevelTuning,
+    sink: &mut S,
+    probe: &mut P,
+) {
+    run::<S, P, crate::simd::Avx2Cmp>(data, head, prev, hash, search, tuning, sink, probe)
+}
+
+/// [`run`] under a NEON-enabled compilation context.
+///
+/// # Safety
+/// The host must support NEON (the AArch64 baseline).
+#[allow(clippy::too_many_arguments)]
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn run_neon<S: TokenSink, P: MatchProbe>(
+    data: &[u8],
+    head: &mut [u32],
+    prev: &mut [u32],
+    hash: crate::hash::HashFn,
+    search: Search,
+    tuning: LevelTuning,
+    sink: &mut S,
+    probe: &mut P,
+) {
+    run::<S, P, crate::simd::NeonCmp>(data, head, prev, hash, search, tuning, sink, probe)
+}
+
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn run_greedy<S: TokenSink, P: MatchProbe, C: Compare>(
+    data: &[u8],
+    head: &mut [u32],
+    prev: &mut [u32],
+    hash: crate::hash::HashFn,
+    search: Search,
+    tuning: LevelTuning,
+    sink: &mut S,
+    probe: &mut P,
+) {
+    let n = data.len();
+    let mut pos = 0usize;
+
+    while pos < n {
+        if n - pos < HASH_BYTES {
+            sink.literal(data[pos]);
+            probe.literal();
+            pos += 1;
+            continue;
+        }
+        let h = hash.hash_at(data, pos);
+        let cand = insert(head, prev, h, pos as u32);
+        probe.inserted();
+
+        let (best_len, best_dist) =
+            longest_match::<P, C>(data, pos, cand, prev, search, tuning.max_chain, probe);
+
+        if best_len >= MIN_MATCH {
+            sink.matched(best_dist, best_len);
+            probe.matched(best_len);
+            if best_len <= tuning.max_lazy {
+                insert_run(data, head, prev, hash, pos + 1, pos + best_len as usize, n, probe);
             }
-            let h = hash.hash_at(data, pos);
-            let cand = insert(head, prev, h, pos as u32);
-            probe.inserted();
-
-            let (best_len, best_dist) =
-                longest_match(data, pos, cand, prev, search, tuning.max_chain, probe);
-
-            if best_len >= MIN_MATCH {
-                sink.matched(best_dist, best_len);
-                probe.matched(best_len);
-                if best_len <= tuning.max_lazy {
-                    for k in pos + 1..pos + best_len as usize {
-                        if k + HASH_BYTES <= n {
-                            let hk = hash.hash_at(data, k);
-                            insert(head, prev, hk, k as u32);
-                            probe.inserted();
-                        }
-                    }
-                }
-                pos += best_len as usize;
-            } else {
-                sink.literal(data[pos]);
-                probe.literal();
-                pos += 1;
-            }
+            pos += best_len as usize;
+        } else {
+            sink.literal(data[pos]);
+            probe.literal();
+            pos += 1;
         }
     }
+}
 
-    fn run_lazy<S: TokenSink, P: MatchProbe>(
-        &mut self,
-        data: &[u8],
-        params: &LzssParams,
-        sink: &mut S,
-        probe: &mut P,
-    ) {
-        let tuning = params.effective_tuning();
-        let search =
-            Search { max_dist: max_distance(params.window_size), nice: tuning.nice_length };
-        let hash = params.hash_fn;
-        let Self { head, prev } = self;
-        let head = &mut head[..1usize << params.hash_bits];
-        let prev = &mut prev[..params.window_size as usize];
-        let n = data.len();
-        let mut pos = 0usize;
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn run_lazy<S: TokenSink, P: MatchProbe, C: Compare>(
+    data: &[u8],
+    head: &mut [u32],
+    prev: &mut [u32],
+    hash: crate::hash::HashFn,
+    search: Search,
+    tuning: LevelTuning,
+    sink: &mut S,
+    probe: &mut P,
+) {
+    let n = data.len();
+    let mut pos = 0usize;
 
-        let mut prev_len = 0u32;
-        let mut prev_dist = 0u32;
-        let mut have_prev_literal = false;
+    let mut prev_len = 0u32;
+    let mut prev_dist = 0u32;
+    let mut have_prev_literal = false;
 
-        while pos < n {
-            if n - pos < HASH_BYTES {
-                if prev_len >= MIN_MATCH {
-                    sink.matched(prev_dist, prev_len);
-                    probe.matched(prev_len);
-                    let skip = prev_len as usize - 1;
-                    prev_len = 0;
-                    have_prev_literal = false;
-                    pos += skip;
-                    continue;
-                }
-                if have_prev_literal {
-                    sink.literal(data[pos - 1]);
-                    probe.literal();
-                    have_prev_literal = false;
-                }
-                sink.literal(data[pos]);
-                probe.literal();
-                pos += 1;
-                continue;
-            }
-
-            let h = hash.hash_at(data, pos);
-            let cand = insert(head, prev, h, pos as u32);
-            probe.inserted();
-
-            let budget = if prev_len >= tuning.good_length {
-                tuning.max_chain >> 2
-            } else {
-                tuning.max_chain
-            };
-            let (mut cur_len, cur_dist) = if prev_len < tuning.max_lazy {
-                longest_match(data, pos, cand, prev, search, budget.max(1), probe)
-            } else {
-                (0, 0)
-            };
-            if cur_len == MIN_MATCH && cur_dist > TOO_FAR {
-                cur_len = 0;
-            }
-
-            if prev_len >= MIN_MATCH && cur_len <= prev_len {
+    while pos < n {
+        if n - pos < HASH_BYTES {
+            if prev_len >= MIN_MATCH {
                 sink.matched(prev_dist, prev_len);
                 probe.matched(prev_len);
-                for k in pos + 1..pos - 1 + prev_len as usize {
-                    if k + HASH_BYTES <= n {
-                        let hk = hash.hash_at(data, k);
-                        insert(head, prev, hk, k as u32);
-                        probe.inserted();
-                    }
-                }
-                pos += prev_len as usize - 1;
+                let skip = prev_len as usize - 1;
                 prev_len = 0;
                 have_prev_literal = false;
-            } else {
-                if have_prev_literal {
-                    sink.literal(data[pos - 1]);
-                    probe.literal();
-                }
-                prev_len = cur_len;
-                prev_dist = cur_dist;
-                have_prev_literal = true;
-                pos += 1;
+                pos += skip;
+                continue;
             }
-        }
-        if have_prev_literal {
-            sink.literal(data[n - 1]);
+            if have_prev_literal {
+                sink.literal(data[pos - 1]);
+                probe.literal();
+                have_prev_literal = false;
+            }
+            sink.literal(data[pos]);
             probe.literal();
+            pos += 1;
+            continue;
         }
+
+        let h = hash.hash_at(data, pos);
+        let cand = insert(head, prev, h, pos as u32);
+        probe.inserted();
+
+        let budget =
+            if prev_len >= tuning.good_length { tuning.max_chain >> 2 } else { tuning.max_chain };
+        let (mut cur_len, cur_dist) = if prev_len < tuning.max_lazy {
+            longest_match::<P, C>(data, pos, cand, prev, search, budget.max(1), probe)
+        } else {
+            (0, 0)
+        };
+        if cur_len == MIN_MATCH && cur_dist > TOO_FAR {
+            cur_len = 0;
+        }
+
+        if prev_len >= MIN_MATCH && cur_len <= prev_len {
+            sink.matched(prev_dist, prev_len);
+            probe.matched(prev_len);
+            insert_run(data, head, prev, hash, pos + 1, pos - 1 + prev_len as usize, n, probe);
+            pos += prev_len as usize - 1;
+            prev_len = 0;
+            have_prev_literal = false;
+        } else {
+            if have_prev_literal {
+                sink.literal(data[pos - 1]);
+                probe.literal();
+            }
+            prev_len = cur_len;
+            prev_dist = cur_dist;
+            have_prev_literal = true;
+            pos += 1;
+        }
+    }
+    if have_prev_literal {
+        sink.literal(data[n - 1]);
+        probe.literal();
     }
 }
 

@@ -46,6 +46,21 @@ pub trait MatchProbe {
     fn matched(&mut self, len: u32) {
         let _ = len;
     }
+
+    /// A compress run resolved its match-kernel dispatch to the named ISA
+    /// path (`"scalar"`, `"sse2"`, `"avx2"`, `"neon"`). Fired once per
+    /// engine run, before any token is produced.
+    #[inline]
+    fn kernel_select(&mut self, isa: &'static str) {
+        let _ = isa;
+    }
+
+    /// One round-robin turn of the multi-lane batch driver completed with
+    /// `lanes` streams still live — the batched-lane occupancy signal.
+    #[inline]
+    fn lanes_active(&mut self, lanes: u32) {
+        let _ = lanes;
+    }
 }
 
 /// The disabled probe: every observation point is a no-op.
@@ -75,6 +90,16 @@ pub struct TurboCounters {
     pub chain_hist: Histogram,
     /// Distribution of emitted match lengths.
     pub match_len_hist: Histogram,
+    /// Engine runs dispatched to the scalar (u64) match kernel.
+    pub dispatch_scalar: u64,
+    /// Engine runs dispatched to the SSE2 (16-byte) match kernel.
+    pub dispatch_sse2: u64,
+    /// Engine runs dispatched to the AVX2 (32-byte) match kernel.
+    pub dispatch_avx2: u64,
+    /// Engine runs dispatched to the NEON (16-byte) match kernel.
+    pub dispatch_neon: u64,
+    /// Distribution of live lanes per batch round (multi-lane driver only).
+    pub lane_occupancy: Histogram,
 }
 
 impl MatchProbe for TurboCounters {
@@ -109,6 +134,21 @@ impl MatchProbe for TurboCounters {
         self.matches += 1;
         self.match_bytes += u64::from(len);
         self.match_len_hist.record(u64::from(len));
+    }
+
+    #[inline]
+    fn kernel_select(&mut self, isa: &'static str) {
+        match isa {
+            "sse2" => self.dispatch_sse2 += 1,
+            "avx2" => self.dispatch_avx2 += 1,
+            "neon" => self.dispatch_neon += 1,
+            _ => self.dispatch_scalar += 1,
+        }
+    }
+
+    #[inline]
+    fn lanes_active(&mut self, lanes: u32) {
+        self.lane_occupancy.record(u64::from(lanes));
     }
 }
 
@@ -150,6 +190,16 @@ impl TurboCounters {
         self.match_bytes += other.match_bytes;
         self.chain_hist.merge(&other.chain_hist);
         self.match_len_hist.merge(&other.match_len_hist);
+        self.dispatch_scalar += other.dispatch_scalar;
+        self.dispatch_sse2 += other.dispatch_sse2;
+        self.dispatch_avx2 += other.dispatch_avx2;
+        self.dispatch_neon += other.dispatch_neon;
+        self.lane_occupancy.merge(&other.lane_occupancy);
+    }
+
+    /// Total engine runs that reported a kernel dispatch.
+    pub fn dispatches(&self) -> u64 {
+        self.dispatch_scalar + self.dispatch_sse2 + self.dispatch_avx2 + self.dispatch_neon
     }
 
     /// JSON form for the `telemetry.turbo` report section.
@@ -167,6 +217,16 @@ impl TurboCounters {
             ("match_ratio", self.match_ratio().into()),
             ("chain_len", self.chain_hist.to_json()),
             ("match_len", self.match_len_hist.to_json()),
+            (
+                "dispatch",
+                obj([
+                    ("scalar", self.dispatch_scalar.into()),
+                    ("sse2", self.dispatch_sse2.into()),
+                    ("avx2", self.dispatch_avx2.into()),
+                    ("neon", self.dispatch_neon.into()),
+                ]),
+            ),
+            ("lane_occupancy", self.lane_occupancy.to_json()),
         ])
     }
 }
@@ -217,5 +277,34 @@ mod tests {
         let parsed = crate::json::parse(&c.to_json().render()).unwrap();
         assert_eq!(parsed.get("covered_bytes").unwrap().as_i64(), Some(101));
         assert_eq!(parsed.get("match_len").unwrap().get("max").unwrap().as_i64(), Some(100));
+    }
+
+    #[test]
+    fn kernel_dispatch_and_lane_occupancy_accumulate() {
+        let mut c = TurboCounters::default();
+        c.kernel_select("avx2");
+        c.kernel_select("avx2");
+        c.kernel_select("scalar");
+        c.kernel_select("mystery-isa");
+        c.lanes_active(4);
+        c.lanes_active(2);
+        assert_eq!(c.dispatch_avx2, 2);
+        assert_eq!(c.dispatch_scalar, 2, "unknown ISAs count as scalar");
+        assert_eq!(c.dispatches(), 4);
+        assert_eq!(c.lane_occupancy.count(), 2);
+        assert_eq!(c.lane_occupancy.sum(), 6);
+
+        let mut other = TurboCounters::default();
+        other.kernel_select("sse2");
+        other.lanes_active(3);
+        c.merge(&other);
+        assert_eq!(c.dispatches(), 5);
+        assert_eq!(c.lane_occupancy.sum(), 9);
+
+        let parsed = crate::json::parse(&c.to_json().render()).unwrap();
+        let dispatch = parsed.get("dispatch").unwrap();
+        assert_eq!(dispatch.get("avx2").unwrap().as_i64(), Some(2));
+        assert_eq!(dispatch.get("sse2").unwrap().as_i64(), Some(1));
+        assert_eq!(parsed.get("lane_occupancy").unwrap().get("count").unwrap().as_i64(), Some(3));
     }
 }

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Benchmark regression gate: run the throughput harness and compare against
+# the committed baseline in BENCH_throughput.json.
+#
+# The gate compares the host-normalised engine speedup (cost-model wall time
+# divided by turbo engine wall time, both measured in the same process on the
+# same host) for the mixed corpus. Raw MB/s is NOT compared across hosts —
+# CI machines and dev machines differ wildly; the within-run ratio is stable.
+# A drop of more than 10% below the committed baseline fails the gate.
+#
+# Usage:
+#   scripts/bench_gate.sh                # gate against BENCH_throughput.json
+#   scripts/bench_gate.sh --refresh      # re-measure and overwrite the baseline
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_throughput.json
+
+echo "== build bench harness (release) =="
+cargo build --release -p lzfpga-bench
+
+if [[ "${1:-}" == "--refresh" ]]; then
+    echo "== refresh committed baseline: $BASELINE =="
+    ./target/release/throughput --out "$BASELINE"
+    echo "bench_gate: baseline refreshed — review and commit $BASELINE"
+    exit 0
+fi
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "bench_gate: missing baseline $BASELINE (run with --refresh to create)" >&2
+    exit 1
+fi
+
+echo "== run harness and gate against $BASELINE =="
+./target/release/throughput --out /tmp/bench_gate_current.json --gate "$BASELINE"
+echo "bench_gate: passed"

@@ -1,0 +1,122 @@
+//! The multi-lane batched driver's verification twin of
+//! `turbo_equivalence.rs`: interleaving N independent streams through one
+//! kernel loop is a pure scheduling transform, so every lane's output must
+//! be **byte-identical** to compressing that input alone — per forced ISA
+//! kernel, per level, per lane width, and through the LZFC framed path.
+
+use lzfpga::container::FrameConfig;
+use lzfpga::deflate::zlib_decompress;
+use lzfpga::hw::HwConfig;
+use lzfpga::lzss::params::CompressionLevel;
+use lzfpga::lzss::{BatchEngine, MatchKernel, TurboEngine};
+use lzfpga::parallel::{
+    compress_batch, compress_frames_batched, compress_frames_parallel, EngineKind, ParallelConfig,
+};
+use lzfpga::workloads::{generate, Corpus};
+
+fn turbo_cfg() -> ParallelConfig {
+    ParallelConfig { engine: EngineKind::Turbo, workers: 1, ..ParallelConfig::default() }
+}
+
+#[test]
+fn every_lane_matches_single_stream_turbo_for_every_kernel() {
+    let inputs: Vec<Vec<u8>> = [
+        (Corpus::Mixed, 90_000usize),
+        (Corpus::Wiki, 70_000),
+        (Corpus::Random, 50_000),
+        (Corpus::Constant, 40_000),
+        (Corpus::JsonTelemetry, 60_000),
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, (c, n))| generate(*c, i as u64 + 1, *n))
+    .collect();
+    let refs: Vec<&[u8]> = inputs.iter().map(|v| v.as_slice()).collect();
+
+    for level in [CompressionLevel::Min, CompressionLevel::Medium, CompressionLevel::Max] {
+        let params = {
+            let mut p = HwConfig::paper_fast().as_lzss_params();
+            p.level = level;
+            p
+        };
+        for kernel in MatchKernel::supported() {
+            let singles: Vec<_> = refs
+                .iter()
+                .map(|data| TurboEngine::with_kernel(kernel).compress(data, &params))
+                .collect();
+            // At the lzss layer the lane width IS the number of inputs in
+            // the call, so vary it by regrouping the same inputs; the
+            // engine is reused across groups to exercise arena re-zeroing.
+            for lanes in [1usize, 2, 3, 5] {
+                let mut engine = BatchEngine::with_kernel(kernel);
+                let mut batched = Vec::new();
+                for group in refs.chunks(lanes) {
+                    batched.extend(engine.compress_batch(group, &params));
+                }
+                assert_eq!(batched.len(), refs.len());
+                for (i, (b, s)) in batched.iter().zip(&singles).enumerate() {
+                    assert_eq!(
+                        b,
+                        s,
+                        "lane {i} diverges: kernel {}, {lanes} lanes, {level:?}",
+                        kernel.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_api_emits_standalone_zlib_streams_in_input_order() {
+    let inputs: Vec<Vec<u8>> =
+        (0..7u64).map(|i| generate(Corpus::Mixed, i + 10, 40_000 + 7_000 * i as usize)).collect();
+    let refs: Vec<&[u8]> = inputs.iter().map(|v| v.as_slice()).collect();
+    for lanes in [1usize, 4, 8] {
+        let rep = compress_batch(&refs, &turbo_cfg(), lanes).unwrap();
+        assert_eq!(rep.streams.len(), inputs.len(), "{lanes} lanes");
+        for (i, stream) in rep.streams.iter().enumerate() {
+            assert_eq!(
+                zlib_decompress(stream).unwrap(),
+                inputs[i],
+                "lane {i} round trip at {lanes} lanes"
+            );
+        }
+        // Lane width is a performance knob, never an output knob.
+        let serial = compress_batch(&refs, &turbo_cfg(), 1).unwrap();
+        assert_eq!(rep.streams, serial.streams, "{lanes} lanes vs serial");
+    }
+}
+
+#[test]
+fn framed_batched_output_is_byte_identical_to_serial_framed() {
+    let data = generate(Corpus::Mixed, 77, 600_000);
+    let frame_cfg = FrameConfig { frame_bytes: 64 * 1024, collect_events: false };
+    let serial = compress_frames_parallel(&data, &turbo_cfg(), &frame_cfg).unwrap();
+    for lanes in [1usize, 3, 8] {
+        let batched = compress_frames_batched(&data, &turbo_cfg(), &frame_cfg, lanes).unwrap();
+        assert_eq!(batched.framed, serial.framed, "{lanes} lanes");
+        assert_eq!(batched.frames, serial.frames);
+    }
+}
+
+#[test]
+fn batch_lane_counters_report_the_dispatched_kernel() {
+    let inputs: Vec<Vec<u8>> = (0..4u64).map(|i| generate(Corpus::Wiki, i, 60_000)).collect();
+    let refs: Vec<&[u8]> = inputs.iter().map(|v| v.as_slice()).collect();
+    let cfg = ParallelConfig { telemetry: true, ..turbo_cfg() };
+    let rep = compress_batch(&refs, &cfg, 4).unwrap();
+    let counters = rep.counters.expect("telemetry was requested");
+    let detected = MatchKernel::detect().name();
+    let dispatched = match detected {
+        "scalar" => counters.dispatch_scalar,
+        "sse2" => counters.dispatch_sse2,
+        "avx2" => counters.dispatch_avx2,
+        "neon" => counters.dispatch_neon,
+        other => panic!("unknown kernel name {other}"),
+    };
+    assert!(dispatched > 0, "dispatch counter must attribute work to the {detected} kernel");
+    let occupancy = &counters.lane_occupancy;
+    assert!(occupancy.count() > 0, "lane occupancy must be recorded");
+    assert!(occupancy.max() <= 4, "no round can report more live lanes than the lane width");
+}

@@ -1,0 +1,171 @@
+//! Differential verification of the SIMD match kernels: every ISA path the
+//! host can execute must agree with the portable scalar kernel — first at
+//! the raw `match_length` level on adversarial byte layouts, then through
+//! the full turbo compressor where a single wrong length silently corrupts
+//! token streams. The scalar kernel itself is checked against a trivial
+//! byte-at-a-time loop, so the chain is anchored in obviously-correct code.
+
+use lzfpga::hw::HwConfig;
+use lzfpga::lzss::params::CompressionLevel;
+use lzfpga::lzss::{decode_tokens, MatchKernel, TurboEngine};
+use lzfpga::workloads::{generate, Corpus};
+
+/// The obviously-correct reference every kernel must match.
+fn naive_match_length(data: &[u8], a: usize, b: usize, limit: u32) -> u32 {
+    let mut n = 0u32;
+    while n < limit && data[a + n as usize] == data[b + n as usize] {
+        n += 1;
+    }
+    n
+}
+
+/// A deterministic xorshift so the adversarial cases don't depend on any
+/// external RNG crate.
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+#[test]
+fn every_supported_kernel_matches_the_naive_loop() {
+    let kernels = MatchKernel::supported();
+    assert!(kernels.iter().any(|k| k.name() == "scalar"), "scalar must always be supported");
+
+    // Buffer with long runs, so matches of every length occur, plus a
+    // pseudo-random tail so mismatches land at arbitrary offsets.
+    let mut data = vec![0u8; 4096];
+    let mut state = 0x9E3779B97F4A7C15u64;
+    for (i, byte) in data.iter_mut().enumerate() {
+        *byte = if i < 2048 { (i / 97) as u8 } else { (xorshift(&mut state) & 0xFF) as u8 };
+    }
+
+    let mut cases = 0usize;
+    for _ in 0..4000 {
+        let a = (xorshift(&mut state) % 2000) as usize;
+        let b = a + 1 + (xorshift(&mut state) % 1500) as usize;
+        let max_limit = (data.len() - b) as u64;
+        if max_limit == 0 {
+            continue;
+        }
+        let limit = (1 + xorshift(&mut state) % max_limit.min(258)) as u32;
+        let want = naive_match_length(&data, a, b, limit);
+        for k in &kernels {
+            let got = k.match_length(&data, a, b, limit);
+            assert_eq!(got, want, "kernel {} at a={a} b={b} limit={limit}", k.name());
+        }
+        cases += 1;
+    }
+    assert!(cases > 3000, "the case generator degenerated");
+}
+
+#[test]
+fn kernels_agree_on_mismatches_at_every_byte_offset() {
+    // The hard part of a vectorized compare is locating the first differing
+    // byte *within* a vector word. Plant a single mismatch at each offset
+    // 0..64 and demand an exact length from every kernel.
+    let base = vec![0xA5u8; 600];
+    for mismatch_at in 0..64usize {
+        let mut data = base.clone();
+        data[300 + mismatch_at] = 0x5A;
+        for limit in [1u32, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 258] {
+            if 300 + limit as usize > data.len() {
+                continue;
+            }
+            let want = naive_match_length(&data, 0, 300, limit);
+            for k in MatchKernel::supported() {
+                let got = k.match_length(&data, 0, 300, limit);
+                assert_eq!(
+                    got,
+                    want,
+                    "kernel {} with mismatch at {mismatch_at}, limit {limit}",
+                    k.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn overlapping_matches_are_kernel_independent() {
+    // LZSS compares may overlap (b - a < match length): the canonical RLE
+    // encoding `a=0, b=1` over a constant run. Vector kernels must load
+    // from both cursors independently, never memcpy-style.
+    let data = vec![7u8; 1024];
+    for dist in [1usize, 2, 3, 7, 8, 15, 31] {
+        for limit in [8u32, 57, 258] {
+            let want = naive_match_length(&data, 0, dist, limit);
+            for k in MatchKernel::supported() {
+                assert_eq!(
+                    k.match_length(&data, 0, dist, limit),
+                    want,
+                    "kernel {} at distance {dist} limit {limit}",
+                    k.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn full_compressor_is_token_identical_across_kernels() {
+    // The end-to-end guarantee the ISA dispatch must uphold: forcing any
+    // supported kernel produces the exact token stream the scalar kernel
+    // produces, at every level, on every corpus.
+    let kernels = MatchKernel::supported();
+    for level in [CompressionLevel::Min, CompressionLevel::Medium, CompressionLevel::Max] {
+        let params = {
+            let mut p = HwConfig::paper_fast().as_lzss_params();
+            p.level = level;
+            p
+        };
+        for corpus in [
+            Corpus::Mixed,
+            Corpus::Wiki,
+            Corpus::Random,
+            Corpus::Constant,
+            Corpus::Periodic { period: 64 },
+            Corpus::CollisionStress,
+        ] {
+            let data = generate(corpus, 42, 150_000);
+            let reference =
+                TurboEngine::with_kernel(MatchKernel::scalar()).compress(&data, &params);
+            assert_eq!(
+                decode_tokens(&reference, params.window_size).unwrap(),
+                data,
+                "scalar tokens must round-trip on {}",
+                corpus.name()
+            );
+            for k in &kernels {
+                let tokens = TurboEngine::with_kernel(*k).compress(&data, &params);
+                assert_eq!(
+                    tokens,
+                    reference,
+                    "kernel {} diverges from scalar on {} at {level:?}",
+                    k.name(),
+                    corpus.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn env_override_cannot_select_an_unsupported_kernel() {
+    // `try_named` is the same validator the LZFPGA_MATCH_KERNEL override
+    // uses: unknown names are rejected, and anything it returns must be in
+    // the supported set.
+    assert!(MatchKernel::try_named("avx512-unicorn").is_none());
+    assert!(MatchKernel::try_named("").is_none());
+    let supported = MatchKernel::supported();
+    for name in ["scalar", "auto", "sse2", "avx2", "neon"] {
+        if let Some(k) = MatchKernel::try_named(name) {
+            assert!(
+                supported.contains(&k),
+                "try_named({name:?}) returned unsupported kernel {}",
+                k.name()
+            );
+        }
+    }
+}
