@@ -29,8 +29,15 @@
 //! overhead check holds the container tax under 2% of the plain zlib
 //! stream on a 2 MiB mixed corpus.
 //!
+//! A third storm targets the seekable index: `--lzfc-index N` (default
+//! 400) index-aware mutants (header corruption, payload corruption,
+//! pointer-word smashes, truncation inside the index extent) each opened
+//! through the random-access reader, which must never trust a corrupt
+//! index and must serve every probed range byte-exactly or refuse with a
+//! typed error.
+//!
 //! ```text
-//! faultstorm [--mutants N] [--lzfc N] [--seed S]   # S takes 0x... or decimal
+//! faultstorm [--mutants N] [--lzfc N] [--lzfc-index N] [--seed S]
 //! ```
 //!
 //! Fully deterministic for a given seed; exits non-zero on any violation.
@@ -38,7 +45,10 @@
 use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use lzfpga_container::{frame_spans, salvage, scan_partial, Codec, FrameConfig, FrameWriter};
+use lzfpga_container::{
+    check_structure, frame_spans, open_indexed, salvage, scan_partial, Codec, ContainerError,
+    FrameConfig, FrameWriter, IndexSource,
+};
 use lzfpga_core::pipeline::compress_to_zlib;
 use lzfpga_core::{DecompConfig, HwConfig, HwDecompressor};
 use lzfpga_deflate::encoder::BlockKind;
@@ -89,6 +99,7 @@ fn parse_seed(s: &str) -> Option<u64> {
 fn main() {
     let mut mutants: u64 = 2_000;
     let mut lzfc_mutants: u64 = 500;
+    let mut index_mutants: u64 = 400;
     let mut seed: u64 = 0xC0FFEE;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -97,9 +108,12 @@ fn main() {
             "--lzfc" => {
                 lzfc_mutants = it.next().and_then(|v| v.parse().ok()).unwrap_or(lzfc_mutants)
             }
+            "--lzfc-index" => {
+                index_mutants = it.next().and_then(|v| v.parse().ok()).unwrap_or(index_mutants)
+            }
             "--seed" => seed = it.next().and_then(|v| parse_seed(&v)).unwrap_or(seed),
             "--help" | "-h" => {
-                println!("faultstorm [--mutants N] [--lzfc N] [--seed S]");
+                println!("faultstorm [--mutants N] [--lzfc N] [--lzfc-index N] [--seed S]");
                 return;
             }
             other => {
@@ -116,6 +130,7 @@ fn main() {
     let drill_ok = run_drill();
     let tally = run_storm(mutants, seed);
     let lzfc_violations = run_lzfc_storm(lzfc_mutants, seed);
+    let index_violations = run_lzfc_index_storm(index_mutants, seed);
     let resume_ok = run_resume_drill();
     let overhead_ok = run_overhead_check();
     std::panic::set_hook(default_hook);
@@ -130,7 +145,13 @@ fn main() {
         tally.corrupted,
         tally.violations
     );
-    if !drill_ok || !resume_ok || !overhead_ok || tally.violations > 0 || lzfc_violations > 0 {
+    if !drill_ok
+        || !resume_ok
+        || !overhead_ok
+        || tally.violations > 0
+        || lzfc_violations > 0
+        || index_violations > 0
+    {
         eprintln!("faultstorm: FAILED");
         std::process::exit(1);
     }
@@ -138,7 +159,7 @@ fn main() {
 
 /// Frame a corpus with the streaming writer at `frame_bytes`.
 fn frame_up(data: &[u8], frame_bytes: usize) -> Vec<u8> {
-    let cfg = FrameConfig { frame_bytes, collect_events: false };
+    let cfg = FrameConfig { frame_bytes, collect_events: false, ..FrameConfig::default() };
     let mut w = FrameWriter::new(Vec::new(), cfg, HwConfig::paper_fast().as_lzss_params())
         .expect("frame config");
     w.write_all(data).expect("frame write");
@@ -230,6 +251,68 @@ fn run_lzfc_storm(mutants: u64, seed: u64) -> u64 {
     violations
 }
 
+/// The seek-index storm: every index-targeted mutant (header hits, payload
+/// hits, pointer smashes, torn indexes) must open through [`open_indexed`]
+/// without panicking, must NOT be accepted as a trusted index, and every
+/// probe range must come back byte-exact or be refused with the typed
+/// range error — wrong bytes are the one unforgivable outcome.
+fn run_lzfc_index_storm(mutants: u64, seed: u64) -> u64 {
+    let fb = 16 * 1024;
+    let data = generate(Corpus::Mixed, 46, 192 * 1024);
+    let framed = frame_up(&data, fb);
+    let structure = check_structure(&framed).expect("fresh stream structure");
+    let span = structure.index.expect("streaming writer indexes by default");
+    let site = FrameSite {
+        header_start: span.header_start,
+        payload_start: span.payload_start,
+        end: span.end,
+    };
+    let total = data.len() as u64;
+    let probes = [0..fb as u64, total / 2..total / 2 + 10_000, total.saturating_sub(1)..u64::MAX];
+
+    let mut mutator = StreamMutator::new(seed ^ 0x58D1);
+    let mut violations = 0u64;
+    for _ in 0..mutants {
+        let m = mutator.mutate_index(&framed, site);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut reader = open_indexed(&m.bytes);
+            if reader.report().source == IndexSource::Index {
+                return Some("corrupt index accepted as trusted".to_string());
+            }
+            for r in probes.clone() {
+                match reader.decode_range(r.clone()) {
+                    Ok(got) => {
+                        let lo = (r.start as usize).min(data.len());
+                        let hi = (r.end.min(total) as usize).max(lo);
+                        if got != data[lo..hi] {
+                            return Some(format!("range {r:?}: wrong bytes served"));
+                        }
+                    }
+                    // A torn index can take the trailer's EOF knowledge
+                    // with it; refusing the range is allowed, mis-serving
+                    // is not.
+                    Err(ContainerError::RangeUnavailable { .. }) => {}
+                    Err(e) => return Some(format!("range {r:?}: unexpected error {e}")),
+                }
+            }
+            None
+        }));
+        match outcome {
+            Ok(None) => {}
+            Ok(Some(why)) => {
+                violations += 1;
+                eprintln!("VIOLATION: {} on the index: {why}", m.kind);
+            }
+            Err(_) => {
+                violations += 1;
+                eprintln!("VIOLATION: range reader panicked on {}", m.kind);
+            }
+        }
+    }
+    println!("lzfc index storm: {mutants} index-targeted mutants, {violations} violations");
+    violations
+}
+
 /// Cut a framed stream at several points, resume from the durable prefix,
 /// and require the finished bytes to match the uninterrupted run.
 fn run_resume_drill() -> bool {
@@ -240,7 +323,7 @@ fn run_resume_drill() -> bool {
     for cut in [1, fresh.len() / 4, fresh.len() / 2, fresh.len() - 5] {
         let scan = scan_partial(&fresh[..cut]);
         let mut out = fresh[..scan.valid_bytes as usize].to_vec();
-        let cfg = FrameConfig { frame_bytes: fb, collect_events: false };
+        let cfg = FrameConfig { frame_bytes: fb, collect_events: false, ..FrameConfig::default() };
         let resumed = match FrameWriter::resume(
             &mut out,
             cfg,
@@ -285,7 +368,8 @@ fn run_overhead_check() -> bool {
             return false;
         }
     };
-    let frame_cfg = FrameConfig { frame_bytes: 256 * 1024, collect_events: false };
+    let frame_cfg =
+        FrameConfig { frame_bytes: 256 * 1024, collect_events: false, ..FrameConfig::default() };
     let framed = match compress_frames_parallel(&data, &cfg, &frame_cfg) {
         Ok(rep) => rep.framed.len(),
         Err(e) => {

@@ -53,8 +53,17 @@
 //!
 //! ```text
 //! throughput [--size BYTES] [--seed N] [--out PATH] [--metrics PATH]
-//!            [--gate BASELINE.json]
+//!            [--gate BASELINE.json] [--append-trajectory TRAJ.json] [--rev REV]
 //! ```
+//!
+//! `--gate` accepts either a single committed report or a trajectory file
+//! (`lzfpga-bench/trajectory/v1`); for a trajectory the *first* entry is the
+//! frozen baseline. `--append-trajectory` records this run (host-normalised
+//! speedups plus the `--rev` label, typically a git short hash) as a new
+//! entry in the append-only `trajectory` array, creating the file — seeded
+//! from the `--gate` legacy report when one is given — if it is missing.
+//! The trajectory is the per-PR history the old overwrite-style
+//! `BENCH_throughput.json` could not keep.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -160,25 +169,61 @@ fn host_json() -> String {
     )
 }
 
-/// Read `workloads[name == workload].turbo.speedup_engine` out of a
-/// committed baseline report (v2 and v3 schemas both carry it).
-fn baseline_speedup(report: &str, workload: &str) -> Result<f64, String> {
-    let root = lzfpga_telemetry::json::parse(report)
-        .map_err(|e| format!("baseline parse error: {e:?}"))?;
-    let workloads = match root.get("workloads") {
-        Some(JsonValue::Array(items)) => items,
-        _ => return Err("baseline has no workloads array".into()),
-    };
-    for w in workloads {
+/// Read `workloads[name == workload]`'s engine speedup out of a single
+/// report or trajectory entry. Full reports (v2/v3) nest the metric under
+/// `turbo`; compact trajectory entries record it flat.
+fn workload_speedup(node: &JsonValue, workload: &str) -> Option<f64> {
+    for w in node.get("workloads")?.as_array()? {
         if w.get("name").and_then(JsonValue::as_str) == Some(workload) {
             return w
-                .get("turbo")
-                .and_then(|t| t.get("speedup_engine"))
-                .and_then(JsonValue::as_f64)
-                .ok_or_else(|| format!("baseline workload {workload} has no speedup_engine"));
+                .get("speedup_engine")
+                .or_else(|| w.get("turbo").and_then(|t| t.get("speedup_engine")))
+                .and_then(JsonValue::as_f64);
         }
     }
-    Err(format!("baseline has no workload named {workload}"))
+    None
+}
+
+/// Read the gate metric out of a committed baseline. Accepts both shapes:
+/// a single throughput report (v2/v3), or a trajectory file
+/// (`lzfpga-bench/trajectory/v1`) whose *first* entry is the frozen
+/// baseline — later entries are the per-PR history and never move the bar.
+fn baseline_speedup(root: &JsonValue, workload: &str) -> Result<f64, String> {
+    let node = match root.get("trajectory").and_then(JsonValue::as_array) {
+        Some(entries) => entries.first().ok_or("trajectory baseline has no entries")?,
+        None => root,
+    };
+    workload_speedup(node, workload)
+        .ok_or_else(|| format!("baseline has no speedup_engine for workload {workload}"))
+}
+
+/// Convert a committed legacy report into a compact trajectory entry so a
+/// freshly created trajectory file keeps gating against the same numbers
+/// the old overwrite-style baseline used.
+fn legacy_baseline_entry(report: &JsonValue) -> Option<String> {
+    let mut rows = Vec::new();
+    for w in report.get("workloads")?.as_array()? {
+        let name = w.get("name").and_then(JsonValue::as_str)?;
+        let turbo = w.get("turbo")?;
+        let f = |node: &JsonValue, key: &str| node.get(key).and_then(JsonValue::as_f64);
+        let mut row = String::new();
+        let _ = write!(
+            row,
+            "{{\"name\":\"{name}\",\"speedup_engine\":{},\"simd_speedup\":{},\
+             \"simd_speedup_deep\":{},\"mb_per_s\":{}}}",
+            json_f(f(turbo, "speedup_engine")?),
+            json_f(f(turbo, "simd_speedup").unwrap_or(1.0)),
+            json_f(turbo.get("deep").and_then(|d| f(d, "simd_speedup")).unwrap_or(1.0)),
+            json_f(f(turbo, "mb_per_s").unwrap_or(0.0)),
+        );
+        rows.push(row);
+    }
+    Some(format!(
+        "{{\"rev\":\"baseline\",\"seed\":{},\"host\":{},\"workloads\":[{}]}}",
+        report.get("seed").and_then(JsonValue::as_f64).unwrap_or(0.0) as u64,
+        report.get("host").map(|h| h.render()).unwrap_or_else(|| "null".into()),
+        rows.join(","),
+    ))
 }
 
 fn run() -> Result<(), String> {
@@ -187,6 +232,8 @@ fn run() -> Result<(), String> {
     let mut out_path = String::from("BENCH_throughput.json");
     let mut metrics_path: Option<String> = None;
     let mut gate_path: Option<String> = None;
+    let mut traj_path: Option<String> = None;
+    let mut rev = String::from("unknown");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut val = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
@@ -200,9 +247,12 @@ fn run() -> Result<(), String> {
             "--out" => out_path = val("--out")?,
             "--metrics" => metrics_path = Some(val("--metrics")?),
             "--gate" => gate_path = Some(val("--gate")?),
+            "--append-trajectory" => traj_path = Some(val("--append-trajectory")?),
+            "--rev" => rev = val("--rev")?,
             other => {
                 return Err(format!(
-                    "unknown argument {other} (try --size/--seed/--out/--metrics/--gate)"
+                    "unknown argument {other} (try --size/--seed/--out/--metrics/--gate/\
+                     --append-trajectory/--rev)"
                 ))
             }
         }
@@ -228,6 +278,7 @@ fn run() -> Result<(), String> {
     let mut entries = Vec::new();
     let mut metric_events: Vec<(String, JsonValue)> = Vec::new();
     let mut gate_current: Option<f64> = None;
+    let mut traj_rows: Vec<String> = Vec::new();
 
     println!(
         "throughput harness: {} workloads x {} bytes, seed {seed} (host cores: {}, kernel: {})",
@@ -288,6 +339,21 @@ fn run() -> Result<(), String> {
             measure(TURBO_REPS, || scalar_engine.compress(&data, &deep_params));
         assert_eq!(deep_scalar_tokens, deep_tokens, "{name}: deep scalar tokens diverge");
         let simd_speedup_deep = deep_scalar_wall / deep_wall.max(1e-12);
+
+        // Compact row for the append-only trajectory: only the
+        // host-normalised ratios (and one raw MB/s figure for context) —
+        // the full report carries everything else.
+        let mut traj_row = String::new();
+        let _ = write!(
+            traj_row,
+            "{{\"name\":\"{name}\",\"speedup_engine\":{},\"simd_speedup\":{},\
+             \"simd_speedup_deep\":{},\"mb_per_s\":{}}}",
+            json_f(engine_speedup),
+            json_f(simd_speedup),
+            json_f(simd_speedup_deep),
+            json_f(mb_per_s(data.len(), turbo_wall)),
+        );
+        traj_rows.push(traj_row);
 
         // Probed turbo pass, outside the timed loop: the counters describe
         // the same token stream (the probed run is token-identical), and the
@@ -365,7 +431,11 @@ fn run() -> Result<(), String> {
         // 6. Multi-lane batched frames: one worker so the measurement is
         //    the lane interleaving itself, not thread parallelism. The
         //    serial framed stream is the byte-identity oracle.
-        let frame_cfg = FrameConfig { frame_bytes: CHUNK_BYTES, collect_events: false };
+        let frame_cfg = FrameConfig {
+            frame_bytes: CHUNK_BYTES,
+            collect_events: false,
+            ..FrameConfig::default()
+        };
         let batch_cfg = ParallelConfig {
             chunk_bytes: CHUNK_BYTES,
             workers: 1,
@@ -479,10 +549,14 @@ fn run() -> Result<(), String> {
         println!("wrote {path}");
     }
 
-    if let Some(path) = gate_path {
+    let mut gate_root: Option<JsonValue> = None;
+    if let Some(path) = &gate_path {
         let report =
-            std::fs::read_to_string(&path).map_err(|e| format!("reading baseline {path}: {e}"))?;
-        let base = baseline_speedup(&report, GATE_WORKLOAD)?;
+            std::fs::read_to_string(path).map_err(|e| format!("reading baseline {path}: {e}"))?;
+        let root = lzfpga_telemetry::json::parse(&report)
+            .map_err(|e| format!("baseline parse error: {e:?}"))?;
+        let base = baseline_speedup(&root, GATE_WORKLOAD)?;
+        gate_root = Some(root);
         let cur = gate_current.ok_or_else(|| format!("run produced no {GATE_WORKLOAD} entry"))?;
         let floor = base * (1.0 - GATE_TOLERANCE);
         println!(
@@ -500,6 +574,51 @@ fn run() -> Result<(), String> {
             ));
         }
         println!("gate: ok");
+    }
+
+    // Append this run to the trajectory file only after the gate has
+    // passed: a regressing run should fail CI, not become history.
+    if let Some(path) = traj_path {
+        let entry_json = format!(
+            "{{\"rev\":\"{rev}\",\"seed\":{seed},\"size\":{size},\"host\":{},\"workloads\":[{}]}}",
+            host_json(),
+            traj_rows.join(","),
+        );
+        let entry = lzfpga_telemetry::json::parse(&entry_json)
+            .map_err(|e| format!("internal: trajectory entry does not parse: {e:?}"))?;
+        let mut root = match std::fs::read_to_string(&path) {
+            Ok(doc) => lzfpga_telemetry::json::parse(&doc)
+                .map_err(|e| format!("trajectory {path} parse error: {e:?}"))?,
+            // Fresh file. If the gate baseline was a legacy single-report,
+            // freeze it as entry 0 so the bar the trajectory gates against
+            // is the same one the overwrite-style baseline enforced.
+            Err(_) => {
+                let seeded = gate_root
+                    .as_ref()
+                    .filter(|r| r.get("trajectory").is_none())
+                    .and_then(legacy_baseline_entry)
+                    .map(|e| format!("[{e}]"))
+                    .unwrap_or_else(|| "[]".to_string());
+                lzfpga_telemetry::json::parse(&format!(
+                    "{{\"schema\":\"lzfpga-bench/trajectory/v1\",\"trajectory\":{seeded}}}"
+                ))
+                .map_err(|e| format!("internal: trajectory seed does not parse: {e:?}"))?
+            }
+        };
+        let n = match &mut root {
+            JsonValue::Object(fields) => match fields.iter_mut().find(|(k, _)| k == "trajectory") {
+                Some((_, JsonValue::Array(items))) => {
+                    items.push(entry);
+                    items.len()
+                }
+                _ => return Err(format!("{path} has no trajectory array")),
+            },
+            _ => return Err(format!("{path} is not a JSON object")),
+        };
+        let mut doc = root.render();
+        doc.push('\n');
+        std::fs::write(&path, doc).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("appended trajectory entry for rev {rev} to {path} ({n} entries)");
     }
     Ok(())
 }

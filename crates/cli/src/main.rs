@@ -24,7 +24,10 @@
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::process::ExitCode;
 
-use lzfpga_container::{salvage, scan_partial, unframe, FrameConfig, FrameWriter, FramedSummary};
+use lzfpga_container::{
+    open_indexed_with, salvage, scan_partial, unframe, FrameConfig, FrameWriter, FramedSummary,
+    DEFAULT_CACHE_BYTES,
+};
 use lzfpga_core::pipeline::{compress_to_zlib, turbo_compress_to_zlib};
 use lzfpga_core::{DecompConfig, HwConfig, HwDecompressor, HwState};
 use lzfpga_deflate::crc32::Crc32;
@@ -35,7 +38,7 @@ use lzfpga_deflate::Limits;
 use lzfpga_lzss::params::CompressionLevel;
 use lzfpga_lzss::LzssParams;
 use lzfpga_parallel::{
-    compress_frames_batched, compress_frames_parallel, compress_parallel,
+    compress_frames_batched, compress_frames_parallel, compress_parallel, decode_range_parallel,
     decompress_frames_parallel, EngineKind, ParallelConfig,
 };
 use lzfpga_telemetry::json::obj;
@@ -54,6 +57,10 @@ lzfpga <compress|decompress|frame|unframe|salvage|resume|stats|gen|trace|rtl> [o
              [--frame-size N] [--parallel] [--workers N] [--lanes N] [--stats]
              [--metrics OUT.jsonl] [-o OUT] [FILE]    (LZFC framed container)
   unframe    [--parallel] [--workers N] [-o OUT] [FILE]
+  cat        --range A..B [--cache-bytes N] [--parallel] [--workers N]
+             [--stats] [--metrics OUT.jsonl] [-o OUT] [FILE]
+                           (random-access decode of bytes A..B of the
+                            original input, via the stream's seek index)
   salvage    [--stats] [--metrics OUT.jsonl] [-o OUT] [FILE]
                            (recover what survives of a damaged LZFC stream)
   resume     [--frame-size N] -o OUT FILE
@@ -72,6 +79,9 @@ prefix. `resume` must use the same --frame-size as the interrupted run.
 --parallel) writes a chrome://tracing / Perfetto trace of the pipeline.
 `frame --lanes N` interleaves N frames per batch through one SIMD kernel
 loop (the multi-lane driver); output bytes are identical either way.
+`cat --range A..B` slices the *uncompressed* byte space (END omitted = EOF);
+streams without an index are served through a scan, damaged streams through
+salvage (exact prefix only). --cache-bytes bounds the decoded-frame cache.
 Corpora: wiki, x2e-can, log-lines, json-telemetry, sensor-frames, wiki-xml,
          random, constant, collision-stress, periodic-<N>.";
 
@@ -116,6 +126,8 @@ struct CommonOpts {
     metrics: Option<String>,
     trace_events: Option<String>,
     max_output_bytes: Option<u64>,
+    range: Option<(u64, u64)>,
+    cache_bytes: usize,
     positional: Vec<String>,
 }
 
@@ -141,6 +153,8 @@ impl Default for CommonOpts {
             metrics: None,
             trace_events: None,
             max_output_bytes: None,
+            range: None,
+            cache_bytes: DEFAULT_CACHE_BYTES,
             positional: Vec::new(),
         }
     }
@@ -211,6 +225,27 @@ fn parse_opts(args: &[String]) -> Result<CommonOpts, String> {
                         .parse()
                         .map_err(|_| "bad --max-output-bytes value".to_string())?,
                 );
+            }
+            "--range" => {
+                let v = value("--range")?;
+                let (a, b) = v
+                    .split_once("..")
+                    .ok_or_else(|| format!("--range wants START..END, got '{v}'"))?;
+                let start = a
+                    .parse::<u64>()
+                    .map_err(|_| format!("--range start '{a}' is not a byte offset"))?;
+                let end = if b.is_empty() {
+                    u64::MAX
+                } else {
+                    b.parse::<u64>()
+                        .map_err(|_| format!("--range end '{b}' is not a byte offset"))?
+                };
+                o.range = Some((start, end));
+            }
+            "--cache-bytes" => {
+                o.cache_bytes = value("--cache-bytes")?
+                    .parse()
+                    .map_err(|_| "--cache-bytes wants a byte count".to_string())?;
             }
             "--metrics" => o.metrics = Some(value("--metrics")?),
             "--trace-events" => o.trace_events = Some(value("--trace-events")?),
@@ -577,7 +612,11 @@ fn frame_metrics(
 }
 
 fn cmd_frame(o: &CommonOpts) -> Result<(), String> {
-    let frame_cfg = FrameConfig { frame_bytes: o.frame_bytes, collect_events: o.metrics.is_some() };
+    let frame_cfg = FrameConfig {
+        frame_bytes: o.frame_bytes,
+        collect_events: o.metrics.is_some(),
+        ..FrameConfig::default()
+    };
     let params = hw_config(o).as_lzss_params();
     if o.lanes > 0 {
         // Multi-lane batched driver: groups of --lanes frames interleave
@@ -702,6 +741,60 @@ fn cmd_unframe(o: &CommonOpts) -> Result<(), String> {
     write_output(o.output.as_deref(), &out)
 }
 
+/// `cat` writes to stdout the way Unix `cat` does: a downstream reader
+/// that stops early (`| head`) closes the pipe, and that is a success,
+/// not an error. File outputs stay atomic like every other command's.
+fn write_range_output(path: Option<&str>, data: &[u8]) -> Result<(), String> {
+    match path {
+        None | Some("-") => {
+            let mut stdout = std::io::stdout();
+            match stdout.write_all(data).and_then(|()| stdout.flush()) {
+                Ok(()) => Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
+                Err(e) => Err(format!("writing stdout: {e}")),
+            }
+        }
+        Some(p) => atomic_write(p, data),
+    }
+}
+
+fn cmd_cat(o: &CommonOpts) -> Result<(), String> {
+    let Some((start, end)) = o.range else {
+        return Err("cat requires --range START..END (END omitted = EOF)".to_string());
+    };
+    let data = read_input(o.input.as_deref())?;
+    let (out, telemetry) = if o.parallel {
+        let out = decode_range_parallel(&data, start..end, o.workers)
+            .map_err(|e| format!("lzfc: {e}"))?;
+        (out, None)
+    } else {
+        let mut reader = open_indexed_with(&data, o.cache_bytes);
+        let out = reader.decode_range(start..end).map_err(|e| format!("lzfc: {e}"))?;
+        let report = reader.report();
+        if o.stats {
+            eprintln!(
+                "cat: source {}, {} of {} total bytes servable",
+                report.source.as_str(),
+                report.serviceable_bytes,
+                report.total_uncompressed
+            );
+        }
+        (out, Some((reader.counters().to_json(), report.to_json())))
+    };
+    if o.stats {
+        eprintln!("cat: {} bytes from range {start}..{end}", out.len());
+    }
+    if let Some(path) = &o.metrics {
+        let mut events = vec![("run", run_event(o, "cat", data.len(), out.len()))];
+        if let Some((range, index)) = telemetry {
+            events.push(("range", range));
+            events.push(("index", index));
+        }
+        write_metrics(path, events)?;
+    }
+    write_range_output(o.output.as_deref(), &out)
+}
+
 fn cmd_salvage(o: &CommonOpts) -> Result<(), String> {
     let data = read_input(o.input.as_deref())?;
     let result = salvage(&data);
@@ -771,7 +864,11 @@ fn cmd_resume(o: &CommonOpts) -> Result<(), String> {
         .map_err(|e| format!("opening {part}: {e}"))?;
     file.set_len(scan.valid_bytes).map_err(|e| format!("truncating {part}: {e}"))?;
     file.seek(SeekFrom::End(0)).map_err(|e| format!("seeking {part}: {e}"))?;
-    let frame_cfg = FrameConfig { frame_bytes: o.frame_bytes, collect_events: o.metrics.is_some() };
+    let frame_cfg = FrameConfig {
+        frame_bytes: o.frame_bytes,
+        collect_events: o.metrics.is_some(),
+        ..FrameConfig::default()
+    };
     let w = FrameWriter::resume(SyncingFile(file), frame_cfg, hw_config(o).as_lzss_params(), &scan)
         .map_err(|e| format!("resume: {e}"))?;
     let (sink, summary) = pump_frames(src, w)?;
@@ -904,6 +1001,10 @@ fn run(args: Vec<String>) -> Result<(), String> {
         "unframe" => {
             opts.input = opts.positional.first().cloned();
             cmd_unframe(&opts)
+        }
+        "cat" => {
+            opts.input = opts.positional.first().cloned();
+            cmd_cat(&opts)
         }
         "salvage" => {
             opts.input = opts.positional.first().cloned();

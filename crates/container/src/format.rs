@@ -7,7 +7,8 @@
 //! offset size field
 //! 0      4    sync magic        F7 4C 5A C1  ("\xF7LZ\xC1")
 //! 4      1    version           currently 1
-//! 5      1    flags             bits 0-1: codec; bit 7: trailer record
+//! 5      1    flags             bits 0-1: codec; bit 6: index record;
+//!                               bit 7: trailer record
 //! 6      4    seq               frame number   (trailer: frame count)
 //! 10     4    ulen              uncompressed   (trailer: total bytes, low 32)
 //! 14     4    clen              payload bytes  (trailer: total bytes, high 32)
@@ -40,6 +41,15 @@ pub const HEADER_LEN: usize = 26;
 
 /// Flag bit marking the stream trailer record.
 pub const FLAG_TRAILER: u8 = 0x80;
+
+/// Flag bit marking the seek-index record (written between the last data
+/// frame and the trailer; carries no stream data, `ulen` is 0).
+///
+/// The index record sets the reserved codec bits to 3 on purpose: a
+/// pre-index strict reader fails closed with a typed `UnknownCodec` error
+/// instead of decoding index bytes into the output, and a pre-index
+/// salvage reader skips the record precisely via its CRC-trusted `clen`.
+pub const FLAG_INDEX: u8 = 0x40;
 
 /// Flag bits carrying the payload codec.
 const CODEC_MASK: u8 = 0x03;
@@ -89,6 +99,8 @@ impl Codec {
 pub struct Record {
     /// Trailer record (no payload, ends the stream).
     pub trailer: bool,
+    /// Seek-index record (payload is the frame index, not stream data).
+    pub index: bool,
     /// Raw codec bits (meaningful for data frames only).
     pub codec_bits: u8,
     /// Frame sequence number; for the trailer, the total data-frame count.
@@ -156,6 +168,7 @@ pub fn parse_record(bytes: &[u8]) -> Result<Record, HeaderError> {
     let flags = bytes[5];
     Ok(Record {
         trailer: flags & FLAG_TRAILER != 0,
+        index: flags & FLAG_TRAILER == 0 && flags & FLAG_INDEX != 0,
         codec_bits: flags & CODEC_MASK,
         seq: u32::from_le_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]),
         ulen: u32::from_le_bytes([bytes[10], bytes[11], bytes[12], bytes[13]]),
@@ -186,6 +199,19 @@ fn encode_record(flags: u8, seq: u32, ulen: u32, clen: u32, payload_crc: u32) ->
 pub fn encode_data_header(seq: u32, codec: Codec, ulen: u32, payload: &[u8]) -> [u8; HEADER_LEN] {
     let clen = u32::try_from(payload.len()).expect("payload exceeds u32");
     encode_record(codec as u8, seq, ulen, clen, crc32(payload))
+}
+
+/// Encode a seek-index record header for an index payload whose bytes are
+/// already assembled. `seq` carries the data-frame count, `ulen` is zero
+/// (the index carries no stream data), and the codec bits are the reserved
+/// value 3 so pre-index readers reject rather than decode it.
+///
+/// # Panics
+/// Panics if `payload.len()` exceeds `u32` — the index is bounded by the
+/// frame count, which is itself `u32`.
+pub fn encode_index_header(frame_count: u32, payload: &[u8]) -> [u8; HEADER_LEN] {
+    let clen = u32::try_from(payload.len()).expect("index payload exceeds u32");
+    encode_record(FLAG_INDEX | CODEC_MASK, frame_count, 0, clen, crc32(payload))
 }
 
 /// Encode the stream trailer.
@@ -286,6 +312,24 @@ mod tests {
         assert_eq!(find_sync(&bytes, 11), Some(16));
         assert_eq!(find_sync(&bytes, 17), None);
         assert_eq!(find_sync(&[], 0), None);
+    }
+
+    #[test]
+    fn index_header_round_trips() {
+        let payload = b"index payload bytes";
+        let h = encode_index_header(7, payload);
+        let rec = parse_record(&h).unwrap();
+        assert!(rec.index && !rec.trailer);
+        assert_eq!(rec.seq, 7);
+        assert_eq!(rec.ulen, 0);
+        assert_eq!(rec.clen, payload.len() as u32);
+        assert_eq!(rec.payload_crc, crc32(payload));
+        // The reserved codec bits keep pre-index strict readers fail-closed.
+        assert_eq!(rec.codec(), None);
+        // A trailer never reads as an index record, whatever bit 6 says.
+        let t = encode_record(FLAG_TRAILER | FLAG_INDEX, 0, 0, 0, 0);
+        let rec = parse_record(&t).unwrap();
+        assert!(rec.trailer && !rec.index);
     }
 
     #[test]

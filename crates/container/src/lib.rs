@@ -31,12 +31,20 @@
 #![warn(missing_docs)]
 
 pub mod format;
+pub mod index;
+pub mod range;
 pub mod salvage;
 pub mod writer;
 
 pub use format::{
-    encode_data_header, encode_trailer, find_sync, parse_record, Codec, FrameSpan, HeaderError,
-    Record, FLAG_TRAILER, HEADER_LEN, MAX_FRAME_BYTES, SYNC, VERSION,
+    encode_data_header, encode_index_header, encode_trailer, find_sync, parse_record, Codec,
+    FrameSpan, HeaderError, Record, FLAG_INDEX, FLAG_TRAILER, HEADER_LEN, MAX_FRAME_BYTES, SYNC,
+    VERSION,
+};
+pub use index::{encode_index_section, index_section_len, IndexEntry, IndexFault, INDEX_MAGIC};
+pub use range::{
+    open_indexed, open_indexed_with, plan_range, IndexReport, IndexSource, IndexedReader,
+    DEFAULT_CACHE_BYTES,
 };
 pub use salvage::{salvage, salvage_with, LostRange, Salvage, SalvageOptions, SalvageReport};
 pub use writer::{
@@ -140,6 +148,25 @@ pub enum ContainerError {
         /// Checksum computed over the decoded data.
         actual: u32,
     },
+    /// The seek-index record is malformed (strict decode verifies it even
+    /// though it never contributes output bytes).
+    IndexCorrupt {
+        /// Offset of the index record.
+        offset: u64,
+        /// What failed.
+        reason: &'static str,
+    },
+    /// More data frames than the 32-bit sequence field can number.
+    TooManyFrames {
+        /// Offset of the first un-numberable frame.
+        offset: u64,
+    },
+    /// A requested byte range lies beyond what a damaged stream can still
+    /// serve with byte-exact offsets.
+    RangeUnavailable {
+        /// First uncompressed offset that can no longer be served.
+        offset: u64,
+    },
     /// A configuration value was rejected before anything ran.
     Config {
         /// Human-readable reason.
@@ -196,6 +223,15 @@ impl std::fmt::Display for ContainerError {
             ContainerError::StreamCrc { expected, actual } => {
                 write!(f, "stream CRC mismatch: stored {expected:08x}, computed {actual:08x}")
             }
+            ContainerError::IndexCorrupt { offset, reason } => {
+                write!(f, "seek index at byte {offset} is corrupt: {reason}")
+            }
+            ContainerError::TooManyFrames { offset } => {
+                write!(f, "frame at byte {offset} exceeds the 32-bit sequence space")
+            }
+            ContainerError::RangeUnavailable { offset } => {
+                write!(f, "bytes from offset {offset} are unrecoverable in this stream")
+            }
             ContainerError::Config { reason } => write!(f, "container config: {reason}"),
         }
     }
@@ -221,8 +257,46 @@ fn header_error_at(e: HeaderError, offset: usize) -> ContainerError {
 pub struct StreamStructure {
     /// Data-frame extents, in stream order (`seq` verified to be 0,1,2,…).
     pub frames: Vec<FrameSpan>,
+    /// The seek-index record's extent, when the stream carries one.
+    pub index: Option<FrameSpan>,
     /// The parsed trailer record.
     pub trailer: Record,
+}
+
+/// Does the trailer's 32-bit frame count name exactly `frames` data
+/// frames? Compared in `u64` so a count past 2³² can never alias a small
+/// trailer value through truncation.
+pub(crate) fn trailer_frames_match(trailer_seq: u32, frames: u64) -> bool {
+    u64::from(trailer_seq) == frames
+}
+
+/// The sequence number the next data frame must carry, or `None` once the
+/// count leaves the header's 32-bit sequence space (a valid stream can
+/// never get there — the trailer could not describe it).
+pub(crate) fn next_expected_seq(frames: usize) -> Option<u32> {
+    u32::try_from(frames).ok()
+}
+
+/// Saturating view of a frame count for error reports whose field is u32.
+pub(crate) fn frames_found_u32(frames: usize) -> u32 {
+    u32::try_from(frames).unwrap_or(u32::MAX)
+}
+
+/// Record extent from a trusted header: `pos + HEADER_LEN + clen`, checked
+/// so a hostile `clen` near the address-space limit reports
+/// [`ContainerError::Truncated`] instead of wrapping (release) or
+/// panicking (debug) on 32-bit hosts — the same `saturating_add` shape the
+/// salvage scanner and resume scan already use.
+fn record_end(pos: usize, clen: u32, len: usize) -> Result<(usize, usize), ContainerError> {
+    let payload_start =
+        pos.checked_add(HEADER_LEN).ok_or(ContainerError::Truncated { offset: pos as u64 })?;
+    let end = payload_start
+        .checked_add(clen as usize)
+        .ok_or(ContainerError::Truncated { offset: pos as u64 })?;
+    if end > len {
+        return Err(ContainerError::Truncated { offset: pos as u64 });
+    }
+    Ok((payload_start, end))
 }
 
 /// Strictly scan a complete LZFC stream's record chain.
@@ -230,9 +304,24 @@ pub struct StreamStructure {
 /// # Errors
 /// The first structural deviation: bad sync/version/CRC, out-of-order
 /// sequence numbers, unknown codec, a record past the end of the buffer,
-/// a missing trailer, or bytes after it.
+/// a malformed seek index, a missing trailer, or bytes after it.
 pub fn check_structure(bytes: &[u8]) -> Result<StreamStructure, ContainerError> {
+    check_structure_with(bytes, true)
+}
+
+/// [`check_structure`] with the seek-index *content* check optional.
+///
+/// The range reader's scan fallback passes `verify_index: false`: when it
+/// already knows the index payload is bad it still wants the data-frame
+/// chain, whose headers and extents are validated independently of the
+/// index bytes. Record-level index checks (its own header CRC, its extent,
+/// its position after the last data frame) always run.
+pub(crate) fn check_structure_with(
+    bytes: &[u8],
+    verify_index: bool,
+) -> Result<StreamStructure, ContainerError> {
     let mut frames: Vec<FrameSpan> = Vec::new();
+    let mut index: Option<FrameSpan> = None;
     let mut pos = 0usize;
     loop {
         let rec = parse_record(&bytes[pos..]).map_err(|e| header_error_at(e, pos))?;
@@ -241,20 +330,47 @@ pub fn check_structure(bytes: &[u8]) -> Result<StreamStructure, ContainerError> 
             if after != bytes.len() {
                 return Err(ContainerError::TrailingBytes { offset: after as u64 });
             }
-            if rec.seq as usize != frames.len() {
+            if !trailer_frames_match(rec.seq, frames.len() as u64) {
                 return Err(ContainerError::TrailerTotals {
                     expected_frames: rec.seq,
-                    found_frames: frames.len() as u32,
+                    found_frames: frames_found_u32(frames.len()),
                     expected_bytes: rec.total_uncompressed(),
                     actual_bytes: frames.iter().map(|s| u64::from(s.record.ulen)).sum(),
                 });
             }
-            return Ok(StreamStructure { frames, trailer: rec });
+            if verify_index {
+                if let Some(ref span) = index {
+                    index::check_index_span(bytes, span, &frames)?;
+                }
+            }
+            return Ok(StreamStructure { frames, index, trailer: rec });
+        }
+        if rec.index {
+            if index.is_some() {
+                return Err(ContainerError::IndexCorrupt {
+                    offset: pos as u64,
+                    reason: "more than one index record",
+                });
+            }
+            let (payload_start, end) = record_end(pos, rec.clen, bytes.len())?;
+            index = Some(FrameSpan { header_start: pos, payload_start, end, record: rec });
+            pos = end;
+            continue;
+        }
+        if index.is_some() {
+            // The writer only ever emits the index after the last data
+            // frame; a data frame behind it is structural damage.
+            return Err(ContainerError::IndexCorrupt {
+                offset: pos as u64,
+                reason: "data frame after the index record",
+            });
         }
         if rec.codec().is_none() {
             return Err(ContainerError::UnknownCodec { offset: pos as u64, bits: rec.codec_bits });
         }
-        let expected = frames.len() as u32;
+        let Some(expected) = next_expected_seq(frames.len()) else {
+            return Err(ContainerError::TooManyFrames { offset: pos as u64 });
+        };
         if rec.seq != expected {
             return Err(ContainerError::SeqMismatch {
                 offset: pos as u64,
@@ -262,11 +378,7 @@ pub fn check_structure(bytes: &[u8]) -> Result<StreamStructure, ContainerError> 
                 found: rec.seq,
             });
         }
-        let payload_start = pos + HEADER_LEN;
-        let end = payload_start + rec.clen as usize;
-        if end > bytes.len() {
-            return Err(ContainerError::Truncated { offset: pos as u64 });
-        }
+        let (payload_start, end) = record_end(pos, rec.clen, bytes.len())?;
         frames.push(FrameSpan { header_start: pos, payload_start, end, record: rec });
         pos = end;
     }
@@ -360,7 +472,7 @@ pub fn finish_stream_checks(
     if t.total_uncompressed() != decoded_bytes {
         return Err(ContainerError::TrailerTotals {
             expected_frames: t.seq,
-            found_frames: structure.frames.len() as u32,
+            found_frames: frames_found_u32(structure.frames.len()),
             expected_bytes: t.total_uncompressed(),
             actual_bytes: decoded_bytes,
         });
@@ -455,6 +567,68 @@ mod tests {
             unframe(&swapped),
             Err(ContainerError::SeqMismatch { expected: 0, found: 1, .. })
         ));
+    }
+
+    #[test]
+    fn hostile_clen_near_u32_max_is_a_typed_truncation() {
+        let data = generate(Corpus::Wiki, 11, 10_000);
+        let stream = frame_up(&data, 8 * 1024);
+        let spans = frame_spans(&stream).unwrap();
+        let victim = spans[0];
+        // Forge frame 0's header to claim a 4 GiB payload with a VALID
+        // header CRC: only checked extent arithmetic stands between this
+        // and a wrap on 32-bit hosts.
+        let mut h = [0u8; HEADER_LEN];
+        h[..4].copy_from_slice(&SYNC);
+        h[4] = VERSION;
+        h[5] = 0x01; // fixed-zlib codec bits
+        h[6..10].copy_from_slice(&0u32.to_le_bytes());
+        h[10..14].copy_from_slice(&(8 * 1024u32).to_le_bytes());
+        h[14..18].copy_from_slice(&u32::MAX.to_le_bytes());
+        h[18..22].copy_from_slice(&0u32.to_le_bytes());
+        let crc = lzfpga_deflate::crc32::crc32(&h[..22]);
+        h[22..26].copy_from_slice(&crc.to_le_bytes());
+        let mut bad = stream.clone();
+        bad[victim.header_start..victim.payload_start].copy_from_slice(&h);
+        assert!(matches!(unframe(&bad), Err(ContainerError::Truncated { offset: 0 })));
+        // The recovery path declines it without panicking, too.
+        let _ = salvage(&bad);
+    }
+
+    #[test]
+    fn record_end_is_checked_at_the_address_space_edge() {
+        // Ends exactly at the buffer end: fine.
+        assert_eq!(record_end(0, 4, HEADER_LEN + 4).unwrap(), (HEADER_LEN, HEADER_LEN + 4));
+        assert!(record_end(10, 6, 10 + HEADER_LEN + 6).is_ok());
+        // One byte past: typed truncation at the record's own offset.
+        assert!(matches!(
+            record_end(10, 7, 10 + HEADER_LEN + 6),
+            Err(ContainerError::Truncated { offset: 10 })
+        ));
+        // A position + clen pair that would wrap `usize` must report the
+        // same typed truncation, never overflow.
+        assert!(matches!(
+            record_end(usize::MAX - 10, u32::MAX, usize::MAX),
+            Err(ContainerError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn frame_count_comparisons_hold_past_the_32_bit_boundary() {
+        // Trailer frame counts compare in u64: a stream holding exactly
+        // 2^32 frames can never alias a trailer claiming 0 through `as`
+        // truncation (the bug this pins down).
+        assert!(trailer_frames_match(0, 0));
+        assert!(trailer_frames_match(u32::MAX, u64::from(u32::MAX)));
+        assert!(!trailer_frames_match(0, 1u64 << 32));
+        assert!(!trailer_frames_match(u32::MAX, (1u64 << 32) + u64::from(u32::MAX)));
+        // Sequence issuance stops when the header field runs out…
+        assert_eq!(next_expected_seq(0), Some(0));
+        assert_eq!(next_expected_seq(u32::MAX as usize), Some(u32::MAX));
+        assert_eq!(next_expected_seq(u32::MAX as usize + 1), None);
+        // …and u32 report fields saturate instead of silently truncating.
+        assert_eq!(frames_found_u32(7), 7);
+        assert_eq!(frames_found_u32(usize::MAX), u32::MAX);
     }
 
     #[test]

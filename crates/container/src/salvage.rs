@@ -205,6 +205,24 @@ pub fn salvage_with(bytes: &[u8], opts: &SalvageOptions) -> Salvage {
                 // it is not ours to interpret.
                 return Salvage { data: out, report };
             }
+            Ok(rec) if rec.index => {
+                // The seek index carries no stream data: its CRC-trusted
+                // clen gives a precise skip, and nothing counts as lost —
+                // the range reader re-derives any index it needs from the
+                // frames themselves.
+                let payload_start = pos + HEADER_LEN;
+                let end = payload_start.saturating_add(rec.clen as usize);
+                if end > bytes.len() {
+                    // Torn index: the bytes after it (the trailer) are
+                    // gone too; close out as trailing damage.
+                    if damage_start.is_none() {
+                        damage_start = Some(pos);
+                    }
+                    break;
+                }
+                close_damage(&mut damage_start, pos, out.len(), &mut report);
+                pos = end;
+            }
             Ok(rec) => {
                 let payload_start = pos + HEADER_LEN;
                 let end = payload_start.saturating_add(rec.clen as usize);

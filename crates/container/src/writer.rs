@@ -25,7 +25,9 @@ use lzfpga_lzss::{LzssParams, TurboEngine};
 use lzfpga_telemetry::{FrameEvent, FrameOutcome};
 
 use crate::format::{encode_data_header, encode_trailer, parse_record, Codec, HEADER_LEN};
+use crate::index::{encode_index_section, IndexEntry};
 use crate::{decode_frame, ContainerError, FrameSpan};
+use lzfpga_deflate::crc32::crc32;
 
 /// Largest frame size the writer accepts: `ulen`/`clen` are 32-bit and the
 /// raw-codec fallback bounds the payload at the frame size, so anything
@@ -43,11 +45,16 @@ pub struct FrameConfig {
     /// Record a [`FrameEvent`] per frame in the summary (for the JSONL
     /// metrics sink). Off by default; the writer is otherwise zero-cost.
     pub collect_events: bool,
+    /// Write the seek-index record before the trailer at finalize (on by
+    /// default; ~16 bytes per frame). Readers treat its absence as a
+    /// stream-level fact, never an error — disable for byte-compatibility
+    /// with pre-index streams.
+    pub index: bool,
 }
 
 impl Default for FrameConfig {
     fn default() -> Self {
-        FrameConfig { frame_bytes: 256 * 1024, collect_events: false }
+        FrameConfig { frame_bytes: 256 * 1024, collect_events: false, index: true }
     }
 }
 
@@ -131,6 +138,9 @@ pub struct FrameWriter<W: Write> {
     raw_frames: u32,
     crc: Crc32,
     events: Vec<FrameEvent>,
+    /// Per-frame (container offset, cumulative uncompressed offset) pairs,
+    /// emitted as the seek index at finalize when [`FrameConfig::index`].
+    entries: Vec<IndexEntry>,
     /// Set when resume landed after a partial tail frame: the stream can
     /// only be finished, not extended, or it would diverge from a fresh
     /// single-pass run.
@@ -157,6 +167,7 @@ impl<W: Write> FrameWriter<W> {
             raw_frames: 0,
             crc: Crc32::new(),
             events: Vec::new(),
+            entries: Vec::new(),
             sealed: false,
         })
     }
@@ -200,6 +211,15 @@ impl<W: Write> FrameWriter<W> {
                 });
             }
         }
+        // Rebuild the prefix frames' index entries from the scan so the
+        // finalize-time index covers the whole stream, not just the frames
+        // this writer appended.
+        let mut entries = Vec::with_capacity(scan.frame_ulens.len());
+        let mut ustart = 0u64;
+        for (off, ulen) in scan.frame_offsets.iter().zip(&scan.frame_ulens) {
+            entries.push(IndexEntry { header_start: *off, ustart });
+            ustart += u64::from(*ulen);
+        }
         Ok(FrameWriter {
             out,
             cfg,
@@ -213,6 +233,7 @@ impl<W: Write> FrameWriter<W> {
             raw_frames: 0,
             crc: scan.crc.clone(),
             events: Vec::new(),
+            entries,
             sealed,
         })
     }
@@ -238,6 +259,7 @@ impl<W: Write> FrameWriter<W> {
         let crc_t0 = Instant::now();
         let ulen = u32::try_from(take).expect("frame_bytes validated <= MAX_FRAME_BYTES");
         let header = encode_data_header(self.seq, codec, ulen, &payload);
+        self.entries.push(IndexEntry { header_start: self.output_bytes, ustart: self.input_bytes });
         self.crc.update(&self.buf[..take]);
         let crc_us = crc_t0.elapsed().as_secs_f64() * 1e6;
         self.out.write_all(&header)?;
@@ -277,6 +299,13 @@ impl<W: Write> FrameWriter<W> {
         if !self.buf.is_empty() {
             let take = self.buf.len();
             self.emit_frame_checked(take)?;
+        }
+        if self.cfg.index && self.seq > 0 {
+            // Empty streams stay a bare trailer; everything else gets the
+            // seek index immediately before the trailer.
+            let section = encode_index_section(&self.entries, self.input_bytes, self.output_bytes);
+            self.out.write_all(&section)?;
+            self.output_bytes += section.len() as u64;
         }
         let trailer = encode_trailer(self.seq, self.input_bytes, self.crc.clone().finish());
         self.out.write_all(&trailer)?;
@@ -339,6 +368,9 @@ pub struct ResumeScan {
     /// Per-frame uncompressed sizes (resume uses these to verify the
     /// prefix was framed with the same frame size).
     pub frame_ulens: Vec<u32>,
+    /// Per-frame container offsets of the prefix's record headers (resume
+    /// uses these to rebuild the seek index over the whole stream).
+    pub frame_offsets: Vec<u64>,
     /// Running CRC-32 over the prefix's uncompressed bytes.
     crc: Crc32,
 }
@@ -366,6 +398,7 @@ pub fn scan_partial(bytes: &[u8]) -> ResumeScan {
         uncompressed_bytes: 0,
         complete: false,
         frame_ulens: Vec::new(),
+        frame_offsets: Vec::new(),
         crc: Crc32::new(),
     };
     let mut pos = 0usize;
@@ -373,6 +406,19 @@ pub fn scan_partial(bytes: &[u8]) -> ResumeScan {
         let Ok(rec) = parse_record(&bytes[pos..]) else {
             return scan;
         };
+        if rec.index {
+            // A durable index only matters if the trailer after it also
+            // validates (the loop's next iteration decides). A torn or
+            // corrupt index ends the prefix *before* itself, so resume
+            // truncates it away and finalize rewrites a fresh one.
+            let payload_start = pos + HEADER_LEN;
+            let end = payload_start.saturating_add(rec.clen as usize);
+            if end > bytes.len() || crc32(&bytes[payload_start..end]) != rec.payload_crc {
+                return scan;
+            }
+            pos = end;
+            continue;
+        }
         if rec.trailer {
             let totals_ok = u64::from(rec.seq) == u64::from(scan.frames)
                 && rec.total_uncompressed() == scan.uncompressed_bytes
@@ -399,6 +445,7 @@ pub fn scan_partial(bytes: &[u8]) -> ResumeScan {
         scan.frames += 1;
         scan.uncompressed_bytes += data.len() as u64;
         scan.frame_ulens.push(rec.ulen);
+        scan.frame_offsets.push(pos as u64);
         scan.valid_bytes = end as u64;
         pos = end;
     }
@@ -415,7 +462,7 @@ mod tests {
     }
 
     fn fresh(data: &[u8], frame_bytes: usize) -> (Vec<u8>, FramedSummary) {
-        let cfg = FrameConfig { frame_bytes, collect_events: true };
+        let cfg = FrameConfig { frame_bytes, collect_events: true, ..FrameConfig::default() };
         let mut w = FrameWriter::new(Vec::new(), cfg, params()).unwrap();
         w.write_all(data).unwrap();
         w.finish().unwrap()
@@ -426,7 +473,8 @@ mod tests {
         let data = generate(Corpus::Mixed, 11, 90_000);
         let (one_shot, _) = fresh(&data, 16 * 1024);
         // Same bytes dribbled in 7-byte writes must frame identically.
-        let cfg = FrameConfig { frame_bytes: 16 * 1024, collect_events: false };
+        let cfg =
+            FrameConfig { frame_bytes: 16 * 1024, collect_events: false, ..FrameConfig::default() };
         let mut w = FrameWriter::new(Vec::new(), cfg, params()).unwrap();
         for chunk in data.chunks(7) {
             w.write_all(chunk).unwrap();
@@ -451,8 +499,10 @@ mod tests {
             .collect();
         let (stream, summary) = fresh(&noise, 8 * 1024);
         assert_eq!(summary.raw_frames, summary.frames);
-        // Raw framing overhead is just the headers.
-        let expected = noise.len() + (summary.frames as usize + 1) * HEADER_LEN;
+        // Raw framing overhead is just the headers plus the seek index.
+        let expected = noise.len()
+            + (summary.frames as usize + 1) * HEADER_LEN
+            + crate::index::index_section_len(summary.frames as usize);
         assert_eq!(stream.len(), expected);
         assert_eq!(unframe(&stream).unwrap(), noise);
     }
@@ -500,7 +550,11 @@ mod tests {
         for keep in [0, 10, HEADER_LEN + 1, fresh_stream.len() / 3, fresh_stream.len() - 5] {
             let scan = scan_partial(&fresh_stream[..keep]);
             let mut out = fresh_stream[..scan.valid_bytes as usize].to_vec();
-            let cfg = FrameConfig { frame_bytes: 8 * 1024, collect_events: false };
+            let cfg = FrameConfig {
+                frame_bytes: 8 * 1024,
+                collect_events: false,
+                ..FrameConfig::default()
+            };
             let mut w = FrameWriter::resume(&mut out, cfg, params(), &scan).unwrap();
             w.write_all(&data[scan.uncompressed_bytes as usize..]).unwrap();
             let (_, summary) = w.finish().unwrap();
@@ -527,7 +581,8 @@ mod tests {
         let (stream, _) = fresh(&data, 8 * 1024);
         let scan = scan_partial(&stream[..stream.len() - 1]);
         assert!(scan.frames > 0);
-        let cfg = FrameConfig { frame_bytes: 4 * 1024, collect_events: false };
+        let cfg =
+            FrameConfig { frame_bytes: 4 * 1024, collect_events: false, ..FrameConfig::default() };
         assert!(matches!(
             FrameWriter::resume(Vec::new(), cfg, params(), &scan),
             Err(ContainerError::Config { .. })
@@ -544,7 +599,8 @@ mod tests {
         let scan = scan_partial(&stream[..cut]);
         assert_eq!(scan.frames, 3);
         assert_eq!(scan.uncompressed_bytes, data.len() as u64);
-        let cfg = FrameConfig { frame_bytes: 4 * 1024, collect_events: false };
+        let cfg =
+            FrameConfig { frame_bytes: 4 * 1024, collect_events: false, ..FrameConfig::default() };
         let mut out = stream[..scan.valid_bytes as usize].to_vec();
         let mut w = FrameWriter::resume(&mut out, cfg, params(), &scan).unwrap();
         // No input remains; appending would diverge and must fail…
@@ -556,9 +612,13 @@ mod tests {
 
     #[test]
     fn bad_config_rejected() {
-        let cfg = FrameConfig { frame_bytes: 0, collect_events: false };
+        let cfg = FrameConfig { frame_bytes: 0, collect_events: false, ..FrameConfig::default() };
         assert!(FrameWriter::new(Vec::new(), cfg, params()).is_err());
-        let cfg = FrameConfig { frame_bytes: MAX_WRITER_FRAME + 1, collect_events: false };
+        let cfg = FrameConfig {
+            frame_bytes: MAX_WRITER_FRAME + 1,
+            collect_events: false,
+            ..FrameConfig::default()
+        };
         assert!(cfg.validate().is_err());
     }
 }

@@ -37,6 +37,18 @@ pub enum MutationKind {
     PayloadCorrupt,
     /// Stream cut somewhere inside a frame's extent (frame-targeted).
     TruncateMidFrame,
+    /// A non-sync byte of the seek-index record's header corrupted
+    /// (index-targeted).
+    IndexHeaderCorrupt,
+    /// A byte of the seek-index payload corrupted — magic, counts, or an
+    /// entry (index-targeted).
+    IndexPayloadCorrupt,
+    /// The index's trailing self-offset word overwritten with a random
+    /// value, sending readers to a lying location (index-targeted).
+    IndexPointerSmash,
+    /// Stream cut inside the index record's extent — a torn index
+    /// (index-targeted).
+    IndexTruncate,
 }
 
 impl std::fmt::Display for MutationKind {
@@ -53,6 +65,10 @@ impl std::fmt::Display for MutationKind {
             MutationKind::HeaderCorrupt => "header-corrupt",
             MutationKind::PayloadCorrupt => "payload-corrupt",
             MutationKind::TruncateMidFrame => "truncate-mid-frame",
+            MutationKind::IndexHeaderCorrupt => "index-header-corrupt",
+            MutationKind::IndexPayloadCorrupt => "index-payload-corrupt",
+            MutationKind::IndexPointerSmash => "index-pointer-smash",
+            MutationKind::IndexTruncate => "index-truncate",
         };
         f.write_str(name)
     }
@@ -244,6 +260,51 @@ impl StreamMutator {
             }
         }
     }
+
+    /// Corrupt `base` with one operation aimed at a seek-index record's
+    /// extent (`site`): hit its header, hit its payload, overwrite the
+    /// trailing self-offset word with a random pointer, or tear the stream
+    /// inside it. The crate stays format-agnostic — the caller maps the
+    /// index extent out (e.g. from `lzfpga-container`'s `check_structure`).
+    /// Falls back to [`StreamMutator::mutate`] on an insane extent.
+    pub fn mutate_index(&mut self, base: &[u8], site: FrameSite) -> Mutant {
+        let sane = site.header_start < site.payload_start
+            && site.payload_start < site.end
+            && site.end <= base.len();
+        if !sane {
+            return self.mutate(base);
+        }
+        let mask = 1 + (self.next() % 255) as u8;
+        match self.below(4) {
+            0 => {
+                let mut bytes = base.to_vec();
+                let body_start = (site.header_start + 4).min(site.payload_start - 1);
+                let pos = body_start + self.below(site.payload_start - body_start);
+                bytes[pos] ^= mask;
+                Mutant { bytes, kind: MutationKind::IndexHeaderCorrupt, frame: None }
+            }
+            1 => {
+                let mut bytes = base.to_vec();
+                let pos = site.payload_start + self.below(site.end - site.payload_start);
+                bytes[pos] ^= mask;
+                Mutant { bytes, kind: MutationKind::IndexPayloadCorrupt, frame: None }
+            }
+            2 if site.end - site.payload_start >= 8 => {
+                let mut bytes = base.to_vec();
+                let word = self.next().to_le_bytes();
+                bytes[site.end - 8..site.end].copy_from_slice(&word);
+                Mutant { bytes, kind: MutationKind::IndexPointerSmash, frame: None }
+            }
+            _ => {
+                let keep = site.header_start + 1 + self.below(site.end - site.header_start - 1);
+                Mutant {
+                    bytes: base[..keep].to_vec(),
+                    kind: MutationKind::IndexTruncate,
+                    frame: None,
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -358,6 +419,55 @@ mod tests {
         // The trailer site has no payload: payload hits degrade to header
         // hits, so no PayloadCorrupt mutant may target frame 2 — checked
         // implicitly by the range assertion above.
+    }
+
+    #[test]
+    fn index_mutation_stays_inside_the_index_extent() {
+        let base: Vec<u8> = (0..250u8).cycle().take(600).collect();
+        // Pretend bytes 400..574 are an index record (26-byte header).
+        let site = FrameSite { header_start: 400, payload_start: 426, end: 574 };
+        let mut m = StreamMutator::new(0xBEEF);
+        let mut kinds = std::collections::BTreeSet::new();
+        for _ in 0..400 {
+            let mutant = m.mutate_index(&base, site);
+            kinds.insert(format!("{}", mutant.kind));
+            match mutant.kind {
+                MutationKind::IndexTruncate => {
+                    assert!(mutant.bytes.len() > site.header_start);
+                    assert!(mutant.bytes.len() < site.end);
+                    assert_eq!(mutant.bytes[..], base[..mutant.bytes.len()]);
+                }
+                MutationKind::IndexPointerSmash => {
+                    assert_eq!(mutant.bytes.len(), base.len());
+                    assert_eq!(mutant.bytes[..site.end - 8], base[..site.end - 8]);
+                    assert_eq!(mutant.bytes[site.end..], base[site.end..]);
+                }
+                MutationKind::IndexHeaderCorrupt | MutationKind::IndexPayloadCorrupt => {
+                    assert_eq!(mutant.bytes.len(), base.len());
+                    let diffs: Vec<usize> =
+                        (0..base.len()).filter(|&i| mutant.bytes[i] != base[i]).collect();
+                    assert_eq!(diffs.len(), 1, "exactly one corrupted byte");
+                    let (lo, hi) = if mutant.kind == MutationKind::IndexHeaderCorrupt {
+                        (site.header_start + 4, site.payload_start)
+                    } else {
+                        (site.payload_start, site.end)
+                    };
+                    assert!((lo..hi).contains(&diffs[0]));
+                }
+                other => panic!("unexpected index op {other}"),
+            }
+        }
+        for kind in [
+            "index-header-corrupt",
+            "index-payload-corrupt",
+            "index-pointer-smash",
+            "index-truncate",
+        ] {
+            assert!(kinds.contains(kind), "operation {kind} never chosen");
+        }
+        // An insane extent falls back to whole-stream mutation.
+        let bogus = FrameSite { header_start: 500, payload_start: 400, end: 700 };
+        assert_eq!(m.mutate_index(&base, bogus).frame, None);
     }
 
     #[test]

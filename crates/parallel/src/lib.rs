@@ -63,8 +63,9 @@ use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 use lzfpga_container::{
-    check_structure, decode_frame, encode_data_header, encode_trailer, finish_stream_checks,
-    payload_from_tokens, ContainerError, FrameConfig, HEADER_LEN,
+    check_structure, decode_frame, encode_data_header, encode_index_section, encode_trailer,
+    finish_stream_checks, payload_from_tokens, plan_range, ContainerError, FrameConfig, IndexEntry,
+    HEADER_LEN,
 };
 use lzfpga_core::config::CLOCK_HZ;
 use lzfpga_core::{HwCompressor, HwConfig};
@@ -700,6 +701,8 @@ pub fn compress_frames_parallel_with<F: Failpoints>(
     let failure_acc: Mutex<FailureReport> = Mutex::new(FailureReport::default());
 
     let mut framed = Vec::new();
+    let mut entries: Vec<IndexEntry> = Vec::with_capacity(n_chunks);
+    let mut ustart = 0u64;
     let mut reports = Vec::with_capacity(n_chunks);
     let mut events = Vec::new();
     let mut stitch_error: Option<ParallelError> = None;
@@ -811,6 +814,8 @@ pub fn compress_frames_parallel_with<F: Failpoints>(
                     break;
                 }
             };
+            entries.push(IndexEntry { header_start: framed.len() as u64, ustart });
+            ustart += chunk.len() as u64;
             framed.extend_from_slice(&done.frame);
             if frame_cfg.collect_events {
                 events.push(FrameEvent {
@@ -838,8 +843,12 @@ pub fn compress_frames_parallel_with<F: Failpoints>(
         return Err(err);
     }
 
-    // Trailer: frame count, total input, whole-stream CRC — identical to
-    // FrameWriter's (which accumulates the CRC incrementally).
+    // Seek index + trailer, byte-identical to FrameWriter's finalize
+    // (which accumulates the CRC incrementally).
+    if frame_cfg.index && n_chunks > 0 {
+        let section = encode_index_section(&entries, data.len() as u64, framed.len() as u64);
+        framed.extend_from_slice(&section);
+    }
     let mut crc = Crc32::new();
     crc.update(data);
     framed.extend_from_slice(&encode_trailer(n_chunks as u32, data.len() as u64, crc.finish()));
@@ -902,6 +911,71 @@ pub fn decompress_frames_parallel(bytes: &[u8], workers: usize) -> Result<Vec<u8
         out.extend_from_slice(&data);
     }
     finish_stream_checks(&structure, out.len() as u64, crc.finish())?;
+    Ok(out)
+}
+
+/// Decode exactly the bytes `range.start..range.end` of the stream's
+/// original input, fanning the covering frames out across `workers`
+/// threads (`workers` = 0 uses all cores).
+///
+/// The plan comes from [`lzfpga_container::plan_range`]: the seek index
+/// when the stream carries a truthful one, a strict structure scan
+/// otherwise — either way only the frames covering the range are read,
+/// CRC-checked and inflated, so the work is O(frames-in-range) regardless
+/// of stream size. The result is byte-identical to
+/// `decompress_frames_parallel(bytes)[start..end]` with range ends clamped
+/// to the stream's total.
+///
+/// # Errors
+/// The strict decoder's [`ContainerError`] for damaged streams (the
+/// lowest-numbered damaged covering frame wins); for degraded serves over
+/// damaged streams use [`lzfpga_container::open_indexed`] instead.
+pub fn decode_range_parallel(
+    bytes: &[u8],
+    range: std::ops::Range<u64>,
+    workers: usize,
+) -> Result<Vec<u8>, ContainerError> {
+    let (plan, clamped) = plan_range(bytes, range)?;
+    let n = plan.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map_or(4, |w| w.get())
+    } else {
+        workers
+    }
+    .clamp(1, n);
+
+    type DecodeSlot = Option<Result<Vec<u8>, ContainerError>>;
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<DecodeSlot>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let (next, slots, plan) = (&next, &slots, &plan);
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let decoded = decode_frame(bytes, &plan[i].0);
+                slots.lock().expect("slot lock")[i] = Some(decoded);
+            });
+        }
+    });
+
+    let slots = slots.into_inner().expect("slot lock");
+    let mut out = Vec::with_capacity((clamped.end - clamped.start) as usize);
+    for (slot, &(_, fstart)) in slots.into_iter().zip(&plan) {
+        let data = slot.expect("every frame index was claimed")?;
+        // decode_frame verified data.len() == the header's ulen, and the
+        // planner verified the header against the frame map — the slice
+        // arithmetic below cannot go out of bounds.
+        let fend = fstart + data.len() as u64;
+        let lo = (clamped.start.max(fstart) - fstart) as usize;
+        let hi = (clamped.end.min(fend) - fstart) as usize;
+        out.extend_from_slice(&data[lo..hi]);
+    }
     Ok(out)
 }
 
@@ -1184,6 +1258,8 @@ pub fn compress_frames_batched(
 
     let failures = failure_acc.into_inner().expect("failure lock");
     let mut framed = Vec::new();
+    let mut entries: Vec<IndexEntry> = Vec::with_capacity(n_chunks);
+    let mut ustart = 0u64;
     let mut reports = Vec::with_capacity(n_chunks);
     let mut events = Vec::new();
     for (g, slot) in slots.into_inner().expect("slot lock").into_iter().enumerate() {
@@ -1195,6 +1271,8 @@ pub fn compress_frames_batched(
         };
         for (j, done) in dones.into_iter().enumerate() {
             let i = g * lanes + j;
+            entries.push(IndexEntry { header_start: framed.len() as u64, ustart });
+            ustart += chunks[i].len() as u64;
             framed.extend_from_slice(&done.frame);
             if frame_cfg.collect_events {
                 events.push(FrameEvent {
@@ -1216,6 +1294,10 @@ pub fn compress_frames_batched(
         }
     }
 
+    if frame_cfg.index && n_chunks > 0 {
+        let section = encode_index_section(&entries, data.len() as u64, framed.len() as u64);
+        framed.extend_from_slice(&section);
+    }
     let mut crc = Crc32::new();
     crc.update(data);
     framed.extend_from_slice(&encode_trailer(n_chunks as u32, data.len() as u64, crc.finish()));
@@ -1491,7 +1573,8 @@ mod tests {
         use lzfpga_container::FrameWriter;
         use std::io::Write as _;
         let data = generate(Corpus::Mixed, 31, 500_000);
-        let frame_cfg = FrameConfig { frame_bytes: 64 * 1024, collect_events: false };
+        let frame_cfg =
+            FrameConfig { frame_bytes: 64 * 1024, collect_events: false, ..FrameConfig::default() };
         let mut w =
             FrameWriter::new(Vec::new(), frame_cfg, HwConfig::paper_fast().as_lzss_params())
                 .unwrap();
@@ -1511,7 +1594,8 @@ mod tests {
     #[test]
     fn framed_parallel_roundtrips_through_both_decoders() {
         let data = generate(Corpus::Wiki, 33, 700_000);
-        let frame_cfg = FrameConfig { frame_bytes: 128 * 1024, collect_events: true };
+        let frame_cfg =
+            FrameConfig { frame_bytes: 128 * 1024, collect_events: true, ..FrameConfig::default() };
         let rep = compress_frames_parallel(&data, &turbo_cfg(128 * 1024, 0), &frame_cfg).unwrap();
         assert_eq!(rep.frames, 6);
         assert_eq!(rep.events.len(), 6);
@@ -1538,7 +1622,8 @@ mod tests {
     fn framed_parallel_survives_injected_panics_byte_exactly() {
         use lzfpga_faults::{FailPlan, FailRule};
         let data = generate(Corpus::LogLines, 35, 256_000);
-        let frame_cfg = FrameConfig { frame_bytes: 32 * 1024, collect_events: false };
+        let frame_cfg =
+            FrameConfig { frame_bytes: 32 * 1024, collect_events: false, ..FrameConfig::default() };
         let clean = compress_frames_parallel(&data, &turbo_cfg(32 * 1024, 4), &frame_cfg).unwrap();
         let plan = FailPlan::new(9).rule(FailRule::new("parallel.frame.chunk").on_hit(3).panics());
         let rep = compress_frames_parallel_with(&data, &turbo_cfg(32 * 1024, 4), &frame_cfg, &plan)
@@ -1557,7 +1642,8 @@ mod tests {
 
     #[test]
     fn framed_parallel_rejects_bad_frame_sizes() {
-        let small = FrameConfig { frame_bytes: 1024, collect_events: false };
+        let small =
+            FrameConfig { frame_bytes: 1024, collect_events: false, ..FrameConfig::default() };
         assert!(matches!(
             compress_frames_parallel(b"x", &turbo_cfg(32 * 1024, 1), &small),
             Err(ParallelError::Config(ParallelConfigError::ChunkTooSmall { chunk_bytes: 1024 }))
@@ -1565,6 +1651,7 @@ mod tests {
         let huge = FrameConfig {
             frame_bytes: lzfpga_container::MAX_FRAME_BYTES + 1,
             collect_events: false,
+            ..FrameConfig::default()
         };
         let err = compress_frames_parallel(b"x", &turbo_cfg(32 * 1024, 1), &huge).unwrap_err();
         assert!(err.to_string().contains("MAX_FRAME_BYTES"));
@@ -1573,7 +1660,8 @@ mod tests {
     #[test]
     fn parallel_decode_reports_the_lowest_damaged_frame() {
         let data = generate(Corpus::JsonTelemetry, 37, 300_000);
-        let frame_cfg = FrameConfig { frame_bytes: 32 * 1024, collect_events: false };
+        let frame_cfg =
+            FrameConfig { frame_bytes: 32 * 1024, collect_events: false, ..FrameConfig::default() };
         let rep = compress_frames_parallel(&data, &turbo_cfg(32 * 1024, 2), &frame_cfg).unwrap();
         let spans = lzfpga_container::frame_spans(&rep.framed).unwrap();
         let mut bad = rep.framed.clone();
@@ -1641,7 +1729,8 @@ mod tests {
         use lzfpga_container::FrameWriter;
         use std::io::Write as _;
         let data = generate(Corpus::Mixed, 31, 500_000);
-        let frame_cfg = FrameConfig { frame_bytes: 64 * 1024, collect_events: false };
+        let frame_cfg =
+            FrameConfig { frame_bytes: 64 * 1024, collect_events: false, ..FrameConfig::default() };
         let mut w =
             FrameWriter::new(Vec::new(), frame_cfg, HwConfig::paper_fast().as_lzss_params())
                 .unwrap();
@@ -1666,7 +1755,8 @@ mod tests {
     #[test]
     fn batched_frames_roundtrip_with_events_counters_and_empty_input() {
         let data = generate(Corpus::JsonTelemetry, 41, 300_000);
-        let frame_cfg = FrameConfig { frame_bytes: 32 * 1024, collect_events: true };
+        let frame_cfg =
+            FrameConfig { frame_bytes: 32 * 1024, collect_events: true, ..FrameConfig::default() };
         let cfg = ParallelConfig { telemetry: true, ..turbo_cfg(32 * 1024, 2) };
         let rep = compress_frames_batched(&data, &cfg, &frame_cfg, 4).unwrap();
         assert_eq!(rep.events.len(), rep.frames as usize);

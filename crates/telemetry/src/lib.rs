@@ -35,6 +35,7 @@ pub mod histogram;
 pub mod json;
 pub mod pipeline;
 pub mod probe;
+pub mod range;
 pub mod sink;
 pub mod spans;
 
@@ -43,5 +44,6 @@ pub use histogram::Histogram;
 pub use json::JsonValue;
 pub use pipeline::{PipelineTelemetry, StitcherStats, WorkerStats};
 pub use probe::{MatchProbe, NoProbe, TurboCounters};
+pub use range::RangeCounters;
 pub use sink::{parse_jsonl, JsonlWriter};
 pub use spans::{trace_events_json, SpanTimer, TraceEvent};

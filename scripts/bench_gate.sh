@@ -1,36 +1,59 @@
 #!/usr/bin/env bash
-# Benchmark regression gate: run the throughput harness and compare against
-# the committed baseline in BENCH_throughput.json.
+# Benchmark regression gate with an append-only history.
+#
+# The old flow overwrote BENCH_throughput.json on every refresh, so the repo
+# only ever recorded the *latest* run — the per-PR performance trajectory was
+# lost. The gate now keeps two committed artifacts:
+#
+#   BENCH_throughput.json   — the latest full report (rich per-workload data)
+#   BENCH_trajectory.json   — append-only `trajectory` array; entry 0 is the
+#                             frozen baseline, every later entry is one PR's
+#                             host-normalised speedups tagged with its git rev
 #
 # The gate compares the host-normalised engine speedup (cost-model wall time
 # divided by turbo engine wall time, both measured in the same process on the
-# same host) for the mixed corpus. Raw MB/s is NOT compared across hosts —
-# CI machines and dev machines differ wildly; the within-run ratio is stable.
-# A drop of more than 10% below the committed baseline fails the gate.
+# same host) for the mixed corpus against the trajectory's baseline entry.
+# Raw MB/s is NOT compared across hosts — CI machines and dev machines differ
+# wildly; the within-run ratio is stable. A drop of more than 10% below the
+# baseline fails the gate, and a failing run is not appended to the history.
 #
 # Usage:
-#   scripts/bench_gate.sh                # gate against BENCH_throughput.json
-#   scripts/bench_gate.sh --refresh      # re-measure and overwrite the baseline
+#   scripts/bench_gate.sh                # gate, then append this rev's entry
+#   scripts/bench_gate.sh --refresh      # re-measure: overwrite the full
+#                                        # report and reset the trajectory
+#                                        # baseline to this run
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BASELINE=BENCH_throughput.json
+TRAJECTORY=BENCH_trajectory.json
+REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 
 echo "== build bench harness (release) =="
 cargo build --release -p lzfpga-bench
 
 if [[ "${1:-}" == "--refresh" ]]; then
-    echo "== refresh committed baseline: $BASELINE =="
-    ./target/release/throughput --out "$BASELINE"
-    echo "bench_gate: baseline refreshed — review and commit $BASELINE"
+    echo "== refresh committed baseline: $BASELINE + $TRAJECTORY =="
+    rm -f "$TRAJECTORY"
+    ./target/release/throughput --out "$BASELINE" \
+        --append-trajectory "$TRAJECTORY" --rev "$REV"
+    echo "bench_gate: baseline refreshed — review and commit $BASELINE and $TRAJECTORY"
     exit 0
 fi
 
-if [[ ! -f "$BASELINE" ]]; then
+# Prefer the trajectory (entry 0 is the frozen baseline); fall back to the
+# legacy single-report so pre-trajectory checkouts still gate. Either way
+# the passing run is appended to the trajectory, seeding it on first use.
+GATE="$TRAJECTORY"
+if [[ ! -f "$GATE" ]]; then
+    GATE="$BASELINE"
+fi
+if [[ ! -f "$GATE" ]]; then
     echo "bench_gate: missing baseline $BASELINE (run with --refresh to create)" >&2
     exit 1
 fi
 
-echo "== run harness and gate against $BASELINE =="
-./target/release/throughput --out /tmp/bench_gate_current.json --gate "$BASELINE"
-echo "bench_gate: passed"
+echo "== run harness, gate against $GATE, append rev $REV to $TRAJECTORY =="
+./target/release/throughput --out /tmp/bench_gate_current.json \
+    --gate "$GATE" --append-trajectory "$TRAJECTORY" --rev "$REV"
+echo "bench_gate: passed — commit the updated $TRAJECTORY to record this PR's entry"

@@ -91,7 +91,8 @@ fn batch_api_emits_standalone_zlib_streams_in_input_order() {
 #[test]
 fn framed_batched_output_is_byte_identical_to_serial_framed() {
     let data = generate(Corpus::Mixed, 77, 600_000);
-    let frame_cfg = FrameConfig { frame_bytes: 64 * 1024, collect_events: false };
+    let frame_cfg =
+        FrameConfig { frame_bytes: 64 * 1024, collect_events: false, ..FrameConfig::default() };
     let serial = compress_frames_parallel(&data, &turbo_cfg(), &frame_cfg).unwrap();
     for lanes in [1usize, 3, 8] {
         let batched = compress_frames_batched(&data, &turbo_cfg(), &frame_cfg, lanes).unwrap();

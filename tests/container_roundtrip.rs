@@ -18,7 +18,7 @@ fn params() -> LzssParams {
 }
 
 fn frame_up(data: &[u8], frame_bytes: usize) -> Vec<u8> {
-    let cfg = FrameConfig { frame_bytes, collect_events: false };
+    let cfg = FrameConfig { frame_bytes, collect_events: false, ..FrameConfig::default() };
     let mut w = FrameWriter::new(Vec::new(), cfg, params()).unwrap();
     w.write_all(data).unwrap();
     w.finish().unwrap().0
@@ -89,7 +89,7 @@ fn resume_after_kill_reproduces_the_fresh_stream() {
         let scan = scan_partial(&fresh[..cut]);
         assert!(!scan.complete, "cut={cut}");
         let mut out = fresh[..scan.valid_bytes as usize].to_vec();
-        let cfg = FrameConfig { frame_bytes: fb, collect_events: false };
+        let cfg = FrameConfig { frame_bytes: fb, collect_events: false, ..FrameConfig::default() };
         let mut w = FrameWriter::resume(&mut out, cfg, params(), &scan).unwrap();
         w.write_all(&data[scan.uncompressed_bytes as usize..]).unwrap();
         w.finish().unwrap();
@@ -111,7 +111,8 @@ fn parallel_framing_is_byte_identical_and_round_trips() {
             engine: EngineKind::Turbo,
             telemetry: false,
         };
-        let frame_cfg = FrameConfig { frame_bytes: fb, collect_events: false };
+        let frame_cfg =
+            FrameConfig { frame_bytes: fb, collect_events: false, ..FrameConfig::default() };
         let rep = compress_frames_parallel(&data, &cfg, &frame_cfg).unwrap();
         assert_eq!(rep.framed, serial, "workers={workers}");
         assert_eq!(decompress_frames_parallel(&rep.framed, workers).unwrap(), data);
