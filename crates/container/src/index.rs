@@ -30,8 +30,12 @@
 //! index record as a data record with reserved codec bits: the strict
 //! decoder fails *closed* with its typed `UnknownCodec` error (it can
 //! never splice index bytes into output), and the salvage decoder skips
-//! the record precisely via its CRC-trusted `clen`, recovering every data
-//! frame. Nothing panics and no byte is mis-served in either direction.
+//! the record precisely via its CRC-trusted `clen` — but only when the
+//! skip lands exactly on a valid trailer, the one place a legitimate
+//! index can sit. An index record anywhere else is treated as damage
+//! (its `clen` could be a CRC-valid lie spanning real data frames), so
+//! the scanner resyncs through it instead of trusting the skip. Nothing
+//! panics and no byte is mis-served in either direction.
 
 use crate::format::{encode_index_header, parse_record, FrameSpan, HEADER_LEN};
 use crate::ContainerError;
@@ -203,7 +207,10 @@ fn parse_payload(
         return Err(IndexFault::BadMagic);
     }
     let n = read_u32(payload, 4) as usize;
-    if payload.len() != FIXED_PAYLOAD + 16 * n {
+    // Checked: on 32-bit targets a huge frame count must not wrap the
+    // expected length into something the real payload could equal.
+    let expected_len = 16usize.checked_mul(n).and_then(|v| v.checked_add(FIXED_PAYLOAD));
+    if expected_len != Some(payload.len()) {
         return Err(IndexFault::Truncated);
     }
     let total = read_u64(payload, 8 + 16 * n);
@@ -267,7 +274,12 @@ pub fn load_index(bytes: &[u8]) -> Result<LoadedIndex, IndexFault> {
     let Ok(start) = usize::try_from(self_offset) else {
         return Err(IndexFault::Missing);
     };
-    if start + HEADER_LEN + FIXED_PAYLOAD > trailer_start {
+    // Checked: the word is attacker-controlled, and a start near
+    // usize::MAX must not wrap past the bound below.
+    let Some(need) = start.checked_add(HEADER_LEN + FIXED_PAYLOAD) else {
+        return Err(IndexFault::Missing);
+    };
+    if need > trailer_start {
         return Err(IndexFault::Missing);
     }
     let rec = match parse_record(&bytes[start..]) {
@@ -281,7 +293,7 @@ pub fn load_index(bytes: &[u8]) -> Result<LoadedIndex, IndexFault> {
         Err(_) => return Err(IndexFault::Missing),
     };
     let payload_start = start + HEADER_LEN;
-    if payload_start + rec.clen as usize != trailer_start {
+    if payload_start.checked_add(rec.clen as usize) != Some(trailer_start) {
         return Err(IndexFault::BadPointer);
     }
     let payload = &bytes[payload_start..trailer_start];
@@ -398,6 +410,44 @@ mod tests {
             tags.insert(f.tag());
         }
         assert_eq!(tags.len(), faults.len(), "tags must be distinct");
+    }
+
+    #[test]
+    fn hostile_self_offset_near_u64_max_is_a_typed_fault() {
+        use crate::writer::{FrameConfig, FrameWriter};
+        use lzfpga_lzss::LzssParams;
+        use std::io::Write as _;
+
+        let mut w =
+            FrameWriter::new(Vec::new(), FrameConfig::default(), LzssParams::paper_fast()).unwrap();
+        w.write_all(&vec![0xA5u8; 10_000]).unwrap();
+        let (stream, _) = w.finish().unwrap();
+        assert!(load_index(&stream).is_ok());
+        // Overwrite the self-offset word (the 8 bytes before the trailer)
+        // with values whose `start + HEADER_LEN + FIXED_PAYLOAD` would
+        // wrap: must be a typed fault, never an overflow panic or an
+        // out-of-bounds slice.
+        let at = stream.len() - HEADER_LEN - 8;
+        for k in [0u64, 1, 7, HEADER_LEN as u64, (FIXED_PAYLOAD + HEADER_LEN) as u64] {
+            let mut bad = stream.clone();
+            bad[at..at + 8].copy_from_slice(&(u64::MAX - k).to_le_bytes());
+            assert!(load_index(&bad).is_err(), "self_offset = u64::MAX - {k}");
+        }
+        // An in-range but wrong pointer is also a typed fault.
+        let mut bad = stream.clone();
+        bad[at..at + 8].copy_from_slice(&1u64.to_le_bytes());
+        assert!(load_index(&bad).is_err());
+    }
+
+    #[test]
+    fn huge_frame_count_in_payload_is_truncated_not_wrapped() {
+        // A payload claiming u32::MAX frames: `16 * n + FIXED_PAYLOAD`
+        // must be computed checked (it wraps usize on 32-bit targets).
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&INDEX_MAGIC);
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        payload.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(parse_payload(&payload, 0, 1 << 40), Err(IndexFault::Truncated)));
     }
 
     #[test]

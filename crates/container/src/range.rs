@@ -91,12 +91,20 @@ impl IndexReport {
     }
 }
 
-/// Byte-bounded LRU of decoded frames (`slots` back = most recent).
+/// Byte-bounded LRU of decoded frames.
+///
+/// Recency is a lazy-deletion queue: every touch appends a fresh
+/// `(stamp, key)` pair and stores the stamp on the entry; eviction pops
+/// from the front, ignoring pairs whose stamp is stale. Touch and evict
+/// are amortized O(1), so a small-frame stream holding thousands of
+/// cached entries never turns range serving quadratic.
 #[derive(Debug, Default)]
 struct FrameCache {
     capacity: usize,
     bytes: usize,
-    slots: Vec<(usize, Vec<u8>)>,
+    entries: std::collections::HashMap<usize, (Vec<u8>, u64)>,
+    order: std::collections::VecDeque<(u64, usize)>,
+    stamp: u64,
     evictions: u64,
 }
 
@@ -105,29 +113,45 @@ impl FrameCache {
         FrameCache { capacity, ..FrameCache::default() }
     }
 
-    /// Move `key` to the most-recent slot and return its position.
-    fn touch(&mut self, key: usize) -> Option<usize> {
-        let pos = self.slots.iter().position(|(k, _)| *k == key)?;
-        let entry = self.slots.remove(pos);
-        self.slots.push(entry);
-        Some(self.slots.len() - 1)
+    /// Mark `key` most-recent and return its data.
+    fn get(&mut self, key: usize) -> Option<&Vec<u8>> {
+        // Bound the stale-pair backlog so hit-heavy workloads don't grow
+        // the queue without limit.
+        if self.order.len() > 4 * self.entries.len().max(16) {
+            let entries = &self.entries;
+            self.order.retain(|(s, k)| entries.get(k).is_some_and(|(_, live)| live == s));
+        }
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let entry = self.entries.get_mut(&key)?;
+        entry.1 = stamp;
+        self.order.push_back((stamp, key));
+        Some(&entry.0)
     }
 
     fn insert(&mut self, key: usize, data: Vec<u8>) {
         if data.len() > self.capacity {
             return; // A frame bigger than the whole budget is never cached.
         }
+        self.stamp += 1;
         self.bytes += data.len();
-        self.slots.push((key, data));
-        while self.bytes > self.capacity {
-            let (_, old) = self.slots.remove(0);
+        if let Some((old, _)) = self.entries.insert(key, (data, self.stamp)) {
             self.bytes -= old.len();
-            self.evictions += 1;
+        }
+        self.order.push_back((self.stamp, key));
+        while self.bytes > self.capacity {
+            let Some((stamp, key)) = self.order.pop_front() else { break };
+            if self.entries.get(&key).is_some_and(|(_, live)| *live == stamp) {
+                let (old, _) = self.entries.remove(&key).expect("entry just observed");
+                self.bytes -= old.len();
+                self.evictions += 1;
+            }
         }
     }
 
     fn clear(&mut self) {
-        self.slots.clear();
+        self.entries.clear();
+        self.order.clear();
         self.bytes = 0;
     }
 }
@@ -351,9 +375,9 @@ impl<'a> IndexedReader<'a> {
         out: &mut Vec<u8>,
     ) -> Result<(), u32> {
         let seq = u32::try_from(i).unwrap_or(u32::MAX);
-        if let Some(pos) = self.cache.touch(i) {
+        if let Some(data) = self.cache.get(i) {
             self.counters.cache_hits += 1;
-            out.extend_from_slice(&self.cache.slots[pos].1[lo..hi]);
+            out.extend_from_slice(&data[lo..hi]);
             return Ok(());
         }
         self.counters.cache_misses += 1;

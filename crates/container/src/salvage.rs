@@ -206,10 +206,14 @@ pub fn salvage_with(bytes: &[u8], opts: &SalvageOptions) -> Salvage {
                 return Salvage { data: out, report };
             }
             Ok(rec) if rec.index => {
-                // The seek index carries no stream data: its CRC-trusted
-                // clen gives a precise skip, and nothing counts as lost —
-                // the range reader re-derives any index it needs from the
-                // frames themselves.
+                // The seek index carries no stream data, so a legitimate
+                // one can be skipped without recording a loss — but only
+                // where a legitimate one can sit: its CRC-trusted clen
+                // must land exactly on a valid trailer. An index record
+                // anywhere else may be a CRC-valid forgery whose clen
+                // would silently swallow real data frames, so its length
+                // is distrusted and the scanner resyncs through it,
+                // recovering whatever frames survive underneath.
                 let payload_start = pos + HEADER_LEN;
                 let end = payload_start.saturating_add(rec.clen as usize);
                 if end > bytes.len() {
@@ -220,8 +224,18 @@ pub fn salvage_with(bytes: &[u8], opts: &SalvageOptions) -> Salvage {
                     }
                     break;
                 }
-                close_damage(&mut damage_start, pos, out.len(), &mut report);
-                pos = end;
+                if matches!(parse_record(&bytes[end..]), Ok(next) if next.trailer) {
+                    close_damage(&mut damage_start, pos, out.len(), &mut report);
+                    pos = end;
+                } else {
+                    if damage_start.is_none() {
+                        damage_start = Some(pos);
+                    }
+                    match find_sync(bytes, pos + 1) {
+                        Some(next) => pos = next,
+                        None => break,
+                    }
+                }
             }
             Ok(rec) => {
                 let payload_start = pos + HEADER_LEN;
@@ -247,8 +261,24 @@ pub fn salvage_with(bytes: &[u8], opts: &SalvageOptions) -> Salvage {
                 };
                 match decoded {
                     Some(data) => {
+                        let gap = u64::from(rec.seq).saturating_sub(expected_seq);
+                        let had_damage = damage_start.is_some();
                         close_damage(&mut damage_start, pos, out.len(), &mut report);
-                        report.frames_skipped += u64::from(rec.seq).saturating_sub(expected_seq);
+                        if gap > 0 && !had_damage {
+                            // Frames vanished with no damaged bytes to
+                            // blame — an excised span, or a forged record
+                            // whose trusted skip swallowed them. Record a
+                            // zero-width hole so output offsets past this
+                            // point are never served as exact.
+                            report.lost.push(LostRange {
+                                stream_start: pos as u64,
+                                stream_end: pos as u64,
+                                seq: None,
+                                uncompressed_bytes: None,
+                                output_offset: out.len() as u64,
+                            });
+                        }
+                        report.frames_skipped += gap;
                         expected_seq = expected_seq.max(u64::from(rec.seq) + 1);
                         report.frames_recovered += 1;
                         report.bytes_recovered += data.len() as u64;
@@ -479,6 +509,50 @@ mod tests {
         assert_eq!(s.report.frames_skipped, 1);
         assert_eq!(s.report.lost[0].seq, Some(1));
         assert_eq!(s.data.len(), data.len() - 8192);
+    }
+
+    #[test]
+    fn forged_midstream_index_record_cannot_hide_data_loss() {
+        let data = generate(Corpus::Wiki, 59, 60_000);
+        let stream = frame_up(&data, 8 * 1024);
+        let spans = frame_spans(&stream).unwrap();
+        // Overwrite frame 2's header with a CRC-valid index record whose
+        // clen spans frames 2 and 3 — the adversary trying to make the
+        // scanner silently skip real data under a "trusted" length.
+        let span_len = spans[3].end - spans[2].header_start - HEADER_LEN;
+        let forged = crate::format::encode_index_header(2, &vec![0u8; span_len]);
+        let mut bad = stream.clone();
+        bad[spans[2].header_start..spans[2].payload_start].copy_from_slice(&forged);
+        let s = salvage(&bad);
+        // Frame 2 dies with its header; frame 3 must be re-found by
+        // resync, never skipped under the forged clen.
+        assert_eq!(&s.data[..2 * 8192], &data[..2 * 8192]);
+        assert_eq!(&s.data[2 * 8192..], &data[3 * 8192..]);
+        assert_eq!(s.report.frames_skipped, 1, "{:?}", s.report);
+        // The loss is accounted at the right output offset, so no reader
+        // built on this report can serve post-hole bytes as exact.
+        let first_hole =
+            s.report.lost.iter().map(|l| l.output_offset).min().expect("hole recorded");
+        assert_eq!(first_hole, 2 * 8192);
+    }
+
+    #[test]
+    fn excised_frame_is_recorded_as_a_hole() {
+        let data = generate(Corpus::LogLines, 61, 60_000);
+        let stream = frame_up(&data, 8 * 1024);
+        let spans = frame_spans(&stream).unwrap();
+        // Cut frame 3 out wholesale: every surviving header is pristine
+        // and only the seq gap betrays the loss.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&stream[..spans[3].header_start]);
+        bad.extend_from_slice(&stream[spans[3].end..]);
+        let s = salvage(&bad);
+        assert_eq!(&s.data[..3 * 8192], &data[..3 * 8192]);
+        assert_eq!(&s.data[3 * 8192..], &data[4 * 8192..]);
+        assert_eq!(s.report.frames_skipped, 1);
+        let first_hole =
+            s.report.lost.iter().map(|l| l.output_offset).min().expect("hole recorded");
+        assert_eq!(first_hole, 3 * 8192);
     }
 
     #[test]

@@ -245,6 +245,36 @@ fn crc_valid_lying_index_degrades_with_frame_mismatch() {
 }
 
 #[test]
+fn forged_midstream_index_record_never_misserves_ranges() {
+    use lzfpga::container::encode_index_header;
+
+    let data = generate(Corpus::Wiki, 41, 64 * 1024);
+    let stream = frame_up(&data, 8 * 1024);
+    let s = check_structure(&stream).unwrap();
+    // Overwrite frame 2's header with a CRC-valid index record whose clen
+    // spans frames 2 and 3: the "CRC-valid lying" adversary aimed at the
+    // salvage scanner's trusted-skip path.
+    let f2 = s.frames[2];
+    let span_len = s.frames[3].end - f2.header_start - HEADER_LEN;
+    let forged = encode_index_header(2, &vec![0u8; span_len]);
+    let mut bad = stream.clone();
+    bad[f2.header_start..f2.payload_start].copy_from_slice(&forged);
+
+    let mut reader = open_indexed(&bad);
+    // Ranges before the damage serve exact…
+    assert_eq!(reader.decode_range(0..16 * 1024).unwrap(), &data[..16 * 1024]);
+    // …and a range into the swallowed frames must degrade and refuse —
+    // serving frame 4's bytes at frame 2's offsets would be the bug.
+    let err = reader.decode_range(16 * 1024..32 * 1024).unwrap_err();
+    assert!(matches!(err, ContainerError::RangeUnavailable { offset: 16384 }), "{err}");
+    let report = reader.report();
+    assert_eq!(report.source, IndexSource::Salvage);
+    assert_eq!(report.serviceable_bytes, 16 * 1024);
+    // The exact prefix keeps serving after degradation.
+    assert_eq!(reader.decode_range(1_000..9_000).unwrap(), &data[1_000..9_000]);
+}
+
+#[test]
 fn unindexed_streams_still_open_and_serve() {
     let data = generate(Corpus::LogLines, 29, 50_000);
     let plain = frame_up_cfg(&data, 8 * 1024, false);
