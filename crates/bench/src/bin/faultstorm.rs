@@ -36,8 +36,18 @@
 //! index and must serve every probed range byte-exactly or refuse with a
 //! typed error.
 //!
+//! With `--metrics PATH` the storm additionally folds every typed ledger
+//! it produces (the drill's [`FailureReport`], each salvage pass's
+//! `SalvageReport`) into a [`MetricsRegistry`] via `absorb`, and **asserts
+//! the registry counters exactly reconcile with the typed totals** — the
+//! generic JSON-folding path and the hand-written ledgers must never
+//! drift, or an operator watching the metrics would see a different storm
+//! than the one that ran. The final registry snapshot is written to PATH
+//! as JSONL (`run` event, then a `metrics` snapshot event).
+//!
 //! ```text
 //! faultstorm [--mutants N] [--lzfc N] [--lzfc-index N] [--seed S]
+//!            [--metrics PATH]
 //! ```
 //!
 //! Fully deterministic for a given seed; exits non-zero on any violation.
@@ -57,9 +67,12 @@ use lzfpga_deflate::zlib::zlib_decompress_limited;
 use lzfpga_deflate::Limits;
 use lzfpga_faults::{FailPlan, FailRule, FrameSite, MutationKind, StreamMutator};
 use lzfpga_lzss::compress;
+use lzfpga_obs::{snapshot_to_json, MetricsRegistry};
 use lzfpga_parallel::{
     compress_frames_parallel, compress_parallel, compress_parallel_with, EngineKind, ParallelConfig,
 };
+use lzfpga_telemetry::json::obj;
+use lzfpga_telemetry::JsonlWriter;
 use lzfpga_workloads::{generate, Corpus};
 
 /// One well-formed base stream plus the decode paths it exercises.
@@ -101,6 +114,7 @@ fn main() {
     let mut lzfc_mutants: u64 = 500;
     let mut index_mutants: u64 = 400;
     let mut seed: u64 = 0xC0FFEE;
+    let mut metrics_path: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -112,8 +126,12 @@ fn main() {
                 index_mutants = it.next().and_then(|v| v.parse().ok()).unwrap_or(index_mutants)
             }
             "--seed" => seed = it.next().and_then(|v| parse_seed(&v)).unwrap_or(seed),
+            "--metrics" => metrics_path = it.next(),
             "--help" | "-h" => {
-                println!("faultstorm [--mutants N] [--lzfc N] [--lzfc-index N] [--seed S]");
+                println!(
+                    "faultstorm [--mutants N] [--lzfc N] [--lzfc-index N] [--seed S] \
+                     [--metrics PATH]"
+                );
                 return;
             }
             other => {
@@ -122,18 +140,24 @@ fn main() {
             }
         }
     }
+    let registry = metrics_path.as_ref().map(|_| MetricsRegistry::new());
 
     // Panics are part of the contract under test: silence the default hook
     // so a caught panic does not spam stderr, and count it instead.
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
-    let drill_ok = run_drill();
+    let drill_ok = run_drill(registry.as_ref());
     let tally = run_storm(mutants, seed);
-    let lzfc_violations = run_lzfc_storm(lzfc_mutants, seed);
+    let lzfc_violations = run_lzfc_storm(lzfc_mutants, seed, registry.as_ref());
     let index_violations = run_lzfc_index_storm(index_mutants, seed);
     let resume_ok = run_resume_drill();
     let overhead_ok = run_overhead_check();
     std::panic::set_hook(default_hook);
+
+    let metrics_ok = match (&metrics_path, &registry) {
+        (Some(path), Some(reg)) => write_metrics(path, reg, mutants, lzfc_mutants, seed),
+        _ => true,
+    };
 
     println!(
         "faultstorm: {} decodes over {} mutants (seed {seed:#x}): \
@@ -148,12 +172,50 @@ fn main() {
     if !drill_ok
         || !resume_ok
         || !overhead_ok
+        || !metrics_ok
         || tally.violations > 0
         || lzfc_violations > 0
         || index_violations > 0
     {
         eprintln!("faultstorm: FAILED");
         std::process::exit(1);
+    }
+}
+
+/// Write the final registry snapshot as a JSONL metrics stream: a `run`
+/// event describing the storm, then the `metrics` snapshot event the
+/// `lzfpga stats` aggregator understands.
+fn write_metrics(
+    path: &str,
+    reg: &MetricsRegistry,
+    mutants: u64,
+    lzfc_mutants: u64,
+    seed: u64,
+) -> bool {
+    let write = || -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        let mut sink = JsonlWriter::new(std::io::BufWriter::new(file));
+        sink.emit(
+            "run",
+            obj([
+                ("command", "faultstorm".into()),
+                ("mutants", mutants.into()),
+                ("lzfc_mutants", lzfc_mutants.into()),
+                ("seed", seed.into()),
+            ]),
+        )?;
+        sink.emit("metrics", snapshot_to_json(&reg.snapshot()))?;
+        sink.finish().map(|_| ())
+    };
+    match write() {
+        Ok(()) => {
+            println!("wrote {path}");
+            true
+        }
+        Err(e) => {
+            eprintln!("writing {path}: {e}");
+            false
+        }
     }
 }
 
@@ -168,8 +230,10 @@ fn frame_up(data: &[u8], frame_bytes: usize) -> Vec<u8> {
 
 /// The LZFC salvage storm: every frame-targeted mutant must salvage
 /// without panicking, and the recovered bytes must match the exact
-/// per-damage-kind prediction — byte-identical surviving frames.
-fn run_lzfc_storm(mutants: u64, seed: u64) -> u64 {
+/// per-damage-kind prediction — byte-identical surviving frames. With a
+/// registry, every pass's `SalvageReport` JSON is absorbed and the summed
+/// `salvage_*` counters must reconcile exactly with the typed ledgers.
+fn run_lzfc_storm(mutants: u64, seed: u64, reg: Option<&MetricsRegistry>) -> u64 {
     let fb = 16 * 1024;
     let data = generate(Corpus::Mixed, 45, 256 * 1024);
     let framed = frame_up(&data, fb);
@@ -189,6 +253,10 @@ fn run_lzfc_storm(mutants: u64, seed: u64) -> u64 {
 
     let mut mutator = StreamMutator::new(seed ^ 0x1F2C);
     let mut violations = 0u64;
+    // Typed ledger totals, summed alongside the per-report `absorb` calls
+    // so the registry's generic folding can be held to them exactly.
+    let (mut recovered, mut deep, mut skipped, mut bytes, mut lost) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
     for _ in 0..mutants {
         let m = mutator.mutate_framed(&framed, &sites);
         let outcome = catch_unwind(AssertUnwindSafe(|| salvage(&m.bytes)));
@@ -197,6 +265,14 @@ fn run_lzfc_storm(mutants: u64, seed: u64) -> u64 {
             eprintln!("VIOLATION: salvage panicked on {} (frame {:?})", m.kind, m.frame);
             continue;
         };
+        if let Some(reg) = reg {
+            reg.absorb("salvage", &s.report.to_json());
+            recovered += u64::from(s.report.frames_recovered);
+            deep += u64::from(s.report.frames_deep_recovered);
+            skipped += s.report.frames_skipped;
+            bytes += s.report.bytes_recovered;
+            lost += s.report.lost.len() as u64;
+        }
         let frame = m.frame.expect("framed mutants always target a site");
         let expected: Vec<u8> = match m.kind {
             // A dead sync or payload loses exactly the targeted frame;
@@ -241,6 +317,33 @@ fn run_lzfc_storm(mutants: u64, seed: u64) -> u64 {
                 m.kind,
                 s.data.len(),
                 expected.len()
+            );
+        }
+    }
+    if let Some(reg) = reg {
+        let snap = reg.snapshot();
+        let expected = [
+            ("salvage_frames_recovered", recovered),
+            ("salvage_frames_deep_recovered", deep),
+            ("salvage_frames_skipped", skipped),
+            ("salvage_bytes_recovered", bytes),
+            ("salvage_lost_count", lost),
+        ];
+        for (name, want) in expected {
+            if snap.counter(name) != want {
+                violations += 1;
+                eprintln!(
+                    "VIOLATION: registry counter {name} = {} does not reconcile with the \
+                     typed SalvageReport total {want}",
+                    snap.counter(name)
+                );
+            }
+        }
+        if violations == 0 {
+            println!(
+                "lzfc storm: registry salvage_* counters reconcile with {mutants} typed \
+                 SalvageReport ledgers ({recovered} recovered, {skipped} skipped, \
+                 {bytes} bytes)"
             );
         }
     }
@@ -391,8 +494,10 @@ fn run_overhead_check() -> bool {
 
 /// The fault-injection acceptance drill: an injected worker panic in an
 /// 8-chunk / 4-worker job must not change a byte of output, and the failure
-/// report must record exactly the injected fault.
-fn run_drill() -> bool {
+/// report must record exactly the injected fault. With a registry, the
+/// report's JSON form is absorbed and the resulting `faults_*` counters
+/// must reconcile exactly with the typed ledger fields.
+fn run_drill(reg: Option<&MetricsRegistry>) -> bool {
     let data = generate(Corpus::Mixed, 21, 256_000);
     let cfg = ParallelConfig {
         chunk_bytes: 32 * 1024,
@@ -418,6 +523,30 @@ fn run_drill() -> bool {
         }
     };
     let f = &faulty.failures;
+    if let Some(reg) = reg {
+        reg.absorb("faults", &f.to_json());
+        let snap = reg.snapshot();
+        let expected = [
+            ("faults_attempts", f.attempts),
+            ("faults_retries", f.retries),
+            ("faults_worker_restarts", f.worker_restarts),
+            ("faults_injected_errors", f.injected_errors),
+            ("faults_injected_count", f.injected.len() as u64),
+            ("faults_degraded_chunks_count", f.degraded_chunks.len() as u64),
+            ("faults_failed_chunks_count", f.failed_chunks.len() as u64),
+        ];
+        for (name, want) in expected {
+            if snap.counter(name) != want {
+                eprintln!(
+                    "drill: registry counter {name} = {} does not reconcile with the typed \
+                     FailureReport value {want}",
+                    snap.counter(name)
+                );
+                return false;
+            }
+        }
+        println!("drill: registry faults_* counters reconcile with the typed FailureReport");
+    }
     let ok = faulty.compressed == clean.compressed
         && f.attempts == 9
         && f.retries == 1

@@ -54,16 +54,39 @@
 //! ```text
 //! throughput [--size BYTES] [--seed N] [--out PATH] [--metrics PATH]
 //!            [--gate BASELINE.json] [--append-trajectory TRAJ.json] [--rev REV]
+//!            [--obs-gate PCT] [--obs-only]
+//!            [--check-trajectory TRAJ.json] [--frozen COMMITTED.json]
 //! ```
 //!
 //! `--gate` accepts either a single committed report or a trajectory file
 //! (`lzfpga-bench/trajectory/v1`); for a trajectory the *first* entry is the
 //! frozen baseline. `--append-trajectory` records this run (host-normalised
-//! speedups plus the `--rev` label, typically a git short hash) as a new
-//! entry in the append-only `trajectory` array, creating the file — seeded
-//! from the `--gate` legacy report when one is given — if it is missing.
-//! The trajectory is the per-PR history the old overwrite-style
-//! `BENCH_throughput.json` could not keep.
+//! speedups, a per-phase wall breakdown, plus the `--rev` label, typically a
+//! git short hash) as a new entry in the append-only `trajectory` array,
+//! creating the file — seeded from the `--gate` legacy report when one is
+//! given — if it is missing. The trajectory is the per-PR history the old
+//! overwrite-style `BENCH_throughput.json` could not keep.
+//!
+//! `--obs-gate PCT` measures the end-to-end cost of *enabled* telemetry
+//! probes (probed tokenize + encode vs plain tokenize + encode on the mixed
+//! corpus) and fails if the corrected overhead exceeds PCT percent. Host
+//! scheduler and codegen noise on a shared core swings single measurements
+//! by ±10–20%, far above the true probe cost, so the estimator is built to
+//! survive it: each attempt runs order-alternating interleaved
+//! probed-vs-plain pairs, takes the *median* per-pair ratio, and divides out
+//! a null (plain-vs-plain) pair ratio measured the same way; the gate value
+//! is the *minimum* corrected overhead across attempts — noise only inflates
+//! a paired estimate, so the min is the tightest sound upper bound the host
+//! can produce. The measured value is embedded in any trajectory entry
+//! appended by the same run (`obs_overhead_pct`).
+//!
+//! `--check-trajectory` validates a trajectory file without running the
+//! harness sweep: schema, at least one entry, unique revs, and a gate
+//! workload in every entry. With `--frozen COMMITTED.json` (the version of
+//! the file at HEAD) it additionally proves the committed entries are an
+//! unchanged prefix of the candidate — the file is append-only and entry 0,
+//! the frozen baseline, never moves. `--obs-only` skips the workload sweep
+//! so CI can run just the checks.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -105,6 +128,14 @@ const GATE_TOLERANCE: f64 = 0.10;
 /// The workload the gate compares (the mixed corpus exercises every match
 /// regime: text, binary records, JSON, near-random).
 const GATE_WORKLOAD: &str = "mixed";
+/// Input size for the observability-overhead estimator: large enough that
+/// one tokenize+encode pass dwarfs timer granularity, small enough that
+/// three attempts of interleaved pairs stay under a minute on a slow host.
+const OBS_BYTES: usize = 4 * 1024 * 1024;
+/// Interleaved probed-vs-plain pairs per overhead attempt.
+const OBS_REPS: usize = 9;
+/// Independent attempts; the minimum corrected overhead is the gate value.
+const OBS_ATTEMPTS: usize = 3;
 
 /// Min-of-N timing. Returns the best wall time *and the value that best
 /// repetition produced*, so any telemetry attached to the value describes
@@ -226,6 +257,151 @@ fn legacy_baseline_entry(report: &JsonValue) -> Option<String> {
     ))
 }
 
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite wall-time ratios"));
+    v[v.len() / 2]
+}
+
+/// Measured end-to-end overhead (%) of enabled telemetry probes on the
+/// mixed corpus: probed tokenize + shared zlib encode vs the plain pair.
+/// See the module docs for why this is an order-alternating paired design
+/// with a null correction and a min-of-attempts gate value.
+fn obs_overhead_pct() -> f64 {
+    let data = generate(Corpus::Mixed, 42, OBS_BYTES);
+    let cfg = HwConfig::paper_fast();
+    let params = cfg.as_lzss_params();
+    let window = cfg.window_size.max(256);
+    let mut engine = TurboEngine::new();
+    let mut tokens = Vec::new();
+
+    let plain = |engine: &mut TurboEngine, tokens: &mut Vec<_>| {
+        let t0 = Instant::now();
+        engine.compress_into(&data, &params, tokens);
+        let out = zlib_compress_tokens(tokens, &data, BlockKind::FixedHuffman, window);
+        std::hint::black_box(&out);
+        t0.elapsed().as_secs_f64()
+    };
+    let probed = |engine: &mut TurboEngine, tokens: &mut Vec<_>| {
+        let mut c = TurboCounters::default();
+        let t0 = Instant::now();
+        engine.compress_into_probed(&data, &params, tokens, &mut c);
+        let out = zlib_compress_tokens(tokens, &data, BlockKind::FixedHuffman, window);
+        std::hint::black_box((&out, &c.probes));
+        t0.elapsed().as_secs_f64()
+    };
+
+    // Warm both paths so neither side pays first-touch page faults.
+    plain(&mut engine, &mut tokens);
+    probed(&mut engine, &mut tokens);
+
+    let mut best = f64::MAX;
+    for attempt in 0..OBS_ATTEMPTS {
+        let mut on_ratios = Vec::new();
+        let mut null_ratios = Vec::new();
+        for i in 0..OBS_REPS {
+            // Alternate the order inside each pair so a slow-start bias
+            // (frequency ramp, cache warmth) cancels instead of loading
+            // onto one side.
+            let (a, b) = if i % 2 == 0 {
+                let p = plain(&mut engine, &mut tokens);
+                let q = probed(&mut engine, &mut tokens);
+                (p, q)
+            } else {
+                let q = probed(&mut engine, &mut tokens);
+                let p = plain(&mut engine, &mut tokens);
+                (p, q)
+            };
+            on_ratios.push(b / a);
+            // A plain-vs-plain pair measured identically estimates the
+            // host's pair-to-pair noise floor; dividing it out centres a
+            // zero-cost probe at 0%.
+            let x = plain(&mut engine, &mut tokens);
+            let y = plain(&mut engine, &mut tokens);
+            null_ratios.push(if i % 2 == 0 { y / x } else { x / y });
+        }
+        let corrected = (median(on_ratios) / median(null_ratios) - 1.0) * 100.0;
+        println!("obs gate: attempt {attempt}: corrected overhead {corrected:+.2}%");
+        best = best.min(corrected);
+    }
+    best
+}
+
+/// Pull the `trajectory` entry array out of a parsed trajectory document.
+fn trajectory_entries(root: &JsonValue, path: &str) -> Result<Vec<JsonValue>, String> {
+    if root.get("schema").and_then(JsonValue::as_str) != Some("lzfpga-bench/trajectory/v1") {
+        return Err(format!("{path}: schema is not lzfpga-bench/trajectory/v1"));
+    }
+    root.get("trajectory")
+        .and_then(JsonValue::as_array)
+        .map(|entries| entries.to_vec())
+        .ok_or_else(|| format!("{path} has no trajectory array"))
+}
+
+/// Structural validation of a trajectory file: schema, at least one entry,
+/// a rev on every entry with no duplicates, and a gate-workload speedup in
+/// every entry. With `frozen` (the committed version of the same file) the
+/// committed entries must be an unchanged prefix of the candidate — that is
+/// what "append-only" means, and it keeps entry 0, the frozen baseline the
+/// gate compares against, immutable.
+fn check_trajectory(path: &str, frozen: Option<&str>) -> Result<(), String> {
+    let doc = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let root =
+        lzfpga_telemetry::json::parse(&doc).map_err(|e| format!("{path} parse error: {e:?}"))?;
+    let entries = trajectory_entries(&root, path)?;
+    if entries.is_empty() {
+        return Err(format!("{path}: trajectory has no entries (baseline missing)"));
+    }
+    let mut revs: Vec<&str> = Vec::new();
+    for (i, e) in entries.iter().enumerate() {
+        let rev = e
+            .get("rev")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("{path}: entry {i} has no rev"))?;
+        if revs.contains(&rev) {
+            return Err(format!("{path}: duplicate rev {rev:?} at entry {i}"));
+        }
+        revs.push(rev);
+        workload_speedup(e, GATE_WORKLOAD).ok_or_else(|| {
+            format!("{path}: entry {i} ({rev}) has no {GATE_WORKLOAD} speedup_engine")
+        })?;
+    }
+    if let Some(frozen_path) = frozen {
+        let doc = std::fs::read_to_string(frozen_path)
+            .map_err(|e| format!("reading {frozen_path}: {e}"))?;
+        let froot = lzfpga_telemetry::json::parse(&doc)
+            .map_err(|e| format!("{frozen_path} parse error: {e:?}"))?;
+        let committed = trajectory_entries(&froot, frozen_path)?;
+        if committed.len() > entries.len() {
+            return Err(format!(
+                "{path}: {} entries but the committed file has {} — history was deleted",
+                entries.len(),
+                committed.len()
+            ));
+        }
+        for (i, (old, new)) in committed.iter().zip(&entries).enumerate() {
+            if old.render() != new.render() {
+                let what = if i == 0 {
+                    "the frozen baseline (entry 0)".to_string()
+                } else {
+                    format!("entry {i}")
+                };
+                return Err(format!(
+                    "{path}: {what} differs from the committed file — the trajectory is \
+                     append-only; refresh with scripts/bench_gate.sh --refresh if the baseline \
+                     must move"
+                ));
+            }
+        }
+    }
+    println!(
+        "check-trajectory: {path} ok ({} entries, revs unique, baseline {:?}{})",
+        entries.len(),
+        revs[0],
+        if frozen.is_some() { ", committed prefix unchanged" } else { "" }
+    );
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let mut size = 1 << 20;
     let mut seed = 1u64;
@@ -234,6 +410,10 @@ fn run() -> Result<(), String> {
     let mut gate_path: Option<String> = None;
     let mut traj_path: Option<String> = None;
     let mut rev = String::from("unknown");
+    let mut obs_gate: Option<f64> = None;
+    let mut obs_only = false;
+    let mut check_traj: Option<String> = None;
+    let mut frozen: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut val = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
@@ -249,15 +429,53 @@ fn run() -> Result<(), String> {
             "--gate" => gate_path = Some(val("--gate")?),
             "--append-trajectory" => traj_path = Some(val("--append-trajectory")?),
             "--rev" => rev = val("--rev")?,
+            "--obs-gate" => {
+                obs_gate = Some(
+                    val("--obs-gate")?
+                        .parse()
+                        .map_err(|_| "--obs-gate takes a percentage".to_string())?,
+                );
+            }
+            "--obs-only" => obs_only = true,
+            "--check-trajectory" => check_traj = Some(val("--check-trajectory")?),
+            "--frozen" => frozen = Some(val("--frozen")?),
             other => {
                 return Err(format!(
                     "unknown argument {other} (try --size/--seed/--out/--metrics/--gate/\
-                     --append-trajectory/--rev)"
+                     --append-trajectory/--rev/--obs-gate/--obs-only/--check-trajectory/--frozen)"
                 ))
             }
         }
     }
     let telemetry = metrics_path.is_some();
+
+    if let Some(path) = &check_traj {
+        check_trajectory(path, frozen.as_deref())?;
+    }
+    let obs_pct = if let Some(budget) = obs_gate {
+        let pct = obs_overhead_pct();
+        println!(
+            "obs gate: enabled-telemetry overhead {pct:+.2}% on the {GATE_WORKLOAD} corpus \
+             (budget {budget:.1}%)"
+        );
+        if pct > budget {
+            return Err(format!(
+                "observability overhead {pct:+.2}% exceeds the {budget:.1}% budget: enabled \
+                 probes are no longer close to free — check for allocation or branching added \
+                 to a probed hot loop"
+            ));
+        }
+        println!("obs gate: ok");
+        Some(pct)
+    } else {
+        None
+    };
+    if obs_only {
+        if check_traj.is_none() && obs_gate.is_none() {
+            return Err("--obs-only without --obs-gate or --check-trajectory does nothing".into());
+        }
+        return Ok(());
+    }
 
     // The first four span the paper's match regimes; the last two are
     // repetition-heavy (long matches at short distance), the regime the
@@ -340,21 +558,6 @@ fn run() -> Result<(), String> {
         assert_eq!(deep_scalar_tokens, deep_tokens, "{name}: deep scalar tokens diverge");
         let simd_speedup_deep = deep_scalar_wall / deep_wall.max(1e-12);
 
-        // Compact row for the append-only trajectory: only the
-        // host-normalised ratios (and one raw MB/s figure for context) —
-        // the full report carries everything else.
-        let mut traj_row = String::new();
-        let _ = write!(
-            traj_row,
-            "{{\"name\":\"{name}\",\"speedup_engine\":{},\"simd_speedup\":{},\
-             \"simd_speedup_deep\":{},\"mb_per_s\":{}}}",
-            json_f(engine_speedup),
-            json_f(simd_speedup),
-            json_f(simd_speedup_deep),
-            json_f(mb_per_s(data.len(), turbo_wall)),
-        );
-        traj_rows.push(traj_row);
-
         // Probed turbo pass, outside the timed loop: the counters describe
         // the same token stream (the probed run is token-identical), and the
         // timed numbers stay free of instrumentation overhead.
@@ -385,6 +588,7 @@ fn run() -> Result<(), String> {
 
         let mut parallel_entries = Vec::new();
         let mut pipeline_telemetry: Option<JsonValue> = None;
+        let mut parallel_wall = 0.0f64;
         for workers in WORKER_COUNTS {
             let cfg = ParallelConfig {
                 chunk_bytes: CHUNK_BYTES,
@@ -418,6 +622,7 @@ fn run() -> Result<(), String> {
                 .unwrap_or_default();
             if workers == *WORKER_COUNTS.last().expect("non-empty") {
                 pipeline_telemetry = pipeline_json;
+                parallel_wall = wall;
             }
             parallel_entries.push(format!(
                 "{{\"workers\":{workers},\"wall_s\":{},\"mb_per_s\":{},\"identical\":true,\
@@ -427,6 +632,29 @@ fn run() -> Result<(), String> {
                 json_f(modelled_speedup)
             ));
         }
+
+        // Compact row for the append-only trajectory: the host-normalised
+        // ratios, one raw MB/s figure for context, and a per-phase wall
+        // breakdown (model tokenize, turbo tokenize, shared encode, and the
+        // max-worker parallel pass) so a regression can be localised to a
+        // phase from the history alone — the full report carries everything
+        // else.
+        let mut traj_row = String::new();
+        let _ = write!(
+            traj_row,
+            "{{\"name\":\"{name}\",\"speedup_engine\":{},\"simd_speedup\":{},\
+             \"simd_speedup_deep\":{},\"mb_per_s\":{},\
+             \"phases\":{{\"model_s\":{},\"tokens_s\":{},\"encode_s\":{},\"parallel_s\":{}}}}}",
+            json_f(engine_speedup),
+            json_f(simd_speedup),
+            json_f(simd_speedup_deep),
+            json_f(mb_per_s(data.len(), turbo_wall)),
+            json_f(model_engine_wall),
+            json_f(turbo_tokens_wall),
+            json_f(encode_wall),
+            json_f(parallel_wall),
+        );
+        traj_rows.push(traj_row);
 
         // 6. Multi-lane batched frames: one worker so the measurement is
         //    the lane interleaving itself, not thread parallelism. The
@@ -579,8 +807,11 @@ fn run() -> Result<(), String> {
     // Append this run to the trajectory file only after the gate has
     // passed: a regressing run should fail CI, not become history.
     if let Some(path) = traj_path {
+        let obs_field =
+            obs_pct.map(|p| format!(",\"obs_overhead_pct\":{}", json_f(p))).unwrap_or_default();
         let entry_json = format!(
-            "{{\"rev\":\"{rev}\",\"seed\":{seed},\"size\":{size},\"host\":{},\"workloads\":[{}]}}",
+            "{{\"rev\":\"{rev}\",\"seed\":{seed},\"size\":{size},\"host\":{}{obs_field},\
+             \"workloads\":[{}]}}",
             host_json(),
             traj_rows.join(","),
         );
@@ -608,6 +839,16 @@ fn run() -> Result<(), String> {
         let n = match &mut root {
             JsonValue::Object(fields) => match fields.iter_mut().find(|(k, _)| k == "trajectory") {
                 Some((_, JsonValue::Array(items))) => {
+                    // Revs are unique by contract: re-running the gate on
+                    // the same commit must not duplicate history, so an
+                    // already-recorded rev is a no-op, not an error.
+                    let dup = items
+                        .iter()
+                        .any(|e| e.get("rev").and_then(JsonValue::as_str) == Some(rev.as_str()));
+                    if dup {
+                        println!("trajectory already records rev {rev}; not appending again");
+                        return Ok(());
+                    }
                     items.push(entry);
                     items.len()
                 }

@@ -145,6 +145,9 @@ pub struct FrameWriter<W: Write> {
     /// only be finished, not extended, or it would diverge from a fresh
     /// single-pass run.
     sealed: bool,
+    /// Timestamp origin for [`FrameEvent::start_us`], fixed at
+    /// construction so every frame of one stream shares a timeline.
+    epoch: Instant,
 }
 
 impl<W: Write> FrameWriter<W> {
@@ -169,6 +172,7 @@ impl<W: Write> FrameWriter<W> {
             events: Vec::new(),
             entries: Vec::new(),
             sealed: false,
+            epoch: Instant::now(),
         })
     }
 
@@ -235,6 +239,7 @@ impl<W: Write> FrameWriter<W> {
             events: Vec::new(),
             entries,
             sealed,
+            epoch: Instant::now(),
         })
     }
 
@@ -248,6 +253,7 @@ impl<W: Write> FrameWriter<W> {
         if self.seq == u32::MAX {
             return Err(io::Error::other("frame count exceeds u32"));
         }
+        let start_us = self.epoch.elapsed().as_secs_f64() * 1e6;
         let encode_t0 = Instant::now();
         let (codec, payload) = encode_frame_payload(
             &self.buf[..take],
@@ -274,6 +280,7 @@ impl<W: Write> FrameWriter<W> {
                 codec: codec.as_str(),
                 crc_us,
                 encode_us,
+                start_us,
                 outcome: FrameOutcome::Written,
             });
         }

@@ -134,7 +134,6 @@ pub(crate) fn longest_match<P: MatchProbe, C: Compare>(
             break;
         }
         steps += 1;
-        probe.probe();
         // Quick reject (zlib's probe): a candidate can only beat `best_len`
         // if it also matches at offset `best_len`, so one byte compare skips
         // most full kernel runs without changing which matches are found.
@@ -187,6 +186,7 @@ pub(crate) fn insert_run<P: MatchProbe>(
     probe: &mut P,
 ) {
     let mut k = from;
+    let mut filed = 0u32;
     // 4-wide while the group fits the run and `hash4_at`'s 7-byte window
     // fits the input (`k + 7 <= n` also guarantees every lane has its 3
     // hash bytes).
@@ -194,17 +194,18 @@ pub(crate) fn insert_run<P: MatchProbe>(
         let hs = hash.hash4_at(data, k);
         for (j, hk) in hs.into_iter().enumerate() {
             insert(head, prev, hk, (k + j) as u32);
-            probe.inserted();
         }
+        filed += 4;
         k += 4;
     }
     while k < to {
         if k + HASH_BYTES <= n {
             insert(head, prev, hash.hash_at(data, k), k as u32);
-            probe.inserted();
+            filed += 1;
         }
         k += 1;
     }
+    probe.inserted_n(filed);
 }
 
 /// A reusable LZSS compression engine: the reference algorithm with
@@ -436,23 +437,32 @@ fn run_greedy<S: TokenSink, P: MatchProbe, C: Compare>(
 ) {
     let n = data.len();
     let mut pos = 0usize;
+    // Literal and head-insert counts accumulate in registers and flush to
+    // the probe at match boundaries: the counts are exactly the per-event
+    // ones, but the callback rate drops from per-byte to per-match.
+    let mut pend_lits = 0u32;
+    let mut pend_inserts = 0u32;
 
     while pos < n {
         if n - pos < HASH_BYTES {
             sink.literal(data[pos]);
-            probe.literal();
+            pend_lits += 1;
             pos += 1;
             continue;
         }
         let h = hash.hash_at(data, pos);
         let cand = insert(head, prev, h, pos as u32);
-        probe.inserted();
+        pend_inserts += 1;
 
         let (best_len, best_dist) =
             longest_match::<P, C>(data, pos, cand, prev, search, tuning.max_chain, probe);
 
         if best_len >= MIN_MATCH {
             sink.matched(best_dist, best_len);
+            probe.literals_n(pend_lits);
+            probe.inserted_n(pend_inserts);
+            pend_lits = 0;
+            pend_inserts = 0;
             probe.matched(best_len);
             if best_len <= tuning.max_lazy {
                 insert_run(data, head, prev, hash, pos + 1, pos + best_len as usize, n, probe);
@@ -460,10 +470,12 @@ fn run_greedy<S: TokenSink, P: MatchProbe, C: Compare>(
             pos += best_len as usize;
         } else {
             sink.literal(data[pos]);
-            probe.literal();
+            pend_lits += 1;
             pos += 1;
         }
     }
+    probe.literals_n(pend_lits);
+    probe.inserted_n(pend_inserts);
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -484,11 +496,19 @@ fn run_lazy<S: TokenSink, P: MatchProbe, C: Compare>(
     let mut prev_len = 0u32;
     let mut prev_dist = 0u32;
     let mut have_prev_literal = false;
+    // Register-accumulated event counts, flushed at match boundaries (see
+    // `run_greedy`).
+    let mut pend_lits = 0u32;
+    let mut pend_inserts = 0u32;
 
     while pos < n {
         if n - pos < HASH_BYTES {
             if prev_len >= MIN_MATCH {
                 sink.matched(prev_dist, prev_len);
+                probe.literals_n(pend_lits);
+                probe.inserted_n(pend_inserts);
+                pend_lits = 0;
+                pend_inserts = 0;
                 probe.matched(prev_len);
                 let skip = prev_len as usize - 1;
                 prev_len = 0;
@@ -498,18 +518,18 @@ fn run_lazy<S: TokenSink, P: MatchProbe, C: Compare>(
             }
             if have_prev_literal {
                 sink.literal(data[pos - 1]);
-                probe.literal();
+                pend_lits += 1;
                 have_prev_literal = false;
             }
             sink.literal(data[pos]);
-            probe.literal();
+            pend_lits += 1;
             pos += 1;
             continue;
         }
 
         let h = hash.hash_at(data, pos);
         let cand = insert(head, prev, h, pos as u32);
-        probe.inserted();
+        pend_inserts += 1;
 
         let budget =
             if prev_len >= tuning.good_length { tuning.max_chain >> 2 } else { tuning.max_chain };
@@ -524,6 +544,10 @@ fn run_lazy<S: TokenSink, P: MatchProbe, C: Compare>(
 
         if prev_len >= MIN_MATCH && cur_len <= prev_len {
             sink.matched(prev_dist, prev_len);
+            probe.literals_n(pend_lits);
+            probe.inserted_n(pend_inserts);
+            pend_lits = 0;
+            pend_inserts = 0;
             probe.matched(prev_len);
             insert_run(data, head, prev, hash, pos + 1, pos - 1 + prev_len as usize, n, probe);
             pos += prev_len as usize - 1;
@@ -532,7 +556,7 @@ fn run_lazy<S: TokenSink, P: MatchProbe, C: Compare>(
         } else {
             if have_prev_literal {
                 sink.literal(data[pos - 1]);
-                probe.literal();
+                pend_lits += 1;
             }
             prev_len = cur_len;
             prev_dist = cur_dist;
@@ -542,8 +566,10 @@ fn run_lazy<S: TokenSink, P: MatchProbe, C: Compare>(
     }
     if have_prev_literal {
         sink.literal(data[n - 1]);
-        probe.literal();
+        pend_lits += 1;
     }
+    probe.literals_n(pend_lits);
+    probe.inserted_n(pend_inserts);
 }
 
 #[cfg(test)]

@@ -77,8 +77,8 @@ use lzfpga_deflate::zlib::{zlib_compress_tokens, zlib_header};
 use lzfpga_faults::{Failpoints, FailureReport, InjectedFault, NoFaults};
 use lzfpga_lzss::{BatchEngine, TurboEngine};
 use lzfpga_telemetry::{
-    FrameEvent, FrameOutcome, PipelineTelemetry, SpanTimer, StitcherStats, TraceEvent,
-    TurboCounters, WorkerStats,
+    frame_span, span_args, stage_span, FrameEvent, FrameOutcome, PipelineTelemetry, SpanTimer,
+    StitcherStats, TraceEvent, TurboCounters, WorkerStats, ROOT_SPAN,
 };
 
 /// Which compressor front-end produces the per-chunk token streams.
@@ -478,15 +478,11 @@ pub fn compress_parallel_with<F: Failpoints>(
                     };
                     let tokens = buf;
                     let done_us = if let Some(t) = timer.as_mut() {
-                        stats.busy_s += t.complete(
-                            format!("compress chunk {i}"),
-                            "compress",
-                            start_us,
-                            vec![
-                                ("bytes", chunks[i].len().into()),
-                                ("tokens", tokens.len().into()),
-                            ],
-                        );
+                        let mut args = span_args(frame_span(i as u64), ROOT_SPAN);
+                        args.push(("bytes", chunks[i].len().into()));
+                        args.push(("tokens", tokens.len().into()));
+                        stats.busy_s +=
+                            t.complete(format!("compress chunk {i}"), "compress", start_us, args);
                         stats.chunks += 1;
                         stats.input_bytes += chunks[i].len() as u64;
                         t.now_us()
@@ -533,13 +529,22 @@ pub fn compress_parallel_with<F: Failpoints>(
                 }
             };
             if let Some(t) = stitch_timer.as_mut() {
-                stitcher.stall_s +=
-                    t.complete(format!("wait chunk {i}"), "stall", wait_start_us, Vec::new());
+                let frame_id = frame_span(i as u64);
+                stitcher.stall_s += t.complete(
+                    format!("wait chunk {i}"),
+                    "stall",
+                    wait_start_us,
+                    span_args(stage_span(frame_id, 1), frame_id),
+                );
                 stitcher.queue_wait_s += ((t.now_us() - done.done_us) / 1e6).max(0.0);
                 let enc_start_us = t.now_us();
                 enc.write_block(&done.tokens, BlockKind::FixedHuffman, i + 1 == n_chunks);
-                stitcher.encode_s +=
-                    t.complete(format!("encode chunk {i}"), "encode", enc_start_us, Vec::new());
+                stitcher.encode_s += t.complete(
+                    format!("encode chunk {i}"),
+                    "encode",
+                    enc_start_us,
+                    span_args(stage_span(frame_id, 0), frame_id),
+                );
             } else {
                 enc.write_block(&done.tokens, BlockKind::FixedHuffman, i + 1 == n_chunks);
             }
@@ -576,13 +581,24 @@ pub fn compress_parallel_with<F: Failpoints>(
             trace_events.extend(events);
             worker_stats.push(stats);
         }
-        PipelineTelemetry {
-            wall_s: epoch.elapsed().as_secs_f64(),
-            workers: worker_stats,
-            stitcher,
-            turbo,
-            trace_events,
-        }
+        let wall_s = epoch.elapsed().as_secs_f64();
+        // Root file span: every chunk span parents here, so the whole job
+        // renders as one causal tree in chrome://tracing.
+        let mut root_args = span_args(ROOT_SPAN, 0);
+        root_args.push(("bytes", (data.len() as u64).into()));
+        root_args.push(("chunks", (n_chunks as u64).into()));
+        trace_events.insert(
+            0,
+            TraceEvent {
+                name: "parallel compress".to_string(),
+                cat: "file",
+                tid: 0,
+                ts_us: 0.0,
+                dur_us: wall_s * 1e6,
+                args: root_args,
+            },
+        );
+        PipelineTelemetry { wall_s, workers: worker_stats, stitcher, turbo, trace_events }
     });
 
     // zlib framing: header, the stitched blocks, single Adler trailer.
@@ -617,6 +633,8 @@ struct FrameDone {
     cycles: u64,
     tokens: u64,
     encode_us: f64,
+    /// Worker pickup time in µs since the run epoch ([`FrameEvent::start_us`]).
+    start_us: f64,
 }
 
 /// Result of a chunk-parallel framed (LZFC) compression run.
@@ -638,10 +656,14 @@ pub struct FramedParallelReport {
     pub events: Vec<FrameEvent>,
     /// Aggregated turbo-engine match counters (kernel dispatch, lane
     /// occupancy, match-loop counts). Present when the run compressed with
-    /// instrumentation — currently the batched driver with
-    /// [`ParallelConfig::telemetry`] set; `None` on the plain per-frame
-    /// paths.
+    /// instrumentation — the batched driver or [`compress_frames_parallel`]
+    /// with [`ParallelConfig::telemetry`] set.
     pub counters: Option<TurboCounters>,
+    /// Causal chrome://tracing spans (one root file span, one span per
+    /// frame, stage children), when [`ParallelConfig::telemetry`] was set
+    /// on the per-frame driver. Empty on the batched driver and on plain
+    /// runs.
+    pub trace_events: Vec<TraceEvent>,
 }
 
 /// Compress `data` chunk-parallel into one LZFC framed stream: every
@@ -698,7 +720,10 @@ pub fn compress_frames_parallel_with<F: Failpoints>(
         Mutex::new((0..n_chunks).map(|_| None).collect());
     let ready = Condvar::new();
     let params = eff.hw.as_lzss_params();
+    let epoch = Instant::now();
     let failure_acc: Mutex<FailureReport> = Mutex::new(FailureReport::default());
+    let counter_acc: Mutex<TurboCounters> = Mutex::new(TurboCounters::default());
+    let trace_acc: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
 
     let mut framed = Vec::new();
     let mut entries: Vec<IndexEntry> = Vec::with_capacity(n_chunks);
@@ -706,12 +731,15 @@ pub fn compress_frames_parallel_with<F: Failpoints>(
     let mut reports = Vec::with_capacity(n_chunks);
     let mut events = Vec::new();
     let mut stitch_error: Option<ParallelError> = None;
+    let mut stitch_timer = eff.telemetry.then(|| SpanTimer::new(epoch, 0));
     std::thread::scope(|s| {
-        for _ in 0..workers.min(n_chunks) {
-            let (next, slots, ready, params, chunks, failure_acc) =
-                (&next, &slots, &ready, &params, &chunks, &failure_acc);
+        for w in 0..workers.min(n_chunks) {
+            let (next, slots, ready, params, chunks, failure_acc, counter_acc, trace_acc) =
+                (&next, &slots, &ready, &params, &chunks, &failure_acc, &counter_acc, &trace_acc);
             s.spawn(move || {
                 let mut turbo = TurboEngine::new();
+                let mut counters = eff.telemetry.then(TurboCounters::default);
+                let mut timer = eff.telemetry.then(|| SpanTimer::new(epoch, w as u32 + 1));
                 let mut local = FailureReport::default();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -719,6 +747,8 @@ pub fn compress_frames_parallel_with<F: Failpoints>(
                         break;
                     }
                     let t0 = Instant::now();
+                    let start_us = epoch.elapsed().as_secs_f64() * 1e6;
+                    let frame_id = frame_span(i as u64);
                     let mut buf: Vec<Token> = Vec::new();
                     let mut outcome: Option<u64> = None;
                     let mut chunk_attempts = 0u64;
@@ -730,6 +760,7 @@ pub fn compress_frames_parallel_with<F: Failpoints>(
                             2 => local.degraded_chunks.push(i),
                             _ => {}
                         }
+                        let attempt_start_us = timer.as_ref().map_or(0.0, SpanTimer::now_us);
                         // Same unwind-isolation soundness argument as the
                         // zlib path: buf is cleared on entry and the turbo
                         // engine re-zeroes its arenas per call.
@@ -750,9 +781,15 @@ pub fn compress_frames_parallel_with<F: Failpoints>(
                                         Ok(rep.cycles)
                                     }
                                     EngineKind::Turbo => {
-                                        turbo.compress_into_faulty(
-                                            chunks[i], params, &mut buf, faults,
-                                        )?;
+                                        if let Some(c) = counters.as_mut() {
+                                            turbo.compress_into_probed(
+                                                chunks[i], params, &mut buf, c,
+                                            );
+                                        } else {
+                                            turbo.compress_into_faulty(
+                                                chunks[i], params, &mut buf, faults,
+                                            )?;
+                                        }
                                         Ok(0)
                                     }
                                 }
@@ -762,13 +799,46 @@ pub fn compress_frames_parallel_with<F: Failpoints>(
                                 outcome = Some(cycles);
                                 break;
                             }
-                            Ok(Err(_injected)) => local.injected_errors += 1,
-                            Err(_panic) => local.worker_restarts += 1,
+                            Ok(Err(_injected)) => {
+                                local.injected_errors += 1;
+                                if let Some(t) = timer.as_mut() {
+                                    // Failed attempts stay on the frame's
+                                    // branch of the span tree, so injected
+                                    // faults are visible in the causal view.
+                                    t.complete(
+                                        format!("fault frame {i} attempt {attempt}"),
+                                        "fault",
+                                        attempt_start_us,
+                                        span_args(stage_span(frame_id, 8 + attempt), frame_id),
+                                    );
+                                }
+                            }
+                            Err(_panic) => {
+                                local.worker_restarts += 1;
+                                if let Some(t) = timer.as_mut() {
+                                    t.complete(
+                                        format!("panic frame {i} attempt {attempt}"),
+                                        "fault",
+                                        attempt_start_us,
+                                        span_args(stage_span(frame_id, 8 + attempt), frame_id),
+                                    );
+                                }
+                            }
                         }
                     }
                     let state = match outcome {
                         Some(cycles) => {
+                            if let Some(t) = timer.as_mut() {
+                                t.complete(
+                                    format!("tokens frame {i}"),
+                                    "compress",
+                                    start_us,
+                                    span_args(stage_span(frame_id, 0), frame_id),
+                                );
+                            }
+                            let enc_start_us = timer.as_ref().map_or(0.0, SpanTimer::now_us);
                             let (codec, payload) = payload_from_tokens(&buf, chunks[i], params);
+                            let payload_len = payload.len();
                             let ulen = u32::try_from(chunks[i].len())
                                 .expect("frame_bytes validated <= MAX_FRAME_BYTES");
                             let seq = u32::try_from(i).expect("frame count exceeds u32");
@@ -776,12 +846,25 @@ pub fn compress_frames_parallel_with<F: Failpoints>(
                             let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
                             frame.extend_from_slice(&header);
                             frame.extend_from_slice(&payload);
+                            if let Some(t) = timer.as_mut() {
+                                t.complete(
+                                    format!("encode frame {i}"),
+                                    "encode",
+                                    enc_start_us,
+                                    span_args(stage_span(frame_id, 1), frame_id),
+                                );
+                                let mut args = span_args(frame_id, ROOT_SPAN);
+                                args.push(("bytes", chunks[i].len().into()));
+                                args.push(("payload_bytes", payload_len.into()));
+                                t.complete(format!("frame {i}"), "frame", start_us, args);
+                            }
                             Ok(FrameDone {
                                 frame,
                                 codec: codec.as_str(),
                                 cycles,
                                 tokens: buf.len() as u64,
                                 encode_us: t0.elapsed().as_secs_f64() * 1e6,
+                                start_us,
                             })
                         }
                         None => {
@@ -793,11 +876,18 @@ pub fn compress_frames_parallel_with<F: Failpoints>(
                     ready.notify_all();
                 }
                 failure_acc.lock().expect("failure lock").merge(&local);
+                if let Some(c) = counters {
+                    counter_acc.lock().expect("counter lock").merge(&c);
+                }
+                if let Some(mut t) = timer {
+                    trace_acc.lock().expect("trace lock").extend(t.drain());
+                }
             });
         }
 
         // Stitch frames in order while later chunks are still compressing.
         for (i, chunk) in chunks.iter().enumerate() {
+            let wait_start_us = stitch_timer.as_ref().map_or(0.0, SpanTimer::now_us);
             let state = {
                 let mut guard = slots.lock().expect("slot lock");
                 loop {
@@ -814,6 +904,15 @@ pub fn compress_frames_parallel_with<F: Failpoints>(
                     break;
                 }
             };
+            if let Some(t) = stitch_timer.as_mut() {
+                let frame_id = frame_span(i as u64);
+                t.complete(
+                    format!("wait frame {i}"),
+                    "stall",
+                    wait_start_us,
+                    span_args(stage_span(frame_id, 4), frame_id),
+                );
+            }
             entries.push(IndexEntry { header_start: framed.len() as u64, ustart });
             ustart += chunk.len() as u64;
             framed.extend_from_slice(&done.frame);
@@ -825,6 +924,7 @@ pub fn compress_frames_parallel_with<F: Failpoints>(
                     codec: done.codec,
                     crc_us: 0.0,
                     encode_us: done.encode_us,
+                    start_us: done.start_us,
                     outcome: FrameOutcome::Written,
                 });
             }
@@ -843,6 +943,31 @@ pub fn compress_frames_parallel_with<F: Failpoints>(
         return Err(err);
     }
 
+    // Assemble the causal span tree: stitcher spans + worker spans under
+    // one root file span that the frame spans parent to.
+    let trace_events = match stitch_timer {
+        Some(mut t) => {
+            let mut list = t.drain();
+            list.extend(trace_acc.into_inner().expect("trace lock"));
+            let mut root_args = span_args(ROOT_SPAN, 0);
+            root_args.push(("bytes", (data.len() as u64).into()));
+            root_args.push(("frames", (n_chunks as u64).into()));
+            list.insert(
+                0,
+                TraceEvent {
+                    name: "frame compress".to_string(),
+                    cat: "file",
+                    tid: 0,
+                    ts_us: 0.0,
+                    dur_us: epoch.elapsed().as_secs_f64() * 1e6,
+                    args: root_args,
+                },
+            );
+            list
+        }
+        None => Vec::new(),
+    };
+
     // Seek index + trailer, byte-identical to FrameWriter's finalize
     // (which accumulates the CRC incrementally).
     if frame_cfg.index && n_chunks > 0 {
@@ -860,7 +985,11 @@ pub fn compress_frames_parallel_with<F: Failpoints>(
         chunks: reports,
         failures,
         events,
-        counters: None,
+        counters: eff
+            .telemetry
+            .then(|| counter_acc.into_inner().expect("counter lock"))
+            .filter(|c| c.kernel_runs > 0 || c.literals > 0 || c.matches > 0),
+        trace_events,
     })
 }
 
@@ -1195,6 +1324,7 @@ pub fn compress_frames_batched(
         Mutex::new((0..n_groups).map(|_| None).collect());
     let counter_acc: Mutex<TurboCounters> = Mutex::new(TurboCounters::default());
     let failure_acc: Mutex<FailureReport> = Mutex::new(FailureReport::default());
+    let epoch = Instant::now();
 
     std::thread::scope(|s| {
         for _ in 0..workers.min(n_groups) {
@@ -1210,6 +1340,7 @@ pub fn compress_frames_batched(
                         break;
                     }
                     let t0 = Instant::now();
+                    let start_us = epoch.elapsed().as_secs_f64() * 1e6;
                     let frame_base = g * lanes;
                     let state = match batch_group_tokens(
                         &mut engine,
@@ -1240,6 +1371,7 @@ pub fn compress_frames_batched(
                                         cycles: 0,
                                         tokens: buf.len() as u64,
                                         encode_us: t0.elapsed().as_secs_f64() * 1e6,
+                                        start_us,
                                     }
                                 })
                                 .collect(),
@@ -1282,6 +1414,7 @@ pub fn compress_frames_batched(
                     codec: done.codec,
                     crc_us: 0.0,
                     encode_us: done.encode_us,
+                    start_us: done.start_us,
                     outcome: FrameOutcome::Written,
                 });
             }
@@ -1310,6 +1443,7 @@ pub fn compress_frames_batched(
         failures,
         events,
         counters: cfg.telemetry.then(|| counter_acc.into_inner().expect("counter lock")),
+        trace_events: Vec::new(),
     })
 }
 
@@ -1607,6 +1741,45 @@ mod tests {
                 "workers = {workers}"
             );
         }
+    }
+
+    #[test]
+    fn framed_telemetry_builds_one_causal_span_tree() {
+        let data = generate(Corpus::Mixed, 5, 300_000);
+        let frame_cfg =
+            FrameConfig { frame_bytes: 64 * 1024, collect_events: true, ..FrameConfig::default() };
+        let cfg = ParallelConfig { telemetry: true, ..turbo_cfg(64 * 1024, 3) };
+        let plain = compress_frames_parallel(&data, &turbo_cfg(64 * 1024, 3), &frame_cfg).unwrap();
+        let rep = compress_frames_parallel(&data, &cfg, &frame_cfg).unwrap();
+        assert_eq!(rep.framed, plain.framed, "telemetry never changes bytes");
+        assert!(plain.trace_events.is_empty());
+        assert!(plain.counters.is_none());
+
+        // Counters aggregate the probed engines across all frames.
+        let counters = rep.counters.as_ref().expect("telemetry collects counters");
+        assert_eq!(counters.covered_bytes(), data.len() as u64);
+
+        // One root span, one frame span per frame parented to it, stage
+        // children parented to their frame.
+        let span_of = |e: &TraceEvent, key: &str| {
+            e.args.iter().find(|(k, _)| *k == key).and_then(|(_, v)| v.as_i64()).unwrap_or(-1)
+        };
+        let roots: Vec<_> = rep.trace_events.iter().filter(|e| span_of(e, "parent") == 0).collect();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(span_of(roots[0], "span_id"), i64::from(ROOT_SPAN as u32));
+        for i in 0..rep.frames as u64 {
+            let id = frame_span(i) as i64;
+            let frame = rep
+                .trace_events
+                .iter()
+                .find(|e| e.cat == "frame" && span_of(e, "span_id") == id)
+                .unwrap_or_else(|| panic!("frame span {i} missing"));
+            assert_eq!(span_of(frame, "parent"), i64::from(ROOT_SPAN as u32));
+            let children = rep.trace_events.iter().filter(|e| span_of(e, "parent") == id).count();
+            assert!(children >= 2, "frame {i} wants tokens+encode stage children");
+        }
+        // Frame events carry pickup timestamps for serial tree rebuilds.
+        assert!(rep.events.iter().all(|e| e.start_us >= 0.0));
     }
 
     #[test]

@@ -51,6 +51,10 @@ pub struct FrameEvent {
     pub crc_us: f64,
     /// Time spent in the match/encode stage for this frame, µs.
     pub encode_us: f64,
+    /// When work on the frame started, µs since the producing writer's
+    /// epoch (0 when the producer predates span tracing). Lets the obs
+    /// layer rebuild a causal span tree from a finished event stream.
+    pub start_us: f64,
     /// What happened to the frame.
     pub outcome: FrameOutcome,
 }
@@ -65,6 +69,7 @@ impl FrameEvent {
             ("codec", self.codec.into()),
             ("crc_us", self.crc_us.into()),
             ("encode_us", self.encode_us.into()),
+            ("start_us", self.start_us.into()),
             ("outcome", self.outcome.as_str().into()),
         ])
     }
@@ -83,6 +88,7 @@ mod tests {
             codec: "fixed-zlib",
             crc_us: 12.5,
             encode_us: 800.0,
+            start_us: 40.0,
             outcome: FrameOutcome::Written,
         };
         let parsed = crate::json::parse(&ev.to_json().render()).unwrap();

@@ -46,4 +46,6 @@ pub use pipeline::{PipelineTelemetry, StitcherStats, WorkerStats};
 pub use probe::{MatchProbe, NoProbe, TurboCounters};
 pub use range::RangeCounters;
 pub use sink::{parse_jsonl, JsonlWriter};
-pub use spans::{trace_events_json, SpanTimer, TraceEvent};
+pub use spans::{
+    frame_span, span_args, stage_span, trace_events_json, SpanTimer, TraceEvent, ROOT_SPAN,
+};

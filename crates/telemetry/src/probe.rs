@@ -21,9 +21,19 @@ pub trait MatchProbe {
     #[inline]
     fn inserted(&mut self) {}
 
-    /// One chain candidate was examined (the quick-reject byte compare).
+    /// A bulk insert run filed `n` positions at once. The engines report
+    /// their 4-wide insert loops through this batched form so the enabled
+    /// probe costs one call per run instead of one per position — the same
+    /// counts, a fraction of the hot-loop overhead. The default forwards
+    /// to `n` [`MatchProbe::inserted`] calls so a probe overriding only
+    /// the unit form still sees every event; counting probes override
+    /// both.
     #[inline]
-    fn probe(&mut self) {}
+    fn inserted_n(&mut self, n: u32) {
+        for _ in 0..n {
+            self.inserted();
+        }
+    }
 
     /// The full word-at-a-time kernel ran and matched `len` bytes.
     #[inline]
@@ -32,6 +42,11 @@ pub trait MatchProbe {
     }
 
     /// A chain walk finished after examining `steps` candidates.
+    ///
+    /// This is also the per-candidate accounting point: the engines count
+    /// candidates locally in a register and report the total here, so the
+    /// hot loop carries no per-probe callback. Implementations wanting a
+    /// probe count accumulate `steps`.
     #[inline]
     fn chain_done(&mut self, steps: u32) {
         let _ = steps;
@@ -40,6 +55,18 @@ pub trait MatchProbe {
     /// A literal token was emitted.
     #[inline]
     fn literal(&mut self) {}
+
+    /// A run of `n` literal tokens was emitted. The engines accumulate
+    /// literal counts in a register between match boundaries and flush
+    /// through this batched form (same counts as `n` single
+    /// [`MatchProbe::literal`] calls, one callback per run). The default
+    /// forwards to `n` unit calls — see [`MatchProbe::inserted_n`].
+    #[inline]
+    fn literals_n(&mut self, n: u32) {
+        for _ in 0..n {
+            self.literal();
+        }
+    }
 
     /// A match token of `len` bytes was emitted.
     #[inline]
@@ -109,8 +136,8 @@ impl MatchProbe for TurboCounters {
     }
 
     #[inline]
-    fn probe(&mut self) {
-        self.probes += 1;
+    fn inserted_n(&mut self, n: u32) {
+        self.inserts += u64::from(n);
     }
 
     #[inline]
@@ -121,12 +148,18 @@ impl MatchProbe for TurboCounters {
 
     #[inline]
     fn chain_done(&mut self, steps: u32) {
+        self.probes += u64::from(steps);
         self.chain_hist.record(u64::from(steps));
     }
 
     #[inline]
     fn literal(&mut self) {
         self.literals += 1;
+    }
+
+    #[inline]
+    fn literals_n(&mut self, n: u32) {
+        self.literals += u64::from(n);
     }
 
     #[inline]
@@ -239,14 +272,13 @@ mod tests {
     fn counting_probe_accumulates() {
         let mut c = TurboCounters::default();
         c.inserted();
-        c.probe();
-        c.probe();
+        c.inserted_n(3);
         c.kernel_run(12);
         c.chain_done(2);
         c.matched(12);
         c.literal();
-        assert_eq!(c.inserts, 1);
-        assert_eq!(c.probes, 2);
+        assert_eq!(c.inserts, 4);
+        assert_eq!(c.probes, 2, "chain_done accumulates the probe count");
         assert_eq!(c.kernel_runs, 1);
         assert_eq!(c.kernel_bytes, 12);
         assert_eq!(c.covered_bytes(), 13);
@@ -262,7 +294,7 @@ mod tests {
         a.matched(10);
         let mut b = TurboCounters::default();
         b.literal();
-        b.probe();
+        b.chain_done(1);
         a.merge(&b);
         assert_eq!(a.covered_bytes(), 11);
         assert_eq!(a.probes, 1);
@@ -273,7 +305,7 @@ mod tests {
         let mut c = TurboCounters::default();
         c.matched(100);
         c.literal();
-        c.probe();
+        c.chain_done(1);
         let parsed = crate::json::parse(&c.to_json().render()).unwrap();
         assert_eq!(parsed.get("covered_bytes").unwrap().as_i64(), Some(101));
         assert_eq!(parsed.get("match_len").unwrap().get("max").unwrap().as_i64(), Some(100));

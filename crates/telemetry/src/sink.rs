@@ -97,4 +97,26 @@ mod tests {
         let err = parse_jsonl("{\"ok\":1}\nnot json\n").unwrap_err();
         assert_eq!(err.0, 1);
     }
+
+    #[test]
+    fn control_characters_in_strings_stay_valid_jsonl() {
+        // A hostile "filename" carrying every ASCII control character —
+        // embedded newlines are the killer case for a line-oriented format:
+        // an unescaped 0x0A would split one event across two lines.
+        let hostile: String = (0u8..0x20).map(char::from).chain("name\u{7f}".chars()).collect();
+        let mut sink = JsonlWriter::new(Vec::new());
+        sink.emit("run_start", obj([("path", hostile.as_str().into())])).unwrap();
+        sink.emit("summary", obj([("ok", true.into())])).unwrap();
+        let text = String::from_utf8(sink.finish().unwrap()).unwrap();
+
+        assert_eq!(text.lines().count(), 2, "control chars must not split or join lines");
+        for line in text.lines() {
+            assert!(
+                line.bytes().all(|b| b >= 0x20),
+                "emitted line contains a raw control byte: {line:?}"
+            );
+        }
+        let lines = parse_jsonl(&text).unwrap();
+        assert_eq!(lines[0].get("path").unwrap().as_str(), Some(hostile.as_str()));
+    }
 }

@@ -11,6 +11,39 @@ use std::time::Instant;
 
 use crate::json::{obj, JsonValue};
 
+/// Span ID of the root (whole-file) span of a compress or decompress job.
+///
+/// The causal span scheme threads file→frame→chunk parentage through every
+/// trace export as two `args` keys, `"span_id"` and `"parent"` (0 = no
+/// parent), so a chrome://tracing view can reconstruct the job as a single
+/// tree rather than disjoint per-thread slices:
+///
+/// * the file span is [`ROOT_SPAN`] (`1`),
+/// * frame/chunk `i` is [`frame_span`]`(i)` = `2 + i` (low 32 bits carry
+///   the lineage),
+/// * per-frame stages (encode, stitch, fault retries, …) are
+///   [`stage_span`]`(parent, k)`, which stamps stage `k` into the high 32
+///   bits of its parent's ID — unique as long as frame IDs stay below
+///   2^32, which the u32 frame counters guarantee.
+pub const ROOT_SPAN: u64 = 1;
+
+/// Span ID for frame (or chunk) `index` of a job; child of [`ROOT_SPAN`].
+pub const fn frame_span(index: u64) -> u64 {
+    2 + index
+}
+
+/// Span ID for stage `stage` under `parent` (see [`ROOT_SPAN`] for the
+/// scheme). `parent` must be a root or frame span (below 2^32).
+pub const fn stage_span(parent: u64, stage: u32) -> u64 {
+    parent | ((stage as u64 + 1) << 32)
+}
+
+/// The `args` pair carrying a span's identity: `("span_id", id)` and
+/// `("parent", parent)`; `parent == 0` marks a root.
+pub fn span_args(id: u64, parent: u64) -> Vec<(&'static str, JsonValue)> {
+    vec![("span_id", id.into()), ("parent", parent.into())]
+}
+
 /// One completed span on some thread's timeline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {

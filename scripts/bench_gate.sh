@@ -17,20 +17,37 @@
 # wildly; the within-run ratio is stable. A drop of more than 10% below the
 # baseline fails the gate, and a failing run is not appended to the history.
 #
+# Before anything is appended, the trajectory file itself is validated:
+# it must parse, revs must be unique, and — when the file is committed —
+# the committed entries must be an unchanged prefix of the working copy
+# (entry 0, the frozen baseline, never moves). A corrupted or rewritten
+# history fails the gate before it can grow.
+#
 # Usage:
 #   scripts/bench_gate.sh                # gate, then append this rev's entry
 #   scripts/bench_gate.sh --refresh      # re-measure: overwrite the full
 #                                        # report and reset the trajectory
 #                                        # baseline to this run
+#   scripts/bench_gate.sh --obs          # observability overhead gate only:
+#                                        # enabled-telemetry cost on the
+#                                        # mixed corpus must stay under 3%
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BASELINE=BENCH_throughput.json
 TRAJECTORY=BENCH_trajectory.json
+OBS_BUDGET_PCT=3
 REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 
 echo "== build bench harness (release) =="
 cargo build --release -p lzfpga-bench
+
+if [[ "${1:-}" == "--obs" ]]; then
+    echo "== observability overhead gate (budget ${OBS_BUDGET_PCT}%) =="
+    ./target/release/throughput --obs-only --obs-gate "$OBS_BUDGET_PCT"
+    echo "bench_gate: obs overhead within the ${OBS_BUDGET_PCT}% budget"
+    exit 0
+fi
 
 if [[ "${1:-}" == "--refresh" ]]; then
     echo "== refresh committed baseline: $BASELINE + $TRAJECTORY =="
@@ -39,6 +56,18 @@ if [[ "${1:-}" == "--refresh" ]]; then
         --append-trajectory "$TRAJECTORY" --rev "$REV"
     echo "bench_gate: baseline refreshed — review and commit $BASELINE and $TRAJECTORY"
     exit 0
+fi
+
+# Validate the history before gating against it or appending to it.
+if [[ -f "$TRAJECTORY" ]]; then
+    echo "== validate $TRAJECTORY (unique revs, frozen baseline, append-only) =="
+    if git cat-file -e "HEAD:$TRAJECTORY" 2>/dev/null; then
+        git show "HEAD:$TRAJECTORY" > /tmp/bench_gate_traj_head.json
+        ./target/release/throughput --obs-only --check-trajectory "$TRAJECTORY" \
+            --frozen /tmp/bench_gate_traj_head.json
+    else
+        ./target/release/throughput --obs-only --check-trajectory "$TRAJECTORY"
+    fi
 fi
 
 # Prefer the trajectory (entry 0 is the frozen baseline); fall back to the

@@ -13,6 +13,7 @@
 //! | [`cam`] | `lzfpga-cam` | Related-work CAM and systolic matcher models |
 //! | [`parallel`] | `lzfpga-parallel` | Chunk-parallel multi-engine compression |
 //! | [`telemetry`] | `lzfpga-telemetry` | Counters, span timing, JSONL sink, chrome://tracing export |
+//! | [`obs`] | `lzfpga-obs` | Metrics registry, span-tree tooling, Prometheus/JSONL exporters, stats aggregation |
 //! | [`faults`] | `lzfpga-faults` | Failpoints, failure reports, deterministic stream mutation |
 //! | [`container`] | `lzfpga-container` | LZFC crash-safe framed container: salvage decode, checkpointed streaming |
 //!
@@ -59,6 +60,9 @@ pub use lzfpga_rtlgen as rtlgen;
 
 /// Unified telemetry: counters, spans, JSONL sink, trace-event export.
 pub use lzfpga_telemetry as telemetry;
+
+/// Observability: metrics registry, span trees, exporters, stats.
+pub use lzfpga_obs as obs;
 
 /// Fault injection: failpoints, failure reports, stream mutation.
 pub use lzfpga_faults as faults;
