@@ -45,9 +45,20 @@
 //! than the one that ran. The final registry snapshot is written to PATH
 //! as JSONL (`run` event, then a `metrics` snapshot event).
 //!
+//! `--server` switches to the **connection-storm drill** against an
+//! in-process `lzfpga-server`: concurrent valid traffic with byte-exact
+//! verification while failpoints panic inside worker jobs, hostile mutated
+//! wire frames, mid-request disconnects, credit-starved deadline expiry,
+//! and quota floods (session, stream, and byte) that must all come back as
+//! *typed* rejections. The storm ends with a clean roundtrip (the process
+//! must still serve), a graceful drain, and three hard assertions: no
+//! wrong bytes were ever served, no sessions/streams/bytes leaked past the
+//! drain, and the span trace still forms one causal tree.
+//!
 //! ```text
 //! faultstorm [--mutants N] [--lzfc N] [--lzfc-index N] [--seed S]
 //!            [--metrics PATH]
+//! faultstorm --server [--seed S]
 //! ```
 //!
 //! Fully deterministic for a given seed; exits non-zero on any violation.
@@ -115,6 +126,7 @@ fn main() {
     let mut index_mutants: u64 = 400;
     let mut seed: u64 = 0xC0FFEE;
     let mut metrics_path: Option<String> = None;
+    let mut server_storm = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -127,10 +139,11 @@ fn main() {
             }
             "--seed" => seed = it.next().and_then(|v| parse_seed(&v)).unwrap_or(seed),
             "--metrics" => metrics_path = it.next(),
+            "--server" => server_storm = true,
             "--help" | "-h" => {
                 println!(
                     "faultstorm [--mutants N] [--lzfc N] [--lzfc-index N] [--seed S] \
-                     [--metrics PATH]"
+                     [--metrics PATH]\nfaultstorm --server [--seed S]"
                 );
                 return;
             }
@@ -139,6 +152,19 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if server_storm {
+        // The connection-storm drill is its own mode: injected panics are
+        // part of the contract, so silence the hook here too.
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let ok = run_server_storm(seed);
+        std::panic::set_hook(default_hook);
+        if !ok {
+            eprintln!("faultstorm: FAILED");
+            std::process::exit(1);
+        }
+        return;
     }
     let registry = metrics_path.as_ref().map(|_| MetricsRegistry::new());
 
@@ -180,6 +206,386 @@ fn main() {
         eprintln!("faultstorm: FAILED");
         std::process::exit(1);
     }
+}
+
+/// The connection-storm drill: an in-process `lzfpga-server` under
+/// concurrent valid traffic, injected worker panics, hostile wire frames,
+/// mid-request disconnects, credit-starved deadlines, and quota floods.
+///
+/// Contract (checked at the end): the server never serves a wrong byte,
+/// every refusal carries a typed code, the process still answers a clean
+/// roundtrip after the storm, the drain leaks no sessions/streams/bytes,
+/// and the span trace still validates as one causal tree.
+fn run_server_storm(seed: u64) -> bool {
+    use std::time::{Duration, Instant};
+
+    use lzfpga_obs::validate_span_tree;
+    use lzfpga_server::proto::encode_request;
+    use lzfpga_server::{
+        Client, ClientError, QuotaConfig, RejectCode, Request, Response, Server, ServerConfig,
+    };
+
+    let fb = 16 * 1024usize;
+    let quota = QuotaConfig {
+        max_sessions: 24,
+        max_streams_per_tenant: 2,
+        max_bytes_per_tenant: 64 << 20,
+        max_request_bytes: 8 << 20,
+    };
+    // Deterministic panics early in the chunk-hit sequence prove the
+    // containment path runs; the thinned rule keeps pressure on it for the
+    // rest of the storm. The ladder's reference rung is not injectable, so
+    // compress results must stay byte-exact through all of this.
+    let plan = std::sync::Arc::new(
+        FailPlan::new(seed ^ 0x5E11)
+            .rule(FailRule::new("server.chunk").on_hit(3).times(4).panics())
+            .rule(
+                FailRule::new("server.chunk")
+                    .on_hit(7)
+                    .times(u64::MAX)
+                    .chance_permille(150)
+                    .panics(),
+            )
+            .rule(
+                FailRule::new("range.frame.decode")
+                    .on_hit(1)
+                    .times(u64::MAX)
+                    .chance_permille(200)
+                    .errors(),
+            )
+            .rule(FailRule::new("range.open.index").on_hit(2).times(3).errors()),
+    );
+    let handle = match Server::new(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        quota,
+        frame_bytes: fb,
+        idle_timeout_ms: 2_000,
+        drain_ms: 3_000,
+        collect_trace: true,
+        ..ServerConfig::default()
+    })
+    .with_faults(plan)
+    .start()
+    {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("server storm: bind failed: {e}");
+            return false;
+        }
+    };
+    let addr = handle.addr();
+    let mut violations = 0u64;
+    // Teardown of dropped connections takes a poll tick to be noticed, so
+    // a connect right after a flood can transiently hit the session cap;
+    // that is correct backpressure, not a failure — wait it out.
+    let connect_patient = |tenant: &str, credit: u64| -> Result<Client, ClientError> {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match Client::connect(addr, tenant, credit) {
+                Err(ClientError::Rejected { code: RejectCode::SessionLimit, .. })
+                    if Instant::now() < deadline =>
+                {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                other => return other,
+            }
+        }
+    };
+
+    // Phase 1: concurrent valid traffic under injected worker panics.
+    // Every tenant verifies every response against the local single-thread
+    // reference; a typed error is a tolerated degradation, a wrong byte is
+    // a violation.
+    let (phase1_violations, degraded) = std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for t in 0..4u64 {
+            workers.push(scope.spawn(move || {
+                let data = generate(Corpus::Mixed, 100 + t, 96 * 1024);
+                let reference = frame_up(&data, fb);
+                let tenant = format!("storm{t}");
+                let mut bad = 0u64;
+                let mut degraded = 0u64;
+                let mut client = match Client::connect(addr, &tenant, 1 << 20) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("server storm: {tenant} failed to connect: {e}");
+                        return (1, 0);
+                    }
+                };
+                for round in 0..3 {
+                    match client.compress(&data, fb as u32, 0) {
+                        Ok(framed) if framed == reference => {}
+                        Ok(_) => {
+                            bad += 1;
+                            eprintln!("VIOLATION: {tenant} round {round}: wrong compress bytes");
+                        }
+                        Err(ClientError::Request { .. }) => degraded += 1,
+                        Err(e) => {
+                            bad += 1;
+                            eprintln!("server storm: {tenant} compress failed hard: {e}");
+                        }
+                    }
+                    match client.decompress(&reference, 4 * 96 * 1024, 0) {
+                        Ok(out) if out == data => {}
+                        Ok(_) => {
+                            bad += 1;
+                            eprintln!("VIOLATION: {tenant} round {round}: wrong decompress bytes");
+                        }
+                        Err(ClientError::Request { .. }) => degraded += 1,
+                        Err(e) => {
+                            bad += 1;
+                            eprintln!("server storm: {tenant} decompress failed hard: {e}");
+                        }
+                    }
+                    let (lo, hi) = (20_000u64, 52_000u64);
+                    match client.range(&reference, lo, hi, 1 << 20, 0) {
+                        Ok(out) if out == data[lo as usize..hi as usize] => {}
+                        Ok(_) => {
+                            bad += 1;
+                            eprintln!("VIOLATION: {tenant} round {round}: wrong range bytes");
+                        }
+                        // Injected index/decode faults may make the range
+                        // unservable; refusing typed is allowed.
+                        Err(ClientError::Request { .. }) => degraded += 1,
+                        Err(e) => {
+                            bad += 1;
+                            eprintln!("server storm: {tenant} range failed hard: {e}");
+                        }
+                    }
+                }
+                (bad, degraded)
+            }));
+        }
+        workers
+            .into_iter()
+            .map(|w| w.join().unwrap_or((1, 0)))
+            .fold((0u64, 0u64), |a, b| (a.0 + b.0, a.1 + b.1))
+    });
+    violations += phase1_violations;
+    println!(
+        "server storm: valid traffic done ({degraded} typed degradations, \
+         {} contained panics so far)",
+        handle.stats().panics_contained
+    );
+
+    // Phase 2: hostile wire frames + mid-request disconnects. Mutants of a
+    // well-formed request hit the reader; whatever happens must be a typed
+    // answer or a dropped connection, never a dead server. Each client is
+    // dropped immediately after — half of them mid-request.
+    let mut mutator = StreamMutator::new(seed ^ 0x77AA);
+    let template = {
+        let data = generate(Corpus::LogLines, 9, 8 * 1024);
+        encode_request(&Request::Compress { req: 1, deadline_ms: 0, frame_bytes: 0, data })
+    };
+    for i in 0..60u64 {
+        let mut client = match Client::connect(addr, "hostile", 1 << 20) {
+            Ok(c) => c,
+            Err(e) => {
+                violations += 1;
+                eprintln!("server storm: hostile client {i} refused cleanly?: {e}");
+                continue;
+            }
+        };
+        let mutant = mutator.mutate(&template);
+        if client.send_raw(&mutant.bytes).is_err() {
+            continue; // reader already hung up on us — acceptable
+        }
+        if i % 2 == 0 {
+            // Listen briefly: any parsed reply must be a typed one.
+            let _ = client.set_read_timeout(Duration::from_millis(100));
+            match client.recv() {
+                Ok(Response::Reject { .. } | Response::Error { .. } | Response::Data { .. })
+                | Ok(Response::Done { .. })
+                | Err(_) => {}
+                Ok(Response::HelloOk { .. }) => {
+                    violations += 1;
+                    eprintln!(
+                        "VIOLATION: hostile frame {i} ({}) re-ran the handshake",
+                        mutant.kind
+                    );
+                }
+            }
+        }
+        // ...and disconnect with whatever is left in flight.
+        drop(client);
+    }
+    println!("server storm: 60 hostile frames / disconnects survived");
+
+    // Phase 3: quota floods, every refusal typed.
+    {
+        // Session flood: hold connections open far past max_sessions.
+        let mut held = Vec::new();
+        let mut session_rejects = 0u64;
+        for i in 0..(quota.max_sessions + 16) {
+            match Client::connect(addr, &format!("flood{i}"), 1 << 20) {
+                Ok(c) => held.push(c),
+                Err(ClientError::Rejected { code: RejectCode::SessionLimit, .. }) => {
+                    session_rejects += 1;
+                }
+                Err(e) => {
+                    violations += 1;
+                    eprintln!("VIOLATION: session flood conn {i} died untyped: {e}");
+                }
+            }
+        }
+        if session_rejects == 0 || held.len() > quota.max_sessions {
+            violations += 1;
+            eprintln!(
+                "VIOLATION: session flood admitted {} of {} (rejected {session_rejects})",
+                held.len(),
+                quota.max_sessions + 16
+            );
+        }
+        drop(held);
+
+        // Stream flood: one credit-starved tenant parks requests in flight
+        // until the third trips the per-tenant stream quota.
+        let mut parked = connect_patient("parker", 0).expect("parker connects");
+        parked.set_auto_credit(false);
+        let small = generate(Corpus::LogLines, 3, 32 * 1024);
+        for req in 1..=3u64 {
+            let _ = parked.send(&Request::Compress {
+                req,
+                deadline_ms: 0,
+                frame_bytes: 0,
+                data: small.clone(),
+            });
+        }
+        let mut saw_stream_quota = false;
+        let wait = Instant::now();
+        while wait.elapsed() < Duration::from_secs(5) && !saw_stream_quota {
+            match parked.recv() {
+                Ok(Response::Error { code: RejectCode::StreamQuota, .. }) => {
+                    saw_stream_quota = true;
+                }
+                Ok(_) | Err(ClientError::TimedOut) => {}
+                Err(_) => break,
+            }
+        }
+        if !saw_stream_quota {
+            violations += 1;
+            eprintln!("VIOLATION: stream-quota flood never produced a typed StreamQuota");
+        }
+        drop(parked); // two jobs still parked behind zero credit
+
+        // Byte quota: a declared result budget past the tenant allowance.
+        let mut glutton = connect_patient("glutton", 1 << 20).expect("glutton connects");
+        match glutton.decompress(&[0u8; 64], 128 << 20, 0) {
+            Err(ClientError::Request { code: RejectCode::ByteQuota, .. }) => {}
+            other => {
+                violations += 1;
+                eprintln!("VIOLATION: byte-quota flood answered {other:?}");
+            }
+        }
+        // Oversized payload: just past max_request_bytes (but inside the
+        // wire reader's slack, so the frame parses and the *admission*
+        // size check refuses it on a live connection). Payloads past the
+        // wire cap too are simply reset mid-upload — also contained, but
+        // nothing typed to assert on.
+        match glutton.compress(&vec![0u8; (8 << 20) + 64], 0, 0) {
+            Err(ClientError::Request { code: RejectCode::TooLarge, .. })
+            | Err(ClientError::Rejected { code: RejectCode::TooLarge, .. }) => {}
+            Ok(_) => {
+                violations += 1;
+                eprintln!("VIOLATION: oversized request was admitted");
+            }
+            other => {
+                violations += 1;
+                eprintln!("VIOLATION: oversized request answered untyped: {other:?}");
+            }
+        }
+        println!(
+            "server storm: quota floods all refused typed ({session_rejects} session rejects)"
+        );
+    }
+
+    // Phase 4: a credit-starved request with a deadline must come back as
+    // a typed DeadlineExceeded — cooperative cancellation through the
+    // writer's checkpoint, not a hang.
+    {
+        let mut starved = connect_patient("starved", 0).expect("starved connects");
+        starved.set_auto_credit(false);
+        let data = generate(Corpus::LogLines, 4, 32 * 1024);
+        let _ = starved.send(&Request::Compress { req: 1, deadline_ms: 200, frame_bytes: 0, data });
+        let mut saw_deadline = false;
+        let wait = Instant::now();
+        while wait.elapsed() < Duration::from_secs(5) && !saw_deadline {
+            match starved.recv() {
+                Ok(Response::Error { code: RejectCode::DeadlineExceeded, .. }) => {
+                    saw_deadline = true;
+                }
+                Ok(_) | Err(ClientError::TimedOut) => {}
+                Err(_) => break,
+            }
+        }
+        if !saw_deadline {
+            violations += 1;
+            eprintln!("VIOLATION: credit-starved deadline never fired typed");
+        } else {
+            println!("server storm: starved deadline came back typed");
+        }
+    }
+
+    // Phase 5: the process must still serve, then drain clean.
+    {
+        let data = generate(Corpus::Mixed, 77, 64 * 1024);
+        let reference = frame_up(&data, fb);
+        match connect_patient("final", 1 << 20).and_then(|mut c| c.compress(&data, fb as u32, 0)) {
+            Ok(framed) if framed == reference => {
+                println!("server storm: post-storm roundtrip byte-exact")
+            }
+            Ok(_) => {
+                violations += 1;
+                eprintln!("VIOLATION: post-storm compress served wrong bytes");
+            }
+            Err(e) => {
+                violations += 1;
+                eprintln!("VIOLATION: server no longer serves after the storm: {e}");
+            }
+        }
+    }
+    let admission = handle.admission();
+    let stats = handle.shutdown(Duration::from_secs(5));
+    if admission.active_sessions() != 0
+        || admission.active_streams() != 0
+        || admission.active_bytes() != 0
+        || handle.live_connections() != 0
+    {
+        violations += 1;
+        eprintln!(
+            "VIOLATION: drain leaked {} sessions / {} streams / {} bytes / {} connections",
+            admission.active_sessions(),
+            admission.active_streams(),
+            admission.active_bytes(),
+            handle.live_connections()
+        );
+    }
+    if stats.panics_contained == 0 {
+        violations += 1;
+        eprintln!("VIOLATION: the panic plan never fired — the storm tested nothing");
+    }
+    match validate_span_tree(&stats.trace) {
+        Ok(summary) => println!(
+            "server storm: span trace validates ({} spans, depth {})",
+            summary.spans, summary.max_depth
+        ),
+        Err(e) => {
+            violations += 1;
+            eprintln!("VIOLATION: storm trace is not one causal tree: {e}");
+        }
+    }
+    println!(
+        "server storm: {} sessions, {} requests ({} done, {} failed), {} panics contained, \
+         {} protocol errors, {violations} violations",
+        stats.sessions_total,
+        stats.requests_total,
+        stats.requests_done,
+        stats.requests_failed,
+        stats.panics_contained,
+        stats.protocol_errors
+    );
+    violations == 0
 }
 
 /// Write the final registry snapshot as a JSONL metrics stream: a `run`

@@ -23,6 +23,7 @@
 
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::process::ExitCode;
+use std::time::Duration;
 
 use lzfpga_container::{
     open_indexed_with, salvage, scan_partial, unframe, FrameConfig, FrameWriter, FramedSummary,
@@ -45,12 +46,13 @@ use lzfpga_parallel::{
     compress_frames_batched, compress_frames_parallel, compress_parallel, decode_range_parallel,
     decompress_frames_parallel, EngineKind, ParallelConfig,
 };
+use lzfpga_server::{Client, Server, ServerConfig};
 use lzfpga_telemetry::json::obj;
 use lzfpga_telemetry::{trace_events_json, FrameEvent, JsonValue, JsonlWriter, TurboCounters};
 use lzfpga_workloads::Corpus;
 
 const USAGE: &str = "\
-lzfpga <compress|decompress|frame|unframe|salvage|resume|stats|gen|trace|rtl> [options]
+lzfpga <compress|decompress|frame|unframe|salvage|resume|stats|serve|client|gen|trace|rtl> [options]
 
   compress   [--engine hw|sw|turbo] [--format zlib|gzip] [--window N] [--hash N]
              [--level min|medium|max] [--dict FILE] [--stats]
@@ -78,6 +80,15 @@ lzfpga <compress|decompress|frame|unframe|salvage|resume|stats|gen|trace|rtl> [o
                            (aggregate a --metrics stream: p50/p99 frame
                             latency, MB/s, cache hit rate, kernel mix;
                             --follow keeps tailing the file)
+  serve      [--addr HOST:PORT] [--workers N] [--frame-size N] [--chunk N]
+             [--deadline-ms N] [--drain-ms N] [--allow-shutdown]
+             [--metrics OUT.jsonl] [--prometheus OUT.prom]
+                           (LZS1 compression daemon: admission control,
+                            per-tenant quotas, backpressure, graceful drain)
+  client     --addr HOST:PORT <compress|decompress|range|shutdown>
+             [--tenant NAME] [--frame-size N] [--deadline-ms N]
+             [--range A..B] [--max-output-bytes N] [--drain-ms N]
+             [-o OUT] [FILE]                 (one request against a server)
   gen        CORPUS SIZE [--seed N] [-o OUT]
   trace      [--window N] [--hash N] [--format vcd|trace-events]
              [-o OUT] [FILE]                                (waveform export)
@@ -146,6 +157,11 @@ struct CommonOpts {
     max_output_bytes: Option<u64>,
     range: Option<(u64, u64)>,
     cache_bytes: usize,
+    addr: Option<String>,
+    tenant: String,
+    deadline_ms: u32,
+    drain_ms: u64,
+    allow_shutdown: bool,
     positional: Vec<String>,
 }
 
@@ -175,6 +191,11 @@ impl Default for CommonOpts {
             max_output_bytes: None,
             range: None,
             cache_bytes: DEFAULT_CACHE_BYTES,
+            addr: None,
+            tenant: "cli".to_string(),
+            deadline_ms: 0,
+            drain_ms: 5_000,
+            allow_shutdown: false,
             positional: Vec::new(),
         }
     }
@@ -267,6 +288,18 @@ fn parse_opts(args: &[String]) -> Result<CommonOpts, String> {
                     .parse()
                     .map_err(|_| "--cache-bytes wants a byte count".to_string())?;
             }
+            "--addr" => o.addr = Some(value("--addr")?),
+            "--tenant" => o.tenant = value("--tenant")?,
+            "--deadline-ms" => {
+                o.deadline_ms = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|_| "bad --deadline-ms value".to_string())?;
+            }
+            "--drain-ms" => {
+                o.drain_ms =
+                    value("--drain-ms")?.parse().map_err(|_| "bad --drain-ms value".to_string())?;
+            }
+            "--allow-shutdown" => o.allow_shutdown = true,
             "--metrics" => o.metrics = Some(value("--metrics")?),
             "--trace-events" => o.trace_events = Some(value("--trace-events")?),
             "--prometheus" => o.prometheus = Some(value("--prometheus")?),
@@ -855,19 +888,32 @@ fn cmd_unframe(o: &CommonOpts) -> Result<(), String> {
     write_output(o.output.as_deref(), &out)
 }
 
-/// `cat` writes to stdout the way Unix `cat` does: a downstream reader
-/// that stops early (`| head`) closes the pipe, and that is a success,
-/// not an error. File outputs stay atomic like every other command's.
+/// What [`write_streaming`] observed about the downstream sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StreamWrite {
+    /// The bytes went out.
+    Written,
+    /// The reader hung up (`| head`): a clean end of output, not an error.
+    PipeClosed,
+}
+
+/// Write to a streaming sink the way Unix `cat` does: a downstream reader
+/// that stops early closes the pipe, and that is a success — callers in a
+/// follow loop use the [`StreamWrite::PipeClosed`] signal to stop producing.
+/// Every other I/O failure is still an error.
+fn write_streaming(w: &mut dyn Write, data: &[u8]) -> Result<StreamWrite, String> {
+    match w.write_all(data).and_then(|()| w.flush()) {
+        Ok(()) => Ok(StreamWrite::Written),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(StreamWrite::PipeClosed),
+        Err(e) => Err(format!("writing stdout: {e}")),
+    }
+}
+
+/// Streaming-command output: stdout through [`write_streaming`] (closed
+/// pipes are a success), file outputs atomic like every other command's.
 fn write_range_output(path: Option<&str>, data: &[u8]) -> Result<(), String> {
     match path {
-        None | Some("-") => {
-            let mut stdout = std::io::stdout();
-            match stdout.write_all(data).and_then(|()| stdout.flush()) {
-                Ok(()) => Ok(()),
-                Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
-                Err(e) => Err(format!("writing stdout: {e}")),
-            }
-        }
+        None | Some("-") => write_streaming(&mut std::io::stdout(), data).map(|_| ()),
         Some(p) => atomic_write(p, data),
     }
 }
@@ -936,7 +982,7 @@ fn cmd_salvage(o: &CommonOpts) -> Result<(), String> {
             ],
         )?;
     }
-    write_output(o.output.as_deref(), &result.data)
+    write_range_output(o.output.as_deref(), &result.data)
 }
 
 fn cmd_resume(o: &CommonOpts) -> Result<(), String> {
@@ -1027,14 +1073,35 @@ fn render_metrics_stream(text: &str) -> Result<String, String> {
     Ok(agg.render())
 }
 
+/// Floor of the `--follow` poll interval (an actively-growing file is
+/// re-rendered at this cadence).
+const FOLLOW_POLL_MIN: Duration = Duration::from_millis(100);
+
+/// Ceiling of the `--follow` poll interval for a quiet file.
+const FOLLOW_POLL_MAX: Duration = Duration::from_secs(2);
+
+/// `stats --follow` pacing: capped exponential backoff. Each idle poll
+/// doubles the wait (up to [`FOLLOW_POLL_MAX`]) so tailing a finished run
+/// costs almost nothing; any growth snaps back to [`FOLLOW_POLL_MIN`] so
+/// an active run is re-rendered promptly.
+fn next_poll_delay(prev: Duration, grew: bool) -> Duration {
+    if grew {
+        FOLLOW_POLL_MIN
+    } else {
+        (prev * 2).min(FOLLOW_POLL_MAX)
+    }
+}
+
 /// `stats` on a JSONL metrics stream: render the aggregate tables once,
 /// then (with `--follow`) keep tailing the file and re-rendering whenever
-/// it grows, until interrupted.
+/// it grows, until interrupted or the reader hangs up.
 fn cmd_stats_stream(o: &CommonOpts, data: Vec<u8>) -> Result<(), String> {
     let text = String::from_utf8(data).map_err(|_| "metrics stream is not UTF-8".to_string())?;
     let rendered = render_metrics_stream(&text)?;
     let mut stdout = std::io::stdout();
-    stdout.write_all(rendered.as_bytes()).map_err(|e| format!("writing stdout: {e}"))?;
+    if write_streaming(&mut stdout, rendered.as_bytes())? == StreamWrite::PipeClosed {
+        return Ok(());
+    }
     if !o.follow {
         return Ok(());
     }
@@ -1042,19 +1109,24 @@ fn cmd_stats_stream(o: &CommonOpts, data: Vec<u8>) -> Result<(), String> {
         return Err("--follow requires a metrics file to tail".into());
     };
     let mut seen = text.len() as u64;
+    let mut delay = FOLLOW_POLL_MIN;
     loop {
-        std::thread::sleep(std::time::Duration::from_millis(500));
+        std::thread::sleep(delay);
         let len = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
         if len == seen {
+            delay = next_poll_delay(delay, false);
             continue;
         }
+        delay = next_poll_delay(delay, true);
         seen = len;
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
         let rendered = render_metrics_stream(&text)?;
-        stdout
-            .write_all(format!("---\n{rendered}").as_bytes())
-            .and_then(|()| stdout.flush())
-            .map_err(|e| format!("writing stdout: {e}"))?;
+        if write_streaming(&mut stdout, format!("---\n{rendered}").as_bytes())?
+            == StreamWrite::PipeClosed
+        {
+            // `| head` hung up: stop tailing instead of polling forever.
+            return Ok(());
+        }
     }
 }
 
@@ -1080,7 +1152,7 @@ fn cmd_stats(o: &CommonOpts) -> Result<(), String> {
         )?;
     }
     // Render into a buffer and write once: a closed pipe (e.g. `| head`)
-    // must surface as an error and a nonzero exit, not a panic.
+    // truncates the report cleanly instead of panicking or failing the run.
     let mut text = String::new();
     let _ = writeln!(text, "input              {:>12} bytes", data.len());
     let _ = writeln!(text, "compressed         {:>12} bytes", rep.compressed.len());
@@ -1108,7 +1180,100 @@ fn cmd_stats(o: &CommonOpts) -> Result<(), String> {
             rep.run.stats.get(state)
         );
     }
-    std::io::stdout().write_all(text.as_bytes()).map_err(|e| format!("writing stdout: {e}"))
+    write_streaming(&mut std::io::stdout(), text.as_bytes()).map(|_| ())
+}
+
+/// `serve`: run the LZS1 compression daemon until it drains.
+///
+/// Without `--allow-shutdown` the process runs until killed; with it, any
+/// client may request a graceful drain (`lzfpga client shutdown`), which
+/// finishes or deadline-cancels everything in flight and then returns here
+/// with final stats. `--metrics`/`--prometheus` export the server's
+/// registry snapshot after the drain.
+fn cmd_serve(o: &CommonOpts) -> Result<(), String> {
+    let config = ServerConfig {
+        addr: o.addr.clone().unwrap_or_else(|| "127.0.0.1:4650".to_string()),
+        workers: o.workers,
+        hw: hw_config(o),
+        frame_bytes: o.frame_bytes,
+        chunk_bytes: o.chunk_bytes,
+        default_deadline_ms: o.deadline_ms,
+        drain_ms: o.drain_ms,
+        allow_remote_shutdown: o.allow_shutdown,
+        ..ServerConfig::default()
+    };
+    let quota = config.quota;
+    let handle = Server::new(config).start().map_err(|e| format!("serve: {e}"))?;
+    eprintln!(
+        "lzfpga-server listening on {} ({} sessions; per tenant: {} streams, {} MiB in flight{})",
+        handle.addr(),
+        quota.max_sessions,
+        quota.max_streams_per_tenant,
+        quota.max_bytes_per_tenant >> 20,
+        if o.allow_shutdown { "; remote shutdown enabled" } else { "" }
+    );
+    handle.wait();
+    let stats = handle.shutdown(Duration::from_millis(o.drain_ms));
+    eprintln!(
+        "serve: drained — {} sessions, {} requests ({} done, {} failed), {} panics contained, \
+         {} protocol errors",
+        stats.sessions_total,
+        stats.requests_total,
+        stats.requests_done,
+        stats.requests_failed,
+        stats.panics_contained,
+        stats.protocol_errors
+    );
+    if wants_obs(o) {
+        finish_metrics(o, &handle.registry(), vec![("run", run_event(o, "serve", 0, 0))])?;
+    }
+    Ok(())
+}
+
+/// `client`: run one request against a running server and stream the
+/// result out like `cat` (closed pipes are a clean stop).
+fn cmd_client(o: &CommonOpts) -> Result<(), String> {
+    let addr = o.addr.as_deref().ok_or("client requires --addr HOST:PORT")?;
+    let op = o
+        .positional
+        .first()
+        .map(String::as_str)
+        .ok_or("client requires an operation: compress | decompress | range | shutdown")?;
+    let mut client =
+        Client::connect(addr, &o.tenant, 1 << 20).map_err(|e| format!("client: {e}"))?;
+    if op == "shutdown" {
+        client
+            .shutdown_server(u32::try_from(o.drain_ms).unwrap_or(u32::MAX))
+            .map_err(|e| format!("client: {e}"))?;
+        eprintln!("client: server drained and shut down");
+        return Ok(());
+    }
+    let data = read_input(o.positional.get(1).map(String::as_str))?;
+    // The declared result budget is charged against the tenant byte quota
+    // up front, so the default stays well under the server's default
+    // 256 MiB per-tenant allowance; `--max-output-bytes` raises it.
+    let max_result = o.max_output_bytes.unwrap_or(64 << 20);
+    let out = match op {
+        "compress" => {
+            client.compress(&data, u32::try_from(o.frame_bytes).unwrap_or(0), o.deadline_ms)
+        }
+        "decompress" => client.decompress(&data, max_result, o.deadline_ms),
+        "range" | "cat" => {
+            let (start, end) = o.range.ok_or("client range requires --range START..END")?;
+            client.range(&data, start, end, max_result, o.deadline_ms)
+        }
+        other => return Err(format!("unknown client operation '{other}'\n\n{USAGE}")),
+    }
+    .map_err(|e| format!("client {op}: {e}"))?;
+    if o.stats {
+        eprintln!(
+            "client: {op} {} bytes -> {} bytes (session {})",
+            data.len(),
+            out.len(),
+            client.session()
+        );
+    }
+    write_range_output(o.output.as_deref(), &out)
 }
 
 fn cmd_trace(o: &CommonOpts) -> Result<(), String> {
@@ -1200,6 +1365,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
             opts.input = opts.positional.first().cloned();
             cmd_stats(&opts)
         }
+        "serve" => cmd_serve(&opts),
+        "client" => cmd_client(&opts),
         "gen" => cmd_gen(&opts),
         "trace" => {
             opts.input = opts.positional.first().cloned();
@@ -2105,5 +2272,106 @@ mod dict_tests {
             input.to_str().unwrap().into(),
         ])
         .is_err());
+    }
+
+    /// A sink that fails every write with a chosen error kind.
+    struct FailingSink(std::io::ErrorKind);
+
+    impl Write for FailingSink {
+        fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::new(self.0, "sink refused"))
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn streaming_writes_treat_closed_pipes_as_a_clean_stop() {
+        // Regression for the `cat`/`salvage`/`stats` `| head` path: a
+        // closed pipe is a success signal, any other I/O failure an error.
+        let mut ok: Vec<u8> = Vec::new();
+        assert_eq!(write_streaming(&mut ok, b"hello"), Ok(StreamWrite::Written));
+        assert_eq!(ok, b"hello");
+        let mut closed = FailingSink(std::io::ErrorKind::BrokenPipe);
+        assert_eq!(write_streaming(&mut closed, b"hello"), Ok(StreamWrite::PipeClosed));
+        let mut broken = FailingSink(std::io::ErrorKind::Other);
+        assert!(write_streaming(&mut broken, b"hello").is_err());
+    }
+
+    #[test]
+    fn follow_poll_backs_off_exponentially_and_resets_on_growth() {
+        let mut d = FOLLOW_POLL_MIN;
+        let mut seen = vec![d];
+        for _ in 0..8 {
+            d = next_poll_delay(d, false);
+            seen.push(d);
+        }
+        // Doubles each idle tick, then pins at the cap.
+        assert_eq!(seen[1], FOLLOW_POLL_MIN * 2);
+        assert_eq!(seen[2], FOLLOW_POLL_MIN * 4);
+        assert_eq!(*seen.last().unwrap(), FOLLOW_POLL_MAX);
+        assert!(seen.windows(2).all(|w| w[1] >= w[0]));
+        // Growth snaps straight back to the floor, even from the cap.
+        assert_eq!(next_poll_delay(FOLLOW_POLL_MAX, true), FOLLOW_POLL_MIN);
+    }
+
+    #[test]
+    fn serve_and_client_roundtrip_over_the_cli_surface() {
+        let dir = TestDir::new();
+        let input = dir.path().join("input.bin");
+        let framed = dir.path().join("framed.lzfc");
+        let restored = dir.path().join("restored.bin");
+        let data = lzfpga_workloads::generate(Corpus::LogLines, 7, 48 * 1024);
+        std::fs::write(&input, &data).unwrap();
+        // `cmd_serve` blocks until drained, so run the server directly on
+        // a free port and drive the `client` subcommand against it.
+        let handle = Server::new(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            allow_remote_shutdown: true,
+            ..ServerConfig::default()
+        })
+        .start()
+        .unwrap();
+        let addr = handle.addr().to_string();
+        run(vec![
+            "client".into(),
+            "--addr".into(),
+            addr.clone(),
+            "compress".into(),
+            "-o".into(),
+            framed.to_str().unwrap().into(),
+            input.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        run(vec![
+            "client".into(),
+            "--addr".into(),
+            addr.clone(),
+            "decompress".into(),
+            "-o".into(),
+            restored.to_str().unwrap().into(),
+            framed.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        assert_eq!(std::fs::read(&restored).unwrap(), data);
+        // The framed bytes match the local pipeline byte for byte.
+        let local = dir.path().join("local.lzfc");
+        run(vec![
+            "frame".into(),
+            "-o".into(),
+            local.to_str().unwrap().into(),
+            input.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        assert_eq!(std::fs::read(&framed).unwrap(), std::fs::read(&local).unwrap());
+        // Missing --addr and unknown ops are usage errors, not hangs.
+        assert!(run(vec!["client".into(), "compress".into()]).is_err());
+        assert!(
+            run(vec!["client".into(), "--addr".into(), addr.clone(), "frobnicate".into()]).is_err()
+        );
+        run(vec!["client".into(), "--addr".into(), addr, "shutdown".into()]).unwrap();
+        handle.wait();
     }
 }

@@ -89,6 +89,9 @@ pub enum IndexFault {
         /// The frame the reader was seeking.
         seq: u32,
     },
+    /// A failpoint injected an index-load failure (test infrastructure;
+    /// never produced by real streams).
+    Injected,
 }
 
 impl std::fmt::Display for IndexFault {
@@ -104,6 +107,7 @@ impl std::fmt::Display for IndexFault {
             IndexFault::FrameMismatch { seq } => {
                 write!(f, "index lied about frame {seq}")
             }
+            IndexFault::Injected => f.write_str("index load failed by fault injection"),
         }
     }
 }
@@ -121,6 +125,7 @@ impl IndexFault {
             IndexFault::Truncated => "truncated",
             IndexFault::Inconsistent { .. } => "inconsistent",
             IndexFault::FrameMismatch { .. } => "frame_mismatch",
+            IndexFault::Injected => "injected",
         }
     }
 }

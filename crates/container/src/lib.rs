@@ -43,8 +43,8 @@ pub use format::{
 };
 pub use index::{encode_index_section, index_section_len, IndexEntry, IndexFault, INDEX_MAGIC};
 pub use range::{
-    open_indexed, open_indexed_with, plan_range, IndexReport, IndexSource, IndexedReader,
-    DEFAULT_CACHE_BYTES,
+    open_indexed, open_indexed_faulty, open_indexed_with, plan_range, IndexReport, IndexSource,
+    IndexedReader, DEFAULT_CACHE_BYTES,
 };
 pub use salvage::{salvage, salvage_with, LostRange, Salvage, SalvageOptions, SalvageReport};
 pub use writer::{

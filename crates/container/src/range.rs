@@ -20,6 +20,7 @@
 //! returns [`ContainerError::RangeUnavailable`] beyond it. Wrong bytes
 //! are never served; nothing here panics.
 
+use lzfpga_faults::{Failpoints, NoFaults};
 use lzfpga_telemetry::json::{obj, JsonValue};
 use lzfpga_telemetry::RangeCounters;
 
@@ -170,7 +171,6 @@ enum Backing {
 /// Open with [`open_indexed`]; serve with
 /// [`IndexedReader::decode_range`]. The reader is `&mut self` because the
 /// cache, the counters and the degradation state all live in it.
-#[derive(Debug)]
 pub struct IndexedReader<'a> {
     bytes: &'a [u8],
     backing: Backing,
@@ -180,6 +180,17 @@ pub struct IndexedReader<'a> {
     salvage_report: Option<SalvageReport>,
     cache: FrameCache,
     counters: RangeCounters,
+    faults: &'a dyn Failpoints,
+}
+
+impl std::fmt::Debug for IndexedReader<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndexedReader")
+            .field("source", &self.source)
+            .field("fault", &self.fault)
+            .field("scan_error", &self.scan_error)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Open `bytes` for random access with the default cache budget.
@@ -194,6 +205,25 @@ pub fn open_indexed(bytes: &[u8]) -> IndexedReader<'_> {
 /// [`open_indexed`] with an explicit decoded-frame cache budget in bytes
 /// (0 disables caching).
 pub fn open_indexed_with(bytes: &[u8], cache_bytes: usize) -> IndexedReader<'_> {
+    open_indexed_faulty(bytes, cache_bytes, &NoFaults)
+}
+
+/// [`open_indexed_with`] with decode-side failpoints active.
+///
+/// Sites: `range.open.index` fires at open — an injected error rejects
+/// the seek index (recorded as [`IndexFault::Injected`]) and the reader
+/// opens through the strict scan instead; `range.frame.decode` fires on
+/// every cache-miss frame read inside
+/// [`IndexedReader::decode_range`] — an injected error is treated exactly
+/// like a frame that failed verification, so the reader walks the
+/// index → scan → salvage degradation ladder. Either way the served
+/// bytes stay exact or the range is refused with a typed error; injection
+/// can slow the reader down a rung, never make it lie.
+pub fn open_indexed_faulty<'a>(
+    bytes: &'a [u8],
+    cache_bytes: usize,
+    faults: &'a dyn Failpoints,
+) -> IndexedReader<'a> {
     let mut reader = IndexedReader {
         bytes,
         backing: Backing::Frames { entries: Vec::new(), total: 0 },
@@ -206,7 +236,14 @@ pub fn open_indexed_with(bytes: &[u8], cache_bytes: usize) -> IndexedReader<'_> 
             cache_capacity_bytes: cache_bytes as u64,
             ..RangeCounters::default()
         },
+        faults,
     };
+    if reader.faults.check("range.open.index") {
+        reader.fault = Some(IndexFault::Injected);
+        reader.counters.index_fallbacks += 1;
+        reader.rebuild_from_scan();
+        return reader;
+    }
     match load_index(bytes) {
         Ok(ix) => {
             reader.counters.index_hits += 1;
@@ -381,6 +418,13 @@ impl<'a> IndexedReader<'a> {
             return Ok(());
         }
         self.counters.cache_misses += 1;
+        // Decode-side failpoint: an injected failure here is
+        // indistinguishable from a frame that failed verification, so it
+        // exercises the whole degradation ladder without ever producing a
+        // wrong byte.
+        if self.faults.check("range.frame.decode") {
+            return Err(seq);
+        }
         let Ok(header_start) = usize::try_from(e.header_start) else {
             return Err(seq);
         };

@@ -316,6 +316,75 @@ type Slot = Option<SlotState>;
 /// What one worker hands back for the telemetry report.
 type WorkerYield = (WorkerStats, TurboCounters, Vec<TraceEvent>);
 
+/// Run one chunk through the panic/degradation ladder the parallel
+/// drivers use, standalone: attempt 0 on the turbo engine, attempt 1
+/// retries it, attempt 2 falls back to the single-threaded reference
+/// compressor. Every attempt runs under [`catch_unwind`]; the two engine
+/// attempts check the failpoint `site` first, so injected errors and
+/// panics are absorbed exactly like `compress_parallel`'s workers absorb
+/// them — and the ledger in `report` records each recovery the same way
+/// (`attempts`, `retries`, `degraded_chunks`, `worker_restarts`,
+/// `injected_errors`). The reference rung is deliberately not injectable
+/// (like the salvage rung of the range reader's ladder): it is the
+/// last-resort path whose failure would fail the whole request, so drills
+/// can storm the engine sites as hard as they like and still assert
+/// byte-exact output.
+///
+/// The token stream is identical across all three rungs, so callers
+/// (notably `lzfpga-server`'s per-request jobs) get byte-stable output no
+/// matter how hostile the run was. `index` is the caller's chunk/frame
+/// number, used only for the ledger's chunk lists.
+///
+/// # Errors
+/// The attempts consumed, when even the reference fallback failed.
+pub fn compress_chunk_ladder<F: Failpoints>(
+    turbo: &mut TurboEngine,
+    chunk: &[u8],
+    params: &lzfpga_lzss::LzssParams,
+    site: &str,
+    faults: &F,
+    report: &mut FailureReport,
+    index: usize,
+) -> Result<Vec<Token>, u64> {
+    let mut buf: Vec<Token> = Vec::new();
+    let mut attempts = 0u64;
+    for attempt in 0..3u32 {
+        attempts += 1;
+        report.attempts += 1;
+        match attempt {
+            1 => report.retries += 1,
+            2 => {
+                report.degraded_chunks.push(index);
+                report.degraded_chunks.sort_unstable();
+            }
+            _ => {}
+        }
+        // Same unwind-isolation soundness argument as the pipeline
+        // workers: buf is cleared on entry and the turbo engine re-zeroes
+        // its arenas per call, so a mid-compress panic poisons nothing.
+        let result = catch_unwind(AssertUnwindSafe(|| -> Result<(), InjectedFault> {
+            buf.clear();
+            if attempt == 2 {
+                buf = lzfpga_lzss::compress(chunk, params);
+                return Ok(());
+            }
+            if faults.check(site) {
+                return Err(InjectedFault { site: "ladder" });
+            }
+            turbo.compress_into_faulty(chunk, params, &mut buf, faults)?;
+            Ok(())
+        }));
+        match result {
+            Ok(Ok(())) => return Ok(buf),
+            Ok(Err(_injected)) => report.injected_errors += 1,
+            Err(_panic) => report.worker_restarts += 1,
+        }
+    }
+    report.failed_chunks.push(index);
+    report.failed_chunks.sort_unstable();
+    Err(attempts)
+}
+
 /// Compress `data` chunk-parallel into one standard zlib stream.
 ///
 /// The output bytes depend only on `cfg.chunk_bytes` and `cfg.hw` — never
@@ -1064,6 +1133,30 @@ pub fn decode_range_parallel(
     range: std::ops::Range<u64>,
     workers: usize,
 ) -> Result<Vec<u8>, ContainerError> {
+    decode_range_parallel_with(bytes, range, workers, &NoFaults, &mut FailureReport::default())
+}
+
+/// [`decode_range_parallel`] with failpoints active on the decode side.
+///
+/// Site `parallel.range.frame` fires once per per-frame decode attempt;
+/// each frame gets the same bounded ladder the compress side uses (three
+/// attempts under [`catch_unwind`], so injected errors count as
+/// `injected_errors` and injected panics as `worker_restarts` in
+/// `report`). A frame whose every attempt was injected away is reported
+/// as [`ContainerError::RangeUnavailable`] at that frame's first
+/// uncompressed offset — the bytes could not be produced, and refusing
+/// the range is the only answer that never serves wrong bytes.
+///
+/// # Errors
+/// The strict decoder's typed error for damaged streams, or the
+/// `RangeUnavailable` refusal described above.
+pub fn decode_range_parallel_with<F: Failpoints>(
+    bytes: &[u8],
+    range: std::ops::Range<u64>,
+    workers: usize,
+    faults: &F,
+    report: &mut FailureReport,
+) -> Result<Vec<u8>, ContainerError> {
     let (plan, clamped) = plan_range(bytes, range)?;
     let n = plan.len();
     if n == 0 {
@@ -1079,16 +1172,50 @@ pub fn decode_range_parallel(
     type DecodeSlot = Option<Result<Vec<u8>, ContainerError>>;
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<DecodeSlot>> = Mutex::new((0..n).map(|_| None).collect());
+    let failure_acc: Mutex<&mut FailureReport> = Mutex::new(report);
     std::thread::scope(|s| {
         for _ in 0..workers {
-            let (next, slots, plan) = (&next, &slots, &plan);
-            s.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            let (next, slots, plan, failure_acc) = (&next, &slots, &plan, &failure_acc);
+            s.spawn(move || {
+                let mut local = FailureReport::default();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // The decode-side ladder: three attempts, each behind
+                    // the failpoint and an unwind boundary. decode_frame
+                    // itself is deterministic, so a real stream error is
+                    // final on the first non-injected attempt.
+                    let mut decoded: DecodeSlot = None;
+                    for attempt in 0..3u32 {
+                        local.attempts += 1;
+                        if attempt == 1 {
+                            local.retries += 1;
+                        }
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            if faults.check("parallel.range.frame") {
+                                return Err(());
+                            }
+                            Ok(decode_frame(bytes, &plan[i].0))
+                        }));
+                        match result {
+                            Ok(Ok(r)) => {
+                                decoded = Some(r);
+                                break;
+                            }
+                            Ok(Err(())) => local.injected_errors += 1,
+                            Err(_panic) => local.worker_restarts += 1,
+                        }
+                    }
+                    let decoded = decoded.unwrap_or_else(|| {
+                        local.failed_chunks.push(i);
+                        Err(ContainerError::RangeUnavailable { offset: plan[i].1 })
+                    });
+                    slots.lock().expect("slot lock")[i] = Some(decoded);
                 }
-                let decoded = decode_frame(bytes, &plan[i].0);
-                slots.lock().expect("slot lock")[i] = Some(decoded);
+                local.failed_chunks.sort_unstable();
+                failure_acc.lock().expect("failure lock").merge(&local);
             });
         }
     });

@@ -1,0 +1,328 @@
+//! A small blocking client for the LZS1 protocol.
+//!
+//! Used by `lzfpga client`, the tests, and the `faultstorm --server`
+//! connection-storm drill. The high-level calls ([`Client::compress`],
+//! [`Client::decompress`], [`Client::range`]) run one request to
+//! completion, verifying chunk ordering and the end-to-end CRC; the
+//! low-level [`Client::send`]/[`Client::recv`] pair is what the drill
+//! uses to misbehave on purpose (withhold credit, disconnect mid-request,
+//! interleave hostile frames).
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use lzfpga_deflate::crc32::Crc32;
+
+use crate::proto::{
+    encode_request, parse_response, read_message, ProtoError, RejectCode, Request, Response,
+    MAX_WIRE_BYTES,
+};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server spoke something unparseable (or closed mid-message).
+    Proto(ProtoError),
+    /// No message arrived within the read timeout.
+    TimedOut,
+    /// The connection was refused with a typed code.
+    Rejected {
+        /// The typed code.
+        code: RejectCode,
+        /// Human-readable detail from the server.
+        detail: String,
+    },
+    /// The request failed with a typed code; the connection is still fine.
+    Request {
+        /// The typed code.
+        code: RejectCode,
+        /// Human-readable detail from the server.
+        detail: String,
+    },
+    /// The response stream violated its own framing (bad offsets, CRC
+    /// mismatch, wrong totals) — the transfer cannot be trusted.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol: {e}"),
+            ClientError::TimedOut => write!(f, "timed out waiting for the server"),
+            ClientError::Rejected { code, detail } => {
+                write!(f, "connection rejected ({code}): {detail}")
+            }
+            ClientError::Request { code, detail } => {
+                write!(f, "request failed ({code}): {detail}")
+            }
+            ClientError::Corrupt(what) => write!(f, "response stream corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        match e {
+            ProtoError::TimedOut => ClientError::TimedOut,
+            other => ClientError::Proto(other),
+        }
+    }
+}
+
+/// A blocking LZS1 client over one TCP connection.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    session: u64,
+    next_req: u64,
+    auto_credit: bool,
+}
+
+impl Client {
+    /// Connect, handshake as `tenant`, and start every request with
+    /// `credit` bytes of response window.
+    ///
+    /// # Errors
+    /// [`ClientError::Rejected`] with the server's typed code when
+    /// admission refuses the connection; socket/protocol errors otherwise.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        tenant: &str,
+        credit: u64,
+    ) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+        let mut client = Self { stream, session: 0, next_req: 0, auto_credit: true };
+        client.send(&Request::Hello { tenant: tenant.to_string(), credit })?;
+        // The handshake answer may lag behind server startup; poll a few
+        // timeout ticks before giving up.
+        for _ in 0..20 {
+            match client.recv() {
+                Ok(Response::HelloOk { session }) => {
+                    client.session = session;
+                    return Ok(client);
+                }
+                Ok(Response::Reject { code, detail }) => {
+                    return Err(ClientError::Rejected { code, detail })
+                }
+                Ok(_) => return Err(ClientError::Corrupt("non-handshake reply to Hello")),
+                Err(ClientError::TimedOut) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Err(ClientError::TimedOut)
+    }
+
+    /// The server-assigned session id.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// How long [`Client::recv`] waits before returning
+    /// [`ClientError::TimedOut`].
+    ///
+    /// # Errors
+    /// Socket configuration failure.
+    pub fn set_read_timeout(&mut self, timeout: Duration) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        Ok(())
+    }
+
+    /// Turn automatic credit replenishment on or off (on by default; the
+    /// drill turns it off to exercise backpressure).
+    pub fn set_auto_credit(&mut self, on: bool) {
+        self.auto_credit = on;
+    }
+
+    /// Send one request (low level).
+    ///
+    /// # Errors
+    /// Socket failure.
+    pub fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        std::io::Write::write_all(&mut self.stream, &encode_request(req))?;
+        Ok(())
+    }
+
+    /// Send raw bytes verbatim — the drill's hostile-frame injector.
+    ///
+    /// # Errors
+    /// Socket failure.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        std::io::Write::write_all(&mut self.stream, bytes)?;
+        Ok(())
+    }
+
+    /// Receive one response (low level); [`ClientError::TimedOut`] is a
+    /// poll tick, not a dead connection.
+    ///
+    /// # Errors
+    /// Socket/protocol failure, or a clean EOF
+    /// ([`ProtoError::UnexpectedEof`] wrapped as a protocol error).
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        match read_message(&mut self.stream, MAX_WIRE_BYTES)? {
+            Some(raw) => Ok(parse_response(&raw)?),
+            None => Err(ClientError::Proto(ProtoError::UnexpectedEof)),
+        }
+    }
+
+    fn next_req(&mut self) -> u64 {
+        self.next_req += 1;
+        self.next_req
+    }
+
+    /// Run one request to completion: collect [`Response::Data`] chunks
+    /// in order, auto-grant credit as it is consumed, and verify the
+    /// final [`Response::Done`] total and CRC.
+    fn roundtrip(&mut self, req_id: u64, request: &Request) -> Result<Vec<u8>, ClientError> {
+        self.send(request)?;
+        let mut out: Vec<u8> = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(120);
+        loop {
+            if std::time::Instant::now() > deadline {
+                return Err(ClientError::TimedOut);
+            }
+            let rsp = match self.recv() {
+                Ok(rsp) => rsp,
+                Err(ClientError::TimedOut) => continue,
+                Err(e) => return Err(e),
+            };
+            match rsp {
+                Response::Data { req, offset, bytes } => {
+                    if req != req_id {
+                        return Err(ClientError::Corrupt("data for an unknown request"));
+                    }
+                    if offset != out.len() as u64 {
+                        return Err(ClientError::Corrupt("data chunk out of order"));
+                    }
+                    let n = bytes.len() as u64;
+                    out.extend_from_slice(&bytes);
+                    if self.auto_credit && n > 0 {
+                        self.send(&Request::Credit { req: req_id, bytes: n })?;
+                    }
+                }
+                Response::Done { req, total, crc } => {
+                    if req != req_id {
+                        return Err(ClientError::Corrupt("done for an unknown request"));
+                    }
+                    if total != out.len() as u64 {
+                        return Err(ClientError::Corrupt("done total disagrees with data"));
+                    }
+                    let mut check = Crc32::new();
+                    check.update(&out);
+                    if check.finish() != crc {
+                        return Err(ClientError::Corrupt("result CRC mismatch"));
+                    }
+                    return Ok(out);
+                }
+                Response::Error { req, code, detail } => {
+                    if req != req_id {
+                        return Err(ClientError::Corrupt("error for an unknown request"));
+                    }
+                    return Err(ClientError::Request { code, detail });
+                }
+                Response::Reject { code, detail } => {
+                    return Err(ClientError::Rejected { code, detail })
+                }
+                Response::HelloOk { .. } => {
+                    return Err(ClientError::Corrupt("unexpected handshake reply"))
+                }
+            }
+        }
+    }
+
+    /// Compress `data` into an LZFC framed stream on the server.
+    /// `frame_bytes == 0` uses the server default; `deadline_ms == 0`
+    /// means no client deadline.
+    ///
+    /// # Errors
+    /// Typed request failures, socket errors, or corrupt transfers.
+    pub fn compress(
+        &mut self,
+        data: &[u8],
+        frame_bytes: u32,
+        deadline_ms: u32,
+    ) -> Result<Vec<u8>, ClientError> {
+        let req = self.next_req();
+        self.roundtrip(
+            req,
+            &Request::Compress { req, deadline_ms, frame_bytes, data: data.to_vec() },
+        )
+    }
+
+    /// Strictly decompress an LZFC framed stream on the server.
+    ///
+    /// # Errors
+    /// Typed request failures, socket errors, or corrupt transfers.
+    pub fn decompress(
+        &mut self,
+        stream: &[u8],
+        max_result: u64,
+        deadline_ms: u32,
+    ) -> Result<Vec<u8>, ClientError> {
+        let req = self.next_req();
+        self.roundtrip(
+            req,
+            &Request::Decompress { req, deadline_ms, max_result, data: stream.to_vec() },
+        )
+    }
+
+    /// Decode bytes `start..end` of the stream's original input on the
+    /// server (`end == u64::MAX` means to EOF).
+    ///
+    /// # Errors
+    /// Typed request failures, socket errors, or corrupt transfers.
+    pub fn range(
+        &mut self,
+        stream: &[u8],
+        start: u64,
+        end: u64,
+        max_result: u64,
+        deadline_ms: u32,
+    ) -> Result<Vec<u8>, ClientError> {
+        let req = self.next_req();
+        self.roundtrip(
+            req,
+            &Request::Range { req, deadline_ms, start, end, max_result, data: stream.to_vec() },
+        )
+    }
+
+    /// Ask the server to drain (within `drain_ms`) and shut down, then
+    /// wait for it to close this connection.
+    ///
+    /// # Errors
+    /// Socket failure sending the request. A typed
+    /// [`ClientError::Rejected`] when the server refuses (remote shutdown
+    /// disabled).
+    pub fn shutdown_server(&mut self, drain_ms: u32) -> Result<(), ClientError> {
+        self.send(&Request::Shutdown { drain_ms })?;
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        loop {
+            if std::time::Instant::now() > deadline {
+                return Err(ClientError::TimedOut);
+            }
+            match self.recv() {
+                // The drain closes the socket once nothing is in flight.
+                Err(ClientError::Proto(ProtoError::UnexpectedEof)) | Err(ClientError::Io(_)) => {
+                    return Ok(())
+                }
+                Err(ClientError::TimedOut) => {}
+                Ok(Response::Reject { code, detail }) => {
+                    return Err(ClientError::Rejected { code, detail })
+                }
+                Ok(_) | Err(_) => {}
+            }
+        }
+    }
+}

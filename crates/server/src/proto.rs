@@ -1,0 +1,640 @@
+//! The LZS1 wire protocol: length-prefixed binary messages over one TCP
+//! connection.
+//!
+//! Every message is `[kind: u8][len: u32 BE][payload: len bytes]`. The
+//! length prefix is bounded *before* a byte of payload is read
+//! ([`MAX_WIRE_BYTES`] hard cap, and the server's configured
+//! `max_request_bytes` below that), so a hostile 4 GiB length word costs
+//! the attacker a typed rejection, not the server an allocation.
+//!
+//! The first client message must be [`Request::Hello`] carrying the
+//! [`PROTO_MAGIC`] preamble, the tenant name, and the per-request credit
+//! window the client is prepared to receive. Everything after that is
+//! request-multiplexed: requests carry a client-chosen `req` id, responses
+//! echo it, and several requests can be in flight on one connection.
+//!
+//! Flow control is credit-based: the server sends [`Response::Data`]
+//! chunks only against credit the client granted (the Hello window plus
+//! explicit [`Request::Credit`] top-ups), so a reader that stops reading
+//! stops the server from buffering more than the admitted budget.
+
+use std::io::Read;
+
+/// Handshake preamble inside [`Request::Hello`].
+pub const PROTO_MAGIC: [u8; 4] = *b"LZS1";
+
+/// Hard upper bound on any message payload, hostile or not. The server's
+/// admission config usually caps requests well below this.
+pub const MAX_WIRE_BYTES: usize = 64 << 20;
+
+/// Fixed bytes of the message header: kind byte + 32-bit length.
+pub const WIRE_HEADER_LEN: usize = 5;
+
+/// Why the server refused a connection or a request. The discriminant is
+/// the on-wire code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RejectCode {
+    /// The server is draining: finishing in-flight work, accepting none.
+    Draining = 1,
+    /// The global concurrent-session limit is reached.
+    SessionLimit = 2,
+    /// The tenant's concurrent-stream quota is exhausted.
+    StreamQuota = 3,
+    /// The tenant's bytes-in-flight budget is exhausted.
+    ByteQuota = 4,
+    /// The request (or its declared result budget) exceeds the per-request
+    /// size cap.
+    TooLarge = 5,
+    /// The message failed to parse or violated protocol order.
+    Protocol = 6,
+    /// The request's deadline expired before the work finished.
+    DeadlineExceeded = 7,
+    /// The client cancelled the request, or the connection went away.
+    Cancelled = 8,
+    /// The work itself failed after exhausting the retry ladder.
+    Internal = 9,
+    /// The submitted LZFC stream is damaged beyond strict decoding.
+    BadStream = 10,
+    /// The requested byte range is unservable from this stream.
+    RangeUnavailable = 11,
+}
+
+impl RejectCode {
+    /// Stable lowercase tag for logs and metrics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectCode::Draining => "draining",
+            RejectCode::SessionLimit => "session_limit",
+            RejectCode::StreamQuota => "stream_quota",
+            RejectCode::ByteQuota => "byte_quota",
+            RejectCode::TooLarge => "too_large",
+            RejectCode::Protocol => "protocol",
+            RejectCode::DeadlineExceeded => "deadline",
+            RejectCode::Cancelled => "cancelled",
+            RejectCode::Internal => "internal",
+            RejectCode::BadStream => "bad_stream",
+            RejectCode::RangeUnavailable => "range_unavailable",
+        }
+    }
+
+    /// Decode the on-wire code byte.
+    pub fn from_u8(v: u8) -> Option<RejectCode> {
+        Some(match v {
+            1 => RejectCode::Draining,
+            2 => RejectCode::SessionLimit,
+            3 => RejectCode::StreamQuota,
+            4 => RejectCode::ByteQuota,
+            5 => RejectCode::TooLarge,
+            6 => RejectCode::Protocol,
+            7 => RejectCode::DeadlineExceeded,
+            8 => RejectCode::Cancelled,
+            9 => RejectCode::Internal,
+            10 => RejectCode::BadStream,
+            11 => RejectCode::RangeUnavailable,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for RejectCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Connection handshake: protocol magic, tenant name, and the credit
+    /// window (bytes) each response starts with.
+    Hello {
+        /// Tenant this connection bills against.
+        tenant: String,
+        /// Initial per-request response credit in bytes.
+        credit: u64,
+    },
+    /// Compress `data` into an LZFC framed stream.
+    Compress {
+        /// Client-chosen request id, echoed on every response.
+        req: u64,
+        /// Deadline in milliseconds from receipt (0 = none).
+        deadline_ms: u32,
+        /// Frame size (0 = server default).
+        frame_bytes: u32,
+        /// The bytes to compress.
+        data: Vec<u8>,
+    },
+    /// Strictly decode an LZFC framed stream.
+    Decompress {
+        /// Client-chosen request id.
+        req: u64,
+        /// Deadline in milliseconds from receipt (0 = none).
+        deadline_ms: u32,
+        /// Largest result the client will accept (admission charges this).
+        max_result: u64,
+        /// The LZFC stream.
+        data: Vec<u8>,
+    },
+    /// Decode bytes `start..end` of the stream's original input.
+    Range {
+        /// Client-chosen request id.
+        req: u64,
+        /// Deadline in milliseconds from receipt (0 = none).
+        deadline_ms: u32,
+        /// First uncompressed byte wanted.
+        start: u64,
+        /// One past the last uncompressed byte wanted (`u64::MAX` = EOF).
+        end: u64,
+        /// Largest result the client will accept.
+        max_result: u64,
+        /// The LZFC stream.
+        data: Vec<u8>,
+    },
+    /// Grant `bytes` more response credit to request `req`.
+    Credit {
+        /// The request being topped up.
+        req: u64,
+        /// Additional credit in bytes.
+        bytes: u64,
+    },
+    /// Cancel request `req` (best-effort, cooperative).
+    Cancel {
+        /// The request to cancel.
+        req: u64,
+    },
+    /// Ask the server to drain and shut down (honored only when the
+    /// server was configured to allow remote shutdown).
+    Shutdown {
+        /// Drain deadline in milliseconds.
+        drain_ms: u32,
+    },
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The handshake was accepted.
+    HelloOk {
+        /// Server-assigned session id.
+        session: u64,
+    },
+    /// The connection was refused; the server closes after sending this.
+    Reject {
+        /// Why.
+        code: RejectCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A chunk of a request's result, sent against granted credit.
+    Data {
+        /// The request this chunk belongs to.
+        req: u64,
+        /// Byte offset of this chunk within the result.
+        offset: u64,
+        /// The chunk.
+        bytes: Vec<u8>,
+    },
+    /// The request finished; all [`Response::Data`] chunks were sent.
+    Done {
+        /// The finished request.
+        req: u64,
+        /// Total result bytes.
+        total: u64,
+        /// CRC-32 over the whole result, for end-to-end verification.
+        crc: u32,
+    },
+    /// The request failed with a typed error.
+    Error {
+        /// The failed request.
+        req: u64,
+        /// Why.
+        code: RejectCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+/// Why a message could not be read or parsed.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The socket read failed.
+    Io(std::io::Error),
+    /// The read timed out (the caller's poll tick, not a fatal error).
+    TimedOut,
+    /// The payload length prefix exceeds the allowed maximum.
+    TooLarge {
+        /// The claimed length.
+        len: u64,
+        /// The cap in force.
+        cap: u64,
+    },
+    /// The payload did not parse as its message kind.
+    Malformed(&'static str),
+    /// The stream ended mid-message.
+    UnexpectedEof,
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "socket: {e}"),
+            ProtoError::TimedOut => write!(f, "read timed out"),
+            ProtoError::TooLarge { len, cap } => {
+                write!(f, "message claims {len} bytes, cap is {cap}")
+            }
+            ProtoError::Malformed(what) => write!(f, "malformed message: {what}"),
+            ProtoError::UnexpectedEof => write!(f, "stream ended mid-message"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// A message as it crossed the wire: kind byte plus raw payload.
+#[derive(Debug)]
+pub struct RawMsg {
+    /// The kind byte.
+    pub kind: u8,
+    /// The payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Read one length-prefixed message. `Ok(None)` is a clean EOF at a
+/// message boundary; [`ProtoError::TimedOut`] surfaces the socket's read
+/// timeout so callers can poll cancellation state between messages.
+///
+/// # Errors
+/// [`ProtoError`] on socket failure, an over-cap length prefix, or EOF
+/// mid-message.
+pub fn read_message(r: &mut impl Read, cap: usize) -> Result<Option<RawMsg>, ProtoError> {
+    let mut header = [0u8; WIRE_HEADER_LEN];
+    let mut got = 0usize;
+    while got < header.len() {
+        match r.read(&mut header[got..]) {
+            Ok(0) => {
+                return if got == 0 { Ok(None) } else { Err(ProtoError::UnexpectedEof) };
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // A timeout mid-header only counts as a poll tick if no
+                // header byte arrived yet; a torn header keeps waiting.
+                if got == 0 {
+                    return Err(ProtoError::TimedOut);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ProtoError::Io(e)),
+        }
+    }
+    let kind = header[0];
+    let len = u32::from_be_bytes([header[1], header[2], header[3], header[4]]) as usize;
+    let cap = cap.min(MAX_WIRE_BYTES);
+    if len > cap {
+        return Err(ProtoError::TooLarge { len: len as u64, cap: cap as u64 });
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0usize;
+    while got < len {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => return Err(ProtoError::UnexpectedEof),
+            Ok(n) => got += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(ProtoError::Io(e)),
+        }
+    }
+    Ok(Some(RawMsg { kind, payload }))
+}
+
+/// Frame `payload` under `kind` into one wire message.
+fn frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(WIRE_HEADER_LEN + payload.len());
+    out.push(kind);
+    out.extend_from_slice(
+        &u32::try_from(payload.len()).expect("payload under 4 GiB").to_be_bytes(),
+    );
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Little cursor over a payload; every read is bounds-checked.
+struct Cur<'a>(&'a [u8]);
+
+impl<'a> Cur<'a> {
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        let (&b, rest) = self.0.split_first().ok_or(ProtoError::Malformed("short payload"))?;
+        self.0 = rest;
+        Ok(b)
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.0.len() < n {
+            return Err(ProtoError::Malformed("short payload"));
+        }
+        let (head, rest) = self.0.split_at(n);
+        self.0 = rest;
+        Ok(head)
+    }
+
+    fn rest(self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+}
+
+/// Encode a short length-prefixed string (u16 length).
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(u16::MAX as usize);
+    out.extend_from_slice(&(len as u16).to_be_bytes());
+    out.extend_from_slice(&bytes[..len]);
+}
+
+fn get_str(cur: &mut Cur<'_>) -> Result<String, ProtoError> {
+    let len = cur.u16()? as usize;
+    let bytes = cur.take(len)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError::Malformed("non-UTF-8 string"))
+}
+
+const REQ_HELLO: u8 = 1;
+const REQ_COMPRESS: u8 = 2;
+const REQ_DECOMPRESS: u8 = 3;
+const REQ_RANGE: u8 = 4;
+const REQ_CREDIT: u8 = 5;
+const REQ_CANCEL: u8 = 6;
+const REQ_SHUTDOWN: u8 = 7;
+const RSP_HELLO_OK: u8 = 129;
+const RSP_REJECT: u8 = 130;
+const RSP_DATA: u8 = 131;
+const RSP_DONE: u8 = 132;
+const RSP_ERROR: u8 = 133;
+
+/// Serialize a request into one wire message.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    match req {
+        Request::Hello { tenant, credit } => {
+            let mut p = Vec::new();
+            p.extend_from_slice(&PROTO_MAGIC);
+            put_str(&mut p, tenant);
+            p.extend_from_slice(&credit.to_be_bytes());
+            frame(REQ_HELLO, &p)
+        }
+        Request::Compress { req, deadline_ms, frame_bytes, data } => {
+            let mut p = Vec::with_capacity(16 + data.len());
+            p.extend_from_slice(&req.to_be_bytes());
+            p.extend_from_slice(&deadline_ms.to_be_bytes());
+            p.extend_from_slice(&frame_bytes.to_be_bytes());
+            p.extend_from_slice(data);
+            frame(REQ_COMPRESS, &p)
+        }
+        Request::Decompress { req, deadline_ms, max_result, data } => {
+            let mut p = Vec::with_capacity(20 + data.len());
+            p.extend_from_slice(&req.to_be_bytes());
+            p.extend_from_slice(&deadline_ms.to_be_bytes());
+            p.extend_from_slice(&max_result.to_be_bytes());
+            p.extend_from_slice(data);
+            frame(REQ_DECOMPRESS, &p)
+        }
+        Request::Range { req, deadline_ms, start, end, max_result, data } => {
+            let mut p = Vec::with_capacity(36 + data.len());
+            p.extend_from_slice(&req.to_be_bytes());
+            p.extend_from_slice(&deadline_ms.to_be_bytes());
+            p.extend_from_slice(&start.to_be_bytes());
+            p.extend_from_slice(&end.to_be_bytes());
+            p.extend_from_slice(&max_result.to_be_bytes());
+            p.extend_from_slice(data);
+            frame(REQ_RANGE, &p)
+        }
+        Request::Credit { req, bytes } => {
+            let mut p = Vec::with_capacity(16);
+            p.extend_from_slice(&req.to_be_bytes());
+            p.extend_from_slice(&bytes.to_be_bytes());
+            frame(REQ_CREDIT, &p)
+        }
+        Request::Cancel { req } => frame(REQ_CANCEL, &req.to_be_bytes()),
+        Request::Shutdown { drain_ms } => frame(REQ_SHUTDOWN, &drain_ms.to_be_bytes()),
+    }
+}
+
+/// Parse a raw client message.
+///
+/// # Errors
+/// [`ProtoError::Malformed`] on unknown kinds or short/invalid payloads.
+pub fn parse_request(msg: &RawMsg) -> Result<Request, ProtoError> {
+    let mut cur = Cur(&msg.payload);
+    match msg.kind {
+        REQ_HELLO => {
+            let magic = cur.take(4)?;
+            if magic != PROTO_MAGIC {
+                return Err(ProtoError::Malformed("bad protocol magic"));
+            }
+            let tenant = get_str(&mut cur)?;
+            if tenant.is_empty() {
+                return Err(ProtoError::Malformed("empty tenant"));
+            }
+            let credit = cur.u64()?;
+            Ok(Request::Hello { tenant, credit })
+        }
+        REQ_COMPRESS => Ok(Request::Compress {
+            req: cur.u64()?,
+            deadline_ms: cur.u32()?,
+            frame_bytes: cur.u32()?,
+            data: cur.rest(),
+        }),
+        REQ_DECOMPRESS => Ok(Request::Decompress {
+            req: cur.u64()?,
+            deadline_ms: cur.u32()?,
+            max_result: cur.u64()?,
+            data: cur.rest(),
+        }),
+        REQ_RANGE => Ok(Request::Range {
+            req: cur.u64()?,
+            deadline_ms: cur.u32()?,
+            start: cur.u64()?,
+            end: cur.u64()?,
+            max_result: cur.u64()?,
+            data: cur.rest(),
+        }),
+        REQ_CREDIT => Ok(Request::Credit { req: cur.u64()?, bytes: cur.u64()? }),
+        REQ_CANCEL => Ok(Request::Cancel { req: cur.u64()? }),
+        REQ_SHUTDOWN => Ok(Request::Shutdown { drain_ms: cur.u32()? }),
+        _ => Err(ProtoError::Malformed("unknown request kind")),
+    }
+}
+
+/// Serialize a response into one wire message.
+pub fn encode_response(rsp: &Response) -> Vec<u8> {
+    match rsp {
+        Response::HelloOk { session } => frame(RSP_HELLO_OK, &session.to_be_bytes()),
+        Response::Reject { code, detail } => {
+            let mut p = vec![*code as u8];
+            put_str(&mut p, detail);
+            frame(RSP_REJECT, &p)
+        }
+        Response::Data { req, offset, bytes } => {
+            let mut p = Vec::with_capacity(16 + bytes.len());
+            p.extend_from_slice(&req.to_be_bytes());
+            p.extend_from_slice(&offset.to_be_bytes());
+            p.extend_from_slice(bytes);
+            frame(RSP_DATA, &p)
+        }
+        Response::Done { req, total, crc } => {
+            let mut p = Vec::with_capacity(20);
+            p.extend_from_slice(&req.to_be_bytes());
+            p.extend_from_slice(&total.to_be_bytes());
+            p.extend_from_slice(&crc.to_be_bytes());
+            frame(RSP_DONE, &p)
+        }
+        Response::Error { req, code, detail } => {
+            let mut p = Vec::with_capacity(11 + detail.len());
+            p.extend_from_slice(&req.to_be_bytes());
+            p.push(*code as u8);
+            put_str(&mut p, detail);
+            frame(RSP_ERROR, &p)
+        }
+    }
+}
+
+/// Parse a raw server message.
+///
+/// # Errors
+/// [`ProtoError::Malformed`] on unknown kinds or short/invalid payloads.
+pub fn parse_response(msg: &RawMsg) -> Result<Response, ProtoError> {
+    let mut cur = Cur(&msg.payload);
+    match msg.kind {
+        RSP_HELLO_OK => Ok(Response::HelloOk { session: cur.u64()? }),
+        RSP_REJECT => {
+            let code =
+                RejectCode::from_u8(cur.u8()?).ok_or(ProtoError::Malformed("bad reject code"))?;
+            Ok(Response::Reject { code, detail: get_str(&mut cur)? })
+        }
+        RSP_DATA => Ok(Response::Data { req: cur.u64()?, offset: cur.u64()?, bytes: cur.rest() }),
+        RSP_DONE => Ok(Response::Done { req: cur.u64()?, total: cur.u64()?, crc: cur.u32()? }),
+        RSP_ERROR => {
+            let req = cur.u64()?;
+            let code =
+                RejectCode::from_u8(cur.u8()?).ok_or(ProtoError::Malformed("bad error code"))?;
+            Ok(Response::Error { req, code, detail: get_str(&mut cur)? })
+        }
+        _ => Err(ProtoError::Malformed("unknown response kind")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let wire = encode_request(&req);
+        let msg = read_message(&mut &wire[..], MAX_WIRE_BYTES).unwrap().unwrap();
+        assert_eq!(parse_request(&msg).unwrap(), req);
+    }
+
+    fn roundtrip_rsp(rsp: Response) {
+        let wire = encode_response(&rsp);
+        let msg = read_message(&mut &wire[..], MAX_WIRE_BYTES).unwrap().unwrap();
+        assert_eq!(parse_response(&msg).unwrap(), rsp);
+    }
+
+    #[test]
+    fn all_messages_roundtrip() {
+        roundtrip_req(Request::Hello { tenant: "acme".into(), credit: 1 << 20 });
+        roundtrip_req(Request::Compress {
+            req: 7,
+            deadline_ms: 500,
+            frame_bytes: 65536,
+            data: vec![1, 2, 3],
+        });
+        roundtrip_req(Request::Decompress {
+            req: 8,
+            deadline_ms: 0,
+            max_result: 1 << 30,
+            data: vec![9; 40],
+        });
+        roundtrip_req(Request::Range {
+            req: 9,
+            deadline_ms: 10,
+            start: 100,
+            end: u64::MAX,
+            max_result: 4096,
+            data: vec![],
+        });
+        roundtrip_req(Request::Credit { req: 7, bytes: 4096 });
+        roundtrip_req(Request::Cancel { req: 7 });
+        roundtrip_req(Request::Shutdown { drain_ms: 2000 });
+        roundtrip_rsp(Response::HelloOk { session: 3 });
+        roundtrip_rsp(Response::Reject { code: RejectCode::Draining, detail: "bye".into() });
+        roundtrip_rsp(Response::Data { req: 7, offset: 64, bytes: vec![0; 17] });
+        roundtrip_rsp(Response::Done { req: 7, total: 81, crc: 0xDEAD_BEEF });
+        roundtrip_rsp(Response::Error {
+            req: 7,
+            code: RejectCode::DeadlineExceeded,
+            detail: "late".into(),
+        });
+    }
+
+    #[test]
+    fn oversize_length_is_rejected_before_allocation() {
+        let mut wire = vec![REQ_COMPRESS];
+        wire.extend_from_slice(&u32::MAX.to_be_bytes());
+        match read_message(&mut &wire[..], 1024) {
+            Err(ProtoError::TooLarge { len, cap }) => {
+                assert_eq!(len, u64::from(u32::MAX));
+                assert_eq!(cap, 1024);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_message_is_typed_eof() {
+        let wire = encode_request(&Request::Cancel { req: 1 });
+        for cut in 1..wire.len() {
+            match read_message(&mut &wire[..cut], MAX_WIRE_BYTES) {
+                Err(ProtoError::UnexpectedEof) => {}
+                other => panic!("cut at {cut}: expected UnexpectedEof, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(read_message(&mut &[][..], MAX_WIRE_BYTES).unwrap().is_none());
+    }
+
+    #[test]
+    fn hostile_payloads_never_panic() {
+        // Every kind with garbage payloads of many lengths: typed error or
+        // parsed message, never a panic or over-read.
+        for kind in 0u8..=255 {
+            for len in [0usize, 1, 3, 7, 11, 19, 64] {
+                let payload: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_mul(37)).collect();
+                let msg = RawMsg { kind, payload };
+                let _ = parse_request(&msg);
+                let _ = parse_response(&msg);
+            }
+        }
+    }
+}

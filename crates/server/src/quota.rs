@@ -1,0 +1,208 @@
+//! Admission control: session caps, per-tenant quotas, and leak-proof
+//! release.
+//!
+//! Every admitted resource is held by a guard (`SessionGuard`,
+//! [`Charge`]) whose `Drop` returns it, so quota release survives panics,
+//! early returns, and torn-down connections — the connection-storm drill
+//! asserts the gauges land back at zero after every storm. Admission
+//! charges a request's *worst case* (payload plus declared result budget)
+//! up front; a slow reader therefore holds only its own tenant's budget
+//! and starves nobody else.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::proto::RejectCode;
+
+/// Limits the admission controller enforces.
+#[derive(Debug, Clone, Copy)]
+pub struct QuotaConfig {
+    /// Concurrent sessions across all tenants.
+    pub max_sessions: usize,
+    /// Concurrent in-flight requests per tenant.
+    pub max_streams_per_tenant: usize,
+    /// Bytes in flight (payload + declared result budget) per tenant.
+    pub max_bytes_per_tenant: u64,
+    /// Largest single request payload accepted on the wire.
+    pub max_request_bytes: usize,
+}
+
+impl Default for QuotaConfig {
+    fn default() -> Self {
+        Self {
+            max_sessions: 256,
+            max_streams_per_tenant: 32,
+            max_bytes_per_tenant: 256 << 20,
+            max_request_bytes: 32 << 20,
+        }
+    }
+}
+
+/// One tenant's live usage.
+#[derive(Debug, Default)]
+struct TenantUsage {
+    streams: usize,
+    bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct AdmissionInner {
+    sessions: usize,
+    tenants: HashMap<String, TenantUsage>,
+}
+
+/// The shared admission controller.
+#[derive(Debug)]
+pub struct Admission {
+    config: QuotaConfig,
+    inner: Mutex<AdmissionInner>,
+}
+
+impl Admission {
+    /// Build a controller enforcing `config`.
+    pub fn new(config: QuotaConfig) -> Arc<Self> {
+        Arc::new(Self { config, inner: Mutex::new(AdmissionInner::default()) })
+    }
+
+    /// The limits in force.
+    pub fn config(&self) -> &QuotaConfig {
+        &self.config
+    }
+
+    /// Admit a new session, or say why not.
+    ///
+    /// # Errors
+    /// [`RejectCode::SessionLimit`] at the global cap.
+    pub fn admit_session(self: &Arc<Self>) -> Result<SessionGuard, RejectCode> {
+        let mut inner = self.inner.lock().expect("admission lock");
+        if inner.sessions >= self.config.max_sessions {
+            return Err(RejectCode::SessionLimit);
+        }
+        inner.sessions += 1;
+        Ok(SessionGuard { admission: Arc::clone(self) })
+    }
+
+    /// Admit one request for `tenant`, charging `bytes` (payload plus
+    /// declared result budget) against its in-flight budget.
+    ///
+    /// # Errors
+    /// The typed quota that refused it.
+    pub fn admit_request(self: &Arc<Self>, tenant: &str, bytes: u64) -> Result<Charge, RejectCode> {
+        let mut inner = self.inner.lock().expect("admission lock");
+        let usage = inner.tenants.entry(tenant.to_string()).or_default();
+        if usage.streams >= self.config.max_streams_per_tenant {
+            return Err(RejectCode::StreamQuota);
+        }
+        if usage.bytes.saturating_add(bytes) > self.config.max_bytes_per_tenant {
+            return Err(RejectCode::ByteQuota);
+        }
+        usage.streams += 1;
+        usage.bytes += bytes;
+        Ok(Charge { admission: Arc::clone(self), tenant: tenant.to_string(), bytes })
+    }
+
+    /// Live session count (drill leak assertion).
+    pub fn active_sessions(&self) -> usize {
+        self.inner.lock().expect("admission lock").sessions
+    }
+
+    /// Live in-flight request count across all tenants.
+    pub fn active_streams(&self) -> usize {
+        self.inner.lock().expect("admission lock").tenants.values().map(|u| u.streams).sum()
+    }
+
+    /// Live bytes in flight across all tenants.
+    pub fn active_bytes(&self) -> u64 {
+        self.inner.lock().expect("admission lock").tenants.values().map(|u| u.bytes).sum()
+    }
+
+    fn release_session(&self) {
+        let mut inner = self.inner.lock().expect("admission lock");
+        inner.sessions = inner.sessions.saturating_sub(1);
+    }
+
+    fn release_request(&self, tenant: &str, bytes: u64) {
+        let mut inner = self.inner.lock().expect("admission lock");
+        if let Some(usage) = inner.tenants.get_mut(tenant) {
+            usage.streams = usage.streams.saturating_sub(1);
+            usage.bytes = usage.bytes.saturating_sub(bytes);
+            if usage.streams == 0 && usage.bytes == 0 {
+                inner.tenants.remove(tenant);
+            }
+        }
+    }
+}
+
+/// Holds one admitted session slot; dropping it releases the slot.
+#[derive(Debug)]
+pub struct SessionGuard {
+    admission: Arc<Admission>,
+}
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        self.admission.release_session();
+    }
+}
+
+/// Holds one admitted request's stream slot and byte budget; dropping it
+/// releases both.
+#[derive(Debug)]
+pub struct Charge {
+    admission: Arc<Admission>,
+    tenant: String,
+    bytes: u64,
+}
+
+impl Drop for Charge {
+    fn drop(&mut self) {
+        self.admission.release_request(&self.tenant, self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_cap_and_release() {
+        let adm = Admission::new(QuotaConfig { max_sessions: 2, ..QuotaConfig::default() });
+        let a = adm.admit_session().unwrap();
+        let _b = adm.admit_session().unwrap();
+        assert_eq!(adm.admit_session().unwrap_err(), RejectCode::SessionLimit);
+        drop(a);
+        assert_eq!(adm.active_sessions(), 1);
+        let _c = adm.admit_session().unwrap();
+    }
+
+    #[test]
+    fn tenant_quotas_are_isolated() {
+        let adm = Admission::new(QuotaConfig {
+            max_streams_per_tenant: 1,
+            max_bytes_per_tenant: 100,
+            ..QuotaConfig::default()
+        });
+        let a = adm.admit_request("alice", 60).unwrap();
+        // Alice is at her stream cap; Bob is unaffected.
+        assert_eq!(adm.admit_request("alice", 1).unwrap_err(), RejectCode::StreamQuota);
+        let _b = adm.admit_request("bob", 99).unwrap();
+        drop(a);
+        // Byte quota refuses before stream quota admits too much.
+        assert_eq!(adm.admit_request("alice", 101).unwrap_err(), RejectCode::ByteQuota);
+        let _a2 = adm.admit_request("alice", 100).unwrap();
+        assert_eq!(adm.active_streams(), 2);
+        assert_eq!(adm.active_bytes(), 199);
+    }
+
+    #[test]
+    fn drop_releases_even_across_panics() {
+        let adm = Admission::new(QuotaConfig::default());
+        let adm2 = Arc::clone(&adm);
+        let _ = std::panic::catch_unwind(move || {
+            let _charge = adm2.admit_request("t", 1000).unwrap();
+            panic!("worker died");
+        });
+        assert_eq!(adm.active_streams(), 0);
+        assert_eq!(adm.active_bytes(), 0);
+    }
+}

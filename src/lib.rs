@@ -16,6 +16,7 @@
 //! | [`obs`] | `lzfpga-obs` | Metrics registry, span-tree tooling, Prometheus/JSONL exporters, stats aggregation |
 //! | [`faults`] | `lzfpga-faults` | Failpoints, failure reports, deterministic stream mutation |
 //! | [`container`] | `lzfpga-container` | LZFC crash-safe framed container: salvage decode, checkpointed streaming |
+//! | [`server`] | `lzfpga-server` | Fault-contained LZS1 compression daemon: admission, quotas, backpressure, drain |
 //!
 //! ## Quickstart
 //!
@@ -69,3 +70,6 @@ pub use lzfpga_faults as faults;
 
 /// LZFC framed container: crash-safe streaming, resync/salvage, resume.
 pub use lzfpga_container as container;
+
+/// Fault-contained multi-stream compression daemon and its LZS1 client.
+pub use lzfpga_server as server;

@@ -1,0 +1,132 @@
+//! Graceful-drain contract of the `lzfpga-server` daemon.
+//!
+//! Three promises, each load-bearing for rolling restarts:
+//!
+//! 1. requests already in flight when the drain starts run to completion
+//!    and their bytes are identical to an undrained run;
+//! 2. connections arriving during the drain are refused with the typed
+//!    `Draining` code — never a hang, never a silent close before the
+//!    handshake answer;
+//! 3. the drain respects its deadline: work that cannot finish in time is
+//!    cooperatively cancelled with a typed error, and nothing — sessions,
+//!    streams, admitted bytes — leaks past the shutdown.
+
+use std::io::Write;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lzfpga::container::{FrameConfig, FrameWriter};
+use lzfpga::faults::{FailPlan, FailRule};
+use lzfpga::hw::HwConfig;
+use lzfpga::server::{Client, ClientError, RejectCode, Server, ServerConfig};
+use lzfpga::workloads::{generate, Corpus};
+
+const FRAME_BYTES: usize = 16 * 1024;
+
+/// The byte-exact reference for a server-side compress of `data`.
+fn reference_stream(data: &[u8]) -> Vec<u8> {
+    let cfg =
+        FrameConfig { frame_bytes: FRAME_BYTES, collect_events: false, ..FrameConfig::default() };
+    let mut w = FrameWriter::new(Vec::new(), cfg, HwConfig::paper_fast().as_lzss_params())
+        .expect("frame config");
+    w.write_all(data).expect("frame write");
+    w.finish().expect("frame finish").0
+}
+
+fn start_server(drain_ms: u64, plan: FailPlan) -> lzfpga::server::ServerHandle {
+    Server::new(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        frame_bytes: FRAME_BYTES,
+        drain_ms,
+        ..ServerConfig::default()
+    })
+    .with_faults(Arc::new(plan))
+    .start()
+    .expect("bind drain-test server")
+}
+
+#[test]
+fn drain_finishes_in_flight_work_byte_identically_and_rejects_new_connections() {
+    let data = generate(Corpus::Mixed, 61, 96 * 1024);
+    let reference = reference_stream(&data);
+    // Slow the first chunks down so the request is still in flight when
+    // the drain begins — 6 chunks, the first four delayed 120 ms each.
+    let plan =
+        FailPlan::new(5).rule(FailRule::new("server.chunk").on_hit(1).times(4).delays_ms(120));
+    let handle = start_server(10_000, plan);
+    let addr = handle.addr();
+
+    let mut client = Client::connect(addr, "draintest", 1 << 20).expect("connect before drain");
+    let worker = std::thread::spawn(move || client.compress(&data, FRAME_BYTES as u32, 0));
+
+    // Let the request reach the worker pool, then start draining.
+    std::thread::sleep(Duration::from_millis(150));
+    handle.begin_drain();
+    assert!(handle.is_draining());
+
+    // New connections during the drain: a typed Draining reject, delivered
+    // after the handshake is read — not a hang and not a slammed socket.
+    match Client::connect(addr, "latecomer", 1 << 20) {
+        Err(ClientError::Rejected { code: RejectCode::Draining, .. }) => {}
+        other => panic!("draining connect answered {other:?}"),
+    }
+
+    // The in-flight request still completes, byte-identical.
+    let framed = worker.join().expect("client thread").expect("in-flight compress survives drain");
+    assert_eq!(framed, reference, "drain changed the bytes of in-flight work");
+
+    let admission = handle.admission();
+    let stats = handle.shutdown(Duration::from_secs(5));
+    assert!(stats.requests_done >= 1);
+    assert_eq!(admission.active_sessions(), 0, "drain leaked sessions");
+    assert_eq!(admission.active_streams(), 0, "drain leaked streams");
+    assert_eq!(admission.active_bytes(), 0, "drain leaked admitted bytes");
+    assert_eq!(handle.live_connections(), 0, "drain leaked connections");
+}
+
+#[test]
+fn drain_deadline_cancels_overlong_work_with_a_typed_error() {
+    let data = generate(Corpus::Mixed, 62, 96 * 1024);
+    let reference = reference_stream(&data);
+    // Every chunk stalls 200 ms: the request needs >1.2 s, far past the
+    // 250 ms drain budget, so the drain must cancel it cooperatively.
+    let plan = FailPlan::new(6)
+        .rule(FailRule::new("server.chunk").on_hit(1).times(u64::MAX).delays_ms(200));
+    let handle = start_server(250, plan);
+    let addr = handle.addr();
+
+    let mut client = Client::connect(addr, "overlong", 1 << 20).expect("connect");
+    let worker = std::thread::spawn(move || client.compress(&data, FRAME_BYTES as u32, 0));
+    std::thread::sleep(Duration::from_millis(150));
+
+    let begun = Instant::now();
+    let admission = handle.admission();
+    let stats = handle.shutdown(Duration::from_millis(250));
+    assert!(
+        begun.elapsed() < Duration::from_secs(10),
+        "drain did not respect its deadline: took {:?}",
+        begun.elapsed()
+    );
+
+    // The cancelled request surfaces as a typed drain cancellation — or,
+    // if the teardown won the race with the writer, a closed connection.
+    // A successful result (the job squeaked in under the grace window) is
+    // also legal, but then the bytes must be exact. Wrong bytes never.
+    match worker.join().expect("client thread") {
+        Err(ClientError::Request { code: RejectCode::Cancelled, detail }) => {
+            assert!(detail.contains("drain"), "cancel detail should name the drain: {detail}");
+        }
+        Err(ClientError::Request { code, .. }) => {
+            panic!("drain cancel produced the wrong code: {code:?}")
+        }
+        Err(ClientError::Io(_) | ClientError::Proto(_) | ClientError::TimedOut) => {}
+        Err(other) => panic!("unexpected failure shape: {other:?}"),
+        Ok(framed) => assert_eq!(framed, reference),
+    }
+
+    assert_eq!(admission.active_sessions(), 0, "deadline drain leaked sessions");
+    assert_eq!(admission.active_streams(), 0, "deadline drain leaked streams");
+    assert_eq!(admission.active_bytes(), 0, "deadline drain leaked admitted bytes");
+    assert_eq!(stats.requests_total, 1);
+}
