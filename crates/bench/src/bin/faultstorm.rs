@@ -396,7 +396,7 @@ fn run_server_storm(seed: u64) -> bool {
             let _ = client.set_read_timeout(Duration::from_millis(100));
             match client.recv() {
                 Ok(Response::Reject { .. } | Response::Error { .. } | Response::Data { .. })
-                | Ok(Response::Done { .. })
+                | Ok(Response::Done { .. } | Response::Session { .. })
                 | Err(_) => {}
                 Ok(Response::HelloOk { .. }) => {
                     violations += 1;

@@ -46,7 +46,7 @@ use lzfpga_parallel::{
     compress_frames_batched, compress_frames_parallel, compress_parallel, decode_range_parallel,
     decompress_frames_parallel, EngineKind, ParallelConfig,
 };
-use lzfpga_server::{Client, Server, ServerConfig};
+use lzfpga_server::{connect_with_retry, Client, ClientError, RetryPolicy, Server, ServerConfig};
 use lzfpga_telemetry::json::obj;
 use lzfpga_telemetry::{trace_events_json, FrameEvent, JsonValue, JsonlWriter, TurboCounters};
 use lzfpga_workloads::Corpus;
@@ -82,13 +82,20 @@ lzfpga <compress|decompress|frame|unframe|salvage|resume|stats|serve|client|gen|
                             --follow keeps tailing the file)
   serve      [--addr HOST:PORT] [--workers N] [--frame-size N] [--chunk N]
              [--deadline-ms N] [--drain-ms N] [--allow-shutdown]
+             [--state-dir DIR] [--resume-ttl-ms N] [--port-file FILE]
              [--metrics OUT.jsonl] [--prometheus OUT.prom]
                            (LZS1 compression daemon: admission control,
-                            per-tenant quotas, backpressure, graceful drain)
+                            per-tenant quotas, backpressure, graceful drain;
+                            --state-dir journals every session so a killed
+                            server can serve Resume after restart)
   client     --addr HOST:PORT <compress|decompress|range|shutdown>
              [--tenant NAME] [--frame-size N] [--deadline-ms N]
              [--range A..B] [--max-output-bytes N] [--drain-ms N]
-             [-o OUT] [FILE]                 (one request against a server)
+             [--retry N] [--retry-budget-ms N] [--resume]
+             [-o OUT] [FILE]                 (one request against a server;
+                            --retry backs off with jitter on transient
+                            rejections, --resume continues a journaled
+                            session after a server crash)
   gen        CORPUS SIZE [--seed N] [-o OUT]
   trace      [--window N] [--hash N] [--format vcd|trace-events]
              [-o OUT] [FILE]                                (waveform export)
@@ -162,6 +169,12 @@ struct CommonOpts {
     deadline_ms: u32,
     drain_ms: u64,
     allow_shutdown: bool,
+    state_dir: Option<String>,
+    port_file: Option<String>,
+    resume_ttl_ms: u64,
+    retry: u32,
+    retry_budget_ms: u64,
+    resume: bool,
     positional: Vec<String>,
 }
 
@@ -196,6 +209,12 @@ impl Default for CommonOpts {
             deadline_ms: 0,
             drain_ms: 5_000,
             allow_shutdown: false,
+            state_dir: None,
+            port_file: None,
+            resume_ttl_ms: 600_000,
+            retry: 0,
+            retry_budget_ms: 30_000,
+            resume: false,
             positional: Vec::new(),
         }
     }
@@ -300,6 +319,22 @@ fn parse_opts(args: &[String]) -> Result<CommonOpts, String> {
                     value("--drain-ms")?.parse().map_err(|_| "bad --drain-ms value".to_string())?;
             }
             "--allow-shutdown" => o.allow_shutdown = true,
+            "--state-dir" => o.state_dir = Some(value("--state-dir")?),
+            "--port-file" => o.port_file = Some(value("--port-file")?),
+            "--resume-ttl-ms" => {
+                o.resume_ttl_ms = value("--resume-ttl-ms")?
+                    .parse()
+                    .map_err(|_| "bad --resume-ttl-ms value".to_string())?;
+            }
+            "--retry" => {
+                o.retry = value("--retry")?.parse().map_err(|_| "bad --retry value".to_string())?;
+            }
+            "--retry-budget-ms" => {
+                o.retry_budget_ms = value("--retry-budget-ms")?
+                    .parse()
+                    .map_err(|_| "bad --retry-budget-ms value".to_string())?;
+            }
+            "--resume" => o.resume = true,
             "--metrics" => o.metrics = Some(value("--metrics")?),
             "--trace-events" => o.trace_events = Some(value("--trace-events")?),
             "--prometheus" => o.prometheus = Some(value("--prometheus")?),
@@ -327,17 +362,29 @@ fn read_input(path: Option<&str>) -> Result<Vec<u8>, String> {
     }
 }
 
+/// Fsync the directory holding `path`, making a just-renamed entry
+/// durable. A `rename` only rewrites the directory; without syncing the
+/// directory itself, power loss can forget the promotion even though the
+/// file's bytes are safely on disk.
+fn fsync_parent(path: &str) -> std::io::Result<()> {
+    let parent = std::path::Path::new(path).parent().filter(|p| !p.as_os_str().is_empty());
+    let dir = parent.unwrap_or_else(|| std::path::Path::new("."));
+    std::fs::File::open(dir)?.sync_all()
+}
+
 /// Write `data` to `path` atomically: stage into `<path>.tmp` in the same
-/// directory, force the bytes to disk, then rename over the destination.
-/// Readers observe either the old file or the complete new one — never a
-/// torn write — and a crash leaves at worst a `.tmp` file behind.
+/// directory, force the bytes to disk, rename over the destination, then
+/// fsync the directory so the rename itself is durable. Readers observe
+/// either the old file or the complete new one — never a torn write — and
+/// a crash leaves at worst a `.tmp` file behind.
 fn atomic_write(path: &str, data: &[u8]) -> Result<(), String> {
     let tmp = format!("{path}.tmp");
     let staged = (|| -> std::io::Result<()> {
         let mut f = std::fs::File::create(&tmp)?;
         f.write_all(data)?;
         f.sync_data()?;
-        std::fs::rename(&tmp, path)
+        std::fs::rename(&tmp, path)?;
+        fsync_parent(path)
     })();
     staged.map_err(|e| {
         let _ = std::fs::remove_file(&tmp);
@@ -371,9 +418,11 @@ impl Write for SyncingFile {
     }
 }
 
-/// Promote a finished `.part` staging file to its final name.
+/// Promote a finished `.part` staging file to its final name, then fsync
+/// the directory so the rename survives power loss.
 fn promote_part(part: &str, dest: &str) -> Result<(), String> {
-    std::fs::rename(part, dest).map_err(|e| format!("renaming {part} -> {dest}: {e}"))
+    std::fs::rename(part, dest).map_err(|e| format!("renaming {part} -> {dest}: {e}"))?;
+    fsync_parent(dest).map_err(|e| format!("syncing directory of {dest}: {e}"))
 }
 
 fn hw_config(o: &CommonOpts) -> HwConfig {
@@ -1200,10 +1249,19 @@ fn cmd_serve(o: &CommonOpts) -> Result<(), String> {
         default_deadline_ms: o.deadline_ms,
         drain_ms: o.drain_ms,
         allow_remote_shutdown: o.allow_shutdown,
+        state_dir: o.state_dir.as_ref().map(std::path::PathBuf::from),
+        resume_ttl_ms: o.resume_ttl_ms,
         ..ServerConfig::default()
     };
     let quota = config.quota;
-    let handle = Server::new(config).start().map_err(|e| format!("serve: {e}"))?;
+    let mut server = Server::new(config);
+    // The crash drill arms one abort site per run through the environment;
+    // unset (the normal case) leaves the zero-cost NoFaults in place.
+    if let Some(plan) = lzfpga_faults::FailPlan::from_env() {
+        eprintln!("serve: crash injection armed from {}", lzfpga_faults::CRASH_SITE_ENV);
+        server = server.with_faults(std::sync::Arc::new(plan));
+    }
+    let handle = server.start().map_err(|e| format!("serve: {e}"))?;
     eprintln!(
         "lzfpga-server listening on {} ({} sessions; per tenant: {} streams, {} MiB in flight{})",
         handle.addr(),
@@ -1212,22 +1270,51 @@ fn cmd_serve(o: &CommonOpts) -> Result<(), String> {
         quota.max_bytes_per_tenant >> 20,
         if o.allow_shutdown { "; remote shutdown enabled" } else { "" }
     );
+    let recovery = handle.recovery();
+    if o.state_dir.is_some() {
+        eprintln!(
+            "serve: state dir recovery — {} resumable, {} unresumable, {} refused by quota",
+            recovery.recovered, recovery.unresumable, recovery.refused
+        );
+    }
+    if let Some(path) = o.port_file.as_deref() {
+        atomic_write(path, handle.addr().to_string().as_bytes())?;
+    }
     handle.wait();
     let stats = handle.shutdown(Duration::from_millis(o.drain_ms));
     eprintln!(
         "serve: drained — {} sessions, {} requests ({} done, {} failed), {} panics contained, \
-         {} protocol errors",
+         {} protocol errors; quota now {} streams / {} bytes",
         stats.sessions_total,
         stats.requests_total,
         stats.requests_done,
         stats.requests_failed,
         stats.panics_contained,
-        stats.protocol_errors
+        stats.protocol_errors,
+        stats.active_streams,
+        stats.active_bytes
     );
     if wants_obs(o) {
         finish_metrics(o, &handle.registry(), vec![("run", run_event(o, "serve", 0, 0))])?;
     }
     Ok(())
+}
+
+/// The retry policy a client invocation runs with (`--retry`,
+/// `--retry-budget-ms`; the corpus seed doubles as the jitter seed).
+fn retry_policy(o: &CommonOpts) -> RetryPolicy {
+    RetryPolicy {
+        max_retries: o.retry,
+        budget: Duration::from_millis(o.retry_budget_ms),
+        seed: o.seed,
+        ..RetryPolicy::default()
+    }
+}
+
+/// True when the connection itself died — the failure mode a server crash
+/// produces, and the only one `--resume` can do anything about.
+fn transport_died(e: &ClientError) -> bool {
+    matches!(e, ClientError::Io(_) | ClientError::Proto(_) | ClientError::TimedOut)
 }
 
 /// `client`: run one request against a running server and stream the
@@ -1239,8 +1326,12 @@ fn cmd_client(o: &CommonOpts) -> Result<(), String> {
         .first()
         .map(String::as_str)
         .ok_or("client requires an operation: compress | decompress | range | shutdown")?;
-    let mut client =
-        Client::connect(addr, &o.tenant, 1 << 20).map_err(|e| format!("client: {e}"))?;
+    let mut client = if o.retry > 0 {
+        connect_with_retry(addr, &o.tenant, 1 << 20, &retry_policy(o))
+    } else {
+        Client::connect(addr, &o.tenant, 1 << 20)
+    }
+    .map_err(|e| format!("client: {e}"))?;
     if op == "shutdown" {
         client
             .shutdown_server(u32::try_from(o.drain_ms).unwrap_or(u32::MAX))
@@ -1253,7 +1344,7 @@ fn cmd_client(o: &CommonOpts) -> Result<(), String> {
     // up front, so the default stays well under the server's default
     // 256 MiB per-tenant allowance; `--max-output-bytes` raises it.
     let max_result = o.max_output_bytes.unwrap_or(64 << 20);
-    let out = match op {
+    let mut result = match op {
         "compress" => {
             client.compress(&data, u32::try_from(o.frame_bytes).unwrap_or(0), o.deadline_ms)
         }
@@ -1263,8 +1354,32 @@ fn cmd_client(o: &CommonOpts) -> Result<(), String> {
             client.range(&data, start, end, max_result, o.deadline_ms)
         }
         other => return Err(format!("unknown client operation '{other}'\n\n{USAGE}")),
+    };
+    if o.resume {
+        // The server announced a durable session token before doing the
+        // work; if it died mid-request, reconnect (retrying while it
+        // restarts) and resume from whatever bytes already arrived.
+        let mut attempts = 0;
+        while attempts < 5 {
+            match (&result, client.session_token()) {
+                (Err(e), Some(token)) if transport_died(e) => {
+                    attempts += 1;
+                    let prefix = client.take_partial();
+                    eprintln!(
+                        "client: connection lost with {} bytes received; resuming session \
+                         {token:#018x} (attempt {attempts})",
+                        prefix.len()
+                    );
+                    let policy = RetryPolicy { max_retries: o.retry.max(5), ..retry_policy(o) };
+                    client = connect_with_retry(addr, &o.tenant, 1 << 20, &policy)
+                        .map_err(|e| format!("client: reconnect for resume: {e}"))?;
+                    result = client.resume(token, &prefix, o.deadline_ms);
+                }
+                _ => break,
+            }
+        }
     }
-    .map_err(|e| format!("client {op}: {e}"))?;
+    let out = result.map_err(|e| format!("client {op}: {e}"))?;
     if o.stats {
         eprintln!(
             "client: {op} {} bytes -> {} bytes (session {})",

@@ -9,8 +9,11 @@
 //!   behind the same zero-cost-generic pattern as the telemetry probes:
 //!   production code runs with [`NoFaults`] (every check monomorphizes to
 //!   an inline `false`), tests hand in a [`FailPlan`] that injects typed
-//!   errors, panics or delays at chosen sites and hit counts, optionally
-//!   gated by a seeded PRNG.
+//!   errors, panics, delays or whole-process crashes at chosen sites and
+//!   hit counts, optionally gated by a seeded PRNG.
+//! * **[`registry`]** — the contractual list of crash sites the
+//!   crash-durability drill may arm by name from outside the process;
+//!   kept drift-free against DESIGN §14 by `tests/crash_sites.rs`.
 //! * **[`report`]** — the per-job [`FailureReport`]: how many chunk
 //!   attempts ran, what was retried, which chunks degraded to the
 //!   reference engine, which faults actually fired. Renders to JSON for
@@ -29,8 +32,13 @@
 
 pub mod mutate;
 pub mod plan;
+pub mod registry;
 pub mod report;
 
 pub use mutate::{FrameSite, Mutant, MutationKind, StreamMutator};
-pub use plan::{FailPlan, FailRule, Failpoints, FaultAction, FaultEvent, InjectedFault, NoFaults};
+pub use plan::{
+    FailPlan, FailRule, Failpoints, FaultAction, FaultEvent, InjectedFault, NoFaults,
+    CRASH_HIT_ENV, CRASH_SITE_ENV,
+};
+pub use registry::{CrashSite, CRASH_SITES};
 pub use report::FailureReport;

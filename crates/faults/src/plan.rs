@@ -5,8 +5,10 @@
 //! [`Failpoints::check`] call inlines to `false` and the compiled code is
 //! identical to a build without failpoints. A [`FailPlan`] replaces it in
 //! tests and drills, triggering by **site name + hit count** (optionally
-//! thinned by a seeded PRNG) with one of three actions: inject a typed
-//! error, inject a panic, or inject a delay.
+//! thinned by a seeded PRNG) with one of four actions: inject a typed
+//! error, inject a panic, inject a delay, or abort the whole process
+//! (the crash-durability drill's `kill -9` stand-in, armed across process
+//! boundaries via [`CRASH_SITE_ENV`]/[`CRASH_HIT_ENV`]).
 
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -24,7 +26,20 @@ pub enum FaultAction {
     /// The site sleeps for the given duration, exercising timeout and
     /// pipeline-stall behaviour.
     Delay(Duration),
+    /// The site aborts the whole process (`std::process::abort`),
+    /// simulating a `kill -9` at an exact point in the write path. Used by
+    /// the crash-durability drill; armed in subprocesses via
+    /// [`CRASH_SITE_ENV`]/[`CRASH_HIT_ENV`].
+    Crash,
 }
+
+/// Environment variable naming the failpoint site at which an armed
+/// subprocess must abort (see [`FailPlan::from_env`]).
+pub const CRASH_SITE_ENV: &str = "LZFPGA_CRASH_SITE";
+
+/// Environment variable giving the 1-based hit count at which the armed
+/// crash site fires (default `1`; see [`FailPlan::from_env`]).
+pub const CRASH_HIT_ENV: &str = "LZFPGA_CRASH_HIT";
 
 /// A typed error injected by a failpoint, carrying the site that fired.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,7 +87,8 @@ pub trait Failpoints: Sync {
     ///
     /// # Panics
     /// Panics when the plan injects [`FaultAction::Panic`] at this site —
-    /// that is the point.
+    /// that is the point. [`FaultAction::Crash`] goes further and aborts
+    /// the whole process without unwinding, exactly like `kill -9`.
     #[inline]
     fn check(&self, site: &str) -> bool {
         match self.fire(site) {
@@ -82,6 +98,13 @@ pub trait Failpoints: Sync {
             Some(FaultAction::Delay(d)) => {
                 std::thread::sleep(d);
                 false
+            }
+            Some(FaultAction::Crash) => {
+                // Flush nothing, unwind nothing: the drill wants the exact
+                // on-disk state at this instruction, as a power cut or
+                // SIGKILL would leave it.
+                eprintln!("injected crash at failpoint '{site}'");
+                std::process::abort();
             }
         }
     }
@@ -172,6 +195,13 @@ impl FailRule {
         self.action = FaultAction::Delay(Duration::from_millis(ms));
         self
     }
+
+    /// Abort the process (`std::process::abort`) when the rule fires.
+    #[must_use]
+    pub fn crashes(mut self) -> Self {
+        self.action = FaultAction::Crash;
+        self
+    }
 }
 
 /// Mutable plan state behind one lock: per-site hit counters, the PRNG,
@@ -216,6 +246,28 @@ impl FailPlan {
     /// Total faults fired so far.
     pub fn fired_count(&self) -> usize {
         self.state.lock().expect("fail plan lock").fired.len()
+    }
+
+    /// A plan with exactly one crash rule: abort the process the `hit`-th
+    /// time `site` is evaluated (1-based; 0 is clamped to 1).
+    pub fn crash_at(site: &str, hit: u64) -> Self {
+        Self::new(0).rule(FailRule::new(site).on_hit(hit.max(1)).crashes())
+    }
+
+    /// Build a crash plan from the environment, the arming mechanism for
+    /// real subprocesses: [`CRASH_SITE_ENV`] names the site, optional
+    /// [`CRASH_HIT_ENV`] the 1-based hit count (default 1, non-numeric
+    /// values fall back to 1). Returns `None` when no site is armed, so an
+    /// unarmed process pays nothing.
+    pub fn from_env() -> Option<Self> {
+        let site = std::env::var(CRASH_SITE_ENV).ok()?;
+        let hit = std::env::var(CRASH_HIT_ENV).ok();
+        Some(Self::from_env_values(&site, hit.as_deref()))
+    }
+
+    fn from_env_values(site: &str, hit: Option<&str>) -> Self {
+        let hit = hit.and_then(|h| h.trim().parse::<u64>().ok()).unwrap_or(1);
+        Self::crash_at(site, hit)
     }
 }
 
@@ -313,6 +365,30 @@ mod tests {
         assert_ne!(a, c, "different seed, different firings");
         // ~25 % of 1000 hits, with generous slack.
         assert!(a.len() > 150 && a.len() < 350, "fired {} of 1000", a.len());
+    }
+
+    #[test]
+    fn crash_plan_arms_the_right_site_and_hit() {
+        // Only `fire` here, never `check`: performing a Crash aborts the
+        // test runner. The subprocess drill (`crashstorm`) covers that.
+        let plan = FailPlan::crash_at("server.frame.durable", 3);
+        assert_eq!(plan.fire("server.frame.durable"), None);
+        assert_eq!(plan.fire("server.journal.append"), None, "other sites stay inert");
+        assert_eq!(plan.fire("server.frame.durable"), None);
+        assert_eq!(plan.fire("server.frame.durable"), Some(FaultAction::Crash));
+        assert_eq!(plan.fire("server.frame.durable"), None, "fires once");
+    }
+
+    #[test]
+    fn env_values_parse_with_defaults() {
+        let fire_hit = |plan: FailPlan| -> u64 {
+            (1..=10).find(|_| plan.fire("s").is_some()).expect("armed rule fires within 10 hits")
+        };
+        assert_eq!(fire_hit(FailPlan::from_env_values("s", None)), 1);
+        assert_eq!(fire_hit(FailPlan::from_env_values("s", Some("4"))), 4);
+        assert_eq!(fire_hit(FailPlan::from_env_values("s", Some(" 2 "))), 2);
+        assert_eq!(fire_hit(FailPlan::from_env_values("s", Some("junk"))), 1);
+        assert_eq!(fire_hit(FailPlan::from_env_values("s", Some("0"))), 1, "0 clamps to 1");
     }
 
     #[test]

@@ -61,6 +61,7 @@ impl FailureReport {
             FaultAction::Error => "error",
             FaultAction::Panic => "panic",
             FaultAction::Delay(_) => "delay",
+            FaultAction::Crash => "crash",
         };
         obj([
             ("attempts", self.attempts.into()),

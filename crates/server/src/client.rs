@@ -44,6 +44,14 @@ pub enum ClientError {
     /// The response stream violated its own framing (bad offsets, CRC
     /// mismatch, wrong totals) — the transfer cannot be trusted.
     Corrupt(&'static str),
+    /// [`connect_with_retry`] gave up: every attempt failed with a
+    /// retryable error and the attempt count or time budget ran out.
+    RetriesExhausted {
+        /// Total connect attempts made (first try included).
+        attempts: u32,
+        /// The error the final attempt failed with.
+        last: Box<ClientError>,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -59,6 +67,9 @@ impl std::fmt::Display for ClientError {
                 write!(f, "request failed ({code}): {detail}")
             }
             ClientError::Corrupt(what) => write!(f, "response stream corrupt: {what}"),
+            ClientError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts; last error: {last}")
+            }
         }
     }
 }
@@ -80,6 +91,116 @@ impl From<ProtoError> for ClientError {
     }
 }
 
+/// When a failed call is worth retrying: transient transport errors, plus
+/// the typed rejections that clear on their own (drain, full quotas).
+/// Everything else — protocol violations, corrupt transfers, bad streams,
+/// unresumable tokens — will fail identically on every retry.
+pub fn retryable(err: &ClientError) -> bool {
+    match err {
+        ClientError::Io(_) | ClientError::TimedOut => true,
+        ClientError::Rejected { code, .. } | ClientError::Request { code, .. } => matches!(
+            code,
+            RejectCode::Draining
+                | RejectCode::SessionLimit
+                | RejectCode::StreamQuota
+                | RejectCode::ByteQuota
+        ),
+        _ => false,
+    }
+}
+
+/// Capped exponential backoff with decorrelated jitter.
+///
+/// The schedule is `sleep[n+1] = clamp(base, cap, uniform(base,
+/// 3 * sleep[n]))` — each sleep is drawn between the floor and three times
+/// the previous sleep, so concurrent clients spread out instead of
+/// thundering back in lockstep. The jitter source is a seeded xorshift, so
+/// a given policy's schedule is deterministic and testable.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Total wall-clock budget across every attempt and sleep.
+    pub budget: Duration,
+    /// Floor for every backoff sleep.
+    pub base: Duration,
+    /// Cap for every backoff sleep.
+    pub cap: Duration,
+    /// Jitter seed; the same seed replays the same schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 5,
+            budget: Duration::from_secs(30),
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The first `n` backoff sleeps this policy produces (pure — tests pin
+    /// the schedule; [`connect_with_retry`] consumes it in order).
+    pub fn schedule(&self, n: u32) -> Vec<Duration> {
+        let base = self.base.max(Duration::from_millis(1));
+        let cap = self.cap.max(base);
+        // 2n+1 keeps the xorshift state nonzero without collapsing
+        // adjacent seeds onto one another.
+        let mut state = self.seed.wrapping_mul(2).wrapping_add(1);
+        let mut prev = base;
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let hi = prev.saturating_mul(3).min(cap);
+            let span = hi.saturating_sub(base).as_millis() as u64;
+            let jitter = if span == 0 { 0 } else { state % (span + 1) };
+            let sleep = base + Duration::from_millis(jitter);
+            prev = sleep;
+            out.push(sleep);
+        }
+        out
+    }
+}
+
+/// Connect with retries under `policy`: transient failures
+/// ([`retryable`]) back off and try again; anything else surfaces
+/// immediately, untouched.
+///
+/// # Errors
+/// The original error when it is not retryable, or
+/// [`ClientError::RetriesExhausted`] (wrapping the last attempt's error)
+/// once the attempt count or the time budget runs out.
+pub fn connect_with_retry(
+    addr: impl ToSocketAddrs + Copy,
+    tenant: &str,
+    credit: u64,
+    policy: &RetryPolicy,
+) -> Result<Client, ClientError> {
+    let started = std::time::Instant::now();
+    let sleeps = policy.schedule(policy.max_retries);
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let err = match Client::connect(addr, tenant, credit) {
+            Ok(client) => return Ok(client),
+            Err(e) if !retryable(&e) => return Err(e),
+            Err(e) => e,
+        };
+        let used = (attempts - 1) as usize;
+        if used >= sleeps.len() || started.elapsed() >= policy.budget {
+            return Err(ClientError::RetriesExhausted { attempts, last: Box::new(err) });
+        }
+        let left = policy.budget.saturating_sub(started.elapsed());
+        std::thread::sleep(sleeps[used].min(left));
+    }
+}
+
 /// A blocking LZS1 client over one TCP connection.
 #[derive(Debug)]
 pub struct Client {
@@ -87,6 +208,12 @@ pub struct Client {
     session: u64,
     next_req: u64,
     auto_credit: bool,
+    /// Durable session token from the most recent request, when the
+    /// server journals sessions.
+    last_token: Option<u64>,
+    /// Result bytes received before the most recent failure — the resume
+    /// seed after a server crash.
+    partial: Vec<u8>,
 }
 
 impl Client {
@@ -104,7 +231,14 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(Duration::from_millis(500)))?;
-        let mut client = Self { stream, session: 0, next_req: 0, auto_credit: true };
+        let mut client = Self {
+            stream,
+            session: 0,
+            next_req: 0,
+            auto_credit: true,
+            last_token: None,
+            partial: Vec::new(),
+        };
         client.send(&Request::Hello { tenant: tenant.to_string(), credit })?;
         // The handshake answer may lag behind server startup; poll a few
         // timeout ticks before giving up.
@@ -128,6 +262,21 @@ impl Client {
     /// The server-assigned session id.
     pub fn session(&self) -> u64 {
         self.session
+    }
+
+    /// The durable session token the server announced for the most recent
+    /// request (`None` when the server runs without a state dir). After a
+    /// server crash this token plus [`Client::take_partial`] is everything
+    /// [`Client::resume`] needs.
+    pub fn session_token(&self) -> Option<u64> {
+        self.last_token
+    }
+
+    /// Take the result bytes that arrived before the most recent failure
+    /// (empty when the last call succeeded). Feed them to
+    /// [`Client::resume`] as the already-acknowledged prefix.
+    pub fn take_partial(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.partial)
     }
 
     /// How long [`Client::recv`] waits before returning
@@ -184,10 +333,28 @@ impl Client {
 
     /// Run one request to completion: collect [`Response::Data`] chunks
     /// in order, auto-grant credit as it is consumed, and verify the
-    /// final [`Response::Done`] total and CRC.
+    /// final [`Response::Done`] total and CRC. On failure the bytes that
+    /// did arrive are parked for [`Client::take_partial`].
     fn roundtrip(&mut self, req_id: u64, request: &Request) -> Result<Vec<u8>, ClientError> {
+        self.last_token = None;
         self.send(request)?;
         let mut out: Vec<u8> = Vec::new();
+        match self.collect(req_id, &mut out) {
+            Ok(()) => {
+                self.partial.clear();
+                Ok(out)
+            }
+            Err(e) => {
+                self.partial = out;
+                Err(e)
+            }
+        }
+    }
+
+    /// The receive half of a request: append in-order chunks to `out`
+    /// (which may be pre-seeded with an already-acknowledged prefix) until
+    /// `Done` verifies the whole thing.
+    fn collect(&mut self, req_id: u64, out: &mut Vec<u8>) -> Result<(), ClientError> {
         let deadline = std::time::Instant::now() + Duration::from_secs(120);
         loop {
             if std::time::Instant::now() > deadline {
@@ -212,6 +379,11 @@ impl Client {
                         self.send(&Request::Credit { req: req_id, bytes: n })?;
                     }
                 }
+                Response::Session { req, token } => {
+                    if req == req_id {
+                        self.last_token = Some(token);
+                    }
+                }
                 Response::Done { req, total, crc } => {
                     if req != req_id {
                         return Err(ClientError::Corrupt("done for an unknown request"));
@@ -220,11 +392,11 @@ impl Client {
                         return Err(ClientError::Corrupt("done total disagrees with data"));
                     }
                     let mut check = Crc32::new();
-                    check.update(&out);
+                    check.update(out);
                     if check.finish() != crc {
                         return Err(ClientError::Corrupt("result CRC mismatch"));
                     }
-                    return Ok(out);
+                    return Ok(());
                 }
                 Response::Error { req, code, detail } => {
                     if req != req_id {
@@ -298,6 +470,39 @@ impl Client {
         )
     }
 
+    /// Resume a journaled session after a server restart: `token` is the
+    /// [`Response::Session`] token from the interrupted request (see
+    /// [`Client::session_token`]) and `prefix` is whatever result bytes
+    /// already arrived ([`Client::take_partial`]). The server re-serves
+    /// from `prefix.len()`; the returned buffer is the complete result,
+    /// CRC-verified end to end, byte-identical to the uninterrupted run.
+    ///
+    /// # Errors
+    /// [`RejectCode::Unresumable`] (as [`ClientError::Request`]) when the
+    /// token is unknown, expired, owned by another tenant, or its journal
+    /// failed verification — plus the usual transport errors.
+    pub fn resume(
+        &mut self,
+        token: u64,
+        prefix: &[u8],
+        deadline_ms: u32,
+    ) -> Result<Vec<u8>, ClientError> {
+        let req = self.next_req();
+        self.last_token = None;
+        self.send(&Request::Resume { req, deadline_ms, token, acked: prefix.len() as u64 })?;
+        let mut out = prefix.to_vec();
+        match self.collect(req, &mut out) {
+            Ok(()) => {
+                self.partial.clear();
+                Ok(out)
+            }
+            Err(e) => {
+                self.partial = out;
+                Err(e)
+            }
+        }
+    }
+
     /// Ask the server to drain (within `drain_ms`) and shut down, then
     /// wait for it to close this connection.
     ///
@@ -323,6 +528,99 @@ impl Client {
                 }
                 Ok(_) | Err(_) => {}
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_bounded() {
+        let policy = RetryPolicy {
+            max_retries: 8,
+            budget: Duration::from_secs(30),
+            base: Duration::from_millis(50),
+            cap: Duration::from_millis(800),
+            seed: 42,
+        };
+        let a = policy.schedule(8);
+        let b = policy.schedule(8);
+        assert_eq!(a, b, "same seed must replay the same schedule");
+        for sleep in &a {
+            assert!(*sleep >= policy.base, "sleep {sleep:?} under the base floor");
+            assert!(*sleep <= policy.cap, "sleep {sleep:?} over the cap");
+        }
+        // Different seeds decorrelate.
+        let c = RetryPolicy { seed: 43, ..policy }.schedule(8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn degenerate_policies_stay_sane() {
+        // cap below base: every sleep collapses to the floor.
+        let tight = RetryPolicy {
+            base: Duration::from_millis(100),
+            cap: Duration::from_millis(10),
+            ..RetryPolicy::default()
+        };
+        for sleep in tight.schedule(4) {
+            assert_eq!(sleep, Duration::from_millis(100));
+        }
+        // Zero base gets the 1ms floor instead of a zero-length spin.
+        let zero = RetryPolicy { base: Duration::ZERO, ..RetryPolicy::default() };
+        for sleep in zero.schedule(4) {
+            assert!(sleep >= Duration::from_millis(1));
+        }
+        assert!(RetryPolicy::default().schedule(0).is_empty());
+    }
+
+    #[test]
+    fn retryable_classifies_codes() {
+        let req = |code| ClientError::Request { code, detail: String::new() };
+        let rej = |code| ClientError::Rejected { code, detail: String::new() };
+        for code in [
+            RejectCode::Draining,
+            RejectCode::SessionLimit,
+            RejectCode::StreamQuota,
+            RejectCode::ByteQuota,
+        ] {
+            assert!(retryable(&req(code)), "{code} should retry");
+            assert!(retryable(&rej(code)), "{code} should retry");
+        }
+        for code in [
+            RejectCode::TooLarge,
+            RejectCode::Protocol,
+            RejectCode::DeadlineExceeded,
+            RejectCode::Cancelled,
+            RejectCode::Internal,
+            RejectCode::BadStream,
+            RejectCode::RangeUnavailable,
+            RejectCode::Unresumable,
+        ] {
+            assert!(!retryable(&req(code)), "{code} must not retry");
+        }
+        assert!(retryable(&ClientError::TimedOut));
+        assert!(retryable(&ClientError::Io(std::io::Error::other("refused"))));
+        assert!(!retryable(&ClientError::Corrupt("bad")));
+        assert!(!retryable(&ClientError::RetriesExhausted {
+            attempts: 3,
+            last: Box::new(ClientError::TimedOut),
+        }));
+    }
+
+    #[test]
+    fn retries_exhausted_gives_up_fast_against_nothing() {
+        // Port 1 on localhost refuses immediately; a zero-retry policy
+        // must surface RetriesExhausted after exactly one attempt.
+        let policy = RetryPolicy { max_retries: 0, ..RetryPolicy::default() };
+        match connect_with_retry("127.0.0.1:1", "t", 1 << 20, &policy) {
+            Err(ClientError::RetriesExhausted { attempts, last }) => {
+                assert_eq!(attempts, 1);
+                assert!(retryable(&last));
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
         }
     }
 }

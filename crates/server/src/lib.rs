@@ -24,6 +24,11 @@
 //!   credit-based backpressure, per-request deadlines, idle timeouts,
 //!   and the graceful drain state machine (stop admitting → finish or
 //!   deadline-cancel in-flight work → flush telemetry).
+//! * **[`store`]** — the crash-durable session store: journaled sessions
+//!   (CRC-protected journal + synced input + per-frame-durable staged
+//!   container), startup recovery via `scan_partial`, resume-after-kill
+//!   byte-identical replay, and orphan garbage collection that returns
+//!   every admitted byte.
 //! * **[`client`]** — a small blocking client used by `lzfpga client`,
 //!   the tests, and the `faultstorm --server` drill.
 //! * **[`metrics`]** — per-stream/per-tenant counters exported through
@@ -43,11 +48,13 @@ pub mod pool;
 pub mod proto;
 pub mod quota;
 pub mod server;
+pub mod store;
 
-pub use client::{Client, ClientError};
+pub use client::{connect_with_retry, retryable, Client, ClientError, RetryPolicy};
 pub use jobs::{CancelReason, JobFail, JobLedger, RequestCtl};
 pub use metrics::ServerMetrics;
 pub use pool::WorkerPool;
 pub use proto::{ProtoError, RejectCode, Request, Response};
 pub use quota::{Admission, Charge, QuotaConfig, SessionGuard};
 pub use server::{Server, ServerConfig, ServerHandle, ServerStats};
+pub use store::{RecoveryReport, SessionOp, SessionStore};

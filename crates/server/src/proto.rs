@@ -58,6 +58,10 @@ pub enum RejectCode {
     BadStream = 10,
     /// The requested byte range is unservable from this stream.
     RangeUnavailable = 11,
+    /// The session token does not name a resumable session (unknown,
+    /// expired, claimed by another tenant, or its journal failed
+    /// verification).
+    Unresumable = 12,
 }
 
 impl RejectCode {
@@ -75,6 +79,7 @@ impl RejectCode {
             RejectCode::Internal => "internal",
             RejectCode::BadStream => "bad_stream",
             RejectCode::RangeUnavailable => "range_unavailable",
+            RejectCode::Unresumable => "unresumable",
         }
     }
 
@@ -92,6 +97,7 @@ impl RejectCode {
             9 => RejectCode::Internal,
             10 => RejectCode::BadStream,
             11 => RejectCode::RangeUnavailable,
+            12 => RejectCode::Unresumable,
             _ => return None,
         })
     }
@@ -169,6 +175,19 @@ pub enum Request {
         /// Drain deadline in milliseconds.
         drain_ms: u32,
     },
+    /// Resume a crash-durable session after server death. The token came
+    /// from [`Response::Session`]; `acked` is how many result bytes the
+    /// client already holds, so the server restarts the stream there.
+    Resume {
+        /// Client-chosen request id for the resumed stream.
+        req: u64,
+        /// Deadline in milliseconds from receipt (0 = none).
+        deadline_ms: u32,
+        /// The durable session token being resumed.
+        token: u64,
+        /// Result bytes the client already received and verified.
+        acked: u64,
+    },
 }
 
 /// Server → client messages.
@@ -212,6 +231,15 @@ pub enum Response {
         code: RejectCode,
         /// Human-readable detail.
         detail: String,
+    },
+    /// The request was journaled as a crash-durable session: if the server
+    /// dies before [`Response::Done`], the client may reconnect and send
+    /// [`Request::Resume`] with this token. Sent before any `Data`.
+    Session {
+        /// The request this durable session belongs to.
+        req: u64,
+        /// The durable session token.
+        token: u64,
     },
 }
 
@@ -385,11 +413,13 @@ const REQ_RANGE: u8 = 4;
 const REQ_CREDIT: u8 = 5;
 const REQ_CANCEL: u8 = 6;
 const REQ_SHUTDOWN: u8 = 7;
+const REQ_RESUME: u8 = 8;
 const RSP_HELLO_OK: u8 = 129;
 const RSP_REJECT: u8 = 130;
 const RSP_DATA: u8 = 131;
 const RSP_DONE: u8 = 132;
 const RSP_ERROR: u8 = 133;
+const RSP_SESSION: u8 = 134;
 
 /// Serialize a request into one wire message.
 pub fn encode_request(req: &Request) -> Vec<u8> {
@@ -435,6 +465,14 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Cancel { req } => frame(REQ_CANCEL, &req.to_be_bytes()),
         Request::Shutdown { drain_ms } => frame(REQ_SHUTDOWN, &drain_ms.to_be_bytes()),
+        Request::Resume { req, deadline_ms, token, acked } => {
+            let mut p = Vec::with_capacity(28);
+            p.extend_from_slice(&req.to_be_bytes());
+            p.extend_from_slice(&deadline_ms.to_be_bytes());
+            p.extend_from_slice(&token.to_be_bytes());
+            p.extend_from_slice(&acked.to_be_bytes());
+            frame(REQ_RESUME, &p)
+        }
     }
 }
 
@@ -480,6 +518,12 @@ pub fn parse_request(msg: &RawMsg) -> Result<Request, ProtoError> {
         REQ_CREDIT => Ok(Request::Credit { req: cur.u64()?, bytes: cur.u64()? }),
         REQ_CANCEL => Ok(Request::Cancel { req: cur.u64()? }),
         REQ_SHUTDOWN => Ok(Request::Shutdown { drain_ms: cur.u32()? }),
+        REQ_RESUME => Ok(Request::Resume {
+            req: cur.u64()?,
+            deadline_ms: cur.u32()?,
+            token: cur.u64()?,
+            acked: cur.u64()?,
+        }),
         _ => Err(ProtoError::Malformed("unknown request kind")),
     }
 }
@@ -514,6 +558,12 @@ pub fn encode_response(rsp: &Response) -> Vec<u8> {
             put_str(&mut p, detail);
             frame(RSP_ERROR, &p)
         }
+        Response::Session { req, token } => {
+            let mut p = Vec::with_capacity(16);
+            p.extend_from_slice(&req.to_be_bytes());
+            p.extend_from_slice(&token.to_be_bytes());
+            frame(RSP_SESSION, &p)
+        }
     }
 }
 
@@ -538,6 +588,7 @@ pub fn parse_response(msg: &RawMsg) -> Result<Response, ProtoError> {
                 RejectCode::from_u8(cur.u8()?).ok_or(ProtoError::Malformed("bad error code"))?;
             Ok(Response::Error { req, code, detail: get_str(&mut cur)? })
         }
+        RSP_SESSION => Ok(Response::Session { req: cur.u64()?, token: cur.u64()? }),
         _ => Err(ProtoError::Malformed("unknown response kind")),
     }
 }
@@ -584,6 +635,12 @@ mod tests {
         roundtrip_req(Request::Credit { req: 7, bytes: 4096 });
         roundtrip_req(Request::Cancel { req: 7 });
         roundtrip_req(Request::Shutdown { drain_ms: 2000 });
+        roundtrip_req(Request::Resume {
+            req: 11,
+            deadline_ms: 250,
+            token: 0x0123_4567_89AB_CDEF,
+            acked: 1 << 33,
+        });
         roundtrip_rsp(Response::HelloOk { session: 3 });
         roundtrip_rsp(Response::Reject { code: RejectCode::Draining, detail: "bye".into() });
         roundtrip_rsp(Response::Data { req: 7, offset: 64, bytes: vec![0; 17] });
@@ -593,6 +650,24 @@ mod tests {
             code: RejectCode::DeadlineExceeded,
             detail: "late".into(),
         });
+        roundtrip_rsp(Response::Error {
+            req: 11,
+            code: RejectCode::Unresumable,
+            detail: "unknown token".into(),
+        });
+        roundtrip_rsp(Response::Session { req: 11, token: u64::MAX });
+    }
+
+    #[test]
+    fn reject_codes_roundtrip_through_the_wire_byte() {
+        for v in 0u8..=255 {
+            if let Some(code) = RejectCode::from_u8(v) {
+                assert_eq!(code as u8, v);
+                assert!(!code.as_str().is_empty());
+            }
+        }
+        assert_eq!(RejectCode::from_u8(12), Some(RejectCode::Unresumable));
+        assert_eq!(RejectCode::from_u8(13), None);
     }
 
     #[test]

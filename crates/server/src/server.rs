@@ -49,6 +49,7 @@ use crate::proto::{
     encode_response, parse_request, read_message, ProtoError, RejectCode, Request, Response,
 };
 use crate::quota::{Admission, QuotaConfig, SessionGuard};
+use crate::store::{self, RecoveryReport, SessionOp, SessionStore};
 
 const PHASE_ACCEPTING: u8 = 0;
 const PHASE_DRAINING: u8 = 1;
@@ -84,6 +85,15 @@ pub struct ServerConfig {
     pub allow_remote_shutdown: bool,
     /// Collect connection → request span-trace events.
     pub collect_trace: bool,
+    /// Root of the crash-durable session store. `None` (the default)
+    /// serves everything from memory; `Some` journals every
+    /// compress/decompress session so it survives `kill -9` and can be
+    /// resumed via [`Request::Resume`].
+    pub state_dir: Option<std::path::PathBuf>,
+    /// How long a recovered-but-unclaimed session stays resumable before
+    /// the orphan sweep garbage-collects it (directory removed, quota
+    /// charge returned).
+    pub resume_ttl_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -101,6 +111,8 @@ impl Default for ServerConfig {
             drain_ms: 5_000,
             allow_remote_shutdown: false,
             collect_trace: false,
+            state_dir: None,
+            resume_ttl_ms: 600_000,
         }
     }
 }
@@ -148,6 +160,14 @@ impl Server {
         let metrics =
             Arc::new(ServerMetrics::new(Arc::clone(&self.registry), self.config.collect_trace));
         let admission = Admission::new(self.config.quota);
+        let (session_store, recovery) = match &self.config.state_dir {
+            Some(dir) => {
+                let store = Arc::new(SessionStore::open(dir)?);
+                let report = store.recover(&admission);
+                (Some(store), report)
+            }
+            None => (None, RecoveryReport::default()),
+        };
         let shared = Arc::new(Shared {
             config: self.config,
             admission,
@@ -161,6 +181,8 @@ impl Server {
             conns: Mutex::new(HashMap::new()),
             remote_drain: Mutex::new(None),
             shutdown_started: AtomicBool::new(false),
+            store: session_store,
+            recovery,
         });
         let accept = {
             let shared = Arc::clone(&shared);
@@ -229,6 +251,27 @@ impl ServerHandle {
         self.shared.stats_snapshot(self.pool_panics())
     }
 
+    /// What startup recovery found in the state dir (all-zero when the
+    /// server runs without one).
+    pub fn recovery(&self) -> RecoveryReport {
+        self.shared.recovery
+    }
+
+    /// The crash-durable session store, when configured (drill and test
+    /// leak assertions).
+    pub fn session_store(&self) -> Option<Arc<SessionStore>> {
+        self.shared.store.clone()
+    }
+
+    /// Sweep every recovered-but-unclaimed session right now, regardless
+    /// of the configured TTL. Returns how many were garbage-collected.
+    pub fn sweep_orphans_now(&self) -> usize {
+        match &self.shared.store {
+            Some(store) => store.sweep_orphans(Duration::ZERO),
+            None => 0,
+        }
+    }
+
     /// Gracefully drain within `drain`, then stop: finish or
     /// deadline-cancel in-flight requests, flush telemetry, join every
     /// thread. Idempotent — a second call (or a call racing a remote
@@ -295,6 +338,10 @@ struct Shared {
     conns: Mutex<HashMap<u64, ConnEntry>>,
     remote_drain: Mutex<Option<u64>>,
     shutdown_started: AtomicBool,
+    /// The crash-durable session store, when a state dir is configured.
+    store: Option<Arc<SessionStore>>,
+    /// What startup recovery found in the state dir.
+    recovery: RecoveryReport,
 }
 
 impl Shared {
@@ -371,6 +418,9 @@ struct ReqState {
     start_us: f64,
     ordinal: u64,
     frames: u64,
+    /// Durable session token, when the request is journaled in the state
+    /// dir; the writer removes the session directory after full delivery.
+    session: Option<u64>,
 }
 
 /// A finished job's result, parked until credit lets it flow.
@@ -402,6 +452,10 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
             shared.admission.active_streams(),
             shared.admission.active_bytes(),
         );
+        if let Some(session_store) = &shared.store {
+            let ttl = Duration::from_millis(shared.config.resume_ttl_ms.max(1));
+            session_store.sweep_orphans(ttl);
+        }
         match listener.accept() {
             Ok((stream, _peer)) => handle_accept(shared, stream),
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -578,13 +632,22 @@ fn run_connection(
     if let Some(w) = writer {
         let _ = w.join();
     }
-    let (tenant, requests) = {
+    let (tenant, requests, dead_sessions) = {
         let mut st = conn.state.lock().expect("conn state");
         // Drop request entries now so their charges release as soon as the
         // (cancelled) jobs drop their control handles.
+        let dead: Vec<u64> = st.requests.values().filter_map(|rs| rs.session).collect();
         st.requests.clear();
-        (st.tenant.clone(), st.requests_started)
+        (st.tenant.clone(), st.requests_started, dead)
     };
+    if let Some(session_store) = &shared.store {
+        // A torn connection ends its journaled sessions: resume is a
+        // promise against server death, not client death — an abandoned
+        // request must not pin disk or quota.
+        for token in dead_sessions {
+            session_store.finish(token);
+        }
+    }
     if !tenant.is_empty() {
         shared.metrics.trace_connection(session, &tenant, started_us, requests);
     }
@@ -752,6 +815,21 @@ fn read_loop(shared: &Arc<Shared>, conn: &Arc<ConnShared>, reader: &mut TcpStrea
                     JobKind::Range { start, end, max_result },
                 );
             }
+            (Some(t), Request::Resume { req, deadline_ms, token, acked }) => {
+                // The recovered session holds its own re-admitted charge;
+                // this request pays only a fixed slack for the machinery.
+                start_job(
+                    shared,
+                    conn,
+                    t,
+                    req,
+                    deadline_ms,
+                    credit_window,
+                    16_384,
+                    Vec::new(),
+                    JobKind::Resume { token, acked },
+                );
+            }
             (Some(_), Request::Credit { req, bytes }) => {
                 let mut st = conn.state.lock().expect("conn state");
                 if let Some(rs) = st.requests.get_mut(&req) {
@@ -794,6 +872,7 @@ enum JobKind {
     Compress { frame_bytes: usize },
     Decompress { max_result: u64 },
     Range { start: u64, end: u64, max_result: u64 },
+    Resume { token: u64, acked: u64 },
 }
 
 impl JobKind {
@@ -802,6 +881,7 @@ impl JobKind {
             JobKind::Compress { .. } => "compress",
             JobKind::Decompress { .. } => "decompress",
             JobKind::Range { .. } => "range",
+            JobKind::Resume { .. } => "resume",
         }
     }
 }
@@ -878,6 +958,7 @@ fn start_job(
                 start_us,
                 ordinal,
                 frames: 0,
+                session: None,
             },
         );
     }
@@ -917,10 +998,36 @@ fn run_job(
     let faults = &*shared.faults;
     let mut ledger = JobLedger::default();
     let result = catch_unwind(AssertUnwindSafe(|| match *kind {
-        JobKind::Compress { frame_bytes } => {
-            compress_job(data, frame_bytes, &shared.config.hw, ctl, faults, &mut ledger)
-        }
-        JobKind::Decompress { max_result } => decompress_job(data, max_result, ctl, &mut ledger),
+        JobKind::Compress { frame_bytes } => match shared.store.as_deref() {
+            Some(s) => durable_job(
+                shared,
+                conn,
+                s,
+                req,
+                SessionOp::Compress,
+                frame_bytes,
+                0,
+                data,
+                ctl,
+                &mut ledger,
+            ),
+            None => compress_job(data, frame_bytes, &shared.config.hw, ctl, faults, &mut ledger),
+        },
+        JobKind::Decompress { max_result } => match shared.store.as_deref() {
+            Some(s) => durable_job(
+                shared,
+                conn,
+                s,
+                req,
+                SessionOp::Decompress,
+                0,
+                max_result,
+                data,
+                ctl,
+                &mut ledger,
+            ),
+            None => decompress_job(data, max_result, ctl, &mut ledger),
+        },
         JobKind::Range { start, end, max_result } => range_job(
             data,
             start..end,
@@ -930,6 +1037,7 @@ fn run_job(
             faults,
             &mut ledger,
         ),
+        JobKind::Resume { token, .. } => resume_job(shared, conn, req, token, ctl, &mut ledger),
     }));
     shared.metrics.frames_total.add(ledger.frames);
     shared.metrics.retries.add(ledger.failures.retries);
@@ -946,15 +1054,112 @@ fn run_job(
             Err(JobFail::new(RejectCode::Internal, "worker panicked; contained"))
         }
     };
+    // A resumed request starts delivery at the client's acknowledged
+    // offset — the prefix it already holds is never re-sent (Done still
+    // carries the full total and CRC).
+    let skip = match *kind {
+        JobKind::Resume { acked, .. } => acked,
+        _ => 0,
+    };
     let mut st = conn.state.lock().expect("conn state");
     if let Some(rs) = st.requests.get_mut(&req) {
         rs.frames = ledger.frames;
         if rs.outcome.is_none() {
+            if let Ok(buf) = &outcome {
+                rs.sent = skip.min(buf.bytes.len() as u64);
+            }
             rs.outcome = Some(outcome);
         }
     }
     drop(st);
     conn.wake.notify_all();
+}
+
+/// Run a journaled compress/decompress session: journal first, announce
+/// the token, then do the work against the session directory. A typed
+/// failure is final, so the session is removed rather than left resumable.
+#[allow(clippy::too_many_arguments)]
+fn durable_job(
+    shared: &Arc<Shared>,
+    conn: &Arc<ConnShared>,
+    session_store: &SessionStore,
+    req: u64,
+    op: SessionOp,
+    frame_bytes: usize,
+    max_result: u64,
+    data: &[u8],
+    ctl: &Arc<RequestCtl>,
+    ledger: &mut JobLedger,
+) -> Result<Vec<u8>, JobFail> {
+    let faults = &*shared.faults;
+    let tenant = conn.state.lock().expect("conn state").tenant.clone();
+    let (token, dir) = session_store
+        .begin(op, &tenant, frame_bytes as u32, max_result, data, faults)
+        .map_err(|e| JobFail::new(RejectCode::Internal, format!("session journal: {e}")))?;
+    announce_session(conn, req, token);
+    let result = match op {
+        SessionOp::Compress => store::durable_compress(
+            &dir,
+            data,
+            frame_bytes as u32,
+            shared.config.hw.as_lzss_params(),
+            ctl,
+            faults,
+            ledger,
+        ),
+        SessionOp::Decompress => decompress_job(data, max_result, ctl, ledger),
+    };
+    if result.is_err() {
+        session_store.finish(token);
+        clear_session(conn, req);
+    }
+    result
+}
+
+/// Claim and replay a journaled session after a restart.
+fn resume_job(
+    shared: &Arc<Shared>,
+    conn: &Arc<ConnShared>,
+    req: u64,
+    token: u64,
+    ctl: &Arc<RequestCtl>,
+    ledger: &mut JobLedger,
+) -> Result<Vec<u8>, JobFail> {
+    let Some(session_store) = shared.store.as_deref() else {
+        return Err(JobFail::new(RejectCode::Unresumable, "server has no durable session store"));
+    };
+    let faults = &*shared.faults;
+    let tenant = conn.state.lock().expect("conn state").tenant.clone();
+    let rec = session_store.claim(token, &tenant)?;
+    announce_session(conn, req, token);
+    let result =
+        store::recover_session(&rec, shared.config.hw.as_lzss_params(), ctl, faults, ledger);
+    if result.is_err() {
+        // A failed recovery can never succeed later; reclaim the disk and
+        // the re-admitted quota charge now.
+        session_store.finish(token);
+        clear_session(conn, req);
+    }
+    result
+}
+
+/// Record the durable session token on the request and tell the client.
+fn announce_session(conn: &ConnShared, req: u64, token: u64) {
+    let mut st = conn.state.lock().expect("conn state");
+    if let Some(rs) = st.requests.get_mut(&req) {
+        rs.session = Some(token);
+    }
+    st.queue.push_back(Response::Session { req, token });
+    drop(st);
+    conn.wake.notify_all();
+}
+
+/// Forget a request's session token (its directory is already gone).
+fn clear_session(conn: &ConnShared, req: u64) {
+    let mut st = conn.state.lock().expect("conn state");
+    if let Some(rs) = st.requests.get_mut(&req) {
+        rs.session = None;
+    }
 }
 
 /// A request the writer finished with, for metric/trace emission outside
@@ -967,6 +1172,7 @@ struct FinishedReq {
     frames: u64,
     failed: Option<RejectCode>,
     tenant: String,
+    session: Option<u64>,
 }
 
 fn writer_loop(shared: &Arc<Shared>, conn: &Arc<ConnShared>, stream: TcpStream, session: u64) {
@@ -1006,6 +1212,7 @@ fn writer_loop(shared: &Arc<Shared>, conn: &Arc<ConnShared>, stream: TcpStream, 
                                 frames: rs.frames,
                                 failed: Some(fail.code),
                                 tenant,
+                                session: rs.session,
                             });
                         }
                         Ok(buf) => {
@@ -1036,6 +1243,7 @@ fn writer_loop(shared: &Arc<Shared>, conn: &Arc<ConnShared>, stream: TcpStream, 
                                     frames: rs.frames,
                                     failed: None,
                                     tenant,
+                                    session: rs.session,
                                 });
                             } else if !closed {
                                 // Credit-starved: the deadline still
@@ -1055,6 +1263,7 @@ fn writer_loop(shared: &Arc<Shared>, conn: &Arc<ConnShared>, stream: TcpStream, 
                                         frames: rs.frames,
                                         failed: Some(fail.code),
                                         tenant,
+                                        session: rs.session,
                                     });
                                 }
                             }
@@ -1082,6 +1291,15 @@ fn writer_loop(shared: &Arc<Shared>, conn: &Arc<ConnShared>, stream: TcpStream, 
             }
         }
         shared.metrics.bytes_out.add(bytes_out);
+        if let Some(session_store) = &shared.store {
+            // The result is fully delivered (or finally failed): the
+            // journaled session has nothing left to guarantee.
+            for f in &finished {
+                if let Some(token) = f.session {
+                    session_store.finish(token);
+                }
+            }
+        }
         for f in finished {
             match f.failed {
                 None => shared.metrics.requests_done.inc(),

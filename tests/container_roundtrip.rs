@@ -98,6 +98,37 @@ fn resume_after_kill_reproduces_the_fresh_stream() {
 }
 
 #[test]
+fn resume_after_truncation_at_every_byte_of_the_final_record() {
+    // A crash can tear the staging file at *any* byte — mid-header,
+    // mid-length-field, mid-CRC, mid-payload, inside the seek index or
+    // the trailer. For every cut inside the final frame record and
+    // everything after it, resume must either reproduce the fresh stream
+    // byte-identically or refuse with a typed error. Silent divergence is
+    // the one outcome that must never happen.
+    let fb = 8 * 1024;
+    let data = generate(Corpus::LogLines, 41, 40_000);
+    let fresh = frame_up(&data, fb);
+    let spans = frame_spans(&fresh).unwrap();
+    let last = spans.last().unwrap();
+    for cut in last.header_start..fresh.len() {
+        let scan = scan_partial(&fresh[..cut]);
+        assert!(!scan.complete, "a truncated stream scanned as complete at cut={cut}");
+        assert!(
+            scan.valid_bytes as usize <= cut,
+            "scan claimed bytes past the truncation at cut={cut}"
+        );
+        let mut out = fresh[..scan.valid_bytes as usize].to_vec();
+        let cfg = FrameConfig { frame_bytes: fb, collect_events: false, ..FrameConfig::default() };
+        // A typed refusal is acceptable; wrong bytes are not.
+        if let Ok(mut w) = FrameWriter::resume(&mut out, cfg, params(), &scan) {
+            w.write_all(&data[scan.uncompressed_bytes as usize..]).unwrap();
+            w.finish().unwrap();
+            assert_eq!(out, fresh, "resume from cut={cut} silently diverged");
+        }
+    }
+}
+
+#[test]
 fn parallel_framing_is_byte_identical_and_round_trips() {
     let fb = 16 * 1024;
     let data = generate(Corpus::Mixed, 77, 200_000);

@@ -1,0 +1,233 @@
+//! Crash-durable session contract of the `lzfpga-server` daemon.
+//!
+//! Four promises, each load-bearing for resume-after-kill:
+//!
+//! 1. a durable server announces a session token, serves bytes identical
+//!    to the in-memory path, and drains its session directories and quota
+//!    to zero once delivery completes;
+//! 2. a session torn mid-frame by a crash is recovered at startup and a
+//!    `Resume` with its token reproduces the fresh stream byte-for-byte;
+//! 3. a corrupt journal is refused with the typed `Unresumable` code and
+//!    charges nothing against the tenant's quota;
+//! 4. orphaned sessions past their TTL return both their disk and their
+//!    admitted bytes.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use lzfpga::container::{FrameConfig, FrameWriter};
+use lzfpga::faults::{FailPlan, FailRule, NoFaults};
+use lzfpga::hw::HwConfig;
+use lzfpga::server::{
+    Admission, Client, ClientError, JobLedger, QuotaConfig, RejectCode, RequestCtl, Server,
+    ServerConfig, SessionOp, SessionStore,
+};
+use lzfpga::workloads::{generate, Corpus};
+
+const FRAME_BYTES: usize = 16 * 1024;
+const TENANT: &str = "resume-test";
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!(
+            "lzfpga-resume-{tag}-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The byte-exact reference for a server-side compress of `data`.
+fn reference_stream(data: &[u8]) -> Vec<u8> {
+    let cfg =
+        FrameConfig { frame_bytes: FRAME_BYTES, collect_events: false, ..FrameConfig::default() };
+    let mut w = FrameWriter::new(Vec::new(), cfg, HwConfig::paper_fast().as_lzss_params())
+        .expect("frame config");
+    w.write_all(data).expect("frame write");
+    w.finish().expect("frame finish").0
+}
+
+fn start_durable_server(state_dir: &std::path::Path, ttl_ms: u64) -> lzfpga::server::ServerHandle {
+    Server::new(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        frame_bytes: FRAME_BYTES,
+        state_dir: Some(state_dir.to_path_buf()),
+        resume_ttl_ms: ttl_ms,
+        ..ServerConfig::default()
+    })
+    .start()
+    .expect("bind resume-test server")
+}
+
+/// Park a torn compress session in `state_dir`: journal + input durable,
+/// staging container cut off by an injected fault mid-frame. Returns the
+/// token a crashed server would already have announced to its client.
+fn fabricate_torn_session(state_dir: &std::path::Path, data: &[u8]) -> u64 {
+    let store = SessionStore::open(state_dir).expect("open store");
+    let (token, dir) = store
+        .begin(SessionOp::Compress, TENANT, FRAME_BYTES as u32, 0, data, &NoFaults)
+        .expect("begin session");
+    let admission = Admission::new(QuotaConfig::default());
+    let ctl = RequestCtl::new(admission.admit_request(TENANT, 1).unwrap(), 0);
+    let plan = FailPlan::new(7).rule(FailRule::new("server.frame.durable").on_hit(2).errors());
+    let mut ledger = JobLedger::default();
+    let torn = lzfpga::server::store::durable_compress(
+        &dir,
+        data,
+        FRAME_BYTES as u32,
+        HwConfig::paper_fast().as_lzss_params(),
+        &ctl,
+        &plan,
+        &mut ledger,
+    );
+    assert!(torn.is_err(), "injected durable-flush fault must tear the job");
+    assert!(dir.join("journal").is_file(), "journal must survive the tear");
+    token
+}
+
+fn wait_for_drained_sessions(store: &SessionStore) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while store.session_dirs() > 0 {
+        assert!(Instant::now() < deadline, "session directories never drained");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn durable_roundtrip_announces_token_and_drains_to_zero() {
+    let tmp = TempDir::new("roundtrip");
+    let data = generate(Corpus::Mixed, 71, 96 * 1024);
+    let reference = reference_stream(&data);
+
+    let handle = start_durable_server(&tmp.0, 600_000);
+    let store = handle.session_store().expect("durable server has a store");
+    let mut client = Client::connect(handle.addr(), TENANT, 1 << 22).expect("connect");
+
+    let compressed = client.compress(&data, 0, 0).expect("durable compress");
+    assert_eq!(compressed, reference, "durable path diverged from the in-memory reference");
+    assert!(client.session_token().is_some(), "durable compress must announce a session token");
+
+    let plain = client.decompress(&compressed, 1 << 20, 0).expect("durable decompress");
+    assert_eq!(plain, data);
+
+    // Delivery completed on a live connection: both sessions are settled
+    // and their directories, streams, and bytes must all return.
+    wait_for_drained_sessions(&store);
+    drop(client);
+    let stats = handle.shutdown(Duration::from_secs(5));
+    assert_eq!(stats.active_streams, 0, "leaked admitted streams");
+    assert_eq!(stats.active_bytes, 0, "leaked admitted bytes");
+}
+
+#[test]
+fn torn_session_recovers_and_resumes_byte_identically() {
+    let tmp = TempDir::new("torn");
+    let data = generate(Corpus::LogLines, 73, 120 * 1024);
+    let reference = reference_stream(&data);
+    let token = fabricate_torn_session(&tmp.0, &data);
+
+    // "Restart" onto the same state directory: the torn session must be
+    // parked for resume, and the token must replay the full stream.
+    let handle = start_durable_server(&tmp.0, 600_000);
+    let recovery = handle.recovery();
+    assert_eq!(recovery.recovered, 1, "torn session not parked for resume");
+    assert_eq!(recovery.unresumable, 0);
+    assert_eq!(recovery.refused, 0);
+
+    let store = handle.session_store().expect("store");
+    let mut client = Client::connect(handle.addr(), TENANT, 1 << 22).expect("connect");
+    let resumed = client.resume(token, &[], 0).expect("resume after tear");
+    assert_eq!(resumed, reference, "resumed stream diverged from the fresh stream");
+
+    // A second claim of the same token is refused: the promise is
+    // one-shot and the directory is gone.
+    wait_for_drained_sessions(&store);
+    match client.resume(token, &[], 0) {
+        Err(ClientError::Request { code: RejectCode::Unresumable, .. }) => {}
+        other => panic!("double-claim must be Unresumable, got {other:?}"),
+    }
+    drop(client);
+    let stats = handle.shutdown(Duration::from_secs(5));
+    assert_eq!(stats.active_streams, 0);
+    assert_eq!(stats.active_bytes, 0);
+}
+
+#[test]
+fn corrupt_journal_is_unresumable_and_charges_nothing() {
+    let tmp = TempDir::new("corrupt");
+    let data = generate(Corpus::JsonTelemetry, 79, 64 * 1024);
+    let token = fabricate_torn_session(&tmp.0, &data);
+
+    // Flip one byte inside the journal's token field: the CRC must catch
+    // it and the whole session must be garbage-collected at startup.
+    let sessions: Vec<_> =
+        std::fs::read_dir(tmp.0.join("sessions")).unwrap().map(|e| e.unwrap().path()).collect();
+    assert_eq!(sessions.len(), 1);
+    let journal = sessions[0].join("journal");
+    let mut bytes = std::fs::read(&journal).unwrap();
+    bytes[8] ^= 0x01;
+    std::fs::write(&journal, &bytes).unwrap();
+
+    let handle = start_durable_server(&tmp.0, 600_000);
+    let recovery = handle.recovery();
+    assert_eq!(recovery.recovered, 0);
+    assert_eq!(recovery.unresumable, 1, "corrupt journal not detected");
+
+    // Nothing was re-admitted and the disk is clean.
+    let stats = handle.stats();
+    assert_eq!(stats.active_streams, 0, "corrupt session charged a stream");
+    assert_eq!(stats.active_bytes, 0, "corrupt session charged bytes");
+    let store = handle.session_store().expect("store");
+    assert_eq!(store.session_dirs(), 0, "corrupt session directory leaked");
+
+    let mut client = Client::connect(handle.addr(), TENANT, 1 << 22).expect("connect");
+    match client.resume(token, &[], 0) {
+        Err(ClientError::Request { code: RejectCode::Unresumable, .. }) => {}
+        other => panic!("corrupt-journal resume must be Unresumable, got {other:?}"),
+    }
+    drop(client);
+    handle.shutdown(Duration::from_secs(5));
+}
+
+#[test]
+fn orphan_sweep_returns_quota_and_disk() {
+    let tmp = TempDir::new("orphan");
+    let data = generate(Corpus::SensorFrames, 83, 80 * 1024);
+    let token = fabricate_torn_session(&tmp.0, &data);
+
+    let handle = start_durable_server(&tmp.0, 600_000);
+    assert_eq!(handle.recovery().recovered, 1);
+    // The parked session holds real quota while it waits for its client.
+    let before = handle.stats();
+    assert_eq!(before.active_streams, 1, "parked session must hold a stream");
+    assert!(before.active_bytes > 0, "parked session must hold admitted bytes");
+
+    // The client never shows up: the sweep reclaims both disk and quota.
+    assert_eq!(handle.sweep_orphans_now(), 1);
+    let after = handle.stats();
+    assert_eq!(after.active_streams, 0, "sweep leaked a stream");
+    assert_eq!(after.active_bytes, 0, "sweep leaked admitted bytes");
+    let store = handle.session_store().expect("store");
+    assert_eq!(store.session_dirs(), 0, "sweep leaked the session directory");
+
+    // The token's promise died with the orphan — typed refusal, not bytes.
+    let mut client = Client::connect(handle.addr(), TENANT, 1 << 22).expect("connect");
+    match client.resume(token, &[], 0) {
+        Err(ClientError::Request { code: RejectCode::Unresumable, .. }) => {}
+        other => panic!("swept-orphan resume must be Unresumable, got {other:?}"),
+    }
+    drop(client);
+    handle.shutdown(Duration::from_secs(5));
+}
